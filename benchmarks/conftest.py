@@ -1,0 +1,18 @@
+"""Shared benchmark plumbing.
+
+Every bench prints the table/figure series it regenerates (visible with
+``pytest benchmarks/ --benchmark-only -s`` and in the tee'd bench log).
+Heavy benches run their workload once via ``benchmark.pedantic``; the
+timing numbers measure the reproduction cost, not the paper's metrics.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: str, rows) -> None:
+    """Uniform table printer for the reproduced results."""
+    print()
+    print(f"== {title} ==")
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,62 @@
+"""Figure 4 — the live-validation evaluation tree.
+
+Runs the full §7.3 methodology over a synthetic panel: classify with the
+count-based pipeline, referee every call with the clean-profile crawler,
+the content-based heuristic (T distinct sites per profile category) and
+noisy crowd labels, then resolve UNKNOWNs with retargeting probes and
+indirect-OBA correlation (§7.3.3).
+
+Shape expectations from the paper's tree and §7.3.4:
+
+* the overwhelming majority of ads are non-targeted (paper: 97.3%
+  static vs 2.7% targeted);
+* a substantial TN(CR) block (paper: 27%) — crawler-confirmed negatives;
+* low FP signals: FP(CR) small on the targeted branch, and the final
+  likely-TP rate high (paper: 78%);
+* final likely-TN rate high (paper: 87%).
+"""
+
+from conftest import print_table
+
+from repro.simulation import SimulationConfig
+from repro.validation.study import LiveValidationStudy
+from repro.validation.tree import TreeOutcome
+
+
+def test_evaluation_tree_rates(benchmark):
+    study = LiveValidationStudy(
+        config=SimulationConfig(num_users=120, num_websites=250,
+                                average_user_visits=90, frequency_cap=8,
+                                seed=5),
+        cb_min_websites=5, labeling_rate=0.3, labeler_accuracy=0.85,
+        crawl_sites=80, seed=5)
+
+    report = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    rates = report.tree
+
+    rows = [f"  total classified: {report.total_ads} "
+            f"({report.classified_targeted} targeted / "
+            f"{report.classified_non_targeted} non-targeted)"]
+    for outcome in TreeOutcome:
+        count = rates.count(outcome)
+        if count:
+            rows.append(f"  {outcome.value:22s} {count:6d} "
+                        f"({rates.rate_within_branch(outcome):6.2%} of "
+                        f"branch)")
+    rows.append(f"  UNKNOWN resolution: "
+                f"{report.resolved.likely_tp_retargeting} retargeting TP, "
+                f"{report.resolved.likely_tp_indirect} indirect-OBA TP, "
+                f"{report.resolved.likely_fp} FP")
+    rows.append(f"  likely TP rate: {report.likely_tp_rate:6.1%} "
+                f"(paper: 78%)")
+    rows.append(f"  likely TN rate: {report.likely_tn_rate:6.1%} "
+                f"(paper: 87%)")
+    print_table("Figure 4: evaluation tree for classification precision",
+                "  branch                  count  (share)", rows)
+
+    # Shape assertions.
+    share_targeted = report.classified_targeted / max(report.total_ads, 1)
+    assert share_targeted < 0.10  # paper: 2.71%
+    assert rates.rate_within_branch(TreeOutcome.TN_CR) > 0.10
+    assert report.likely_tp_rate > 0.6
+    assert report.likely_tn_rate > 0.6

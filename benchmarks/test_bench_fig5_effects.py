@@ -1,0 +1,46 @@
+"""Figure 5 — predicted targeting probability per demographic level.
+
+Plots (as text) the three effect panels of the paper: expected
+probability of receiving a targeted ad versus gender, income bracket and
+age bracket, from the model fitted in the Table 2 bench. Shape
+expectations from §8.2:
+
+* female > male;
+* income rises from 0-30k through 60-90k, then drops sharply for 90k+;
+* age trends upward overall, with 60-70 the highest and a 50-60 dip.
+"""
+
+from conftest import print_table
+
+from repro.analysis.biasstudy import fit_bias_study, generate_bias_study
+from repro.analysis.effects import predicted_effects
+
+
+def _bar(p: float, width: int = 40) -> str:
+    return "#" * int(p * width)
+
+
+def test_effect_curves(benchmark):
+    data = generate_bias_study(num_users=400, ads_per_user=60, seed=11)
+    model = fit_bias_study(data)
+
+    curves = benchmark(lambda: predicted_effects(model))
+
+    rows = []
+    for factor in ("gender", "income", "age"):
+        rows.append(f"  [{factor}]")
+        for effect in curves[factor]:
+            rows.append(f"    {effect.level:10s} "
+                        f"{effect.probability:6.3f} "
+                        f"{_bar(effect.probability)}")
+    print_table("Figure 5: predicted probability of targeted delivery",
+                "  level        P[targeted]", rows)
+
+    gender = {e.level: e.probability for e in curves["gender"]}
+    income = {e.level: e.probability for e in curves["income"]}
+    age = {e.level: e.probability for e in curves["age"]}
+    assert gender["female"] > gender["male"]
+    assert income["0-30k"] < income["30k-60k"] <= income["60k-90k"] * 1.05
+    assert income["90k-..."] < income["0-30k"]
+    assert age["60-70"] == max(age.values())
+    assert age["50-60"] < age["40-50"]

@@ -1,0 +1,159 @@
+"""§7.1 — performance and overhead of the privacy-preserving protocol.
+
+Regenerates every quantitative claim of the section:
+
+* CMS wire size of 185 / 196 / 207 KB for 10k / 50k / 100k ads
+  (delta = epsilon = 0.001, 4-byte cells; paper KB = 1000 bytes);
+* cleartext baseline of ~3.5 KB for the average user's 35 unique ads
+  (100-character URLs) and hundreds of KB for heavy users (~250 ads);
+* key-exchange volume scaling linearly in the user count (paper: 0.38 MB
+  and 1.9 MB for 10k and 50k users at ~38 bytes per key record);
+* client-side blinding compute for 1k users and a 5k-cell sketch
+  (paper: ~30 s; this implementation is faster — the shape claim is
+  "once a week, runs in the background");
+* OPRF URL->ID mapping at two group elements per unique ad, well under
+  the paper's 500 ms budget.
+"""
+
+import random
+
+import pytest
+from conftest import print_table
+
+from repro.crypto.blinding import BlindingGenerator
+from repro.crypto.group import DHGroup
+from repro.crypto.oprf import OPRFClient, OPRFServer
+from repro.protocol.messages import CleartextReport, PublicKeyAnnouncement
+from repro.sketch.countmin import CountMinSketch
+
+#: Paper's reported CMS sizes in decimal KB per input size.
+PAPER_CMS_KB = {10_000: 185, 50_000: 196, 100_000: 207}
+
+
+def test_cms_size_vs_cleartext(benchmark):
+    def build_all():
+        return {items: CountMinSketch.from_error_bounds(0.001, 0.001, items)
+                for items in PAPER_CMS_KB}
+
+    sketches = benchmark(build_all)
+
+    rows = []
+    for items, cms in sketches.items():
+        kb = cms.size_bytes(4) / 1000
+        rows.append(f"  ads={items:7d}  CMS {cms.depth}x{cms.width} -> "
+                    f"{kb:6.1f} KB  (paper: {PAPER_CMS_KB[items]} KB)")
+        assert round(kb) == PAPER_CMS_KB[items]
+
+    average = CleartextReport("u", 1, urls=tuple(
+        f"http://ad-network.example/creative/{i:04d}".ljust(100, "x")
+        for i in range(35)))
+    heavy = CleartextReport("u", 1, urls=tuple(
+        f"http://ad-network.example/creative/{i:04d}".ljust(100, "x")
+        for i in range(250)))
+    rows.append(f"  cleartext avg user (35 ads, 100-char URLs): "
+                f"{average.size_bytes() / 1000:.1f} KB (paper: ~3.5 KB)")
+    rows.append(f"  cleartext heavy user (250 ads): "
+                f"{heavy.size_bytes() / 1000:.1f} KB (paper: 100s of KB)")
+    assert 3.0 < average.size_bytes() / 1000 < 4.0
+    assert heavy.size_bytes() / 1000 > 20.0
+
+    print_table("§7.1: report sizes", "  (CMS constant vs cleartext linear)",
+                rows)
+
+
+def test_blinding_exchange_bytes(benchmark):
+    """Key-exchange download volume scales linearly in the user count."""
+    group = DHGroup.standard(256)
+
+    def volume(num_users: int) -> float:
+        announcement = PublicKeyAnnouncement(
+            "u", 2, element_bytes=group.element_bytes)
+        return (num_users - 1) * announcement.size_bytes() / 1e6
+
+    result = benchmark(lambda: {n: volume(n) for n in (10_000, 50_000)})
+    rows = [f"  users={n:6d} -> {mb:5.2f} MB downloaded "
+            f"(paper: {paper} MB)"
+            for (n, mb), paper in zip(result.items(), (0.38, 1.9))]
+    print_table("§7.1: key-exchange volume",
+                "  (one public key per peer, 256-bit group + framing)",
+                rows)
+    # Linear scaling: ~5x volume for 5x users, in the paper's ballpark.
+    assert result[50_000] / result[10_000] == pytest.approx(5.0, rel=0.01)
+    assert 0.2 < result[10_000] < 1.0
+    assert 1.0 < result[50_000] < 5.0
+
+
+def test_blinding_compute_time(benchmark):
+    """Client blinding cost for the paper's 1k-user / 5k-cell setting.
+
+    Measured on a 100-peer slice and extrapolated linearly (the work is
+    exactly linear in the peer count): the paper reports ~30 s, this
+    XOF-based implementation lands well under that.
+    """
+    group = DHGroup.standard(128)
+    rng = random.Random(1)
+    keypairs = [group.keypair(rng) for _ in range(101)]
+    publics = {i: kp.public for i, kp in enumerate(keypairs)}
+    me = BlindingGenerator(group, 0, keypairs[0],
+                           {i: p for i, p in publics.items() if i != 0})
+
+    result = benchmark.pedantic(
+        lambda: me.blinding_vector(5000, round_id=1), rounds=3, iterations=1)
+    assert len(result) == 5000
+
+    per_peer = benchmark.stats["mean"] / 100
+    extrapolated = per_peer * 1000
+    print_table(
+        "§7.1: blinding compute (1k users, 5k-cell sketch)",
+        "  (paper: ~30 s on their client; weekly background task)",
+        [f"  measured: {benchmark.stats['mean']:.3f} s for 100 peers",
+         f"  extrapolated to 1000 peers: {extrapolated:.1f} s"])
+    assert extrapolated < 30.0
+
+
+def test_weekly_client_budget(benchmark):
+    """The §7.1 bottom line: "a few (i.e. 2 or 3) MB of data to be
+    exchanged, assuming 50k users", once per week per client.
+
+    Per-client weekly budget = key-exchange download (one public key per
+    peer) + the blinded CMS upload + the threshold broadcast, plus OPRF
+    traffic amortized per unique ad.
+    """
+    group = DHGroup.standard(256)
+
+    def budget(num_users: int, unique_ads: int = 35) -> float:
+        key_exchange = (num_users - 1) * (16 + group.element_bytes)
+        cms = CountMinSketch.from_error_bounds(0.001, 0.001, 50_000)
+        report = cms.size_bytes(4) + 16
+        oprf = unique_ads * 2 * 128  # two 1024-bit elements per unique ad
+        broadcast = 24
+        return (key_exchange + report + oprf + broadcast) / 1e6
+
+    totals = benchmark(lambda: {n: budget(n) for n in (10_000, 50_000)})
+    rows = [f"  users={n:6d} -> {mb:5.2f} MB per client per week"
+            for n, mb in totals.items()]
+    rows.append("  (paper: 'a few (i.e. 2 or 3) MB ... assuming 50k "
+                "users')")
+    print_table("§7.1: weekly per-client traffic budget",
+                "  key exchange + blinded CMS + OPRF + broadcast", rows)
+    assert 1.5 < totals[50_000] < 4.0  # the paper's "2 or 3 MB"
+    assert totals[10_000] < totals[50_000]
+
+
+def test_oprf_latency_and_bytes(benchmark):
+    """URL->ID mapping: two group elements, far below 500 ms."""
+    server = OPRFServer.generate(bits=1024, rng=random.Random(5))
+    client = OPRFClient(server.public_key, rng=random.Random(6))
+
+    output = benchmark(lambda: client.evaluate(
+        "http://shop.example/product/123", server))
+    assert len(output) == 16
+
+    print_table(
+        "§7.1: OPRF ad-URL -> ad-ID mapping",
+        "  (paper: < 500 ms, two group elements of 1024 bits)",
+        [f"  mean evaluation time: {benchmark.stats['mean'] * 1000:.2f} ms",
+         f"  wire cost: {client.exchange_bytes()} bytes "
+         f"(2 x {server.public_key.modulus_bytes}-byte elements)"])
+    assert benchmark.stats["mean"] < 0.5
+    assert client.exchange_bytes() == 2 * server.public_key.modulus_bytes

@@ -1,0 +1,47 @@
+"""Table 3 — capability comparison of targeted-ad detection systems.
+
+Renders the qualitative matrix and asserts the paper's differentiating
+claims: eyeWnder is the only privacy-preserving, count-based entry; it
+and MyAdChoices are the only real-user, real-time, scalable tools; all
+prior persona-based systems inject fake impressions.
+"""
+
+from conftest import print_table
+
+from repro.validation.comparison import (
+    COMPARISON_MATRIX,
+    EYEWNDER_CAPABILITY_MODULES,
+    NEGATIVE,
+    NEUTRAL,
+    POSITIVE,
+    SYSTEMS,
+    render_comparison_table,
+)
+
+
+def test_comparison_matrix(benchmark):
+    text = benchmark(render_comparison_table)
+    print()
+    print("== Table 3: comparison of targeted-ad detection solutions ==")
+    print(text)
+    print()
+    print("eyeWnder capability -> implementing module:")
+    for capability, module in EYEWNDER_CAPABILITY_MODULES.items():
+        print(f"  {capability:22s} {module}")
+
+    idx = SYSTEMS.index("eyeWnder")
+    # The paper's differentiators.
+    assert COMPARISON_MATRIX["Privacy-preserving"][idx] == POSITIVE
+    assert COMPARISON_MATRIX["Count-based"][idx] == NEUTRAL
+    assert COMPARISON_MATRIX["Fake impressions"][idx] == ""
+    # Every persona-based prior system fakes impressions.
+    persona_cols = [i for i, cell in
+                    enumerate(COMPARISON_MATRIX["Personas"])
+                    if cell == NEUTRAL]
+    assert persona_cols, "prior persona systems expected"
+    for col in persona_cols:
+        assert COMPARISON_MATRIX["Fake impressions"][col] == NEGATIVE
+    # Real-time + scalable: MyAdChoices and eyeWnder only.
+    rt = COMPARISON_MATRIX["Operates in real-time"]
+    assert [SYSTEMS[i] for i, c in enumerate(rt) if c == POSITIVE] == \
+        ["MyAdChoices [46]", "eyeWnder"]

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The §8 socio-economic bias study (Table 2 + Figure 5).
+
+Generates a synthetic panel whose targeted-ad delivery follows the
+paper's fitted odds ratios, refits the binomial logistic regression
+``D ~ G + A + L`` with this library's IRLS implementation, and prints the
+Table-2 statistics plus the Figure-5 effect curves. The ANOVA
+likelihood-ratio step that dropped "employment" in the paper is shown on
+a synthetic uninformative factor.
+"""
+
+from repro.analysis.biasstudy import (
+    PAPER_TABLE2_ODDS_RATIOS,
+    fit_bias_study,
+    generate_bias_study,
+)
+from repro.analysis.effects import predicted_effects
+
+
+def main() -> None:
+    print("Generating a panel of 400 users x 60 ad deliveries under the "
+          "paper's Table-2 odds ...")
+    data = generate_bias_study(num_users=400, ads_per_user=60, seed=11)
+    model = fit_bias_study(data)
+    result = model.result
+    print(f"IRLS converged in {result.iterations} iterations on "
+          f"{result.num_observations} observations\n")
+
+    print(f"{'variable':18s} {'OR':>7s} {'paper':>7s} {'SE':>7s} "
+          f"{'z':>8s} {'p':>10s}  sig")
+    for stat in result.stats():
+        paper_or = PAPER_TABLE2_ODDS_RATIOS.get(stat.name)
+        paper_str = f"{paper_or:7.3f}" if paper_or else "      -"
+        print(f"{stat.name:18s} {stat.odds_ratio:7.3f} {paper_str} "
+              f"{stat.std_error:7.3f} {stat.z_value:8.3f} "
+              f"{stat.p_value:10.2e}  {stat.significance_stars()}")
+
+    print("\nFigure-5 effect curves (predicted targeting probability):")
+    for factor, curve in predicted_effects(model).items():
+        levels = "  ".join(f"{e.level}={e.probability:.2f}" for e in curve)
+        print(f"  {factor:7s} {levels}")
+
+    print("\nExpected shapes (paper §8.2): female > male; income rises "
+          "through 60-90k then\nfalls for 90k+; age trends upward with "
+          "60-70 the most targeted.")
+
+
+if __name__ == "__main__":
+    main()

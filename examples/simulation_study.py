@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The §7.2 controlled simulation study, in miniature.
+
+Sweeps the advertiser frequency cap (how many times a targeted ad may be
+repeated per user) and reports false-negative rates for the two threshold
+rules of Figure 3, plus the false-positive rate — the paper's headline
+simulation results:
+
+* few repetitions suffice for detection (FN drops steeply with the cap);
+* Mean+Median is stricter: detection needs more repetitions, but the
+  residual FN floor is lower;
+* false positives stay near zero throughout.
+"""
+
+from repro import DetectionPipeline, DetectorConfig, ThresholdRule
+from repro.simulation import SimulationConfig, Simulator
+from repro.simulation.metrics import evaluate_classifications
+
+CAPS = (1, 2, 3, 4, 6, 8, 10, 12)
+SEEDS = (42, 43)
+
+
+def sweep(rule: ThresholdRule) -> None:
+    print(f"threshold rule: {rule.value}")
+    print("  cap   FN%    FP%    (tp/fn/fp)")
+    for cap in CAPS:
+        tp = fn = fp = tn = 0
+        for seed in SEEDS:
+            config = SimulationConfig(
+                num_users=150, num_websites=300, average_user_visits=100,
+                ads_per_website=20, percentage_targeted=1.0,
+                frequency_cap=cap, seed=seed)
+            result = Simulator(config).run()
+            detector = DetectorConfig(domains_rule=rule, users_rule=rule)
+            out = DetectionPipeline(detector).run_week(result.impressions,
+                                                       week=0)
+            counts = evaluate_classifications(out.classified,
+                                              result.ground_truth)
+            tp += counts.tp
+            fn += counts.fn
+            fp += counts.fp
+            tn += counts.tn
+        fn_rate = fn / (fn + tp) if fn + tp else 0.0
+        fp_rate = fp / (fp + tn) if fp + tn else 0.0
+        print(f"  {cap:3d}  {fn_rate:5.1%} {fp_rate:6.2%}   "
+              f"({tp}/{fn}/{fp})")
+    print()
+
+
+def main() -> None:
+    print("Reproducing Figure 3: false negatives vs. frequency cap\n")
+    sweep(ThresholdRule.MEAN)
+    sweep(ThresholdRule.MEAN_PLUS_MEDIAN)
+    print("Expected shape (paper): FN falls steeply with the cap; "
+          "Mean detects earlier,\nMean+Median needs more repetitions but "
+          "reaches a lower floor; FP ~ 0-2%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build. ``python setup.py develop``
+installs an egg-link without needing wheel. Configuration lives in
+``pyproject.toml``; this file only exists to enable the legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Socio-economic bias analysis (paper §8).
+
+The paper fits a binomial logistic regression ``D ~ G + A + L`` (targeted
+vs static delivery against gender, age, income), reports odds ratios with
+Wald statistics (Table 2) and plots per-level predicted probabilities
+(Figure 5). Employment was dropped after an ANOVA likelihood-ratio test
+found it uninformative.
+
+* :mod:`repro.analysis.logistic` — IRLS-fitted binomial GLM with
+  categorical encoding and Wald inference, built on numpy only;
+* :mod:`repro.analysis.anova` — likelihood-ratio comparison of nested
+  models (the employment-drop decision);
+* :mod:`repro.analysis.effects` — per-level predicted probabilities.
+"""
+
+from repro.analysis.logistic import (
+    CategoricalSpec,
+    CoefficientStats,
+    LogisticModel,
+    LogisticRegressionResult,
+)
+from repro.analysis.anova import LikelihoodRatioTest, likelihood_ratio_test
+from repro.analysis.effects import EffectLevel, predicted_effects
+
+__all__ = [
+    "CategoricalSpec",
+    "CoefficientStats",
+    "LogisticModel",
+    "LogisticRegressionResult",
+    "LikelihoodRatioTest",
+    "likelihood_ratio_test",
+    "EffectLevel",
+    "predicted_effects",
+]

@@ -1,0 +1,49 @@
+"""Likelihood-ratio comparison of nested logistic models.
+
+The paper: "in the case of employment status, it was removed from the
+model as it was deemed non-useful with an anova likelihood ratio test".
+The test statistic ``2 * (ll_full - ll_reduced)`` is chi-square with
+``df_full - df_reduced`` degrees of freedom under the null that the extra
+factor adds nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.analysis.logistic import LogisticRegressionResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LikelihoodRatioTest:
+    """Outcome of the nested-model comparison."""
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True if the richer model is a significant improvement."""
+        return self.p_value < alpha
+
+
+def likelihood_ratio_test(full: LogisticRegressionResult,
+                          reduced: LogisticRegressionResult
+                          ) -> LikelihoodRatioTest:
+    """Compare nested fits; ``full`` must contain ``reduced``'s columns."""
+    df = len(full.column_names) - len(reduced.column_names)
+    if df <= 0:
+        raise ConfigurationError(
+            "full model must have more parameters than the reduced one")
+    missing = set(reduced.column_names) - set(full.column_names)
+    if missing:
+        raise ConfigurationError(
+            f"models are not nested; reduced-only columns: {sorted(missing)}")
+    statistic = 2.0 * (full.log_likelihood - reduced.log_likelihood)
+    statistic = max(statistic, 0.0)
+    p_value = float(stats.chi2.sf(statistic, df))
+    return LikelihoodRatioTest(statistic=statistic, degrees_of_freedom=df,
+                               p_value=p_value)

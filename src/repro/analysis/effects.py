@@ -1,0 +1,50 @@
+"""Per-level predicted-probability effects (paper Figure 5).
+
+For each factor, sweep its levels while holding every other factor at its
+base (or first) level, and report the model's predicted probability of a
+targeted-ad delivery. This is the data behind the paper's three effect
+panels (gender, income bracket, age).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.analysis.logistic import LogisticModel
+
+
+@dataclass(frozen=True)
+class EffectLevel:
+    """One point of an effect curve."""
+
+    factor: str
+    level: str
+    probability: float
+
+
+def predicted_effects(model: LogisticModel,
+                      at: Optional[Mapping[str, str]] = None
+                      ) -> Dict[str, List[EffectLevel]]:
+    """Effect curves for every factor of a fitted model.
+
+    ``at`` optionally fixes the reference levels of the other factors;
+    defaults to each factor's base level (or first level when no base).
+    """
+    reference: Dict[str, str] = {}
+    for factor in model.factors:
+        reference[factor.name] = factor.base or factor.levels[0]
+    if at:
+        reference.update(at)
+
+    curves: Dict[str, List[EffectLevel]] = {}
+    for factor in model.factors:
+        curve: List[EffectLevel] = []
+        for level in factor.levels:
+            observation = dict(reference)
+            observation[factor.name] = level
+            curve.append(EffectLevel(
+                factor=factor.name, level=level,
+                probability=model.predict_probability(observation)))
+        curves[factor.name] = curve
+    return curves

@@ -1,0 +1,22 @@
+"""Back-end substrate (paper §5): database, crawler, service.
+
+* :mod:`repro.backend.database` — the metadata store (SQLite, matching
+  the paper's MySQL role): active users, anonymized weekly aggregates,
+  crawler findings;
+* :mod:`repro.backend.crawler` — the clean-profile crawler that visits
+  audited pages with empty history; any ad it sees cannot have been
+  behaviourally targeted, which is what the validation tree keys on;
+* :mod:`repro.backend.service` — the weekly cadence: run the aggregation
+  round, persist the distribution and threshold, answer client queries.
+"""
+
+from repro.backend.database import MetadataStore
+from repro.backend.crawler import CleanProfileCrawler
+from repro.backend.service import BackendService, WeeklySnapshot
+
+__all__ = [
+    "MetadataStore",
+    "CleanProfileCrawler",
+    "BackendService",
+    "WeeklySnapshot",
+]

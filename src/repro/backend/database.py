@@ -1,0 +1,146 @@
+"""SQLite-backed metadata store (the paper's MySQL database role).
+
+Stores only what the real back-end stores: enrolled users, per-week
+aggregate statistics (threshold, distribution summary) and crawler
+sightings. Individual user reports never land here — they exist only as
+blinded sketches in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS users (
+    user_id TEXT PRIMARY KEY,
+    enrolled_week INTEGER NOT NULL,
+    blinding_index INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS weekly_stats (
+    week INTEGER PRIMARY KEY,
+    users_threshold REAL NOT NULL,
+    num_reporting INTEGER NOT NULL,
+    num_missing INTEGER NOT NULL,
+    distribution_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS crawler_sightings (
+    ad_identity TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    week INTEGER NOT NULL,
+    PRIMARY KEY (ad_identity, domain, week)
+);
+"""
+
+
+class MetadataStore:
+    """Thin typed facade over the SQLite schema above.
+
+    ``path=":memory:"`` (the default) keeps everything in process, which
+    is what tests and simulations want; a file path gives persistence.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MetadataStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Users
+    # ------------------------------------------------------------------
+    def enroll_user(self, user_id: str, week: int,
+                    blinding_index: int) -> None:
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO users (user_id, enrolled_week, "
+                    "blinding_index) VALUES (?, ?, ?)",
+                    (user_id, week, blinding_index))
+        except sqlite3.IntegrityError:
+            raise ConfigurationError(
+                f"user {user_id!r} already enrolled") from None
+
+    def active_users(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT user_id FROM users ORDER BY user_id").fetchall()
+        return [r[0] for r in rows]
+
+    def blinding_index(self, user_id: str) -> int:
+        row = self._conn.execute(
+            "SELECT blinding_index FROM users WHERE user_id = ?",
+            (user_id,)).fetchone()
+        if row is None:
+            raise ConfigurationError(f"unknown user {user_id!r}")
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # Weekly aggregates
+    # ------------------------------------------------------------------
+    def save_weekly_stats(self, week: int, users_threshold: float,
+                          num_reporting: int, num_missing: int,
+                          distribution_values: List[float]) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO weekly_stats VALUES (?, ?, ?, ?, ?)",
+                (week, users_threshold, num_reporting, num_missing,
+                 json.dumps(distribution_values)))
+
+    def weekly_stats(self, week: int) -> Optional[Dict]:
+        row = self._conn.execute(
+            "SELECT users_threshold, num_reporting, num_missing, "
+            "distribution_json FROM weekly_stats WHERE week = ?",
+            (week,)).fetchone()
+        if row is None:
+            return None
+        return {
+            "week": week,
+            "users_threshold": row[0],
+            "num_reporting": row[1],
+            "num_missing": row[2],
+            "distribution": json.loads(row[3]),
+        }
+
+    def recorded_weeks(self) -> List[int]:
+        rows = self._conn.execute(
+            "SELECT week FROM weekly_stats ORDER BY week").fetchall()
+        return [r[0] for r in rows]
+
+    # ------------------------------------------------------------------
+    # Crawler sightings
+    # ------------------------------------------------------------------
+    def record_sighting(self, ad_identity: str, domain: str,
+                        week: int) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO crawler_sightings VALUES (?, ?, ?)",
+                (ad_identity, domain, week))
+
+    def crawler_saw(self, ad_identity: str,
+                    week: Optional[int] = None) -> bool:
+        if week is None:
+            row = self._conn.execute(
+                "SELECT 1 FROM crawler_sightings WHERE ad_identity = ? "
+                "LIMIT 1", (ad_identity,)).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT 1 FROM crawler_sightings WHERE ad_identity = ? "
+                "AND week = ? LIMIT 1", (ad_identity, week)).fetchone()
+        return row is not None
+
+    def sightings_for_week(self, week: int) -> List[Tuple[str, str]]:
+        rows = self._conn.execute(
+            "SELECT ad_identity, domain FROM crawler_sightings "
+            "WHERE week = ? ORDER BY ad_identity, domain",
+            (week,)).fetchall()
+        return [(r[0], r[1]) for r in rows]

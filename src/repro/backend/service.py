@@ -1,0 +1,89 @@
+"""Back-end service: the weekly operational cadence of eyeWnder.
+
+Glues the pieces the paper's Figure 1 shows around the back-end server:
+run the privacy-preserving aggregation round for the week, persist the
+resulting statistics to the metadata store, and answer the queries the
+extension needs for local classification (threshold + per-ad estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.backend.database import MetadataStore
+from repro.core.thresholds import ThresholdRule
+from repro.errors import RoundStateError
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.coordinator import RoundCoordinator, RoundResult
+from repro.protocol.transport import InMemoryTransport
+from repro.statsutil.distributions import EmpiricalDistribution
+
+
+@dataclass
+class WeeklySnapshot:
+    """What the service retains from one weekly round."""
+
+    week: int
+    users_threshold: float
+    distribution: EmpiricalDistribution
+    round_result: RoundResult
+
+
+class BackendService:
+    """Operates weekly aggregation rounds and serves their outputs."""
+
+    def __init__(self, config: RoundConfig,
+                 clients: Sequence[ProtocolClient],
+                 store: Optional[MetadataStore] = None,
+                 users_rule: ThresholdRule = ThresholdRule.MEAN,
+                 transport: Optional[InMemoryTransport] = None) -> None:
+        self.config = config
+        self.clients = list(clients)
+        self.store = store or MetadataStore()
+        self.users_rule = users_rule
+        self.transport = transport or InMemoryTransport()
+        self._snapshots: Dict[int, WeeklySnapshot] = {}
+        for client in self.clients:
+            self.store.enroll_user(client.user_id, week=0,
+                                   blinding_index=client.blinding.user_index)
+
+    def run_week(self, week: int) -> WeeklySnapshot:
+        """Execute the aggregation round for ``week`` and persist stats."""
+        coordinator = RoundCoordinator(
+            self.config, self.clients, transport=self.transport,
+            threshold_rule=self.users_rule.compute)
+        result = coordinator.run_round(round_id=week)
+        snapshot = WeeklySnapshot(
+            week=week, users_threshold=result.users_threshold,
+            distribution=result.distribution, round_result=result)
+        self._snapshots[week] = snapshot
+        self.store.save_weekly_stats(
+            week=week, users_threshold=result.users_threshold,
+            num_reporting=len(result.reported_users),
+            num_missing=len(result.missing_users),
+            distribution_values=list(result.distribution.values))
+        # Clients start a fresh observation window after reporting.
+        for client in self.clients:
+            client.reset_window()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Query interface (what extensions ask for)
+    # ------------------------------------------------------------------
+    def snapshot(self, week: int) -> WeeklySnapshot:
+        try:
+            return self._snapshots[week]
+        except KeyError:
+            raise RoundStateError(f"no round was run for week {week}") from None
+
+    def users_threshold(self, week: int) -> float:
+        return self.snapshot(week).users_threshold
+
+    def estimated_users(self, week: int, ad_id: int) -> float:
+        """CMS estimate of #Users for one ad ID in a past week."""
+        return float(self.snapshot(week).round_result.aggregate.query(ad_id))
+
+    @property
+    def weeks_run(self) -> List[int]:
+        return sorted(self._snapshots)

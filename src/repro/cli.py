@@ -1,0 +1,221 @@
+"""Command-line interface: the paper's experiments from a shell.
+
+Subcommands:
+
+* ``simulate`` — run the browsing/ad-ecosystem simulator, print workload
+  statistics;
+* ``detect``   — simulate and classify one week, print flagged ads and
+  the confusion summary (optionally through the private protocol);
+* ``validate`` — the §7.3 live-validation study (Figure-4 tree);
+* ``bias``     — the §8 logistic-regression bias audit (Table 2 /
+  Figure 5);
+* ``compare``  — render the Table-3 capability matrix;
+* ``overhead`` — the §7.1 protocol-overhead numbers.
+
+Every command is seeded and deterministic: re-running with the same
+arguments reproduces the same output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.biasstudy import (
+    PAPER_TABLE2_ODDS_RATIOS,
+    fit_bias_study,
+    generate_bias_study,
+)
+from repro.analysis.effects import predicted_effects
+from repro.core.detector import DetectorConfig
+from repro.core.pipeline import DetectionPipeline
+from repro.core.thresholds import ThresholdRule
+from repro.simulation import SimulationConfig, Simulator
+from repro.simulation.metrics import evaluate_classifications
+from repro.sketch.countmin import CountMinSketch
+from repro.validation.comparison import render_comparison_table
+from repro.validation.study import LiveValidationStudy
+from repro.validation.tree import TreeOutcome
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=100,
+                        help="panel size (default 100)")
+    parser.add_argument("--websites", type=int, default=200,
+                        help="site catalogue size (default 200)")
+    parser.add_argument("--visits", type=int, default=80,
+                        help="average weekly visits per user (default 80)")
+    parser.add_argument("--frequency-cap", type=int, default=6,
+                        help="targeted-ad repetitions per user (default 6)")
+    parser.add_argument("--targeted-percent", type=float, default=1.0,
+                        help="percent of inventory that is targeted "
+                             "(default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic seed (default 0)")
+
+
+def _config_from(args: argparse.Namespace,
+                 num_weeks: int = 1) -> SimulationConfig:
+    return SimulationConfig(
+        num_users=args.users, num_websites=args.websites,
+        average_user_visits=args.visits,
+        percentage_targeted=args.targeted_percent,
+        frequency_cap=args.frequency_cap, num_weeks=num_weeks,
+        seed=args.seed)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``simulate``: run the ecosystem and print workload statistics."""
+    config = _config_from(args)
+    result = Simulator(config).run()
+    print(f"users={config.num_users} websites={config.num_websites} "
+          f"seed={config.seed}")
+    print(f"visits:          {len(result.visits)}")
+    print(f"impressions:     {len(result.impressions)}")
+    print(f"distinct ads:    {len(result.unique_ads)}")
+    targeted = sum(1 for c in result.campaigns if c.is_targeted)
+    print(f"campaigns:       {len(result.campaigns)} "
+          f"({targeted} targeted)")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """``detect``: simulate one week, classify it and print the verdicts."""
+    config = _config_from(args)
+    result = Simulator(config).run()
+    rule = ThresholdRule(args.threshold_rule)
+    pipeline = DetectionPipeline(
+        DetectorConfig(domains_rule=rule, users_rule=rule),
+        private=args.private)
+    out = pipeline.run_week(result.impressions, week=0)
+    mode = "private (blinded CMS)" if args.private else "cleartext oracle"
+    print(f"mode: {mode}   Users_th={out.users_threshold:.2f} "
+          f"({rule.value})")
+    print(f"classified {len(out.classified)} (user, ad) pairs; "
+          f"{len(out.targeted)} flagged\n")
+    for call in out.targeted[:args.max_flagged]:
+        truth = result.ground_truth.get(call.ad.identity)
+        truth_str = truth.value if truth else "?"
+        print(f"  {call.user_id}  {call.ad.identity[:58]:58s} "
+              f"domains={call.domains_seen} users~{call.users_seen:.0f} "
+              f"[{truth_str}]")
+    counts = evaluate_classifications(out.classified, result.ground_truth)
+    print(f"\nFN={counts.false_negative_rate:.1%} "
+          f"FP={counts.false_positive_rate:.2%} "
+          f"precision={counts.precision:.1%}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """``validate``: run the §7.3 live-validation study."""
+    study = LiveValidationStudy(config=_config_from(args),
+                                cb_min_websites=args.cb_threshold,
+                                labeling_rate=args.labeling_rate,
+                                crawl_sites=min(args.websites, 100),
+                                seed=args.seed)
+    report = study.run()
+    print(f"classified: {report.total_ads} "
+          f"({report.classified_targeted} targeted)")
+    for outcome in TreeOutcome:
+        count = report.tree.count(outcome)
+        if count:
+            print(f"  {outcome.value:22s} {count:6d} "
+                  f"({report.tree.rate_within_branch(outcome):6.2%})")
+    print(f"likely TP rate: {report.likely_tp_rate:.1%} (paper: 78%)")
+    print(f"likely TN rate: {report.likely_tn_rate:.1%} (paper: 87%)")
+    return 0
+
+
+def cmd_bias(args: argparse.Namespace) -> int:
+    """``bias``: fit the Table-2 regression and print effects."""
+    data = generate_bias_study(num_users=args.users,
+                               ads_per_user=args.ads_per_user,
+                               seed=args.seed)
+    model = fit_bias_study(data)
+    print(f"{'variable':18s} {'OR':>7s} {'paper':>7s} {'p':>10s}  sig")
+    for stat in model.result.stats():
+        paper = PAPER_TABLE2_ODDS_RATIOS.get(stat.name, float('nan'))
+        print(f"{stat.name:18s} {stat.odds_ratio:7.3f} {paper:7.3f} "
+              f"{stat.p_value:10.2e}  {stat.significance_stars()}")
+    print("\neffects (P[targeted] per level):")
+    for factor, curve in predicted_effects(model).items():
+        levels = "  ".join(f"{e.level}={e.probability:.2f}" for e in curve)
+        print(f"  {factor:7s} {levels}")
+    return 0
+
+
+def cmd_compare(_args: argparse.Namespace) -> int:
+    """``compare``: print the Table-3 capability matrix."""
+    print(render_comparison_table())
+    return 0
+
+
+def cmd_overhead(_args: argparse.Namespace) -> int:
+    """``overhead``: print the §7.1 protocol cost numbers."""
+    print("CMS sizes (delta = epsilon = 0.001, 4-byte cells):")
+    for items in (10_000, 50_000, 100_000):
+        cms = CountMinSketch.from_error_bounds(0.001, 0.001, items)
+        print(f"  {items:7d} ads -> {cms.depth}x{cms.width} cells, "
+              f"{cms.size_bytes(4) / 1000:.1f} KB")
+    print("\nkey-exchange volume (256-bit group, 16-byte framing):")
+    for users in (10_000, 50_000):
+        mb = (users - 1) * (16 + 32) / 1e6
+        print(f"  {users:6d} users -> {mb:.2f} MB per client")
+    print("\nOPRF: 2 group elements per unique ad "
+          "(256 bytes at 1024-bit RSA)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-eyewnder",
+        description="eyeWnder reproduction: detect targeted ads via "
+                    "distributed counting (CoNEXT 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run the ecosystem simulator")
+    _add_sim_args(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_det = sub.add_parser("detect", help="simulate and classify one week")
+    _add_sim_args(p_det)
+    p_det.add_argument("--private", action="store_true",
+                       help="use the blinded-CMS protocol for #Users")
+    p_det.add_argument("--threshold-rule", default="mean",
+                       choices=[r.value for r in ThresholdRule])
+    p_det.add_argument("--max-flagged", type=int, default=10)
+    p_det.set_defaults(func=cmd_detect)
+
+    p_val = sub.add_parser("validate",
+                           help="run the live-validation study")
+    _add_sim_args(p_val)
+    p_val.add_argument("--cb-threshold", type=int, default=5,
+                       help="CB profile threshold T (paper: 20)")
+    p_val.add_argument("--labeling-rate", type=float, default=0.3)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_bias = sub.add_parser("bias", help="run the bias audit (Table 2)")
+    p_bias.add_argument("--users", type=int, default=400)
+    p_bias.add_argument("--ads-per-user", type=int, default=60)
+    p_bias.add_argument("--seed", type=int, default=11)
+    p_bias.set_defaults(func=cmd_bias)
+
+    p_cmp = sub.add_parser("compare",
+                           help="print the Table-3 capability matrix")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_ovh = sub.add_parser("overhead", help="print the §7.1 cost numbers")
+    p_ovh.set_defaults(func=cmd_overhead)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

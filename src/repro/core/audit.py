@@ -1,0 +1,110 @@
+"""Real-time ad auditing — the eyeWnder user experience (paper §2.2, §5).
+
+The requirement: "a user should be able to request auditing of a
+particular ad appearing in his browser, and the system should respond
+within at most few seconds." The pieces that make this possible:
+
+* the *local* side (#Domains counters, Domains_th) lives in the browser
+  and updates on every impression — always current;
+* the *global* side (#Users estimates, Users_th) comes from the most
+  recent completed weekly aggregation round — a lookup, not a protocol
+  run.
+
+:class:`AuditService` wires a user's live counter to the
+:class:`~repro.backend.service.BackendService` snapshots and answers
+per-ad audit queries instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.backend.service import BackendService
+from repro.core.counters import UserDomainCounter
+from repro.core.detector import CountBasedDetector, DetectorConfig
+from repro.errors import RoundStateError
+from repro.types import Ad, ClassifiedAd, Impression, Label
+
+
+@dataclass(frozen=True)
+class AuditAnswer:
+    """What the extension shows the user after an audit request."""
+
+    verdict: ClassifiedAd
+    based_on_week: int
+    explanation: str
+
+
+class AuditService:
+    """Per-user real-time audit endpoint.
+
+    ``ad_id_of`` maps ad identities to the integer IDs the aggregate
+    sketch is indexed by (the extension's OPRF cache in deployment).
+    """
+
+    def __init__(self, user_id: str, backend: BackendService,
+                 ad_id_of: Callable[[str], int],
+                 config: Optional[DetectorConfig] = None) -> None:
+        self.user_id = user_id
+        self.backend = backend
+        self.ad_id_of = ad_id_of
+        self.detector = CountBasedDetector(user_id, config)
+
+    # ------------------------------------------------------------------
+    # Live local state
+    # ------------------------------------------------------------------
+    def observe(self, impression: Impression) -> None:
+        """Feed one impression into the local counters (on page load)."""
+        self.detector.observe(impression)
+
+    def new_window(self) -> None:
+        """Reset local counters at a weekly boundary."""
+        self.detector.counter.clear()
+
+    # ------------------------------------------------------------------
+    # Audit queries
+    # ------------------------------------------------------------------
+    def latest_week(self) -> int:
+        """Most recent week with a completed aggregation round."""
+        weeks = self.backend.weeks_run
+        if not weeks:
+            raise RoundStateError(
+                "no aggregation round has completed yet; auditing needs at "
+                "least one weekly snapshot")
+        return weeks[-1]
+
+    def audit(self, ad: Ad) -> AuditAnswer:
+        """Answer "is this ad targeted at me?" from current state."""
+        week = self.latest_week()
+        users_threshold = self.backend.users_threshold(week)
+        users_seen = self.backend.estimated_users(
+            week, self.ad_id_of(ad.identity))
+        verdict = self.detector.classify(ad, users_seen=users_seen,
+                                         users_threshold=users_threshold,
+                                         week=week)
+        return AuditAnswer(verdict=verdict, based_on_week=week,
+                           explanation=self._explain(verdict))
+
+    @staticmethod
+    def _explain(verdict: ClassifiedAd) -> str:
+        """A human-readable rationale, as the extension popup shows."""
+        if verdict.label is Label.UNDECIDED:
+            return ("Not enough browsing data yet: visit more ad-serving "
+                    "sites this week for a reliable verdict.")
+        follows = verdict.domains_seen > verdict.domains_threshold
+        rare = verdict.users_seen < verdict.users_threshold
+        if verdict.label is Label.TARGETED:
+            return (f"TARGETED: this ad followed you across "
+                    f"{verdict.domains_seen} sites (your typical ad: "
+                    f"{verdict.domains_threshold:.1f}) while only "
+                    f"~{verdict.users_seen:.0f} users saw it "
+                    f"(typical: {verdict.users_threshold:.1f}).")
+        if follows and not rare:
+            return (f"NOT targeted: the ad does follow you "
+                    f"({verdict.domains_seen} sites) but "
+                    f"~{verdict.users_seen:.0f} users saw it — a broad "
+                    f"campaign, not you specifically.")
+        return (f"NOT targeted: seen on {verdict.domains_seen} site(s), "
+                f"within your normal range "
+                f"({verdict.domains_threshold:.1f}).")

@@ -1,0 +1,93 @@
+"""The two counters the algorithm runs on (paper §4.1).
+
+:class:`UserDomainCounter` is the *local* state one browser extension
+keeps: for each ad, the set of publisher domains where this user saw it,
+plus the set of ad-serving domains visited (the activity gate's input).
+
+:class:`GlobalUserCounter` is the *global* statistic: for each ad, the set
+of users who saw it. In deployment the server only ever holds the CMS
+estimate of these counts; the exact counter exists as the evaluation
+oracle (Figure 2 compares the two).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set
+
+from repro.statsutil.distributions import EmpiricalDistribution
+from repro.types import Impression
+
+
+class UserDomainCounter:
+    """Per-user #Domains(u, a) counters over one time window."""
+
+    def __init__(self, user_id: str) -> None:
+        self.user_id = user_id
+        self._domains_by_ad: Dict[str, Set[str]] = defaultdict(set)
+        self._ad_serving_domains: Set[str] = set()
+
+    def observe(self, impression: Impression) -> None:
+        if impression.user_id != self.user_id:
+            return
+        self._domains_by_ad[impression.ad.identity].add(impression.domain)
+        self._ad_serving_domains.add(impression.domain)
+
+    def observe_all(self, impressions: Iterable[Impression]) -> None:
+        for impression in impressions:
+            self.observe(impression)
+
+    def domains_seen(self, ad_identity: str) -> int:
+        """#Domains(u, a): distinct domains where this user saw the ad."""
+        return len(self._domains_by_ad.get(ad_identity, ()))
+
+    @property
+    def ads_seen(self) -> List[str]:
+        return sorted(self._domains_by_ad)
+
+    @property
+    def num_ad_serving_domains(self) -> int:
+        """Distinct domains that served this user ads (activity gate)."""
+        return len(self._ad_serving_domains)
+
+    def distribution(self) -> EmpiricalDistribution:
+        """Distribution of #Domains(u, a) over all ads this user saw.
+
+        The user's Domains_th(u) is a moment of this distribution.
+        """
+        return EmpiricalDistribution(
+            len(domains) for domains in self._domains_by_ad.values())
+
+    def clear(self) -> None:
+        self._domains_by_ad.clear()
+        self._ad_serving_domains.clear()
+
+
+class GlobalUserCounter:
+    """Exact #Users(a) counters — the cleartext evaluation oracle."""
+
+    def __init__(self) -> None:
+        self._users_by_ad: Dict[str, Set[str]] = defaultdict(set)
+
+    def observe(self, impression: Impression) -> None:
+        self._users_by_ad[impression.ad.identity].add(impression.user_id)
+
+    def observe_all(self, impressions: Iterable[Impression]) -> None:
+        for impression in impressions:
+            self.observe(impression)
+
+    def users_seen(self, ad_identity: str) -> int:
+        """#Users(a): distinct users who saw the ad."""
+        return len(self._users_by_ad.get(ad_identity, ()))
+
+    @property
+    def ads(self) -> List[str]:
+        return sorted(self._users_by_ad)
+
+    def distribution(self) -> EmpiricalDistribution:
+        """Distribution of #Users(a) over all ads — Users_th's input."""
+        return EmpiricalDistribution(
+            len(users) for users in self._users_by_ad.values())
+
+    def clear(self) -> None:
+        self._users_by_ad.clear()

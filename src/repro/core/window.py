@@ -1,0 +1,45 @@
+"""Weekly time windows (paper §4.2, "Time-window selection").
+
+The algorithm operates on one-week windows: long enough to capture both
+weekday and weekend browsing and the typical ad-campaign lifetime, short
+enough that faded campaigns drop out. Helpers here slice impression logs
+by week index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.types import Impression, TICKS_PER_WEEK
+
+
+def window_of(tick: int) -> int:
+    """Week index containing ``tick``."""
+    return tick // TICKS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class WeeklyWindow:
+    """Half-open tick range of one weekly window."""
+
+    week: int
+
+    def __post_init__(self) -> None:
+        if self.week < 0:
+            raise ConfigurationError(f"week must be >= 0, got {self.week}")
+
+    @property
+    def start_tick(self) -> int:
+        return self.week * TICKS_PER_WEEK
+
+    @property
+    def end_tick(self) -> int:
+        return (self.week + 1) * TICKS_PER_WEEK
+
+    def contains(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+    def filter(self, impressions: Iterable[Impression]) -> List[Impression]:
+        return [imp for imp in impressions if self.contains(imp.tick)]

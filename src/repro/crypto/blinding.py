@@ -1,0 +1,157 @@
+"""Additive shares of zero for blinding sketch cells (paper §6, ref [36]).
+
+Following Kursawe, Danezis & Kohlweiss, user ``u_i`` blinds the ``m``-th
+cell of its report in round ``s`` with
+
+    b_i[m] = sum_{j != i}  H(y_j^{x_i} || s)[m] * (-1)^{i > j}   (mod 2^32)
+
+where ``y_j^{x_i}`` is the pairwise DH shared secret with user ``u_j``
+and ``H(.)[m]`` is the ``m``-th 32-bit block of an extendable-output
+function (SHAKE-256) keyed by the shared secret and the round number.
+Because ``H`` is evaluated on the *shared* secret, users ``i`` and ``j``
+derive the same keystream with opposite signs, so summing all users'
+blinding vectors gives zero in every cell — without any interaction
+beyond the one-time public-key exchange.
+
+Using one XOF call per (peer, round) instead of one hash per cell keeps
+the construction equivalent (a PRF keyed by the DH secret) while making
+rounds with thousands of sketch cells practical.
+
+Arithmetic is modulo ``2**32`` (matching the paper's 4-byte CMS cells):
+blinded cells are uniformly random individually, yet their sum recovers
+the true aggregate as long as true cell sums stay below ``2**32``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import BlindingError, ConfigurationError
+from repro.crypto.group import DHGroup, KeyPair
+
+#: Blinding modulus: 2^32, the range of a 4-byte CMS cell.
+BLINDING_MODULUS = 1 << 32
+
+#: Bytes per keystream block (one 32-bit cell).
+_CELL_BYTES = 4
+
+
+def _keystream(secret_bytes: bytes, round_id: int,
+               num_cells: int) -> np.ndarray:
+    """PRF keystream: ``num_cells`` uint64 values in [0, 2^32).
+
+    One SHAKE-256 XOF call per (pair, round); the byte stream is viewed
+    as big-endian 32-bit cells. Returned as uint64 so sums of thousands
+    of terms cannot wrap before the final mod-2^32 reduction.
+    """
+    xof = hashlib.shake_256()
+    xof.update(secret_bytes)
+    xof.update(round_id.to_bytes(8, "big", signed=True))
+    raw = xof.digest(num_cells * _CELL_BYTES)
+    return np.frombuffer(raw, dtype=">u4").astype(np.uint64)
+
+
+class BlindingGenerator:
+    """Per-user generator of blinding vectors and recovery adjustments.
+
+    Parameters
+    ----------
+    group:
+        The DH group all users share.
+    user_index:
+        This user's position in the canonical (sorted) user ordering. The
+        ``(-1)^(i > j)`` sign convention needs a total order on users.
+    keypair:
+        This user's DH key pair.
+    peer_publics:
+        Mapping of peer index -> peer public key for *all* users in the
+        round (the "public bulletin board" of the paper), excluding self.
+    """
+
+    def __init__(self, group: DHGroup, user_index: int, keypair: KeyPair,
+                 peer_publics: Dict[int, int]) -> None:
+        if user_index in peer_publics:
+            raise ConfigurationError(
+                f"peer_publics must not contain the user's own index "
+                f"({user_index})")
+        self.group = group
+        self.user_index = user_index
+        self.keypair = keypair
+        # Precompute shared-secret bytes per peer: one modexp each, reused
+        # for every cell and round.
+        self._secret_bytes: Dict[int, bytes] = {
+            j: group.element_to_bytes(group.shared_secret(keypair, pub))
+            for j, pub in peer_publics.items()
+        }
+
+    @property
+    def peer_indexes(self) -> List[int]:
+        return sorted(self._secret_bytes)
+
+    def _signed_stream(self, peer: int, round_id: int,
+                       num_cells: int) -> np.ndarray:
+        stream = _keystream(self._secret_bytes[peer], round_id, num_cells)
+        if self.user_index > peer:
+            return stream
+        return (BLINDING_MODULUS - stream) % BLINDING_MODULUS
+
+    def _accumulate(self, peers: Sequence[int], round_id: int,
+                    num_cells: int, negate: bool) -> List[int]:
+        total = np.zeros(num_cells, dtype=np.uint64)
+        for peer in peers:
+            total = (total + self._signed_stream(peer, round_id, num_cells)
+                     ) % BLINDING_MODULUS
+        if negate:
+            total = (BLINDING_MODULUS - total) % BLINDING_MODULUS
+        return [int(v) for v in total]
+
+    def blinding_vector(self, num_cells: int, round_id: int,
+                        peers: Iterable[int] = None) -> List[int]:
+        """Blinding factors for ``num_cells`` cells in round ``round_id``.
+
+        ``peers`` restricts the sum to a subset of peers (used by the
+        fault-tolerance re-round); default is all known peers.
+        """
+        if num_cells <= 0:
+            raise ConfigurationError(
+                f"num_cells must be positive, got {num_cells}")
+        peer_list = self.peer_indexes if peers is None else sorted(peers)
+        unknown = [p for p in peer_list if p not in self._secret_bytes]
+        if unknown:
+            raise BlindingError(f"no shared secret with peers {unknown}")
+        return self._accumulate(peer_list, round_id, num_cells,
+                                negate=False)
+
+    def blind(self, cells: Sequence[int], round_id: int,
+              peers: Iterable[int] = None) -> List[int]:
+        """Blind a cell vector: ``(cells + blinding) mod 2^32``."""
+        blinding = self.blinding_vector(len(cells), round_id, peers)
+        return [(int(c) + b) % BLINDING_MODULUS
+                for c, b in zip(cells, blinding)]
+
+    def adjustment_for_missing(self, missing: Iterable[int], num_cells: int,
+                               round_id: int) -> List[int]:
+        """Correction vector for the §6 fault-tolerance round.
+
+        If peers in ``missing`` never reported, their blinding terms do not
+        cancel. Every *surviving* user sends the negation of the terms it
+        shares with the missing peers; the server adds these corrections to
+        the aggregate, restoring cancellation. Equivalent to re-reporting
+        with blindings computed over the surviving set only, but costs one
+        short vector instead of a full re-report.
+        """
+        missing = sorted(set(missing))
+        if self.user_index in missing:
+            raise BlindingError("a surviving user cannot be in the missing set")
+        unknown = [p for p in missing if p not in self._secret_bytes]
+        if unknown:
+            raise BlindingError(f"no shared secret with peers {unknown}")
+        return self._accumulate(missing, round_id, num_cells, negate=True)
+
+    def exchange_bytes(self) -> int:
+        """Bytes this user downloads for the key exchange (one public key
+        per peer), the quantity reported in §7.1."""
+        return len(self._secret_bytes) * self.group.element_bytes

@@ -1,0 +1,114 @@
+"""Diffie–Hellman group and key pairs for the blinding scheme.
+
+The blinding construction of Kursawe et al. (paper reference [36]) works in
+a cyclic group where Computational Diffie–Hellman is hard. We use the
+subgroup of quadratic residues of a safe prime ``p = 2q + 1``: the subgroup
+has prime order ``q``, and any square ``h^2 mod p`` (other than 1) generates
+it.
+
+A few precomputed groups are bundled so tests and examples do not pay
+safe-prime generation costs; ``DHGroup.generate`` creates fresh ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, KeyGenerationError
+from repro.crypto.primes import generate_safe_prime, is_probable_prime
+
+#: Precomputed safe primes by bit length (verified at import in tests).
+_PRECOMPUTED_SAFE_PRIMES: Dict[int, int] = {
+    128: 0x8B5405F129C6F870FEA540F0A2EF4BFF,
+    256: 0xDBD532F9E900235EBE4539097B46C63B38D470944482B65AA15CDD0C64439617,
+    # RFC 2409 Oakley group 2 (1024-bit), a standard safe prime.
+    1024: int(
+        "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+        "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+        "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+        "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+        16),
+}
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A DH key pair: private exponent ``x``, public element ``y = g^x``."""
+
+    private: int
+    public: int
+
+
+class DHGroup:
+    """Prime-order subgroup of quadratic residues mod a safe prime."""
+
+    def __init__(self, p: int, generator: Optional[int] = None) -> None:
+        if p < 7 or p % 2 == 0:
+            raise ConfigurationError(f"not a valid safe prime: {p}")
+        q = (p - 1) // 2
+        if not is_probable_prime(q):
+            raise ConfigurationError(
+                "p is not a safe prime: (p-1)/2 is composite")
+        self.p = p
+        self.q = q
+        if generator is None:
+            generator = self._find_generator()
+        if not self.contains(generator) or generator == 1:
+            raise ConfigurationError(
+                f"{generator} does not generate the order-q subgroup")
+        self.g = generator
+
+    @classmethod
+    def generate(cls, bits: int, rng: Optional[random.Random] = None) -> "DHGroup":
+        """Fresh group over a random ``bits``-bit safe prime."""
+        rng = rng or random.Random(0xD1F_F1E)
+        return cls(generate_safe_prime(bits, rng))
+
+    @classmethod
+    def standard(cls, bits: int = 256) -> "DHGroup":
+        """One of the bundled precomputed groups (128, 256 or 1024 bits)."""
+        try:
+            return cls(_PRECOMPUTED_SAFE_PRIMES[bits])
+        except KeyError:
+            raise ConfigurationError(
+                f"no precomputed {bits}-bit group; available: "
+                f"{sorted(_PRECOMPUTED_SAFE_PRIMES)}") from None
+
+    def _find_generator(self) -> int:
+        for h in range(2, 1000):
+            g = pow(h, 2, self.p)
+            if g != 1:
+                return g
+        raise KeyGenerationError("could not find a subgroup generator")
+
+    # ------------------------------------------------------------------
+    def contains(self, element: int) -> bool:
+        """Membership test: element^q == 1 mod p and element in (0, p)."""
+        return 0 < element < self.p and pow(element, self.q, self.p) == 1
+
+    def keypair(self, rng: random.Random) -> KeyPair:
+        """Sample a key pair with private exponent in [1, q)."""
+        x = rng.randrange(1, self.q)
+        return KeyPair(private=x, public=pow(self.g, x, self.p))
+
+    def shared_secret(self, own: KeyPair, peer_public: int) -> int:
+        """DH shared secret ``peer_public ^ own.private mod p``.
+
+        Symmetric: both endpoints derive ``g^(x_i * x_j)``.
+        """
+        if not self.contains(peer_public):
+            raise ConfigurationError("peer public key not in group")
+        return pow(peer_public, own.private, self.p)
+
+    @property
+    def element_bytes(self) -> int:
+        """Wire size of one group element (used for §7.1 byte accounting)."""
+        return (self.p.bit_length() + 7) // 8
+
+    def element_to_bytes(self, element: int) -> bytes:
+        return element.to_bytes(self.element_bytes, "big")
+
+    def __repr__(self) -> str:
+        return f"DHGroup(bits={self.p.bit_length()})"

@@ -1,0 +1,108 @@
+"""Prime generation: Miller–Rabin testing, random and safe primes.
+
+The DH blinding scheme needs a safe prime ``p = 2q + 1`` (so the subgroup of
+quadratic residues has prime order ``q``), and the RSA-based OPRF needs two
+ordinary primes. Everything is driven by a caller-supplied ``random.Random``
+so key generation is reproducible under test.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import KeyGenerationError
+
+#: Small primes used for fast trial division before Miller–Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+#: Deterministic Miller–Rabin witnesses, sufficient for n < 3.3 * 10^24.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+
+def is_probable_prime(n: int, rounds: int = 16,
+                      rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Uses the deterministic witness set (exact for n < 3.3e24) plus
+    ``rounds`` random witnesses for larger candidates.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def witness_composite(a: int) -> bool:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                return False
+        return True
+
+    for a in _DETERMINISTIC_WITNESSES:
+        if a >= n - 1:
+            continue
+        if witness_composite(a):
+            return False
+    if n < 3_317_044_064_679_887_385_961_981:
+        return True
+
+    rng = rng or random.Random(n & 0xFFFF_FFFF)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if witness_composite(a):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random,
+                   max_attempts: int = 100_000) -> int:
+    """Random prime with exactly ``bits`` bits (top and bottom bits set)."""
+    if bits < 8:
+        raise KeyGenerationError(f"prime size too small: {bits} bits (min 8)")
+    for _ in range(max_attempts):
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+    raise KeyGenerationError(
+        f"no {bits}-bit prime found in {max_attempts} attempts")
+
+
+def generate_safe_prime(bits: int, rng: random.Random,
+                        max_attempts: int = 200_000) -> int:
+    """Safe prime ``p = 2q + 1`` with ``p`` of exactly ``bits`` bits.
+
+    Safe primes are sparse, so this is the slow path; tests use 128–256-bit
+    groups, which generate in well under a second.
+    """
+    if bits < 8:
+        raise KeyGenerationError(f"safe-prime size too small: {bits} bits")
+    for _ in range(max_attempts):
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        # Cheap pre-filter: p = 2q+1 mod 3 must not be 0 (unless p == 3).
+        if q % 3 == 1:
+            continue
+        if not is_probable_prime(q, rng=rng):
+            continue
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+    raise KeyGenerationError(
+        f"no {bits}-bit safe prime found in {max_attempts} attempts")

@@ -1,0 +1,105 @@
+"""Filter-list ad detection (paper §5: "similar to AdBlockPlus").
+
+The detector walks the DOM and flags elements matching any enabled rule.
+Rules come in the two shapes real filter lists use most:
+
+* *element rules* — substring match on ``class``/``id`` attributes
+  ("ad-slot", "banner", "sponsored", ...);
+* *resource rules* — the element (or a descendant) loads a resource from a
+  known ad-network domain (``img src``, ``iframe src``, ``script src``).
+
+Unlike an ad blocker, eyeWnder only wants to *analyze* the ad, so detection
+returns the matched subtree rather than removing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.extension.adnetworks import AdNetworkRegistry
+from repro.extension.pages import Element, WebPage
+
+#: Class/id substrings that mark ad containers, mirroring EasyList's
+#: most common generic cosmetic rules.
+DEFAULT_ELEMENT_PATTERNS = (
+    "ad-slot", "ad-banner", "banner-ad", "adbox", "ad_container",
+    "sponsored", "advert", "dfp-", "gpt-ad",
+)
+
+#: Tags whose ``src`` attribute is checked against the network registry.
+RESOURCE_TAGS = ("img", "iframe", "script", "embed")
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One detection rule; ``kind`` is 'element' or 'resource'."""
+
+    kind: str
+    pattern: str = ""
+
+    def matches(self, element: Element, registry: AdNetworkRegistry) -> bool:
+        if self.kind == "element":
+            haystack = (element.get("class") + " " + element.get("id")).lower()
+            return self.pattern.lower() in haystack and bool(self.pattern)
+        if self.kind == "resource":
+            for el in element.walk():
+                if el.tag in RESOURCE_TAGS:
+                    src = el.get("src")
+                    if src and registry.is_ad_network(src):
+                        return True
+            return False
+        return False
+
+
+def default_rules() -> List[FilterRule]:
+    rules = [FilterRule(kind="element", pattern=p)
+             for p in DEFAULT_ELEMENT_PATTERNS]
+    rules.append(FilterRule(kind="resource"))
+    return rules
+
+
+@dataclass
+class DetectedAd:
+    """An ad found in a page: the DOM subtree plus provenance."""
+
+    element: Element
+    page: WebPage
+    matched_rule: FilterRule
+
+    @property
+    def creative_url(self) -> str:
+        """URL of the first image resource inside the slot, if any."""
+        for img in self.element.find_all("img"):
+            if img.get("src"):
+                return img.get("src")
+        return ""
+
+
+class AdDetector:
+    """Walks pages and returns detected ad slots."""
+
+    def __init__(self, rules: Optional[Sequence[FilterRule]] = None,
+                 registry: Optional[AdNetworkRegistry] = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.registry = registry or AdNetworkRegistry()
+
+    def detect(self, page: WebPage) -> List[DetectedAd]:
+        """All top-most ad subtrees in document order.
+
+        Once an element matches, its descendants are skipped so one ad slot
+        yields one detection even if several nested nodes match rules.
+        """
+        detected: List[DetectedAd] = []
+
+        def visit(element: Element) -> None:
+            for rule in self.rules:
+                if rule.matches(element, self.registry):
+                    detected.append(DetectedAd(element=element, page=page,
+                                               matched_rule=rule))
+                    return  # do not descend into a matched subtree
+            for child in element.children:
+                visit(child)
+
+        visit(page.root)
+        return detected

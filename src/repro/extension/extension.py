@@ -1,0 +1,57 @@
+"""The BrowserExtension facade: page visits in, impressions out.
+
+This is the extension's "collect information about the ads rendered to the
+user" function (paper §5, step 1). Reporting (step 2) is the protocol
+client's job and classification (step 3) is the detector's; the facade
+keeps them composable rather than hard-wiring them together.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.extension.addetection import AdDetector
+from repro.extension.adnetworks import AdNetworkRegistry
+from repro.extension.identity import ad_identity
+from repro.extension.pages import WebPage
+from repro.types import Impression
+
+
+class BrowserExtension:
+    """Per-user ad collection pipeline.
+
+    ``observe_page`` runs detection + identity extraction and returns the
+    impression records for that visit. The cumulative impression log is
+    kept for the local (per-user) counters of the count-based algorithm.
+    """
+
+    def __init__(self, user_id: str,
+                 detector: Optional[AdDetector] = None,
+                 registry: Optional[AdNetworkRegistry] = None) -> None:
+        self.user_id = user_id
+        self.registry = registry or AdNetworkRegistry()
+        self.detector = detector or AdDetector(registry=self.registry)
+        self._impressions: List[Impression] = []
+
+    def observe_page(self, page: WebPage, tick: int) -> List[Impression]:
+        """Detect ads on ``page`` and record one impression per ad slot."""
+        impressions = []
+        for detected in self.detector.detect(page):
+            ad = ad_identity(detected, self.registry)
+            impressions.append(Impression(user_id=self.user_id, ad=ad,
+                                          domain=page.domain, tick=tick))
+        self._impressions.extend(impressions)
+        return impressions
+
+    @property
+    def impressions(self) -> List[Impression]:
+        return list(self._impressions)
+
+    def impressions_in_window(self, start_tick: int,
+                              end_tick: int) -> List[Impression]:
+        """Impressions with ``start_tick <= tick < end_tick``."""
+        return [imp for imp in self._impressions
+                if start_tick <= imp.tick < end_tick]
+
+    def clear(self) -> None:
+        self._impressions.clear()

@@ -1,0 +1,49 @@
+"""Stable ad identity across impressions (paper §5).
+
+eyeWnder counts *the same advertisement* across users and domains, so each
+impression needs a stable key. The landing URL is the primary identity;
+when it cannot be extracted (click redirectors) or is randomized per
+impression, the creative content — here, the creative image URL — is
+hashed instead, exactly as the paper describes ("we use the ad content
+(i.e., the image URL, etc.) to uniquely identify the same advertisement").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.extension.addetection import DetectedAd
+from repro.extension.adnetworks import AdNetworkRegistry
+from repro.extension.landing import extract_landing_url
+from repro.types import Ad
+
+
+def content_hash(detected: DetectedAd) -> str:
+    """Hash of the creative's content (image URL and alt text)."""
+    h = hashlib.blake2b(digest_size=12)
+    for img in detected.element.find_all("img"):
+        h.update(img.get("src").encode("utf-8"))
+        h.update(img.get("alt").encode("utf-8"))
+    return "content:" + h.hexdigest()
+
+
+def ad_identity(detected: DetectedAd,
+                registry: Optional[AdNetworkRegistry] = None) -> Ad:
+    """Build the :class:`~repro.types.Ad` record for a detected slot.
+
+    Preference order: extracted landing URL, unless the slot's network is
+    known to randomize landing URLs — then the content hash — and content
+    hash again when no landing URL can be extracted safely.
+    """
+    registry = registry or AdNetworkRegistry()
+    landing = extract_landing_url(detected.element, registry)
+    network = detected.element.get("data-network")
+    randomized = bool(landing) and registry.randomizes_landing(landing)
+    if network and registry.randomizes_landing("http://" + network):
+        randomized = True
+    if landing and not randomized:
+        return Ad(url=landing, content_hash=content_hash(detected),
+                  category=detected.page.category)
+    return Ad(url="", content_hash=content_hash(detected),
+              category=detected.page.category)

@@ -1,0 +1,74 @@
+"""Landing-page extraction without clicking (paper §5).
+
+Order of heuristics, as described in the paper:
+
+1. ``<a>`` tags — take the ``href``;
+2. ``onclick`` handlers — extract an embedded URL if present;
+3. ``<script>`` bodies — regex for URL-like strings.
+
+If the best candidate belongs to a known ad network it is a click
+redirector: resolving it would register a fraudulent click, so the
+extension *refrains* and reports no landing URL (the caller falls back to
+content identity). Networks flagged as randomizing landing URLs get the
+same treatment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.extension.adnetworks import AdNetworkRegistry
+from repro.extension.pages import Element
+
+#: URL-like strings inside JavaScript text. Deliberately simple — matches
+#: the pragmatic regex approach of the paper.
+URL_RE = re.compile(r"""https?://[^\s'"<>]+""")
+
+
+def _candidate_from_anchor(element: Element) -> Optional[str]:
+    for anchor in element.find_all("a"):
+        href = anchor.get("href")
+        if href:
+            return href
+    return None
+
+
+def _candidate_from_onclick(element: Element) -> Optional[str]:
+    for el in element.walk():
+        handler = el.get("onclick")
+        if handler:
+            match = URL_RE.search(handler)
+            if match:
+                return match.group(0).rstrip("';\")")
+    return None
+
+
+def _candidate_from_script(element: Element) -> Optional[str]:
+    for script in element.find_all("script"):
+        if script.text:
+            match = URL_RE.search(script.text)
+            if match:
+                return match.group(0).rstrip("';\")")
+    return None
+
+
+def extract_landing_url(element: Element,
+                        registry: Optional[AdNetworkRegistry] = None
+                        ) -> Optional[str]:
+    """Infer the landing URL of an ad subtree, or None if unsafe to tell.
+
+    Returns ``None`` when every candidate is an ad-network URL (a click
+    redirector we must not resolve) or no candidate exists at all.
+    """
+    registry = registry or AdNetworkRegistry()
+    for extractor in (_candidate_from_anchor, _candidate_from_onclick,
+                      _candidate_from_script):
+        candidate = extractor(element)
+        if candidate is None:
+            continue
+        if registry.is_ad_network(candidate):
+            # Redirector or randomized-network URL: refuse to resolve.
+            continue
+        return candidate
+    return None

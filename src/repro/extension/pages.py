@@ -1,0 +1,149 @@
+"""Synthetic DOM model: pages, elements and ad-slot builders.
+
+The extension's detection heuristics operate on DOM structure (tags,
+attributes, children) and on raw script text. This module provides exactly
+that surface: an :class:`Element` tree with HTML rendering, and builders
+emitting ads in each delivery style the paper's heuristics must handle:
+
+* ``anchor``   — creative wrapped in ``<a href="landing">``;
+* ``onclick``  — a div with ``onclick="window.location='landing'"``;
+* ``script``   — a script tag whose JS body embeds the landing URL;
+* ``redirect`` — the anchor points at an ad-network click redirector, so
+  the landing URL must *not* be resolved (click-fraud avoidance);
+* ``randomized`` — the landing URL is unique per impression; identity must
+  fall back to the creative content hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Element:
+    """One DOM node: tag, attributes, text payload and children."""
+
+    tag: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    text: str = ""
+    children: List["Element"] = field(default_factory=list)
+
+    def append(self, child: "Element") -> "Element":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["Element"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, tag: str) -> List["Element"]:
+        return [el for el in self.walk() if el.tag == tag]
+
+    def get(self, attr: str, default: str = "") -> str:
+        return self.attrs.get(attr, default)
+
+    def to_html(self) -> str:
+        attrs = "".join(f' {k}="{v}"' for k, v in sorted(self.attrs.items()))
+        inner = self.text + "".join(c.to_html() for c in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+@dataclass
+class WebPage:
+    """A visited page: publisher domain, URL, topical category, DOM root."""
+
+    domain: str
+    url: str
+    category: str = ""
+    root: Element = field(default_factory=lambda: Element("html"))
+
+    def to_html(self) -> str:
+        return self.root.to_html()
+
+    def elements(self) -> Iterator[Element]:
+        return self.root.walk()
+
+
+#: Delivery styles the ad builders understand.
+AD_STYLES = ("anchor", "onclick", "script", "redirect", "randomized")
+
+
+def make_ad_element(landing_url: str, creative_url: str,
+                    style: str = "anchor",
+                    network_domain: str = "ads.simnet.example",
+                    impression_nonce: str = "") -> Element:
+    """Build the DOM subtree for one ad slot in the given delivery style.
+
+    ``impression_nonce`` only matters for the ``randomized`` style, where
+    it makes the landing URL unique per impression.
+    """
+    if style not in AD_STYLES:
+        raise ConfigurationError(
+            f"unknown ad style {style!r}; expected one of {AD_STYLES}")
+
+    slot = Element("div", attrs={"class": "ad-slot banner-ad",
+                                 "data-network": network_domain})
+    img = Element("img", attrs={"src": creative_url, "class": "ad-creative"})
+
+    if style == "anchor":
+        anchor = Element("a", attrs={"href": landing_url})
+        anchor.append(img)
+        slot.append(anchor)
+    elif style == "onclick":
+        holder = Element("div",
+                         attrs={"onclick": f"window.location='{landing_url}'"})
+        holder.append(img)
+        slot.append(holder)
+    elif style == "script":
+        slot.append(img)
+        slot.append(Element(
+            "script",
+            text=(f"var clickUrl = \"{landing_url}\";"
+                  "document.currentScript.parentNode.onclick = "
+                  "function() { window.open(clickUrl); };")))
+    elif style == "redirect":
+        redirector = (f"http://{network_domain}/click?dest={landing_url}"
+                      f"&cb=12345")
+        anchor = Element("a", attrs={"href": redirector})
+        anchor.append(img)
+        slot.append(anchor)
+    elif style == "randomized":
+        nonce = impression_nonce or hashlib.blake2b(
+            (landing_url + creative_url).encode(), digest_size=4).hexdigest()
+        randomized = f"http://dynamic-ads.example/l/{nonce}"
+        anchor = Element("a", attrs={"href": randomized})
+        anchor.append(img)
+        slot.append(anchor)
+    return slot
+
+
+def make_content_element(paragraphs: int = 2) -> Element:
+    """Plain article content — must never be detected as an ad."""
+    article = Element("article", attrs={"class": "post-body"})
+    for i in range(paragraphs):
+        article.append(Element(
+            "p", text=f"Paragraph {i} of ordinary editorial content, with a "
+                      "link to another story."))
+        article.append(Element(
+            "a", attrs={"href": "http://publisher.example/story"},
+            text="related story"))
+    return article
+
+
+def make_page(domain: str, path: str = "/", category: str = "news",
+              ads: Optional[List[Element]] = None,
+              content_paragraphs: int = 2) -> WebPage:
+    """Assemble a page with editorial content plus the given ad slots."""
+    page = WebPage(domain=domain, url=f"http://{domain}{path}",
+                   category=category)
+    body = page.root.append(Element("body"))
+    body.append(make_content_element(content_paragraphs))
+    for ad in ads or []:
+        body.append(ad)
+    return page

@@ -1,0 +1,48 @@
+"""The privacy-preserving reporting protocol (paper §6).
+
+Round structure, per weekly window:
+
+1. Every client maps the ad URLs it saw to ad IDs (via the OPRF), encodes
+   the *set* of IDs into a count-min sketch, blinds every cell with its
+   additive share of zero, and uploads the blinded sketch.
+2. The server sums the sketches cell-wise modulo ``2**32``. If every client
+   reported, blindings cancel and the sum is the true aggregate sketch.
+3. If some clients are missing, the server announces the missing set and
+   surviving clients answer with blinding adjustments (one extra round,
+   as in the paper's fault-tolerance description).
+4. The server queries the aggregate sketch for every ID in the (public) ad
+   ID space, recovers the ``#Users`` distribution, computes ``Users_th``
+   and broadcasts it back to the clients.
+"""
+
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    CleartextReport,
+    MissingClientsNotice,
+    PublicKeyAnnouncement,
+    ThresholdBroadcast,
+)
+from repro.protocol.transport import InMemoryTransport, WireTransport
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.server import AggregationServer
+from repro.protocol.coordinator import RoundCoordinator, RoundResult
+from repro.protocol.enrollment import Enrollment, enroll_users
+
+__all__ = [
+    "Enrollment",
+    "enroll_users",
+    "BlindedReport",
+    "BlindingAdjustment",
+    "CleartextReport",
+    "MissingClientsNotice",
+    "PublicKeyAnnouncement",
+    "ThresholdBroadcast",
+    "InMemoryTransport",
+    "WireTransport",
+    "ProtocolClient",
+    "RoundConfig",
+    "AggregationServer",
+    "RoundCoordinator",
+    "RoundResult",
+]

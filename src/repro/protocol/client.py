@@ -1,0 +1,130 @@
+"""Client role of the reporting protocol (the browser extension's uplink).
+
+A :class:`ProtocolClient` accumulates the *set* of ads its user saw during
+the current window (set, not multiset: the global statistic is "how many
+users saw ad α", so each user contributes at most 1 per ad), then produces
+a blinded CMS report on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.errors import ConfigurationError, RoundStateError
+from repro.crypto.blinding import BlindingGenerator
+from repro.protocol.messages import BlindedReport, BlindingAdjustment, CleartextReport
+from repro.sketch.countmin import CountMinSketch
+
+
+@dataclass(frozen=True)
+class RoundConfig:
+    """Parameters every participant must agree on for a round.
+
+    ``cms_seed`` fixes the hash family so sketches are mergeable;
+    ``id_space`` is the public (over-estimated) size of the ad-ID set the
+    server will enumerate when querying the aggregate.
+    """
+
+    cms_depth: int
+    cms_width: int
+    cms_seed: int
+    id_space: int
+
+    def __post_init__(self) -> None:
+        if self.cms_depth <= 0 or self.cms_width <= 0:
+            raise ConfigurationError(
+                f"bad CMS dimensions {self.cms_depth}x{self.cms_width}")
+        if self.id_space <= 0:
+            raise ConfigurationError(
+                f"id_space must be positive, got {self.id_space}")
+
+    @property
+    def num_cells(self) -> int:
+        return self.cms_depth * self.cms_width
+
+    def make_sketch(self) -> CountMinSketch:
+        return CountMinSketch(self.cms_depth, self.cms_width, self.cms_seed)
+
+
+class ProtocolClient:
+    """One user's protocol endpoint.
+
+    Parameters
+    ----------
+    user_id:
+        Stable identifier (endpoint name on the transport).
+    config:
+        The shared :class:`RoundConfig`.
+    blinding:
+        This user's :class:`BlindingGenerator` (pairwise secrets with every
+        other enrolled user).
+    ad_mapper:
+        Anything exposing ``ad_id(url) -> int``; in deployment an
+        :class:`~repro.crypto.prf.ObliviousAdMapper`, in unit tests often a
+        :class:`~repro.crypto.prf.KeyedPRF`.
+    """
+
+    def __init__(self, user_id: str, config: RoundConfig,
+                 blinding: BlindingGenerator,
+                 ad_mapper) -> None:
+        self.user_id = user_id
+        self.config = config
+        self.blinding = blinding
+        self.ad_mapper = ad_mapper
+        self._seen_urls: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Observation phase
+    # ------------------------------------------------------------------
+    def observe_ad(self, url: str) -> int:
+        """Record that this user saw ``url``; returns its ad ID.
+
+        The OPRF mapping happens here (once per unique ad), matching the
+        paper's note that mapping is done as ads arrive, not at report
+        time.
+        """
+        ad_id = self.ad_mapper.ad_id(url)
+        self._seen_urls.add(url)
+        return ad_id
+
+    @property
+    def seen_urls(self) -> Set[str]:
+        return set(self._seen_urls)
+
+    @property
+    def num_seen(self) -> int:
+        return len(self._seen_urls)
+
+    def reset_window(self) -> None:
+        """Clear observations at the start of a new weekly window."""
+        self._seen_urls.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting phase
+    # ------------------------------------------------------------------
+    def _build_sketch(self) -> CountMinSketch:
+        sketch = self.config.make_sketch()
+        for url in self._seen_urls:
+            sketch.update(self.ad_mapper.ad_id(url))
+        return sketch
+
+    def build_report(self, round_id: int) -> BlindedReport:
+        """Encode seen ads into a CMS, blind every cell, wrap as a report."""
+        sketch = self._build_sketch()
+        blinded = self.blinding.blind(sketch.cells, round_id)
+        return BlindedReport(user_id=self.user_id, round_id=round_id,
+                             cells=tuple(blinded))
+
+    def build_cleartext_report(self, round_id: int) -> CleartextReport:
+        """The non-private baseline used for §7.1 size comparison."""
+        return CleartextReport(user_id=self.user_id, round_id=round_id,
+                               urls=tuple(sorted(self._seen_urls)))
+
+    def build_adjustment(self, round_id: int,
+                         missing_indexes: Iterable[int]) -> BlindingAdjustment:
+        """Fault-tolerance round: corrections for missing peers."""
+        cells = self.blinding.adjustment_for_missing(
+            missing_indexes, self.config.num_cells, round_id)
+        return BlindingAdjustment(user_id=self.user_id, round_id=round_id,
+                                  cells=tuple(cells))

@@ -1,0 +1,136 @@
+"""Full-round orchestration over a transport, including fault recovery.
+
+:class:`RoundCoordinator` wires clients and the aggregation server through
+an :class:`~repro.protocol.transport.InMemoryTransport` and executes the
+complete weekly exchange of paper §6:
+
+  report -> (detect missing -> notice -> adjustments) -> aggregate
+  -> query distribution -> threshold broadcast.
+
+The result captures everything the evaluation needs: the aggregate sketch,
+the estimated #Users distribution, the computed threshold and the byte/
+message accounting per §7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    MissingClientsNotice,
+    ThresholdBroadcast,
+)
+from repro.protocol.server import AggregationServer
+from repro.protocol.transport import InMemoryTransport
+from repro.sketch.countmin import CountMinSketch
+from repro.statsutil.distributions import EmpiricalDistribution
+
+#: Transport endpoint name of the aggregation server.
+SERVER_ENDPOINT = "backend-server"
+
+#: Default threshold rule: the mean of the distribution (paper §4.2).
+def _mean_threshold(dist: EmpiricalDistribution) -> float:
+    return dist.mean
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one protocol round."""
+
+    round_id: int
+    aggregate: CountMinSketch
+    distribution: EmpiricalDistribution
+    users_threshold: float
+    reported_users: List[str]
+    missing_users: List[str]
+    recovery_round_used: bool
+    total_bytes: int
+    total_messages: int
+
+
+class RoundCoordinator:
+    """Drives clients and server through one complete reporting round."""
+
+    def __init__(self, config: RoundConfig, clients: Sequence[ProtocolClient],
+                 transport: Optional[InMemoryTransport] = None,
+                 threshold_rule: Callable[[EmpiricalDistribution], float]
+                 = _mean_threshold) -> None:
+        if not clients:
+            raise ProtocolError("a round needs at least one client")
+        ids = [c.user_id for c in clients]
+        if len(set(ids)) != len(ids):
+            raise ProtocolError("duplicate client user_ids")
+        self.config = config
+        self.clients = list(clients)
+        self.transport = transport or InMemoryTransport()
+        self.threshold_rule = threshold_rule
+        index_of = {c.user_id: c.blinding.user_index for c in clients}
+        self.server = AggregationServer(config, index_of)
+        self.transport.register(SERVER_ENDPOINT)
+        for client in clients:
+            self.transport.register(client.user_id)
+
+    def run_round(self, round_id: int) -> RoundResult:
+        """Execute the full round; recovers from dropped clients."""
+        self.server.start_round(round_id)
+
+        # Phase 1: every (non-failed) client uploads a blinded report.
+        for client in self.clients:
+            report = client.build_report(round_id)
+            self.transport.send(client.user_id, SERVER_ENDPOINT, report)
+        for sender, message in self.transport.drain(SERVER_ENDPOINT):
+            if isinstance(message, BlindedReport):
+                self.server.submit_report(message)
+
+        # Phase 2 (only if needed): the two-message recovery round.
+        missing = self.server.missing_users()
+        recovery_used = False
+        if missing:
+            recovery_used = True
+            notice = MissingClientsNotice(
+                round_id=round_id,
+                missing_indexes=tuple(self.server.missing_indexes()))
+            survivors = [c for c in self.clients
+                         if c.user_id not in set(missing)
+                         and not self.transport.is_failed(c.user_id)]
+            for client in survivors:
+                self.transport.send(SERVER_ENDPOINT, client.user_id, notice)
+            for client in survivors:
+                delivered = self.transport.drain(client.user_id)
+                for _sender, message in delivered:
+                    if isinstance(message, MissingClientsNotice):
+                        adjustment = client.build_adjustment(
+                            round_id, message.missing_indexes)
+                        self.transport.send(client.user_id, SERVER_ENDPOINT,
+                                            adjustment)
+            for _sender, message in self.transport.drain(SERVER_ENDPOINT):
+                if isinstance(message, BlindingAdjustment):
+                    self.server.submit_adjustment(message)
+
+        # Phase 3: aggregate, unblind (implicit), extract the distribution.
+        aggregate = self.server.aggregate()
+        distribution = self.server.users_distribution(aggregate)
+        threshold = self.threshold_rule(distribution)
+
+        # Phase 4: broadcast the threshold to everyone still online.
+        broadcast = ThresholdBroadcast(round_id=round_id,
+                                       users_threshold=threshold)
+        for client in self.clients:
+            self.transport.send(SERVER_ENDPOINT, client.user_id, broadcast)
+
+        return RoundResult(
+            round_id=round_id,
+            aggregate=aggregate,
+            distribution=distribution,
+            users_threshold=threshold,
+            reported_users=sorted(self.server.reported_users),
+            missing_users=missing,
+            recovery_round_used=recovery_used,
+            total_bytes=self.transport.total_bytes,
+            total_messages=self.transport.total_messages,
+        )

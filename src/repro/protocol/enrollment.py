@@ -1,0 +1,87 @@
+"""Enrollment: turn a list of user ids into fully wired protocol clients.
+
+Enrollment in the paper is the out-of-band phase where users post DH public
+keys to the bulletin board and learn the round parameters. This factory
+performs that phase in-process: it generates a key pair per user, exchanges
+public keys, builds each user's :class:`BlindingGenerator` and connects
+everyone to a shared OPRF server for ad-ID mapping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.crypto.blinding import BlindingGenerator
+from repro.crypto.group import DHGroup
+from repro.crypto.oprf import OPRFClient, OPRFServer
+from repro.crypto.prf import KeyedPRF, ObliviousAdMapper
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.statsutil.sampling import make_rng
+
+
+@dataclass
+class Enrollment:
+    """The wired population: clients plus the shared infrastructure."""
+
+    clients: List[ProtocolClient]
+    group: DHGroup
+    oprf_server: Optional[OPRFServer]
+    config: RoundConfig
+
+    @property
+    def user_ids(self) -> List[str]:
+        return [c.user_id for c in self.clients]
+
+
+def enroll_users(user_ids: Sequence[str], config: RoundConfig,
+                 group: Optional[DHGroup] = None,
+                 seed: int = 0,
+                 use_oprf: bool = True,
+                 oprf_bits: int = 256) -> Enrollment:
+    """Wire up a population of protocol clients.
+
+    With ``use_oprf=True`` (deployment fidelity) every client maps ad URLs
+    through a shared blind-RSA OPRF server. With ``use_oprf=False`` clients
+    share a :class:`KeyedPRF` directly — the same function without protocol
+    messages, which is much faster for large simulations and detector-level
+    tests where OPRF fidelity is irrelevant.
+    """
+    if not user_ids:
+        raise ConfigurationError("enroll_users needs at least one user id")
+    if len(set(user_ids)) != len(user_ids):
+        raise ConfigurationError("duplicate user ids in enrollment")
+
+    rng = make_rng(seed)
+    group = group or DHGroup.standard(128)
+    keypairs = {uid: group.keypair(rng) for uid in user_ids}
+    # Canonical blinding order: sorted user ids.
+    index_of: Dict[str, int] = {uid: i for i, uid in enumerate(sorted(user_ids))}
+    publics = {index_of[uid]: kp.public for uid, kp in keypairs.items()}
+
+    oprf_server: Optional[OPRFServer] = None
+    shared_prf: Optional[KeyedPRF] = None
+    if use_oprf:
+        oprf_server = OPRFServer.generate(bits=oprf_bits,
+                                          rng=random.Random(seed + 1))
+    else:
+        shared_prf = KeyedPRF(key=seed.to_bytes(8, "big", signed=True)
+                              or b"\0", id_space=config.id_space)
+
+    clients: List[ProtocolClient] = []
+    for uid in user_ids:
+        idx = index_of[uid]
+        peers = {j: pub for j, pub in publics.items() if j != idx}
+        blinding = BlindingGenerator(group, idx, keypairs[uid], peers)
+        if use_oprf:
+            mapper = ObliviousAdMapper(
+                OPRFClient(oprf_server.public_key,
+                           rng=random.Random((seed << 16) ^ idx)),
+                oprf_server, id_space=config.id_space)
+        else:
+            mapper = shared_prf
+        clients.append(ProtocolClient(uid, config, blinding, mapper))
+    return Enrollment(clients=clients, group=group, oprf_server=oprf_server,
+                      config=config)

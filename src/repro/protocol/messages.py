@@ -1,0 +1,96 @@
+"""Wire messages with byte-size accounting (paper §7.1).
+
+Every message type knows its serialized size under the paper's assumptions
+(4-byte sketch cells, group elements of the DH modulus size, 100-character
+Unicode URLs for the cleartext baseline) so the overhead benches can report
+communication costs without a real network stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+#: Size of one sketch cell on the wire, per the paper.
+CELL_BYTES = 4
+
+#: Fixed header cost assumed per message (ids, round number, framing).
+HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PublicKeyAnnouncement:
+    """A user's DH public key posted to the bulletin board."""
+
+    user_id: str
+    public_key: int
+    element_bytes: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + self.element_bytes
+
+
+@dataclass(frozen=True)
+class BlindedReport:
+    """One client's blinded CMS cell vector for a round."""
+
+    user_id: str
+    round_id: int
+    cells: Tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + len(self.cells) * CELL_BYTES
+
+
+@dataclass(frozen=True)
+class CleartextReport:
+    """The non-private baseline: the client uploads its ad URLs verbatim.
+
+    §7.1 compares CMS size against this; the paper assumes 100-character
+    Unicode URLs (2 bytes/char), i.e. ~200 bytes per ad, and notes an
+    average of 35 unique ads per user (~3.5 KB at 100 single-byte chars).
+    We count the actual URL lengths.
+    """
+
+    user_id: str
+    round_id: int
+    urls: Tuple[str, ...]
+    bytes_per_char: int = 1
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + sum(len(u) * self.bytes_per_char
+                                  for u in self.urls)
+
+
+@dataclass(frozen=True)
+class MissingClientsNotice:
+    """Server -> surviving clients: these peers never reported."""
+
+    round_id: int
+    missing_indexes: Tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 4 * len(self.missing_indexes)
+
+
+@dataclass(frozen=True)
+class BlindingAdjustment:
+    """Surviving client -> server: correction for missing peers' blindings."""
+
+    user_id: str
+    round_id: int
+    cells: Tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + len(self.cells) * CELL_BYTES
+
+
+@dataclass(frozen=True)
+class ThresholdBroadcast:
+    """Server -> all clients: the global Users_th for this round."""
+
+    round_id: int
+    users_threshold: float
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 8

@@ -1,0 +1,130 @@
+"""Server role: aggregate blinded reports and recover the #Users counters.
+
+The server is honest-but-curious (paper §6, "Security"): it follows the
+protocol but would read anything it can. What it receives are uniformly
+random-looking cell vectors; only the sum over *all* enrolled users (plus
+adjustments for dropouts) is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import MissingReportError, RoundStateError
+from repro.crypto.blinding import BLINDING_MODULUS
+from repro.protocol.client import RoundConfig
+from repro.protocol.messages import BlindedReport, BlindingAdjustment
+from repro.sketch.countmin import CountMinSketch
+from repro.statsutil.distributions import EmpiricalDistribution
+
+
+class AggregationServer:
+    """Collects one round of blinded reports from an enrolled user set.
+
+    ``index_of`` maps user ids to their canonical blinding index; the
+    server needs it only to name missing users in the recovery round —
+    indexes are public enrollment metadata, not private data.
+    """
+
+    def __init__(self, config: RoundConfig, index_of: Dict[str, int]) -> None:
+        self.config = config
+        self.index_of = dict(index_of)
+        self._reports: Dict[str, BlindedReport] = {}
+        self._adjustments: List[BlindingAdjustment] = []
+        self._round_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def start_round(self, round_id: int) -> None:
+        """Open a collection round, discarding any previous state."""
+        self._round_id = round_id
+        self._reports.clear()
+        self._adjustments.clear()
+
+    def _require_round(self) -> int:
+        if self._round_id is None:
+            raise RoundStateError("no round in progress; call start_round()")
+        return self._round_id
+
+    def submit_report(self, report: BlindedReport) -> None:
+        """Accept one client's blinded report after validating it."""
+        round_id = self._require_round()
+        if report.round_id != round_id:
+            raise RoundStateError(
+                f"report for round {report.round_id}, current is {round_id}")
+        if report.user_id not in self.index_of:
+            raise RoundStateError(f"unknown user {report.user_id!r}")
+        if len(report.cells) != self.config.num_cells:
+            raise RoundStateError(
+                f"report has {len(report.cells)} cells, expected "
+                f"{self.config.num_cells}")
+        self._reports[report.user_id] = report
+
+    def submit_adjustment(self, adjustment: BlindingAdjustment) -> None:
+        """Accept one survivor's fault-tolerance correction vector."""
+        round_id = self._require_round()
+        if adjustment.round_id != round_id:
+            raise RoundStateError(
+                f"adjustment for round {adjustment.round_id}, current is "
+                f"{round_id}")
+        if len(adjustment.cells) != self.config.num_cells:
+            raise RoundStateError("adjustment cell-count mismatch")
+        self._adjustments.append(adjustment)
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    @property
+    def reported_users(self) -> Set[str]:
+        return set(self._reports)
+
+    def missing_users(self) -> List[str]:
+        """Enrolled users whose report has not arrived this round."""
+        return sorted(set(self.index_of) - set(self._reports))
+
+    def missing_indexes(self) -> List[int]:
+        return sorted(self.index_of[u] for u in self.missing_users())
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def aggregate(self, allow_missing: bool = False) -> CountMinSketch:
+        """Sum all reports (and adjustments) into the aggregate sketch.
+
+        With missing users and no adjustments the blinding does not cancel
+        and every cell is random noise; that state raises
+        :class:`MissingReportError` unless ``allow_missing`` is set (tests
+        use it to demonstrate exactly that noise property).
+        """
+        self._require_round()
+        missing = self.missing_users()
+        if missing and not self._adjustments and not allow_missing:
+            raise MissingReportError(
+                f"{len(missing)} users missing and no adjustments received: "
+                f"{missing[:5]}")
+        cells = [0] * self.config.num_cells
+        for report in self._reports.values():
+            for i, value in enumerate(report.cells):
+                cells[i] = (cells[i] + value) % BLINDING_MODULUS
+        for adjustment in self._adjustments:
+            for i, value in enumerate(adjustment.cells):
+                cells[i] = (cells[i] + value) % BLINDING_MODULUS
+        return CountMinSketch(self.config.cms_depth, self.config.cms_width,
+                              self.config.cms_seed, cells=cells)
+
+    def users_distribution(self, aggregate: CountMinSketch
+                           ) -> EmpiricalDistribution:
+        """The #Users distribution: query every ID in the public ID space.
+
+        The server cannot enumerate ads — only IDs (paper §6). IDs that
+        map to no real ad mostly return 0 (CMS false positives are rare by
+        design) and are excluded, as zero-count IDs carry no information
+        about any ad.
+        """
+        dist = EmpiricalDistribution()
+        for ad_id in range(self.config.id_space):
+            estimate = aggregate.query(ad_id)
+            if estimate > 0:
+                dist.add(estimate)
+        return dist

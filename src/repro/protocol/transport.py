@@ -1,0 +1,119 @@
+"""In-memory message transport with byte accounting and failure injection.
+
+The real eyeWnder moves reports over HTTPS; the quantities §7.1 measures
+are message counts and byte volumes, which an in-memory mailbox preserves
+exactly. Failure injection (silently dropping a sender) drives the
+fault-tolerance tests: a dropped client looks to the server like a user who
+went offline before reporting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import TransportError
+
+
+class InMemoryTransport:
+    """Point-to-point mailboxes keyed by endpoint name."""
+
+    def __init__(self) -> None:
+        self._mailboxes: Dict[str, Deque[Tuple[str, Any]]] = {}
+        self._failed_senders: Set[str] = set()
+        self.bytes_sent: Dict[str, int] = defaultdict(int)
+        self.messages_sent: Dict[str, int] = defaultdict(int)
+
+    def register(self, endpoint: str) -> None:
+        """Create a mailbox; idempotent."""
+        self._mailboxes.setdefault(endpoint, deque())
+
+    @property
+    def endpoints(self) -> List[str]:
+        return sorted(self._mailboxes)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_sender(self, endpoint: str) -> None:
+        """Silently drop all future messages sent *by* ``endpoint``."""
+        self._failed_senders.add(endpoint)
+
+    def restore_sender(self, endpoint: str) -> None:
+        self._failed_senders.discard(endpoint)
+
+    def is_failed(self, endpoint: str) -> bool:
+        return endpoint in self._failed_senders
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, sender: str, recipient: str, message: Any) -> bool:
+        """Deliver ``message``; returns False if the sender is failed.
+
+        Messages exposing ``size_bytes()`` are counted toward the sender's
+        byte totals (dropped messages are not — a crashed client sends
+        nothing).
+        """
+        if recipient not in self._mailboxes:
+            raise TransportError(f"unknown endpoint: {recipient!r}")
+        if sender in self._failed_senders:
+            return False
+        self._mailboxes[recipient].append((sender, message))
+        self.messages_sent[sender] += 1
+        size = getattr(message, "size_bytes", None)
+        if callable(size):
+            self.bytes_sent[sender] += size()
+        return True
+
+    def receive(self, endpoint: str) -> Optional[Tuple[str, Any]]:
+        """Pop the oldest (sender, message) pair, or None if empty."""
+        if endpoint not in self._mailboxes:
+            raise TransportError(f"unknown endpoint: {endpoint!r}")
+        box = self._mailboxes[endpoint]
+        return box.popleft() if box else None
+
+    def drain(self, endpoint: str) -> List[Tuple[str, Any]]:
+        """Pop every pending message for ``endpoint``."""
+        if endpoint not in self._mailboxes:
+            raise TransportError(f"unknown endpoint: {endpoint!r}")
+        box = self._mailboxes[endpoint]
+        out = list(box)
+        box.clear()
+        return out
+
+    def pending(self, endpoint: str) -> int:
+        if endpoint not in self._mailboxes:
+            raise TransportError(f"unknown endpoint: {endpoint!r}")
+        return len(self._mailboxes[endpoint])
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+
+class WireTransport(InMemoryTransport):
+    """Transport that round-trips every message through the binary codec.
+
+    Each send serializes the message with :mod:`repro.protocol.wire` and
+    each delivery parses it back, so a full protocol round over this
+    transport proves the byte-exact format carries everything the round
+    needs. Byte accounting uses the *actual encoded size* rather than the
+    ``size_bytes()`` model.
+    """
+
+    def send(self, sender: str, recipient: str, message: Any) -> bool:
+        from repro.protocol import wire
+        if recipient not in self._mailboxes:
+            raise TransportError(f"unknown endpoint: {recipient!r}")
+        if sender in self._failed_senders:
+            return False
+        encoded = wire.encode(message)
+        self._mailboxes[recipient].append((sender, wire.decode(encoded)))
+        self.messages_sent[sender] += 1
+        self.bytes_sent[sender] += len(encoded)
+        return True

@@ -1,0 +1,171 @@
+"""Binary wire codec for protocol messages.
+
+The in-memory transport moves Python objects; a real deployment moves
+bytes. This codec pins down the exact format the byte-accounting in
+:mod:`repro.protocol.messages` models: fixed 16-byte header (magic, type,
+round, payload length) followed by a type-specific payload with 4-byte
+big-endian sketch cells — so ``decode(encode(m)) == m`` and
+``len(encode(m))`` agrees with ``m.size_bytes()`` up to the variable-size
+identity strings.
+
+Format (all integers big-endian):
+
+    header:  2s magic "eW" | B version | B type | I round_id | I payload_len | 4x pad
+    payload: type-specific (see the _encode_* helpers)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Tuple, Type, Union
+
+from repro.errors import ProtocolError
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    CleartextReport,
+    MissingClientsNotice,
+    PublicKeyAnnouncement,
+    ThresholdBroadcast,
+)
+
+MAGIC = b"eW"
+VERSION = 1
+_HEADER = struct.Struct(">2sBBII4x")
+
+Message = Union[BlindedReport, BlindingAdjustment, CleartextReport,
+                MissingClientsNotice, PublicKeyAnnouncement,
+                ThresholdBroadcast]
+
+#: Message type tags on the wire.
+_TYPE_OF: Dict[type, int] = {
+    PublicKeyAnnouncement: 1,
+    BlindedReport: 2,
+    CleartextReport: 3,
+    MissingClientsNotice: 4,
+    BlindingAdjustment: 5,
+    ThresholdBroadcast: 6,
+}
+
+
+def _pack_str(s: str) -> bytes:
+    data = s.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ProtocolError("string field too long for wire format")
+    return struct.pack(">H", len(data)) + data
+
+
+def _unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from(">H", buf, offset)
+    start = offset + 2
+    return buf[start:start + length].decode("utf-8"), start + length
+
+
+def _pack_cells(cells: Tuple[int, ...]) -> bytes:
+    out = bytearray(struct.pack(">I", len(cells)))
+    for cell in cells:
+        out += struct.pack(">I", cell & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def _unpack_cells(buf: bytes, offset: int) -> Tuple[Tuple[int, ...], int]:
+    (count,) = struct.unpack_from(">I", buf, offset)
+    offset += 4
+    cells = struct.unpack_from(f">{count}I", buf, offset)
+    return tuple(cells), offset + 4 * count
+
+
+def encode(message: Message) -> bytes:
+    """Serialize a protocol message to bytes."""
+    try:
+        type_tag = _TYPE_OF[type(message)]
+    except KeyError:
+        raise ProtocolError(
+            f"cannot encode message type {type(message).__name__}") from None
+
+    if isinstance(message, PublicKeyAnnouncement):
+        key_bytes = message.public_key.to_bytes(message.element_bytes, "big")
+        payload = (_pack_str(message.user_id)
+                   + struct.pack(">H", message.element_bytes) + key_bytes)
+        round_id = 0
+    elif isinstance(message, BlindedReport):
+        payload = _pack_str(message.user_id) + _pack_cells(message.cells)
+        round_id = message.round_id
+    elif isinstance(message, CleartextReport):
+        payload = (_pack_str(message.user_id)
+                   + struct.pack(">BI", message.bytes_per_char,
+                                 len(message.urls)))
+        for url in message.urls:
+            payload += _pack_str(url)
+        round_id = message.round_id
+    elif isinstance(message, MissingClientsNotice):
+        payload = struct.pack(">I", len(message.missing_indexes))
+        for index in message.missing_indexes:
+            payload += struct.pack(">I", index)
+        round_id = message.round_id
+    elif isinstance(message, BlindingAdjustment):
+        payload = _pack_str(message.user_id) + _pack_cells(message.cells)
+        round_id = message.round_id
+    elif isinstance(message, ThresholdBroadcast):
+        payload = struct.pack(">d", message.users_threshold)
+        round_id = message.round_id
+    else:  # pragma: no cover - exhaustive above
+        raise ProtocolError("unreachable")
+
+    header = _HEADER.pack(MAGIC, VERSION, type_tag, round_id, len(payload))
+    return header + payload
+
+
+def decode(data: bytes) -> Message:
+    """Parse bytes back into a protocol message."""
+    if len(data) < _HEADER.size:
+        raise ProtocolError(f"message too short: {len(data)} bytes")
+    magic, version, type_tag, round_id, payload_len = _HEADER.unpack_from(
+        data, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported version {version}")
+    payload = data[_HEADER.size:]
+    if len(payload) != payload_len:
+        raise ProtocolError(
+            f"payload length mismatch: header says {payload_len}, "
+            f"got {len(payload)}")
+
+    if type_tag == 1:
+        user_id, offset = _unpack_str(payload, 0)
+        (element_bytes,) = struct.unpack_from(">H", payload, offset)
+        offset += 2
+        key = int.from_bytes(payload[offset:offset + element_bytes], "big")
+        return PublicKeyAnnouncement(user_id=user_id, public_key=key,
+                                     element_bytes=element_bytes)
+    if type_tag == 2:
+        user_id, offset = _unpack_str(payload, 0)
+        cells, _ = _unpack_cells(payload, offset)
+        return BlindedReport(user_id=user_id, round_id=round_id, cells=cells)
+    if type_tag == 3:
+        user_id, offset = _unpack_str(payload, 0)
+        bytes_per_char, count = struct.unpack_from(">BI", payload, offset)
+        offset += 5
+        urls = []
+        for _ in range(count):
+            url, offset = _unpack_str(payload, offset)
+            urls.append(url)
+        return CleartextReport(user_id=user_id, round_id=round_id,
+                               urls=tuple(urls),
+                               bytes_per_char=bytes_per_char)
+    if type_tag == 4:
+        (count,) = struct.unpack_from(">I", payload, 0)
+        indexes = struct.unpack_from(f">{count}I", payload, 4)
+        return MissingClientsNotice(round_id=round_id,
+                                    missing_indexes=tuple(indexes))
+    if type_tag == 5:
+        user_id, offset = _unpack_str(payload, 0)
+        cells, _ = _unpack_cells(payload, offset)
+        return BlindingAdjustment(user_id=user_id, round_id=round_id,
+                                  cells=cells)
+    if type_tag == 6:
+        (threshold,) = struct.unpack_from(">d", payload, 0)
+        return ThresholdBroadcast(round_id=round_id,
+                                  users_threshold=threshold)
+    raise ProtocolError(f"unknown message type tag {type_tag}")

@@ -1,0 +1,48 @@
+"""Controlled simulation substrate (paper §7.2).
+
+The paper's own evaluation uses "a custom simulator, based on [Burklen et
+al. 2005], capable of simulating users, websites, and ad campaigns". This
+package rebuilds that simulator:
+
+* :mod:`repro.simulation.websites` — site catalogue with Zipf popularity
+  and topical categories;
+* :mod:`repro.simulation.population` — users with interest profiles and
+  demographics;
+* :mod:`repro.simulation.browsing` — the user-centric visit model
+  (interest-biased site choice, weekday/weekend rhythm);
+* :mod:`repro.simulation.campaigns` — ad campaigns of every ground-truth
+  kind (targeted, retargeted, indirect, contextual, static, brand);
+* :mod:`repro.simulation.adserver` — impression delivery with per-user
+  frequency caps;
+* :mod:`repro.simulation.simulator` — the loop tying it together;
+* :mod:`repro.simulation.metrics` — confusion-matrix evaluation against
+  the simulator's ground truth.
+
+``SimulationConfig`` defaults are Table 1 of the paper: 500 users, 1000
+websites, 138 average visits, 20 ads per website, 10% targeted ads.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.population import Population, UserProfile
+from repro.simulation.websites import Website, WebsiteCatalog
+from repro.simulation.browsing import BrowsingModel, Visit
+from repro.simulation.campaigns import Campaign, CampaignGenerator
+from repro.simulation.adserver import AdServer
+from repro.simulation.simulator import SimulationResult, Simulator
+from repro.simulation.metrics import evaluate_classifications
+
+__all__ = [
+    "SimulationConfig",
+    "Population",
+    "UserProfile",
+    "Website",
+    "WebsiteCatalog",
+    "BrowsingModel",
+    "Visit",
+    "Campaign",
+    "CampaignGenerator",
+    "AdServer",
+    "SimulationResult",
+    "Simulator",
+    "evaluate_classifications",
+]

@@ -1,0 +1,295 @@
+"""Ad campaigns of every ground-truth kind (paper §2.1).
+
+A campaign owns one creative (one :class:`~repro.types.Ad`) and a
+targeting rule. The kinds map to the paper's taxonomy:
+
+* ``TARGETED``   — OBA: a *segment* of users whose interest tags include
+  the campaign's audience category (real campaigns buy narrow segments,
+  so only an ``audience_coverage`` fraction of interest-matching users is
+  targeted);
+* ``RETARGETED`` — users who visited the campaign's advertiser site get
+  chased by the ad afterwards;
+* ``INDIRECT``   — like TARGETED, but the advertised product's category is
+  unrelated to the audience category (the Walking-Dead-fans-see-political-
+  ads pattern); content analysis cannot link audience and ad;
+* ``CONTEXTUAL`` — placed on sites whose category matches the ad, shown to
+  anyone (subject to inventory rotation);
+* ``STATIC``     — a private deal with a handful of sites, shown to every
+  visitor there;
+* ``BRAND``      — a large awareness campaign statically placed across
+  many sites (the §7.2.2 false-positive stressor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import SimulationConfig
+from repro.simulation.population import Population, UserProfile
+from repro.simulation.websites import Website, WebsiteCatalog
+from repro.statsutil.sampling import make_rng, sample_without_replacement
+from repro.types import Ad, AdKind
+
+
+@dataclass(frozen=True)
+class BrowsingHistory:
+    """What the ad ecosystem knows about a user's past browsing."""
+
+    categories: FrozenSet[str] = frozenset()
+    domains: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One ad campaign with its targeting rule.
+
+    ``audience_user_ids`` is the exact user segment of OBA/indirect
+    campaigns; ``advertiser_domain`` is the shop site whose visitors a
+    RETARGETED campaign chases; ``placement_domains`` pins placed kinds
+    (contextual/static/brand) to sites; ``frequency_cap`` bounds
+    repetitions per user; ``product_category`` is what the landing page is
+    about (different from the audience for INDIRECT campaigns).
+    """
+
+    campaign_id: str
+    ad: Ad
+    kind: AdKind
+    audience_category: str = ""
+    product_category: str = ""
+    audience_user_ids: FrozenSet[str] = frozenset()
+    advertiser_domain: str = ""
+    placement_domains: FrozenSet[str] = frozenset()
+    frequency_cap: int = 6
+    #: Evasion counter-measure (§7.3.4): cap on the number of *distinct
+    #: domains* this campaign will show the ad to any one user on.
+    #: 0 means unconstrained. Lowering it trades detectability for
+    #: reach — which is the paper's point about evading eyeWnder.
+    evasion_domain_limit: int = 0
+    #: Campaign flight dynamics (paper §4.2: targeted ads "aggressively
+    #: follow the user for a few days and gradually fade-out over time").
+    #: The campaign launches at ``launch_tick``; with a non-zero
+    #: ``fade_halflife_ticks`` its serve intensity halves every that many
+    #: ticks after launch.
+    launch_tick: int = 0
+    fade_halflife_ticks: int = 0
+    #: Demographic filters (§8): when non-empty, the campaign only serves
+    #: to users whose gender / age bracket / income bracket is listed.
+    #: This is what produces the socio-economic biases Table 2 measures.
+    gender_filter: FrozenSet[str] = frozenset()
+    age_filter: FrozenSet[str] = frozenset()
+    income_filter: FrozenSet[str] = frozenset()
+
+    def _passes_demographics(self, user: UserProfile) -> bool:
+        demo = user.demographics
+        if self.gender_filter and demo.gender not in self.gender_filter:
+            return False
+        if self.age_filter and demo.age_bracket not in self.age_filter:
+            return False
+        if self.income_filter and \
+                demo.income_bracket not in self.income_filter:
+            return False
+        return True
+
+    def __post_init__(self) -> None:
+        if self.frequency_cap < 1:
+            raise ConfigurationError("frequency_cap must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+    def eligible(self, user: UserProfile, site: Website,
+                 history: BrowsingHistory) -> bool:
+        """May this campaign serve to ``user`` on ``site`` right now?"""
+        if self.kind in (AdKind.TARGETED, AdKind.INDIRECT):
+            if not self._passes_demographics(user):
+                return False
+            if self.audience_user_ids:
+                return user.user_id in self.audience_user_ids
+            return user.is_interested_in(self.audience_category)
+        if self.kind is AdKind.RETARGETED:
+            if not self._passes_demographics(user):
+                return False
+            return self.advertiser_domain in history.domains
+        if self.kind is AdKind.CONTEXTUAL:
+            return site.category == self.audience_category
+        if self.kind in (AdKind.STATIC, AdKind.BRAND):
+            return site.domain in self.placement_domains
+        return False
+
+    @property
+    def is_targeted(self) -> bool:
+        return self.kind.is_targeted
+
+
+class CampaignGenerator:
+    """Builds the campaign mix for a simulation configuration.
+
+    ``config.percentage_targeted`` fixes the targeted share of all
+    campaigns; the non-targeted filler mix (contextual/static/brand) is
+    scaled to keep that ratio.
+    """
+
+    def __init__(self, config: SimulationConfig, catalog: WebsiteCatalog,
+                 population: Optional[Population] = None,
+                 seed: int = 0) -> None:
+        self.config = config
+        self.catalog = catalog
+        self.population = population
+        self._rng = make_rng(seed)
+
+    def _make_ad(self, campaign_id: str, product_category: str) -> Ad:
+        return Ad(url=f"http://shop-{campaign_id}.example/{product_category}",
+                  content_hash=f"creative-{campaign_id}",
+                  category=product_category)
+
+    def _unrelated_category(self, category: str) -> str:
+        choices = [c for c in self.catalog.categories if c != category]
+        return self._rng.choice(choices) if choices else category
+
+    def _segment_for(self, category: str) -> FrozenSet[str]:
+        """The user segment an OBA/indirect campaign buys: a small
+        absolute number of interest-matching panel users."""
+        if self.population is None:
+            return frozenset()
+        interested = [u.user_id
+                      for u in self.population.interested_in(category)]
+        if not interested:
+            return frozenset()
+        k = self._rng.randint(self.config.audience_size_min,
+                              self.config.audience_size_max)
+        return frozenset(sample_without_replacement(self._rng, interested,
+                                                    min(k, len(interested))))
+
+    def _eligible_advertisers(self) -> List[Website]:
+        """Advertiser sites for retargeting: the popularity tail.
+
+        People get retargeted by the shops they visited, not by the top
+        news portals, so the top ``retarget_popularity_cutoff`` share of
+        sites is excluded.
+        """
+        cutoff = int(len(self.catalog) * self.config.retarget_popularity_cutoff)
+        tail = [s for s in self.catalog.sites if s.rank >= cutoff]
+        return tail or list(self.catalog.sites)
+
+    def generate(self) -> List[Campaign]:
+        """The full campaign mix.
+
+        Inventory structure, following Table 1's "average ads per website
+        = 20": every site carries ``ads_per_website`` single-site house
+        ads (kind STATIC), overlaid with a few multi-site private-deal
+        statics, ~2 contextual campaigns per category, a couple of brand
+        campaigns, and the user-targeted campaigns whose count is
+        ``percentage_targeted`` percent of the total inventory.
+        """
+        cfg = self.config
+        categories = self.catalog.categories
+        campaigns: List[Campaign] = []
+        serial = 0
+
+        def next_id(prefix: str) -> str:
+            nonlocal serial
+            serial += 1
+            return f"{prefix}-{serial:05d}"
+
+        # --- targeted kinds -------------------------------------------
+        total_inventory = cfg.num_websites * cfg.ads_per_website
+        n_targeted_total = max(3, round(
+            total_inventory * cfg.percentage_targeted / 100.0))
+        n_per_kind = max(1, n_targeted_total // 3)
+        advertisers = self._eligible_advertisers()
+        for _ in range(n_per_kind):
+            audience = self._rng.choice(categories)
+            cid = next_id("oba")
+            campaigns.append(Campaign(
+                campaign_id=cid, ad=self._make_ad(cid, audience),
+                kind=AdKind.TARGETED, audience_category=audience,
+                product_category=audience,
+                audience_user_ids=self._segment_for(audience),
+                frequency_cap=cfg.frequency_cap))
+        for _ in range(n_per_kind):
+            advertiser = self._rng.choice(advertisers)
+            cid = next_id("ret")
+            campaigns.append(Campaign(
+                campaign_id=cid,
+                ad=self._make_ad(cid, advertiser.category),
+                kind=AdKind.RETARGETED,
+                audience_category=advertiser.category,
+                product_category=advertiser.category,
+                advertiser_domain=advertiser.domain,
+                frequency_cap=cfg.frequency_cap))
+        for _ in range(n_per_kind):
+            audience = self._rng.choice(categories)
+            product = self._unrelated_category(audience)
+            cid = next_id("ind")
+            campaigns.append(Campaign(
+                campaign_id=cid, ad=self._make_ad(cid, product),
+                kind=AdKind.INDIRECT, audience_category=audience,
+                product_category=product,
+                audience_user_ids=self._segment_for(audience),
+                frequency_cap=cfg.frequency_cap))
+
+        # --- single-site house ads (the bulk of the inventory) ---------
+        # Remnant inventory advertises arbitrary products: the product
+        # category is independent of the host site's topic (a sports blog
+        # runs house ads for anything). This keeps semantic overlap
+        # between ordinary ads and user profiles rare, as in real data.
+        for site in self.catalog.sites:
+            for _ in range(cfg.ads_per_website):
+                cid = next_id("house")
+                product = self._rng.choice(categories)
+                campaigns.append(Campaign(
+                    campaign_id=cid,
+                    ad=self._make_ad(cid, product),
+                    kind=AdKind.STATIC,
+                    audience_category=product,
+                    product_category=product,
+                    placement_domains=frozenset({site.domain}),
+                    frequency_cap=10 ** 9))
+
+        # --- multi-site private-deal statics ----------------------------
+        # These give ordinary users multi-domain ads in their background
+        # distribution, which is what makes Domains_th(u) non-trivial.
+        for _ in range(max(1, len(self.catalog) // 10)):
+            category = self._rng.choice(categories)
+            cid = next_id("sta")
+            sites = sample_without_replacement(
+                self._rng, self.catalog.sites,
+                max(2, len(self.catalog) // 25))
+            campaigns.append(Campaign(
+                campaign_id=cid, ad=self._make_ad(cid, category),
+                kind=AdKind.STATIC, audience_category=category,
+                product_category=category,
+                placement_domains=frozenset(s.domain for s in sites),
+                frequency_cap=10 ** 9))
+
+        # --- contextual: ~3 campaigns per category ----------------------
+        for category in categories:
+            for _ in range(3):
+                cid = next_id("ctx")
+                placements = frozenset(
+                    s.domain for s in self.catalog.in_category(category))
+                if not placements:
+                    continue
+                campaigns.append(Campaign(
+                    campaign_id=cid, ad=self._make_ad(cid, category),
+                    kind=AdKind.CONTEXTUAL, audience_category=category,
+                    product_category=category,
+                    placement_domains=placements,
+                    frequency_cap=10 ** 9))
+
+        # --- brand awareness (the §7.2.2 false-positive stressor) ------
+        for _ in range(2):
+            category = self._rng.choice(categories)
+            cid = next_id("brd")
+            sites = sample_without_replacement(
+                self._rng, self.catalog.sites,
+                min(cfg.brand_campaign_sites, len(self.catalog)))
+            campaigns.append(Campaign(
+                campaign_id=cid, ad=self._make_ad(cid, category),
+                kind=AdKind.BRAND, audience_category=category,
+                product_category=category,
+                placement_domains=frozenset(s.domain for s in sites),
+                frequency_cap=10 ** 9))
+        return campaigns

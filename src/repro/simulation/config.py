@@ -1,0 +1,115 @@
+"""Simulation parameters; defaults reproduce Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+#: The topical taxonomy shared by sites, user interests and campaigns.
+DEFAULT_CATEGORIES: Tuple[str, ...] = (
+    "news", "sports", "technology", "fashion", "travel", "food", "finance",
+    "health", "automotive", "gaming", "music", "movies", "home", "beauty",
+    "fitness", "pets", "education", "real-estate", "dating", "fishing",
+)
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of the controlled study. Defaults are Table 1.
+
+    ``frequency_cap`` is the maximum number of repetitions of one targeted
+    ad per user — the x-axis of Figure 3. ``percentage_targeted`` is the
+    fraction of *campaigns* that are targeted (Table 1's 0.1).
+    """
+
+    num_users: int = 500
+    num_websites: int = 1000
+    average_user_visits: int = 138
+    #: Ad *inventory* per site: how many distinct (mostly single-site
+    #: house/static) ads a website rotates through its slots.
+    ads_per_website: int = 20
+    #: Percent of the total ad inventory that is user-targeted (Table 1's
+    #: "Percentage of targeted ads: 0.1", i.e. 0.1%).
+    percentage_targeted: float = 0.1
+    frequency_cap: int = 6
+    num_weeks: int = 1
+    seed: int = 0
+
+    # Secondary knobs (not in Table 1; fixed across the paper's sweeps).
+    interests_per_user: int = 3
+    interest_affinity: float = 0.6  # probability a visit follows an interest
+    zipf_exponent: float = 1.0
+    #: Ad slots actually rendered per page view (inventory rotates through
+    #: them); distinct from ads_per_website, the inventory size.
+    slots_per_page: int = 4
+    brand_campaign_sites: int = 100  # §7.2.2's large static campaigns
+    targeted_serve_probability: float = 0.35
+    # Panel users an OBA/indirect campaign reaches, sampled uniformly per
+    # campaign from [min, max]. Sizes are *absolute*, not a fraction of
+    # the panel: a campaign's segment intersects a measurement panel in a
+    # handful of users regardless of panel size (the paper's live
+    # deployment saw Users_th of 2-3 with ~100 users). The spread is what
+    # separates the Mean and Mean+Median threshold rules in Figure 3.
+    audience_size_min: int = 1
+    audience_size_max: int = 10
+    #: Maximum panel users one retargeting campaign chases (a campaign's
+    #: budget covers a bounded audience).
+    retarget_audience_max: int = 8
+    #: Share of the most popular sites excluded as retargeting advertisers
+    #: (people get retargeted by shops, not by the top news portals).
+    retarget_popularity_cutoff: float = 0.3
+    #: Probability that visiting the advertiser's site actually drops the
+    #: retargeting cookie segment (campaigns chase cart abandoners, not
+    #: every passer-by).
+    retarget_activation_probability: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ConfigurationError("num_users must be positive")
+        if self.num_websites <= 0:
+            raise ConfigurationError("num_websites must be positive")
+        if self.average_user_visits <= 0:
+            raise ConfigurationError("average_user_visits must be positive")
+        if self.ads_per_website <= 0:
+            raise ConfigurationError("ads_per_website must be positive")
+        if not 0.0 <= self.percentage_targeted <= 100.0:
+            raise ConfigurationError(
+                "percentage_targeted is in percent and must be in [0, 100]")
+        if self.frequency_cap < 1:
+            raise ConfigurationError("frequency_cap must be >= 1")
+        if self.num_weeks < 1:
+            raise ConfigurationError("num_weeks must be >= 1")
+        if not 0.0 <= self.interest_affinity <= 1.0:
+            raise ConfigurationError("interest_affinity must be in [0, 1]")
+        if not 0.0 <= self.targeted_serve_probability <= 1.0:
+            raise ConfigurationError(
+                "targeted_serve_probability must be in [0, 1]")
+        if not 1 <= self.audience_size_min <= self.audience_size_max:
+            raise ConfigurationError(
+                "need 1 <= audience_size_min <= audience_size_max")
+        if self.retarget_audience_max < 1:
+            raise ConfigurationError("retarget_audience_max must be >= 1")
+        if self.slots_per_page < 1:
+            raise ConfigurationError("slots_per_page must be >= 1")
+        if not 0.0 <= self.retarget_popularity_cutoff < 1.0:
+            raise ConfigurationError(
+                "retarget_popularity_cutoff must be in [0, 1)")
+        if not 0.0 < self.retarget_activation_probability <= 1.0:
+            raise ConfigurationError(
+                "retarget_activation_probability must be in (0, 1]")
+
+    @classmethod
+    def table1(cls, **overrides) -> "SimulationConfig":
+        """The paper's base configuration, with optional overrides."""
+        return cls(**overrides)
+
+    @classmethod
+    def small(cls, **overrides) -> "SimulationConfig":
+        """A fast configuration for unit tests (~50 users, 100 sites)."""
+        params = dict(num_users=50, num_websites=100, average_user_visits=40,
+                      ads_per_website=5, percentage_targeted=2.0,
+                      brand_campaign_sites=20)
+        params.update(overrides)
+        return cls(**params)

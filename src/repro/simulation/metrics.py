@@ -1,0 +1,50 @@
+"""Scoring classifier output against simulator ground truth."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.types import AdKind, ClassifiedAd, ConfusionCounts, Label
+
+
+def evaluate_classifications(classified: Iterable[ClassifiedAd],
+                             ground_truth: Mapping[str, AdKind]
+                             ) -> ConfusionCounts:
+    """Confusion counts over (user, ad) classifications.
+
+    UNDECIDED outputs (activity gate not met) are tallied separately and
+    excluded from the rates, matching the paper: the algorithm "refrains
+    from making a guess" rather than guessing wrong.
+
+    Ads missing from the ground-truth map are skipped — in live validation
+    organic ads have no label; in simulation every ad is labelled.
+    """
+    counts = ConfusionCounts()
+    for item in classified:
+        kind = ground_truth.get(item.ad.identity)
+        if kind is None:
+            continue
+        if item.label is Label.UNDECIDED:
+            counts.undecided += 1
+            continue
+        counts.add(predicted_targeted=(item.label is Label.TARGETED),
+                   actually_targeted=kind.is_targeted)
+    return counts
+
+
+def per_kind_rates(classified: Iterable[ClassifiedAd],
+                   ground_truth: Mapping[str, AdKind]
+                   ) -> Dict[AdKind, ConfusionCounts]:
+    """Confusion counts broken down by ground-truth ad kind."""
+    by_kind: Dict[AdKind, ConfusionCounts] = {}
+    for item in classified:
+        kind = ground_truth.get(item.ad.identity)
+        if kind is None:
+            continue
+        counts = by_kind.setdefault(kind, ConfusionCounts())
+        if item.label is Label.UNDECIDED:
+            counts.undecided += 1
+            continue
+        counts.add(predicted_targeted=(item.label is Label.TARGETED),
+                   actually_targeted=kind.is_targeted)
+    return by_kind

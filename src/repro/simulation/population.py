@@ -1,0 +1,86 @@
+"""Simulated user population: interests, activity levels, demographics.
+
+Interests drive both browsing (users gravitate to sites of their interest
+categories) and targeting (OBA campaigns select users by interest tag).
+Demographics feed the §8 socio-economic bias study; brackets mirror
+Table 2's levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import DEFAULT_CATEGORIES
+from repro.statsutil.sampling import make_rng, sample_without_replacement
+from repro.types import Demographics
+
+GENDERS = ("female", "male")
+AGE_BRACKETS = ("1-20", "20-30", "30-40", "40-50", "50-60", "60-70")
+INCOME_BRACKETS = ("0-30k", "30k-60k", "60k-90k", "90k-...")
+EMPLOYMENT = ("employed", "self-employed", "student", "unemployed", "retired")
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One simulated panel user."""
+
+    user_id: str
+    interests: Tuple[str, ...]
+    activity: float  # multiplier on the average weekly visit count
+    demographics: Demographics
+
+    def is_interested_in(self, category: str) -> bool:
+        return category in self.interests
+
+
+class Population:
+    """Seeded collection of user profiles."""
+
+    def __init__(self, num_users: int, interests_per_user: int = 3,
+                 categories: Sequence[str] = DEFAULT_CATEGORIES,
+                 seed: int = 0) -> None:
+        if num_users <= 0:
+            raise ConfigurationError("num_users must be positive")
+        if interests_per_user <= 0:
+            raise ConfigurationError("interests_per_user must be positive")
+        rng = make_rng(seed)
+        self._users: List[UserProfile] = []
+        for i in range(num_users):
+            interests = tuple(sample_without_replacement(
+                rng, list(categories), interests_per_user))
+            # Log-normal-ish activity spread: most users near 1x, a few
+            # heavy browsers — matching the "varying level of activity"
+            # of the paper's FigureEight panel.
+            activity = max(0.1, rng.lognormvariate(0.0, 0.5))
+            demographics = Demographics(
+                gender=rng.choice(GENDERS),
+                age_bracket=rng.choice(AGE_BRACKETS),
+                income_bracket=rng.choice(INCOME_BRACKETS),
+                employment=rng.choice(EMPLOYMENT),
+            )
+            self._users.append(UserProfile(
+                user_id=f"user-{i:04d}", interests=interests,
+                activity=activity, demographics=demographics))
+        self._by_id: Dict[str, UserProfile] = {
+            u.user_id: u for u in self._users}
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self):
+        return iter(self._users)
+
+    @property
+    def users(self) -> Tuple[UserProfile, ...]:
+        return tuple(self._users)
+
+    def by_id(self, user_id: str) -> UserProfile:
+        try:
+            return self._by_id[user_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown user {user_id!r}") from None
+
+    def interested_in(self, category: str) -> List[UserProfile]:
+        return [u for u in self._users if u.is_interested_in(category)]

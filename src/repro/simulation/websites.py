@@ -1,0 +1,84 @@
+"""Website catalogue: domains, categories, Zipf popularity.
+
+Each site carries a topical category (used by contextual campaigns and by
+the content-based validation heuristic) and a static ad inventory slot
+count. Site popularity follows a Zipf law, consistent with the
+user-centric browsing model the paper's simulator builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import DEFAULT_CATEGORIES
+from repro.statsutil.sampling import ZipfSampler, make_rng
+
+
+@dataclass(frozen=True)
+class Website:
+    """One publisher site."""
+
+    domain: str
+    category: str
+    rank: int  # popularity rank, 0 = most popular
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.domain}/"
+
+
+class WebsiteCatalog:
+    """The universe of sites users can visit."""
+
+    def __init__(self, num_websites: int,
+                 categories: Sequence[str] = DEFAULT_CATEGORIES,
+                 zipf_exponent: float = 1.0, seed: int = 0) -> None:
+        if num_websites <= 0:
+            raise ConfigurationError("num_websites must be positive")
+        if not categories:
+            raise ConfigurationError("need at least one category")
+        rng = make_rng(seed)
+        self.categories = tuple(categories)
+        self._sites: List[Website] = [
+            Website(domain=f"site-{i:04d}.example",
+                    category=rng.choice(self.categories), rank=i)
+            for i in range(num_websites)
+        ]
+        self._by_domain: Dict[str, Website] = {s.domain: s for s in self._sites}
+        self._by_category: Dict[str, List[Website]] = {}
+        for site in self._sites:
+            self._by_category.setdefault(site.category, []).append(site)
+        self._popularity = ZipfSampler(num_websites, zipf_exponent,
+                                       rng=make_rng(seed + 1))
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __iter__(self):
+        return iter(self._sites)
+
+    @property
+    def sites(self) -> Tuple[Website, ...]:
+        return tuple(self._sites)
+
+    def by_domain(self, domain: str) -> Website:
+        try:
+            return self._by_domain[domain]
+        except KeyError:
+            raise ConfigurationError(f"unknown domain {domain!r}") from None
+
+    def in_category(self, category: str) -> List[Website]:
+        return list(self._by_category.get(category, []))
+
+    def sample_popular(self) -> Website:
+        """One site drawn from the global Zipf popularity law."""
+        return self._sites[self._popularity.sample()]
+
+    def sample_in_category(self, category: str, rng) -> Optional[Website]:
+        """Uniform choice within a category, None if the category is empty."""
+        candidates = self._by_category.get(category)
+        if not candidates:
+            return None
+        return rng.choice(candidates)

@@ -1,0 +1,185 @@
+"""Count-min sketch (CMS), the synopsis eyeWnder reports are encoded in.
+
+Follows the paper's §6.1 parameterization: a sketch counting up to ``T``
+elements has ``d = ceil(ln(T / delta))`` rows and ``w = ceil(e / epsilon)``
+columns, and guarantees for every item ``x`` with true count ``c_x``:
+
+1. ``c_x <= query(x)``                       (never undercounts), and
+2. ``query(x) <= c_x + epsilon * N`` with probability ``1 - delta``,
+   where ``N`` is the total count inserted.
+
+Note the paper's row formula is more conservative than the textbook
+``ceil(ln(1/delta))``; with ``delta = epsilon = 0.001`` and 4-byte cells it
+reproduces exactly the 185 / 196 / 207 KB sketch sizes reported in §7.1 for
+10k / 50k / 100k ads (see ``benchmarks/test_bench_s71_overhead.py``).
+
+Cells are plain Python ints. The aggregation protocol blinds cells with
+additive shares modulo ``2**32``, so the sketch exposes its raw cell vector
+(:attr:`CountMinSketch.cells`) and can be reconstructed from one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SketchDimensionMismatch
+from repro.sketch.hashing import HashFamily, Item
+
+#: Euler's number, spelled out for the w = ceil(e / epsilon) sizing rule.
+_E = math.e
+
+
+class CountMinSketch:
+    """A ``d x w`` count-min sketch with mergeable, blindable cells."""
+
+    def __init__(self, depth: int, width: int, seed: int = 0,
+                 cells: Optional[Sequence[int]] = None) -> None:
+        if depth <= 0 or width <= 0:
+            raise ConfigurationError(
+                f"CMS dimensions must be positive, got depth={depth} width={width}")
+        self.depth = depth
+        self.width = width
+        self.seed = seed
+        self._hashes = HashFamily(depth, width, seed)
+        if cells is None:
+            self._cells: List[int] = [0] * (depth * width)
+        else:
+            if len(cells) != depth * width:
+                raise SketchDimensionMismatch(
+                    f"cell vector has {len(cells)} entries, expected {depth * width}")
+            self._cells = [int(c) for c in cells]
+        self._total = sum(self._cells) // max(depth, 1)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_error_bounds(cls, epsilon: float, delta: float,
+                          expected_items: int, seed: int = 0) -> "CountMinSketch":
+        """Size a sketch from (epsilon, delta, T) per the paper's formula."""
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        if expected_items <= 0:
+            raise ConfigurationError(
+                f"expected_items must be positive, got {expected_items}")
+        depth = max(1, math.ceil(math.log(expected_items / delta)))
+        width = max(1, math.ceil(_E / epsilon))
+        return cls(depth=depth, width=width, seed=seed)
+
+    def empty_like(self) -> "CountMinSketch":
+        """A zeroed sketch with identical dimensions and hash family."""
+        return CountMinSketch(self.depth, self.width, self.seed)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def update(self, item: Item, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item`` (count may not be negative)."""
+        if count < 0:
+            raise ConfigurationError(f"negative update ({count}) not allowed")
+        for row, col in enumerate(self._hashes.indexes(item)):
+            self._cells[row * self.width + col] += count
+        self._total += count
+
+    def update_conservative(self, item: Item, count: int = 1) -> None:
+        """Conservative update (Estan–Varghese): raise only the cells that
+        constrain the estimate.
+
+        Reduces overcounting versus :meth:`update`, but the resulting
+        sketch is *not* mergeable by cell-wise addition — exactly why
+        eyeWnder's blinded-aggregation design cannot use it. Provided for
+        the ablation bench quantifying what that property costs.
+        """
+        if count < 0:
+            raise ConfigurationError(f"negative update ({count}) not allowed")
+        indexes = [(row, col)
+                   for row, col in enumerate(self._hashes.indexes(item))]
+        new_estimate = min(self._cells[row * self.width + col]
+                           for row, col in indexes) + count
+        for row, col in indexes:
+            flat = row * self.width + col
+            if self._cells[flat] < new_estimate:
+                self._cells[flat] = new_estimate
+        self._total += count
+
+    def query(self, item: Item) -> int:
+        """Point estimate of the count of ``item`` (never an undercount)."""
+        return min(self._cells[row * self.width + col]
+                   for row, col in enumerate(self._hashes.indexes(item)))
+
+    def __contains__(self, item: Item) -> bool:
+        return self.query(item) > 0
+
+    @property
+    def total(self) -> int:
+        """Total count inserted (denominator of the epsilon*N error bound)."""
+        return self._total
+
+    @property
+    def cells(self) -> Tuple[int, ...]:
+        """Flat row-major cell vector, length ``depth * width``."""
+        return tuple(self._cells)
+
+    @property
+    def num_cells(self) -> int:
+        return self.depth * self.width
+
+    def error_bound(self) -> float:
+        """The additive overcount bound ``epsilon_effective * total``.
+
+        ``epsilon_effective = e / width`` inverts the sizing rule, so the
+        bound is valid for sketches built directly from (depth, width) too.
+        """
+        return (_E / self.width) * self._total
+
+    # ------------------------------------------------------------------
+    # Merging / arithmetic (cell-wise; dimensions and seeds must agree)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if (self.depth, self.width, self.seed) != (other.depth, other.width,
+                                                   other.seed):
+            raise SketchDimensionMismatch(
+                f"incompatible sketches: ({self.depth}x{self.width}, seed "
+                f"{self.seed}) vs ({other.depth}x{other.width}, seed {other.seed})")
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """In-place cell-wise sum; equivalent to counting both streams."""
+        self._check_compatible(other)
+        for i, v in enumerate(other._cells):
+            self._cells[i] += v
+        self._total += other._total
+
+    def __add__(self, other: "CountMinSketch") -> "CountMinSketch":
+        self._check_compatible(other)
+        summed = [a + b for a, b in zip(self._cells, other._cells)]
+        return CountMinSketch(self.depth, self.width, self.seed, cells=summed)
+
+    @classmethod
+    def aggregate(cls, sketches: Iterable["CountMinSketch"]) -> "CountMinSketch":
+        """Cell-wise sum of any number of compatible sketches."""
+        result: Optional[CountMinSketch] = None
+        for sketch in sketches:
+            if result is None:
+                result = CountMinSketch(sketch.depth, sketch.width, sketch.seed,
+                                        cells=sketch.cells)
+            else:
+                result.merge(sketch)
+        if result is None:
+            raise ConfigurationError("aggregate() needs at least one sketch")
+        return result
+
+    # ------------------------------------------------------------------
+    # Size accounting (paper §7.1)
+    # ------------------------------------------------------------------
+    def size_bytes(self, cell_size: int = 4) -> int:
+        """Wire size with fixed-width cells (paper assumes 4-byte cells)."""
+        if cell_size <= 0:
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
+        return self.num_cells * cell_size
+
+    def __repr__(self) -> str:
+        return (f"CountMinSketch(depth={self.depth}, width={self.width}, "
+                f"seed={self.seed}, total={self._total})")

@@ -1,0 +1,81 @@
+"""Pairwise-independent hash family for sketch row indexing.
+
+The CMS analysis (Cormode & Muthukrishnan, the paper's reference [29])
+requires ``d`` pairwise-independent hash functions mapping items to columns.
+We use the classic Carter–Wegman construction ``h(x) = ((a*x + b) mod p)
+mod w`` over a Mersenne prime ``p = 2^61 - 1``, with items first reduced to
+integers by a stable (process-independent) byte hash.
+
+Python's builtin ``hash`` is salted per process, so sketches built in
+different processes would disagree; :func:`stable_hash` uses BLAKE2b instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Mersenne prime 2^61 - 1; large enough that 64-bit item digests rarely wrap.
+MERSENNE_P = (1 << 61) - 1
+
+Item = Union[str, bytes, int]
+
+
+def stable_hash(item: Item, salt: bytes = b"") -> int:
+    """Deterministic 64-bit digest of an item, independent of PYTHONHASHSEED."""
+    if isinstance(item, int):
+        data = item.to_bytes((item.bit_length() + 8) // 8 or 1, "big", signed=item < 0)
+    elif isinstance(item, str):
+        data = item.encode("utf-8")
+    elif isinstance(item, bytes):
+        data = item
+    else:  # pragma: no cover - guarded by type hints
+        raise ConfigurationError(f"unhashable item type: {type(item)!r}")
+    digest = hashlib.blake2b(data, digest_size=8, salt=salt[:16].ljust(16, b"\0")
+                             if salt else b"\0" * 16).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashFamily:
+    """``d`` pairwise-independent hash functions onto ``[0, width)``.
+
+    Coefficients are drawn from a seeded RNG so that two parties
+    constructing a family with the same (d, width, seed) agree on every
+    hash value — a requirement for blinded sketches to be mergeable.
+    """
+
+    def __init__(self, d: int, width: int, seed: int = 0) -> None:
+        if d <= 0:
+            raise ConfigurationError(f"need d >= 1 hash functions, got {d}")
+        if width <= 0:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.d = d
+        self.width = width
+        self.seed = seed
+        rng = random.Random(seed)
+        self._coeffs: List[Tuple[int, int]] = [
+            (rng.randrange(1, MERSENNE_P), rng.randrange(0, MERSENNE_P))
+            for _ in range(d)
+        ]
+
+    def index(self, row: int, item: Item) -> int:
+        """Column index of ``item`` under hash function ``row``."""
+        a, b = self._coeffs[row]
+        x = stable_hash(item)
+        return ((a * x + b) % MERSENNE_P) % self.width
+
+    def indexes(self, item: Item) -> List[int]:
+        """Column index per row, in row order."""
+        x = stable_hash(item)
+        return [((a * x + b) % MERSENNE_P) % self.width for a, b in self._coeffs]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return (self.d, self.width, self.seed) == (other.d, other.width, other.seed)
+
+    def __repr__(self) -> str:
+        return f"HashFamily(d={self.d}, width={self.width}, seed={self.seed})"

@@ -1,0 +1,18 @@
+"""Shared statistics helpers: empirical distributions and seeded sampling."""
+
+from repro.statsutil.distributions import EmpiricalDistribution, histogram_density
+from repro.statsutil.sampling import ZipfSampler, CategoricalSampler, make_rng
+from repro.statsutil.density import GaussianKDE, silverman_bandwidth
+from repro.statsutil.textplot import curve_plot, sparkline
+
+__all__ = [
+    "EmpiricalDistribution",
+    "histogram_density",
+    "ZipfSampler",
+    "CategoricalSampler",
+    "make_rng",
+    "GaussianKDE",
+    "silverman_bandwidth",
+    "curve_plot",
+    "sparkline",
+]

@@ -1,0 +1,72 @@
+"""Minimal text plotting for bench and example output.
+
+The benches regenerate the paper's figures as printable series; these
+helpers render them as terminal-friendly sparklines and side-by-side
+curve comparisons so "the same shape" is visible, not just asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _BLOCKS[4] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def curve_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 60, height: int = 12) -> str:
+    """ASCII plot of one or more (x, y) series on shared axes.
+
+    Each series gets the first letter of its label as the plot marker.
+    """
+    if not series:
+        raise ConfigurationError("curve_plot needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("plot must be at least 10x4")
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ConfigurationError("series contain no points")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for label, points in series.items():
+        marker = (label or "?")[0]
+        for x, y in points:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = [f"{y_hi:10.3f} |" + "".join(canvas[0])]
+    lines.extend("           |" + "".join(row) for row in canvas[1:-1])
+    lines.append(f"{y_lo:10.3f} |" + "".join(canvas[-1]))
+    lines.append(" " * 12 + f"{x_lo:<10.2f}" + " " * (width - 20)
+                 + f"{x_hi:>10.2f}")
+    legend = "  ".join(f"{(label or '?')[0]} = {label}"
+                       for label in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

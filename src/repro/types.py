@@ -1,0 +1,173 @@
+"""Shared value types used across the repro package.
+
+The core observable in eyeWnder is an *impression*: the fact that a given
+user saw a given ad on a given publisher domain at a given time. Everything
+else — counters, sketches, classification — is derived from streams of these
+tuples. Times are integer ticks (one tick == one simulated hour by default)
+so the library never touches the wall clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Number of ticks in one simulated day.
+TICKS_PER_DAY = 24
+
+#: Number of ticks in one simulated week — the paper's aggregation window.
+TICKS_PER_WEEK = 7 * TICKS_PER_DAY
+
+
+class AdKind(enum.Enum):
+    """Ground-truth ad categories used by the simulator (paper §2.1)."""
+
+    #: Behaviourally targeted at users with matching interest tags (OBA).
+    TARGETED = "targeted"
+    #: Targeted at users who previously visited the advertiser's site.
+    RETARGETED = "retargeted"
+    #: Targeted at an audience with no semantic overlap with the offering.
+    INDIRECT = "indirect"
+    #: Matches the topic of the page, independent of the user.
+    CONTEXTUAL = "contextual"
+    #: Static placement bought on specific sites, shown to everyone.
+    STATIC = "static"
+    #: Large brand-awareness campaign sprayed across many sites.
+    BRAND = "brand"
+
+    @property
+    def is_targeted(self) -> bool:
+        """True for the kinds the paper counts as targeted advertising."""
+        return self in (AdKind.TARGETED, AdKind.RETARGETED, AdKind.INDIRECT)
+
+
+class Label(enum.Enum):
+    """Classifier output for one (user, ad) pair."""
+
+    TARGETED = "targeted"
+    NON_TARGETED = "non_targeted"
+    #: The per-user activity gate was not met; no call is made.
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class Ad:
+    """A display advertisement as seen by the extension.
+
+    ``url`` is the landing-page URL (the identity the paper counts on);
+    ``content_hash`` identifies creatives whose landing URL is randomized
+    per impression (paper §5, "Browser extension").
+    """
+
+    url: str
+    content_hash: str = ""
+    category: str = ""
+
+    @property
+    def identity(self) -> str:
+        """Stable identity: landing URL, or content hash if randomized."""
+        return self.url if self.url else self.content_hash
+
+
+@dataclass(frozen=True)
+class Impression:
+    """One ad impression event: user ``user_id`` saw ``ad`` on ``domain``."""
+
+    user_id: str
+    ad: Ad
+    domain: str
+    tick: int
+
+    @property
+    def week(self) -> int:
+        """Index of the weekly window this impression falls in."""
+        return self.tick // TICKS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class ClassifiedAd:
+    """Result of running the count-based detector on one (user, ad) pair."""
+
+    user_id: str
+    ad: Ad
+    label: Label
+    domains_seen: int
+    users_seen: float
+    domains_threshold: float
+    users_threshold: float
+    week: int
+
+    @property
+    def is_targeted(self) -> bool:
+        return self.label is Label.TARGETED
+
+
+@dataclass(frozen=True)
+class Demographics:
+    """Self-reported demographic attributes of a panel user (paper §8)."""
+
+    gender: str
+    age_bracket: str
+    income_bracket: str
+    employment: str = "employed"
+
+
+@dataclass
+class ConfusionCounts:
+    """Mutable confusion-matrix accumulator with derived rates."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+    undecided: int = 0
+
+    def add(self, predicted_targeted: bool, actually_targeted: bool) -> None:
+        if predicted_targeted and actually_targeted:
+            self.tp += 1
+        elif predicted_targeted and not actually_targeted:
+            self.fp += 1
+        elif not predicted_targeted and actually_targeted:
+            self.fn += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def false_negative_rate(self) -> float:
+        """FN / (FN + TP): share of targeted ads we failed to flag."""
+        denom = self.fn + self.tp
+        return self.fn / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN): share of non-targeted ads wrongly flagged."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "tn": self.tn,
+            "fn": self.fn,
+            "undecided": self.undecided,
+            "fn_rate": self.false_negative_rate,
+            "fp_rate": self.false_positive_rate,
+            "precision": self.precision,
+            "recall": self.recall,
+        }

@@ -1,0 +1,39 @@
+"""Live-validation methodology (paper §7.3).
+
+Ground truth for ad targeting does not exist publicly, so the paper
+validates eyeWnder by triangulating three imperfect referees:
+
+* the clean-profile **crawler** (CR) — an ad it can see was deliverable
+  without user data (high-confidence negative signal);
+* a **content-based heuristic** (CB) — semantic overlap between the user's
+  browsing profile and the ad's category (the prior art's method);
+* **FigureEight workers** (F8) — human labels on a subset of ads.
+
+:mod:`repro.validation.tree` walks the Figure-4 decision tree over these
+signals; :mod:`repro.validation.unknowns` resolves the UNKNOWN leaves via
+retargeting probes and indirect-OBA correlation analysis;
+:mod:`repro.validation.comparison` renders the Table-3 capability matrix.
+"""
+
+from repro.validation.content_based import ContentBasedHeuristic, UserCategoryProfile
+from repro.validation.f8 import CrowdLabeler, CrowdLabel
+from repro.validation.tree import EvaluationTree, TreeOutcome, TreeRates
+from repro.validation.unknowns import UnknownResolver, ResolvedUnknowns
+from repro.validation.comparison import COMPARISON_MATRIX, render_comparison_table
+from repro.validation.study import LiveValidationStudy, StudyReport
+
+__all__ = [
+    "LiveValidationStudy",
+    "StudyReport",
+    "ContentBasedHeuristic",
+    "UserCategoryProfile",
+    "CrowdLabeler",
+    "CrowdLabel",
+    "EvaluationTree",
+    "TreeOutcome",
+    "TreeRates",
+    "UnknownResolver",
+    "ResolvedUnknowns",
+    "COMPARISON_MATRIX",
+    "render_comparison_table",
+]

@@ -1,0 +1,141 @@
+"""The Figure-4 evaluation decision tree.
+
+For every (user, ad) pair eyeWnder classified, the tree consults the
+referees in the paper's order:
+
+ads eyeWnder called TARGETED:
+    1. crawler saw the ad           -> FP(CR)   (high confidence)
+    2. semantic overlap with user   -> TP(CB)   (CB agrees by default)
+    3. F8 labeled targeted          -> TP(F8)
+       F8 labeled non-targeted      -> FP(F8)
+    4. otherwise                    -> UNKNOWN-targeted
+
+ads eyeWnder called NON-TARGETED:
+    1. crawler saw the ad           -> TN(CR)   (high confidence)
+    2. semantic overlap with user   -> FN(CB)
+    3. F8 labeled targeted          -> FN(F8)
+       F8 labeled non-targeted      -> TN(F8)
+    4. otherwise                    -> UNKNOWN-non-targeted
+
+The UNKNOWN leaves go to :mod:`repro.validation.unknowns` for resolution
+(§7.3.3). :class:`TreeRates` reports both the per-branch percentages shown
+inside Figure 4 and the paper's headline aggregates.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.backend.crawler import CleanProfileCrawler
+from repro.validation.content_based import ContentBasedHeuristic
+from repro.validation.f8 import CrowdLabel, CrowdLabeler
+from repro.types import ClassifiedAd, Label
+
+
+class TreeOutcome(enum.Enum):
+    """Leaves of the Figure-4 tree."""
+
+    FP_CR = "FP(CR)"
+    TP_CB = "TP(CB)"
+    TP_F8 = "TP(F8)"
+    FP_F8 = "FP(F8)"
+    UNKNOWN_TARGETED = "UNKNOWN-targeted"
+    TN_CR = "TN(CR)"
+    FN_CB = "FN(CB)"
+    FN_F8 = "FN(F8)"
+    TN_F8 = "TN(F8)"
+    UNKNOWN_NON_TARGETED = "UNKNOWN-non-targeted"
+
+
+@dataclass
+class TreeRates:
+    """Outcome counts plus the derived percentages the paper reports."""
+
+    outcomes: Dict[TreeOutcome, int] = field(default_factory=dict)
+    assignments: List[Tuple[ClassifiedAd, TreeOutcome]] = \
+        field(default_factory=list)
+
+    def count(self, outcome: TreeOutcome) -> int:
+        return self.outcomes.get(outcome, 0)
+
+    @property
+    def total_targeted(self) -> int:
+        return sum(self.count(o) for o in (
+            TreeOutcome.FP_CR, TreeOutcome.TP_CB, TreeOutcome.TP_F8,
+            TreeOutcome.FP_F8, TreeOutcome.UNKNOWN_TARGETED))
+
+    @property
+    def total_non_targeted(self) -> int:
+        return sum(self.count(o) for o in (
+            TreeOutcome.TN_CR, TreeOutcome.FN_CB, TreeOutcome.FN_F8,
+            TreeOutcome.TN_F8, TreeOutcome.UNKNOWN_NON_TARGETED))
+
+    def rate_within_branch(self, outcome: TreeOutcome) -> float:
+        """Share of the outcome within its targeted/non-targeted branch."""
+        branch = (self.total_targeted
+                  if outcome in (TreeOutcome.FP_CR, TreeOutcome.TP_CB,
+                                 TreeOutcome.TP_F8, TreeOutcome.FP_F8,
+                                 TreeOutcome.UNKNOWN_TARGETED)
+                  else self.total_non_targeted)
+        return self.count(outcome) / branch if branch else 0.0
+
+    def unknowns(self, targeted: bool) -> List[ClassifiedAd]:
+        wanted = (TreeOutcome.UNKNOWN_TARGETED if targeted
+                  else TreeOutcome.UNKNOWN_NON_TARGETED)
+        return [item for item, outcome in self.assignments
+                if outcome is wanted]
+
+
+class EvaluationTree:
+    """Walks classified ads through the Figure-4 referees."""
+
+    def __init__(self, crawler: CleanProfileCrawler,
+                 content_based: ContentBasedHeuristic,
+                 crowd: CrowdLabeler) -> None:
+        self.crawler = crawler
+        self.content_based = content_based
+        self.crowd = crowd
+
+    def assign(self, item: ClassifiedAd) -> TreeOutcome:
+        """One (user, ad) pair through the tree. UNDECIDED never enters."""
+        crawled = self.crawler.saw_ad(item.ad.identity)
+        overlap = self.content_based.has_semantic_overlap(item.user_id,
+                                                          item.ad)
+        if item.label is Label.TARGETED:
+            if crawled:
+                return TreeOutcome.FP_CR
+            if overlap:
+                return TreeOutcome.TP_CB
+            verdict = self.crowd.label(item.user_id, item.ad.identity)
+            if verdict is CrowdLabel.TARGETED:
+                return TreeOutcome.TP_F8
+            if verdict is CrowdLabel.NON_TARGETED:
+                return TreeOutcome.FP_F8
+            return TreeOutcome.UNKNOWN_TARGETED
+        # NON_TARGETED branch.
+        if crawled:
+            return TreeOutcome.TN_CR
+        if overlap:
+            return TreeOutcome.FN_CB
+        verdict = self.crowd.label(item.user_id, item.ad.identity)
+        if verdict is CrowdLabel.TARGETED:
+            return TreeOutcome.FN_F8
+        if verdict is CrowdLabel.NON_TARGETED:
+            return TreeOutcome.TN_F8
+        return TreeOutcome.UNKNOWN_NON_TARGETED
+
+    def evaluate(self, classified: Iterable[ClassifiedAd]) -> TreeRates:
+        """Assign every decided classification to its tree leaf."""
+        rates = TreeRates()
+        counter: Counter = Counter()
+        for item in classified:
+            if item.label is Label.UNDECIDED:
+                continue
+            outcome = self.assign(item)
+            counter[outcome] += 1
+            rates.assignments.append((item, outcome))
+        rates.outcomes = dict(counter)
+        return rates

@@ -1,0 +1,243 @@
+"""Tests for the §8 analysis stack: logistic regression, ANOVA, effects."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.anova import likelihood_ratio_test
+from repro.analysis.biasstudy import (
+    PAPER_TABLE2_ODDS_RATIOS,
+    fit_bias_study,
+    generate_bias_study,
+    table2_model,
+    true_probability,
+)
+from repro.analysis.effects import predicted_effects
+from repro.analysis.logistic import (
+    CategoricalSpec,
+    LogisticModel,
+)
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.statsutil.sampling import make_rng
+
+
+def simple_model(base="no"):
+    return LogisticModel([CategoricalSpec("x", ("no", "yes"), base=base)])
+
+
+def make_data(n, p_yes, p_no, seed=0):
+    """Synthetic binary outcomes: P[y=1] differs by level of x."""
+    rng = make_rng(seed)
+    observations, outcomes = [], []
+    for i in range(n):
+        level = "yes" if i % 2 == 0 else "no"
+        p = p_yes if level == "yes" else p_no
+        observations.append({"x": level})
+        outcomes.append(1 if rng.random() < p else 0)
+    return observations, outcomes
+
+
+class TestCategoricalSpec:
+    def test_coded_levels_exclude_base(self):
+        spec = CategoricalSpec("f", ("a", "b", "c"), base="a")
+        assert spec.coded_levels == ("b", "c")
+        assert spec.column_names() == ["f[b]", "f[c]"]
+
+    def test_no_base_codes_all(self):
+        spec = CategoricalSpec("f", ("a", "b"), base=None)
+        assert spec.coded_levels == ("a", "b")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalSpec("f", ("a", "a"))
+        with pytest.raises(ConfigurationError):
+            CategoricalSpec("f", ("a",), base="z")
+
+
+class TestDesignMatrix:
+    def test_intercept_and_dummies(self):
+        model = LogisticModel([CategoricalSpec("x", ("a", "b"), base="a")])
+        assert model.column_names() == ["(intercept)", "x[b]"]
+        assert model.design_row({"x": "a"}) == [1.0, 0.0]
+        assert model.design_row({"x": "b"}) == [1.0, 1.0]
+
+    def test_no_intercept(self):
+        model = LogisticModel([CategoricalSpec("x", ("a", "b"))],
+                              include_intercept=False)
+        assert model.design_row({"x": "a"}) == [1.0, 0.0]
+
+    def test_missing_factor_rejected(self):
+        model = simple_model()
+        with pytest.raises(ConfigurationError):
+            model.design_row({"y": "no"})
+
+    def test_unknown_level_rejected(self):
+        model = simple_model()
+        with pytest.raises(ConfigurationError):
+            model.design_row({"x": "maybe"})
+
+    def test_duplicate_factor_rejected(self):
+        spec = CategoricalSpec("x", ("a", "b"))
+        with pytest.raises(ConfigurationError):
+            LogisticModel([spec, spec])
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogisticModel([])
+
+
+class TestIRLSFit:
+    def test_recovers_known_odds_ratio(self):
+        """OR estimated from data ~= true odds ratio."""
+        p_yes, p_no = 0.6, 0.3
+        true_or = (p_yes / (1 - p_yes)) / (p_no / (1 - p_no))
+        observations, outcomes = make_data(4000, p_yes, p_no, seed=1)
+        model = simple_model()
+        result = model.fit(observations, outcomes)
+        estimated = result.stat("x[yes]").odds_ratio
+        assert estimated == pytest.approx(true_or, rel=0.2)
+
+    def test_intercept_matches_base_rate(self):
+        observations, outcomes = make_data(4000, 0.5, 0.2, seed=2)
+        model = simple_model()
+        result = model.fit(observations, outcomes)
+        intercept_p = 1 / (1 + math.exp(-result.stat("(intercept)")
+                                        .coefficient))
+        assert intercept_p == pytest.approx(0.2, abs=0.04)
+
+    def test_significance_of_strong_effect(self):
+        observations, outcomes = make_data(4000, 0.7, 0.2, seed=3)
+        result = simple_model().fit(observations, outcomes)
+        assert result.stat("x[yes]").p_value < 0.001
+        assert result.stat("x[yes]").significance_stars() == "****"
+
+    def test_insignificance_of_null_effect(self):
+        observations, outcomes = make_data(2000, 0.4, 0.4, seed=4)
+        result = simple_model().fit(observations, outcomes)
+        assert result.stat("x[yes]").p_value > 0.05
+
+    def test_confidence_interval_brackets_truth(self):
+        p_yes, p_no = 0.55, 0.35
+        true_or = (p_yes / (1 - p_yes)) / (p_no / (1 - p_no))
+        observations, outcomes = make_data(5000, p_yes, p_no, seed=5)
+        stat = simple_model().fit(observations, outcomes).stat("x[yes]")
+        assert stat.ci_low < true_or < stat.ci_high
+
+    def test_log_likelihood_improves_over_null(self):
+        observations, outcomes = make_data(1000, 0.8, 0.2, seed=6)
+        result = simple_model().fit(observations, outcomes)
+        assert result.log_likelihood > result.null_log_likelihood
+
+    def test_validation(self):
+        model = simple_model()
+        with pytest.raises(ConfigurationError):
+            model.fit([{"x": "no"}], [0, 1])
+        with pytest.raises(ConfigurationError):
+            model.fit([], [])
+        with pytest.raises(ConfigurationError):
+            model.fit([{"x": "no"}], [2])
+
+    def test_not_fitted_errors(self):
+        model = simple_model()
+        with pytest.raises(ModelNotFittedError):
+            _ = model.result
+        with pytest.raises(ModelNotFittedError):
+            model.predict_probability({"x": "no"})
+
+    def test_unknown_stat_name(self):
+        observations, outcomes = make_data(100, 0.5, 0.5, seed=7)
+        result = simple_model().fit(observations, outcomes)
+        with pytest.raises(ConfigurationError):
+            result.stat("nope")
+
+
+class TestLikelihoodRatio:
+    def make_two_factor_data(self, n=3000, informative=True, seed=8):
+        rng = make_rng(seed)
+        observations, outcomes = [], []
+        for _ in range(n):
+            x = rng.choice(["a", "b"])
+            z = rng.choice(["p", "q"])
+            p = 0.3 + (0.3 if x == "b" else 0.0)
+            if informative:
+                p += 0.15 if z == "q" else 0.0
+            observations.append({"x": x, "z": z})
+            outcomes.append(1 if rng.random() < p else 0)
+        return observations, outcomes
+
+    def fit_pair(self, observations, outcomes):
+        full = LogisticModel([CategoricalSpec("x", ("a", "b"), base="a"),
+                              CategoricalSpec("z", ("p", "q"), base="p")])
+        reduced = LogisticModel([CategoricalSpec("x", ("a", "b"), base="a")])
+        return (full.fit(observations, outcomes),
+                reduced.fit([{"x": o["x"]} for o in observations], outcomes))
+
+    def test_informative_factor_significant(self):
+        observations, outcomes = self.make_two_factor_data(informative=True)
+        full, reduced = self.fit_pair(observations, outcomes)
+        test = likelihood_ratio_test(full, reduced)
+        assert test.degrees_of_freedom == 1
+        assert test.significant()
+
+    def test_uninformative_factor_not_significant(self):
+        """The paper's employment-drop decision, in miniature."""
+        observations, outcomes = self.make_two_factor_data(informative=False)
+        full, reduced = self.fit_pair(observations, outcomes)
+        assert not likelihood_ratio_test(full, reduced).significant()
+
+    def test_non_nested_rejected(self):
+        observations, outcomes = self.make_two_factor_data()
+        full, reduced = self.fit_pair(observations, outcomes)
+        with pytest.raises(ConfigurationError):
+            likelihood_ratio_test(reduced, full)
+
+
+class TestBiasStudy:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        data = generate_bias_study(num_users=400, ads_per_user=60, seed=11)
+        return fit_bias_study(data)
+
+    def test_true_probability_base_levels(self):
+        p = true_probability({"gender": "female", "income": "0-30k",
+                              "age": "1-20"})
+        assert p == pytest.approx(0.255 / 1.255, abs=1e-9)
+
+    def test_recovered_odds_ratios_match_paper(self, fitted):
+        """The headline Table 2 check: recovered ORs track the truth."""
+        for name, true_or in PAPER_TABLE2_ODDS_RATIOS.items():
+            estimated = fitted.result.stat(name).odds_ratio
+            assert estimated == pytest.approx(true_or, rel=0.45), name
+
+    def test_gender_bias_direction(self, fitted):
+        """Women more likely to be targeted than men (paper §8.2)."""
+        female = fitted.result.stat("gender[female]").odds_ratio
+        male = fitted.result.stat("gender[male]").odds_ratio
+        assert female > male
+
+    def test_income_shape(self, fitted):
+        """Mid incomes targeted more, very high income less."""
+        mid = fitted.result.stat("income[30k-60k]").odds_ratio
+        high = fitted.result.stat("income[90k-...]").odds_ratio
+        assert mid > 1.0 > high
+
+    def test_gender_significance(self, fitted):
+        assert fitted.result.stat("gender[female]").p_value < 0.001
+        assert fitted.result.stat("gender[male]").p_value < 0.001
+
+    def test_effect_curves_shapes(self, fitted):
+        curves = predicted_effects(fitted)
+        assert set(curves) == {"gender", "income", "age"}
+        gender = {e.level: e.probability for e in curves["gender"]}
+        assert gender["female"] > gender["male"]
+        income = {e.level: e.probability for e in curves["income"]}
+        assert income["60k-90k"] > income["0-30k"] > income["90k-..."]
+
+    def test_generation_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_bias_study(num_users=0)
+
+    def test_data_size(self):
+        data = generate_bias_study(num_users=10, ads_per_user=5, seed=1)
+        assert len(data) == 50

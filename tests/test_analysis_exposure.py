@@ -1,0 +1,99 @@
+"""Tests for the end-to-end §8 exposure pipeline."""
+
+import pytest
+
+from repro.analysis.exposure import (
+    apply_demographic_bias,
+    observations_from_impressions,
+)
+from repro.analysis.logistic import CategoricalSpec, LogisticModel
+from repro.errors import ConfigurationError
+from repro.simulation import SimulationConfig, Simulator
+from repro.simulation.population import GENDERS, INCOME_BRACKETS
+from repro.types import AdKind
+
+
+@pytest.fixture(scope="module")
+def biased_result():
+    config = SimulationConfig(num_users=120, num_websites=200,
+                              average_user_visits=80,
+                              percentage_targeted=2.0, frequency_cap=10,
+                              audience_size_max=20, seed=31)
+    simulator = Simulator(config)
+    simulator.replace_campaigns(apply_demographic_bias(
+        simulator.campaigns, female_bias=0.9, mid_income_bias=0.0,
+        older_bias=0.0, seed=31))
+    return simulator.run()
+
+
+class TestApplyDemographicBias:
+    def test_placed_campaigns_untouched(self):
+        config = SimulationConfig.small(seed=2)
+        simulator = Simulator(config)
+        biased = apply_demographic_bias(simulator.campaigns, seed=2)
+        for before, after in zip(simulator.campaigns, biased):
+            if not before.is_targeted:
+                assert after is before
+
+    def test_bias_probability_zero_changes_nothing(self):
+        config = SimulationConfig.small(seed=2)
+        simulator = Simulator(config)
+        biased = apply_demographic_bias(simulator.campaigns,
+                                        female_bias=0.0,
+                                        mid_income_bias=0.0,
+                                        older_bias=0.0, seed=2)
+        assert all(a is b for a, b in zip(biased, simulator.campaigns))
+
+    def test_bias_probability_one_filters_all_targeted(self):
+        config = SimulationConfig.small(seed=2)
+        simulator = Simulator(config)
+        biased = apply_demographic_bias(simulator.campaigns,
+                                        female_bias=1.0,
+                                        mid_income_bias=1.0,
+                                        older_bias=1.0, seed=2)
+        for campaign in biased:
+            if campaign.is_targeted:
+                assert campaign.gender_filter == frozenset({"female"})
+                assert campaign.income_filter == frozenset(
+                    {"30k-60k", "60k-90k"})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            apply_demographic_bias([], female_bias=1.5)
+
+
+class TestDemographicEligibility:
+    def test_filtered_campaign_skips_wrong_gender(self, biased_result):
+        """Gender-filtered targeted ads only reach the filtered gender."""
+        filtered = {c.ad.identity for c in biased_result.campaigns
+                    if c.gender_filter == frozenset({"female"})}
+        assert filtered, "expected some gender-filtered campaigns"
+        for imp in biased_result.impressions:
+            if imp.ad.identity in filtered:
+                user = biased_result.population.by_id(imp.user_id)
+                assert user.demographics.gender == "female"
+
+
+class TestObservationsFromImpressions:
+    def test_one_row_per_impression(self, biased_result):
+        data = observations_from_impressions(biased_result)
+        assert len(data) == len(biased_result.impressions)
+        assert set(data.outcomes) <= {0, 1}
+
+    def test_rows_carry_demographics(self, biased_result):
+        data = observations_from_impressions(biased_result)
+        row = data.observations[0]
+        assert row["gender"] in GENDERS
+        assert row["income"] in INCOME_BRACKETS
+
+    def test_regression_recovers_injected_gender_bias(self, biased_result):
+        """End-to-end §8: the ecosystem's bias shows up in the fit."""
+        data = observations_from_impressions(biased_result)
+        model = LogisticModel(
+            [CategoricalSpec("gender", GENDERS, base=None)],
+            include_intercept=False)
+        model.fit(data.observations, data.outcomes)
+        female = model.result.stat("gender[female]")
+        male = model.result.stat("gender[male]")
+        assert female.odds_ratio > male.odds_ratio
+        assert female.p_value < 0.05

@@ -1,0 +1,77 @@
+"""Tests for the longitudinal deployment loop."""
+
+import pytest
+
+from repro.backend.operations import DeploymentLog, LongitudinalDeployment
+from repro.errors import ConfigurationError
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def small_deployment_log():
+    deployment = LongitudinalDeployment(
+        config=SimulationConfig(num_users=30, num_websites=60,
+                                average_user_visits=40,
+                                percentage_targeted=2.0, frequency_cap=8,
+                                seed=3),
+        churn_rate=0.2, dropout_rate=0.1, seed=3)
+    return deployment.run(num_weeks=3)
+
+
+class TestLongitudinalDeployment:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LongitudinalDeployment(churn_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            LongitudinalDeployment(dropout_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            LongitudinalDeployment().run(0)
+
+    def test_runs_all_weeks(self, small_deployment_log):
+        assert len(small_deployment_log.weeks) == 3
+        assert [w.week for w in small_deployment_log.weeks] == [0, 1, 2]
+
+    def test_churn_shrinks_panel(self, small_deployment_log):
+        for week in small_deployment_log.weeks:
+            assert week.active_users < 30  # some churned every week
+
+    def test_thresholds_positive_and_stable(self, small_deployment_log):
+        thresholds = small_deployment_log.thresholds
+        assert all(t > 0 for t in thresholds)
+        # Week-over-week the threshold stays in a sane band (no blow-ups
+        # from unrecovered blinding noise).
+        assert max(thresholds) < 10 * min(thresholds)
+
+    def test_dropouts_trigger_recovery(self, small_deployment_log):
+        weeks_with_dropouts = [w for w in small_deployment_log.weeks
+                               if w.dropouts > 0]
+        for week in weeks_with_dropouts:
+            assert week.recovery_round_used
+
+    def test_protocol_traffic_recorded(self, small_deployment_log):
+        assert all(w.protocol_bytes > 0 for w in small_deployment_log.weeks)
+
+    def test_summary_renders(self, small_deployment_log):
+        text = small_deployment_log.summary()
+        assert "Users_th" in text
+        assert len(text.splitlines()) == 4  # header + 3 weeks
+
+    def test_deterministic(self):
+        def run():
+            return LongitudinalDeployment(
+                config=SimulationConfig(num_users=20, num_websites=40,
+                                        average_user_visits=30, seed=9),
+                churn_rate=0.1, dropout_rate=0.1, seed=9).run(2)
+
+        a, b = run(), run()
+        assert a.thresholds == b.thresholds
+        assert a.total_flagged == b.total_flagged
+
+    def test_no_dropouts_no_recovery(self):
+        log = LongitudinalDeployment(
+            config=SimulationConfig(num_users=15, num_websites=40,
+                                    average_user_visits=30, seed=4),
+            churn_rate=0.0, dropout_rate=0.0, seed=4).run(1)
+        assert log.weeks
+        assert not log.weeks[0].recovery_round_used
+        assert log.weeks[0].dropouts == 0

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_threshold_rule_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--threshold-rule", "max"])
+
+
+class TestSimulate:
+    def test_prints_workload(self, capsys):
+        code, out = run_cli(capsys, "simulate", "--users", "30",
+                            "--websites", "60", "--visits", "30",
+                            "--seed", "3")
+        assert code == 0
+        assert "impressions:" in out
+        assert "distinct ads:" in out
+
+    def test_deterministic(self, capsys):
+        _, out1 = run_cli(capsys, "simulate", "--users", "30",
+                          "--websites", "60", "--seed", "4")
+        _, out2 = run_cli(capsys, "simulate", "--users", "30",
+                          "--websites", "60", "--seed", "4")
+        assert out1 == out2
+
+
+class TestDetect:
+    def test_cleartext_run(self, capsys):
+        code, out = run_cli(capsys, "detect", "--users", "40",
+                            "--websites", "80", "--visits", "40",
+                            "--frequency-cap", "8", "--seed", "7")
+        assert code == 0
+        assert "cleartext oracle" in out
+        assert "FN=" in out
+        assert "precision=" in out
+
+    def test_private_run(self, capsys):
+        code, out = run_cli(capsys, "detect", "--users", "20",
+                            "--websites", "50", "--visits", "30",
+                            "--private", "--seed", "7")
+        assert code == 0
+        assert "private (blinded CMS)" in out
+
+    def test_threshold_rule_selection(self, capsys):
+        code, out = run_cli(capsys, "detect", "--users", "30",
+                            "--websites", "60", "--visits", "30",
+                            "--threshold-rule", "mean+median", "--seed", "2")
+        assert code == 0
+        assert "mean+median" in out
+
+
+class TestBias:
+    def test_prints_table2(self, capsys):
+        code, out = run_cli(capsys, "bias", "--users", "150",
+                            "--ads-per-user", "30", "--seed", "11")
+        assert code == 0
+        assert "gender[female]" in out
+        assert "income[90k-...]" in out
+        assert "effects" in out
+
+
+class TestCompareAndOverhead:
+    def test_compare(self, capsys):
+        code, out = run_cli(capsys, "compare")
+        assert code == 0
+        assert "eyeWnder" in out
+        assert "Count-based" in out
+
+    def test_overhead(self, capsys):
+        code, out = run_cli(capsys, "overhead")
+        assert code == 0
+        assert "184.9 KB" in out
+        assert "OPRF" in out

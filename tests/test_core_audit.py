@@ -1,0 +1,100 @@
+"""Tests for the real-time audit service."""
+
+import pytest
+
+from repro.backend.service import BackendService
+from repro.core.audit import AuditService
+from repro.core.detector import DetectorConfig
+from repro.errors import RoundStateError
+from repro.protocol.client import RoundConfig
+from repro.protocol.enrollment import enroll_users
+from repro.types import Ad, Impression, Label
+
+CONFIG = RoundConfig(cms_depth=4, cms_width=128, cms_seed=2, id_space=400)
+
+
+@pytest.fixture()
+def world():
+    """Five users; everyone saw the popular ad, user u0 was stalked."""
+    enrollment = enroll_users([f"u{i}" for i in range(5)], CONFIG, seed=9,
+                              use_oprf=False)
+    backend = BackendService(CONFIG, enrollment.clients)
+    for client in enrollment.clients:
+        client.observe_ad("http://popular.example/ad")
+    enrollment.clients[0].observe_ad("http://stalker.example/ad")
+    backend.run_week(0)
+    mapper = enrollment.clients[0].ad_mapper
+    audit = AuditService("u0", backend, ad_id_of=mapper.ad_id,
+                         config=DetectorConfig(min_ad_serving_domains=2))
+    return audit
+
+
+def imp(user, url, domain, tick=0):
+    return Impression(user_id=user, ad=Ad(url=url), domain=domain, tick=tick)
+
+
+class TestAuditService:
+    def test_needs_a_completed_round(self):
+        enrollment = enroll_users(["a", "b"], CONFIG, seed=1, use_oprf=False)
+        backend = BackendService(CONFIG, enrollment.clients)
+        audit = AuditService("a", backend,
+                             ad_id_of=enrollment.clients[0].ad_mapper.ad_id)
+        with pytest.raises(RoundStateError):
+            audit.audit(Ad(url="http://x.example/ad"))
+
+    def test_stalker_flagged(self, world):
+        # Local view: background one-domain ads + the stalker on many.
+        for i in range(3):
+            world.observe(imp("u0", f"http://bg-{i}.example/a",
+                              f"site-{i}.example"))
+        for d in range(5):
+            world.observe(imp("u0", "http://stalker.example/ad",
+                              f"chase-{d}.example"))
+        answer = world.audit(Ad(url="http://stalker.example/ad"))
+        assert answer.verdict.label is Label.TARGETED
+        assert answer.based_on_week == 0
+        assert "TARGETED" in answer.explanation
+
+    def test_popular_ad_not_flagged(self, world):
+        for i in range(3):
+            world.observe(imp("u0", f"http://bg-{i}.example/a",
+                              f"site-{i}.example"))
+        for d in range(4):
+            world.observe(imp("u0", "http://popular.example/ad",
+                              f"portal-{d}.example"))
+        answer = world.audit(Ad(url="http://popular.example/ad"))
+        assert answer.verdict.label is Label.NON_TARGETED
+        assert "broad campaign" in answer.explanation
+
+    def test_undecided_without_activity(self, world):
+        world.observe(imp("u0", "http://only.example/ad", "one.example"))
+        answer = world.audit(Ad(url="http://only.example/ad"))
+        assert answer.verdict.label is Label.UNDECIDED
+        assert "Not enough browsing data" in answer.explanation
+
+    def test_within_range_explanation(self, world):
+        for i in range(4):
+            world.observe(imp("u0", f"http://bg-{i}.example/a",
+                              f"site-{i}.example"))
+        answer = world.audit(Ad(url="http://bg-0.example/a"))
+        assert answer.verdict.label is Label.NON_TARGETED
+        assert "normal range" in answer.explanation
+
+    def test_new_window_resets_local_state(self, world):
+        for i in range(4):
+            world.observe(imp("u0", f"http://bg-{i}.example/a",
+                              f"site-{i}.example"))
+        world.new_window()
+        answer = world.audit(Ad(url="http://bg-0.example/a"))
+        assert answer.verdict.label is Label.UNDECIDED
+
+    def test_uses_latest_week(self, world):
+        # Run a second, empty-ish week and confirm auditing tracks it.
+        for client in world.backend.clients:
+            client.observe_ad("http://week1.example/ad")
+        world.backend.run_week(1)
+        for i in range(4):
+            world.observe(imp("u0", f"http://bg-{i}.example/a",
+                              f"site-{i}.example"))
+        answer = world.audit(Ad(url="http://bg-0.example/a"))
+        assert answer.based_on_week == 1

@@ -1,0 +1,229 @@
+"""Unit tests for counters, thresholds, windows and the detector."""
+
+import pytest
+
+from repro.core.counters import GlobalUserCounter, UserDomainCounter
+from repro.core.detector import CountBasedDetector, DetectorConfig
+from repro.core.thresholds import ThresholdRule
+from repro.core.window import WeeklyWindow, window_of
+from repro.errors import ConfigurationError
+from repro.statsutil.distributions import EmpiricalDistribution
+from repro.types import TICKS_PER_WEEK, Ad, Impression, Label
+
+
+def imp(user, ad_url, domain, tick=0):
+    return Impression(user_id=user, ad=Ad(url=ad_url), domain=domain,
+                      tick=tick)
+
+
+class TestUserDomainCounter:
+    def test_counts_distinct_domains(self):
+        counter = UserDomainCounter("u")
+        counter.observe(imp("u", "ad1", "a.com"))
+        counter.observe(imp("u", "ad1", "b.com"))
+        counter.observe(imp("u", "ad1", "a.com"))  # repeat domain
+        assert counter.domains_seen("ad1") == 2
+
+    def test_ignores_other_users(self):
+        counter = UserDomainCounter("u")
+        counter.observe(imp("other", "ad1", "a.com"))
+        assert counter.domains_seen("ad1") == 0
+
+    def test_unseen_ad_zero(self):
+        assert UserDomainCounter("u").domains_seen("ghost") == 0
+
+    def test_ad_serving_domains(self):
+        counter = UserDomainCounter("u")
+        counter.observe_all([imp("u", "ad1", "a.com"),
+                             imp("u", "ad2", "b.com"),
+                             imp("u", "ad3", "b.com")])
+        assert counter.num_ad_serving_domains == 2
+
+    def test_distribution(self):
+        counter = UserDomainCounter("u")
+        counter.observe_all([imp("u", "ad1", "a.com"),
+                             imp("u", "ad1", "b.com"),
+                             imp("u", "ad2", "c.com")])
+        dist = counter.distribution()
+        assert sorted(dist.values) == [1.0, 2.0]
+
+    def test_clear(self):
+        counter = UserDomainCounter("u")
+        counter.observe(imp("u", "ad1", "a.com"))
+        counter.clear()
+        assert counter.domains_seen("ad1") == 0
+        assert counter.num_ad_serving_domains == 0
+
+    def test_ads_seen_sorted(self):
+        counter = UserDomainCounter("u")
+        counter.observe_all([imp("u", "b-ad", "a.com"),
+                             imp("u", "a-ad", "a.com")])
+        assert counter.ads_seen == ["a-ad", "b-ad"]
+
+
+class TestGlobalUserCounter:
+    def test_counts_distinct_users(self):
+        counter = GlobalUserCounter()
+        counter.observe_all([imp("u1", "ad", "a.com"),
+                             imp("u2", "ad", "b.com"),
+                             imp("u1", "ad", "c.com")])
+        assert counter.users_seen("ad") == 2
+
+    def test_distribution(self):
+        counter = GlobalUserCounter()
+        counter.observe_all([imp("u1", "popular", "a.com"),
+                             imp("u2", "popular", "a.com"),
+                             imp("u1", "niche", "a.com")])
+        dist = counter.distribution()
+        assert sorted(dist.values) == [1.0, 2.0]
+
+    def test_clear(self):
+        counter = GlobalUserCounter()
+        counter.observe(imp("u", "ad", "a.com"))
+        counter.clear()
+        assert counter.users_seen("ad") == 0
+
+
+class TestThresholdRules:
+    DIST = EmpiricalDistribution([1, 2, 3, 4, 10])
+
+    def test_mean(self):
+        assert ThresholdRule.MEAN.compute(self.DIST) == 4.0
+
+    def test_median(self):
+        assert ThresholdRule.MEDIAN.compute(self.DIST) == 3.0
+
+    def test_mean_plus_median(self):
+        assert ThresholdRule.MEAN_PLUS_MEDIAN.compute(self.DIST) == 7.0
+
+    def test_mean_plus_std(self):
+        rule = ThresholdRule.MEAN_PLUS_STD
+        assert rule.compute(self.DIST) == pytest.approx(4.0 + self.DIST.std)
+
+    def test_mean_plus_median_stricter_than_mean(self):
+        """The ordering that explains Figure 3's two curves."""
+        assert (ThresholdRule.MEAN_PLUS_MEDIAN.compute(self.DIST)
+                > ThresholdRule.MEAN.compute(self.DIST))
+
+
+class TestWindows:
+    def test_window_of(self):
+        assert window_of(0) == 0
+        assert window_of(TICKS_PER_WEEK - 1) == 0
+        assert window_of(TICKS_PER_WEEK) == 1
+
+    def test_window_bounds(self):
+        w = WeeklyWindow(2)
+        assert w.start_tick == 2 * TICKS_PER_WEEK
+        assert w.end_tick == 3 * TICKS_PER_WEEK
+        assert w.contains(w.start_tick)
+        assert not w.contains(w.end_tick)
+
+    def test_filter(self):
+        w = WeeklyWindow(0)
+        impressions = [imp("u", "ad", "a.com", tick=0),
+                       imp("u", "ad", "a.com", tick=TICKS_PER_WEEK + 1)]
+        assert len(w.filter(impressions)) == 1
+
+    def test_negative_week_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeeklyWindow(-1)
+
+
+class TestDetector:
+    def make_detector(self, **config_kwargs):
+        config = DetectorConfig(**config_kwargs)
+        return CountBasedDetector("u", config)
+
+    def feed_background(self, detector, n_ads=4):
+        """Background ads each seen on one domain -> low Domains_th."""
+        for i in range(n_ads):
+            detector.observe(imp("u", f"bg-{i}", f"site-{i}.com"))
+
+    def test_targeted_when_both_conditions_hold(self):
+        detector = self.make_detector()
+        self.feed_background(detector)
+        # The suspicious ad follows the user across 5 domains.
+        for d in range(5):
+            detector.observe(imp("u", "chaser", f"chase-{d}.com"))
+        result = detector.classify(Ad(url="chaser"), users_seen=1,
+                                   users_threshold=10.0)
+        assert result.label is Label.TARGETED
+        assert result.domains_seen == 5
+
+    def test_not_targeted_when_seen_by_many(self):
+        detector = self.make_detector()
+        self.feed_background(detector)
+        for d in range(5):
+            detector.observe(imp("u", "chaser", f"chase-{d}.com"))
+        result = detector.classify(Ad(url="chaser"), users_seen=100,
+                                   users_threshold=10.0)
+        assert result.label is Label.NON_TARGETED
+
+    def test_not_targeted_when_few_domains(self):
+        detector = self.make_detector()
+        self.feed_background(detector)
+        detector.observe(imp("u", "once", "one-site.com"))
+        result = detector.classify(Ad(url="once"), users_seen=1,
+                                   users_threshold=10.0)
+        assert result.label is Label.NON_TARGETED
+
+    def test_activity_gate_undecided(self):
+        detector = self.make_detector(min_ad_serving_domains=4)
+        # Only 2 ad-serving domains seen.
+        detector.observe(imp("u", "ad", "a.com"))
+        detector.observe(imp("u", "ad", "b.com"))
+        result = detector.classify(Ad(url="ad"), users_seen=1,
+                                   users_threshold=10.0)
+        assert result.label is Label.UNDECIDED
+
+    def test_activity_gate_boundary(self):
+        detector = self.make_detector(min_ad_serving_domains=2)
+        detector.observe(imp("u", "ad", "a.com"))
+        detector.observe(imp("u", "other", "b.com"))
+        assert detector.meets_activity_gate
+
+    def test_threshold_is_strictly_greater(self):
+        """#Domains == threshold must NOT trigger (strict inequality)."""
+        detector = self.make_detector(min_ad_serving_domains=1)
+        # Two ads, both on 2 domains: mean = 2, neither exceeds it.
+        for name in ("x", "y"):
+            for d in ("a.com", "b.com"):
+                detector.observe(imp("u", name, d))
+        result = detector.classify(Ad(url="x"), users_seen=0,
+                                   users_threshold=5.0)
+        assert result.label is Label.NON_TARGETED
+
+    def test_classify_all(self):
+        detector = self.make_detector(min_ad_serving_domains=1)
+        self.feed_background(detector)
+        for d in range(6):
+            detector.observe(imp("u", "chaser", f"c{d}.com"))
+        ads = [Ad(url="chaser"), Ad(url="bg-0")]
+        seen = {"chaser": 1.0, "bg-0": 50.0}
+        results = detector.classify_all(ads, lambda a: seen[a], 10.0)
+        assert results[0].label is Label.TARGETED
+        assert results[1].label is Label.NON_TARGETED
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(min_ad_serving_domains=0)
+
+    def test_mean_plus_median_requires_more_domains(self):
+        """Stricter rule flips a borderline TARGETED to NON_TARGETED."""
+        lenient = self.make_detector(min_ad_serving_domains=1)
+        strict = CountBasedDetector(
+            "u", DetectorConfig(domains_rule=ThresholdRule.MEAN_PLUS_MEDIAN,
+                                min_ad_serving_domains=1))
+        # Background ads seen on 2 domains each: distribution [2, 2, 2, 3]
+        # -> mean 2.25 < 3 (lenient fires) but mean+median 4.25 > 3
+        # (strict does not).
+        for det in (lenient, strict):
+            for i in range(3):
+                det.observe(imp("u", f"bg-{i}", f"s{i}a.com"))
+                det.observe(imp("u", f"bg-{i}", f"s{i}b.com"))
+            for d in range(3):
+                det.observe(imp("u", "chaser", f"c{d}.com"))
+        ad = Ad(url="chaser")
+        assert lenient.classify(ad, 1, 100.0).label is Label.TARGETED
+        assert strict.classify(ad, 1, 100.0).label is Label.NON_TARGETED

@@ -1,0 +1,66 @@
+"""Tests for the generalized run_window API and CLI validate command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import DetectionPipeline
+from repro.errors import ConfigurationError
+from repro.types import TICKS_PER_DAY, TICKS_PER_WEEK, Ad, Impression
+
+
+def imp(user, url, domain, tick):
+    return Impression(user_id=user, ad=Ad(url=url), domain=domain, tick=tick)
+
+
+def spread_impressions():
+    """Ads across two days for two users."""
+    impressions = []
+    for user in ("u0", "u1"):
+        for d in range(5):
+            impressions.append(imp(user, f"http://bg-{d}.example/x",
+                                   f"site-{d}.example",
+                                   tick=d))  # day 0
+            impressions.append(imp(user, f"http://day2-{d}.example/x",
+                                   f"late-{d}.example",
+                                   tick=TICKS_PER_DAY + d))  # day 1
+    return impressions
+
+
+class TestRunWindowAPI:
+    def test_default_window_is_a_week(self):
+        pipeline = DetectionPipeline()
+        weekly = pipeline.run_week(spread_impressions(), week=0)
+        windowed = pipeline.run_window(spread_impressions(), index=0,
+                                       window_ticks=TICKS_PER_WEEK)
+        assert len(weekly.classified) == len(windowed.classified)
+
+    def test_daily_windows_partition(self):
+        pipeline = DetectionPipeline()
+        day0 = pipeline.run_window(spread_impressions(), index=0,
+                                   window_ticks=TICKS_PER_DAY)
+        day1 = pipeline.run_window(spread_impressions(), index=1,
+                                   window_ticks=TICKS_PER_DAY)
+        ads0 = {c.ad.identity for c in day0.classified}
+        ads1 = {c.ad.identity for c in day1.classified}
+        assert all(a.startswith("http://bg-") for a in ads0)
+        assert all(a.startswith("http://day2-") for a in ads1)
+
+    def test_bad_window_params_rejected(self):
+        pipeline = DetectionPipeline()
+        with pytest.raises(ConfigurationError):
+            pipeline.run_window(spread_impressions(), index=0,
+                                window_ticks=0)
+        with pytest.raises(ConfigurationError):
+            pipeline.run_window(spread_impressions(), index=99,
+                                window_ticks=TICKS_PER_DAY)
+
+
+class TestCliValidate:
+    def test_validate_command_runs(self, capsys):
+        code = main(["validate", "--users", "25", "--websites", "50",
+                     "--visits", "30", "--frequency-cap", "8",
+                     "--seed", "6", "--cb-threshold", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "likely TP rate" in out
+        assert "likely TN rate" in out

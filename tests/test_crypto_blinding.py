@@ -1,0 +1,154 @@
+"""Unit and property tests for the Kursawe-style blinding scheme.
+
+The central invariant: summing the blinding vectors of all participating
+users gives zero in every cell (mod 2^32), so blinded reports aggregate to
+the true sum.
+"""
+
+import random
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BlindingError, ConfigurationError
+from repro.crypto.blinding import BLINDING_MODULUS, BlindingGenerator
+from repro.crypto.group import DHGroup
+
+
+@pytest.fixture(scope="module")
+def group():
+    return DHGroup.standard(128)
+
+
+def make_users(group: DHGroup, n: int, seed: int = 0) -> List[BlindingGenerator]:
+    rng = random.Random(seed)
+    keypairs = [group.keypair(rng) for _ in range(n)]
+    publics: Dict[int, int] = {i: kp.public for i, kp in enumerate(keypairs)}
+    users = []
+    for i, kp in enumerate(keypairs):
+        peers = {j: pub for j, pub in publics.items() if j != i}
+        users.append(BlindingGenerator(group, i, kp, peers))
+    return users
+
+
+class TestBlindingCancellation:
+    @pytest.mark.parametrize("n_users", [2, 3, 5, 8])
+    def test_blindings_sum_to_zero(self, group, n_users):
+        users = make_users(group, n_users)
+        num_cells = 12
+        total = [0] * num_cells
+        for user in users:
+            vec = user.blinding_vector(num_cells, round_id=1)
+            total = [(t + v) % BLINDING_MODULUS for t, v in zip(total, vec)]
+        assert total == [0] * num_cells
+
+    def test_blinded_reports_aggregate_to_true_sum(self, group):
+        users = make_users(group, 4)
+        reports = [[1, 2, 3], [4, 0, 1], [0, 0, 5], [2, 2, 2]]
+        agg = [0, 0, 0]
+        for user, cells in zip(users, reports):
+            blinded = user.blind(cells, round_id=3)
+            agg = [(a + b) % BLINDING_MODULUS for a, b in zip(agg, blinded)]
+        assert agg == [7, 4, 11]
+
+    def test_round_id_changes_blindings(self, group):
+        users = make_users(group, 2)
+        v1 = users[0].blinding_vector(4, round_id=1)
+        v2 = users[0].blinding_vector(4, round_id=2)
+        assert v1 != v2
+
+    def test_cells_change_blindings(self, group):
+        users = make_users(group, 2)
+        vec = users[0].blinding_vector(8, round_id=1)
+        assert len(set(vec)) > 1  # cells get distinct blinding factors
+
+    def test_individual_blinded_cell_nonzero(self, group):
+        """A single user's blinded report must not expose true counts."""
+        users = make_users(group, 3)
+        blinded = users[0].blind([0] * 16, round_id=1)
+        assert any(b != 0 for b in blinded)
+
+
+class TestFaultTolerance:
+    def test_adjustment_restores_cancellation(self, group):
+        """Drop one user; survivors' adjustments fix the aggregate."""
+        users = make_users(group, 5)
+        num_cells = 6
+        reports = [[i + 1] * num_cells for i in range(5)]
+        missing = {2}
+        survivors = [u for u in users if u.user_index not in missing]
+
+        agg = [0] * num_cells
+        for user in survivors:
+            blinded = user.blind(reports[user.user_index], round_id=9)
+            agg = [(a + b) % BLINDING_MODULUS for a, b in zip(agg, blinded)]
+        # Aggregate is noise at this point; apply the recovery round.
+        for user in survivors:
+            adj = user.adjustment_for_missing(missing, num_cells, round_id=9)
+            agg = [(a + b) % BLINDING_MODULUS for a, b in zip(agg, adj)]
+
+        expected_sum = sum(i + 1 for i in range(5) if i not in missing)
+        assert agg == [expected_sum] * num_cells
+
+    def test_adjustment_multiple_missing(self, group):
+        users = make_users(group, 6)
+        num_cells = 4
+        missing = {0, 4}
+        survivors = [u for u in users if u.user_index not in missing]
+        agg = [0] * num_cells
+        for user in survivors:
+            blinded = user.blind([1] * num_cells, round_id=2)
+            adj = user.adjustment_for_missing(missing, num_cells, round_id=2)
+            agg = [(a + b + c) % BLINDING_MODULUS
+                   for a, b, c in zip(agg, blinded, adj)]
+        assert agg == [len(survivors)] * num_cells
+
+    def test_missing_self_rejected(self, group):
+        users = make_users(group, 3)
+        with pytest.raises(BlindingError):
+            users[1].adjustment_for_missing({1}, 4, round_id=1)
+
+    def test_unknown_peer_rejected(self, group):
+        users = make_users(group, 3)
+        with pytest.raises(BlindingError):
+            users[0].adjustment_for_missing({99}, 4, round_id=1)
+
+
+class TestValidation:
+    def test_own_index_in_peers_rejected(self, group):
+        rng = random.Random(3)
+        kp = group.keypair(rng)
+        with pytest.raises(ConfigurationError):
+            BlindingGenerator(group, 0, kp, {0: kp.public})
+
+    def test_nonpositive_cells_rejected(self, group):
+        users = make_users(group, 2)
+        with pytest.raises(ConfigurationError):
+            users[0].blinding_vector(0, round_id=1)
+
+    def test_unknown_peer_subset_rejected(self, group):
+        users = make_users(group, 2)
+        with pytest.raises(BlindingError):
+            users[0].blinding_vector(4, round_id=1, peers=[5])
+
+    def test_exchange_bytes(self, group):
+        users = make_users(group, 4)
+        # 3 peers * 16 bytes per 128-bit element
+        assert users[0].exchange_bytes() == 3 * 16
+
+
+class TestBlindingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=1000))
+    def test_cancellation_property(self, n_users, num_cells, round_id):
+        group = DHGroup.standard(128)
+        users = make_users(group, n_users, seed=round_id)
+        total = [0] * num_cells
+        for user in users:
+            vec = user.blinding_vector(num_cells, round_id=round_id)
+            total = [(t + v) % BLINDING_MODULUS for t, v in zip(total, vec)]
+        assert total == [0] * num_cells

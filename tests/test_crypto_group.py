@@ -1,0 +1,81 @@
+"""Unit tests for repro.crypto.group."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.crypto.group import DHGroup, KeyPair
+from repro.crypto.primes import is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def group():
+    return DHGroup.standard(128)
+
+
+class TestGroupConstruction:
+    def test_standard_groups_are_safe_primes(self):
+        for bits in (128, 256, 1024):
+            g = DHGroup.standard(bits)
+            assert is_probable_prime(g.p)
+            assert is_probable_prime(g.q)
+            assert g.p == 2 * g.q + 1
+            assert g.p.bit_length() == bits
+
+    def test_standard_unknown_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DHGroup.standard(512)
+
+    def test_generate_fresh_group(self):
+        g = DHGroup.generate(48, random.Random(1))
+        assert is_probable_prime(g.p)
+        assert g.contains(g.g)
+
+    def test_rejects_non_safe_prime(self):
+        with pytest.raises(ConfigurationError):
+            DHGroup(23 * 2 + 1 + 2)  # 49, not prime at all
+        with pytest.raises(ConfigurationError):
+            DHGroup(101)  # prime but (101-1)/2 = 50 composite
+
+    def test_generator_has_order_q(self, group):
+        assert pow(group.g, group.q, group.p) == 1
+        assert group.g != 1
+
+    def test_rejects_bad_generator(self, group):
+        with pytest.raises(ConfigurationError):
+            DHGroup(group.p, generator=1)
+
+
+class TestKeyExchange:
+    def test_keypair_public_consistent(self, group):
+        kp = group.keypair(random.Random(5))
+        assert kp.public == pow(group.g, kp.private, group.p)
+        assert group.contains(kp.public)
+
+    def test_shared_secret_symmetric(self, group):
+        rng = random.Random(6)
+        alice = group.keypair(rng)
+        bob = group.keypair(rng)
+        s_ab = group.shared_secret(alice, bob.public)
+        s_ba = group.shared_secret(bob, alice.public)
+        assert s_ab == s_ba
+
+    def test_distinct_pairs_distinct_secrets(self, group):
+        rng = random.Random(7)
+        a, b, c = (group.keypair(rng) for _ in range(3))
+        assert group.shared_secret(a, b.public) != group.shared_secret(
+            a, c.public)
+
+    def test_rejects_foreign_element(self, group):
+        kp = group.keypair(random.Random(8))
+        with pytest.raises(ConfigurationError):
+            group.shared_secret(kp, group.p + 5)
+
+    def test_element_bytes(self, group):
+        assert group.element_bytes == 16
+        kp = group.keypair(random.Random(9))
+        assert len(group.element_to_bytes(kp.public)) == 16
+
+    def test_repr(self, group):
+        assert "128" in repr(group)

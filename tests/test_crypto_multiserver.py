@@ -1,0 +1,74 @@
+"""Additional crypto coverage: multi-server OPRF and group edge cases."""
+
+import random
+
+import pytest
+
+from repro.crypto.group import DHGroup
+from repro.crypto.oprf import MultiServerOPRF, OPRFClient, OPRFServer
+from repro.crypto.prf import ObliviousAdMapper
+from repro.errors import ConfigurationError
+
+
+class TestMultiServerComposition:
+    @pytest.fixture(scope="class")
+    def servers(self):
+        return [OPRFServer.generate(128, random.Random(i)) for i in (1, 2, 3)]
+
+    def test_order_invariance(self, servers):
+        """XOR composition is commutative: server order cannot matter."""
+        forward = MultiServerOPRF(servers, rng=random.Random(5))
+        backward = MultiServerOPRF(list(reversed(servers)),
+                                   rng=random.Random(6))
+        for url in ("http://a.example/1", "http://b.example/2"):
+            assert forward.evaluate(url) == backward.evaluate(url)
+
+    def test_distinct_inputs_distinct_outputs(self, servers):
+        multi = MultiServerOPRF(servers, rng=random.Random(7))
+        outputs = {multi.evaluate(f"url-{i}") for i in range(30)}
+        assert len(outputs) == 30
+
+    def test_any_single_server_changes_function(self, servers):
+        """Swapping one server's key changes the composed PRF."""
+        replaced = servers[:2] + [OPRFServer.generate(128,
+                                                      random.Random(99))]
+        original = MultiServerOPRF(servers, rng=random.Random(8))
+        modified = MultiServerOPRF(replaced, rng=random.Random(8))
+        assert original.evaluate("url") != modified.evaluate("url")
+
+    def test_output_length_respected(self, servers):
+        multi = MultiServerOPRF(servers, rng=random.Random(9),
+                                output_length=24)
+        assert len(multi.evaluate("x")) == 24
+
+    def test_mapper_over_multiserver_components(self, servers):
+        """Each component server can back an ObliviousAdMapper."""
+        for server in servers:
+            mapper = ObliviousAdMapper(
+                OPRFClient(server.public_key, rng=random.Random(3)),
+                server, id_space=1000)
+            assert 0 <= mapper.ad_id("http://x.example") < 1000
+
+
+class TestGroupEdgeCases:
+    def test_fresh_group_roundtrip(self):
+        group = DHGroup.generate(40, random.Random(2))
+        rng = random.Random(3)
+        a, b = group.keypair(rng), group.keypair(rng)
+        assert group.shared_secret(a, b.public) == \
+            group.shared_secret(b, a.public)
+
+    def test_element_bytes_covers_modulus(self):
+        group = DHGroup.standard(1024)
+        assert group.element_bytes == 128
+        kp = group.keypair(random.Random(4))
+        assert len(group.element_to_bytes(kp.public)) == 128
+
+    def test_distinct_standard_groups(self):
+        assert DHGroup.standard(128).p != DHGroup.standard(256).p
+
+    def test_keypair_private_in_range(self):
+        group = DHGroup.standard(128)
+        for seed in range(5):
+            kp = group.keypair(random.Random(seed))
+            assert 1 <= kp.private < group.q

@@ -1,0 +1,97 @@
+"""Unit tests for repro.crypto.primes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyGenerationError
+from repro.crypto.primes import generate_prime, generate_safe_prime, is_probable_prime
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 104729, 2 ** 31 - 1, 2 ** 61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 15, 100, 104730, 2 ** 31, 561, 41041,
+                    825265]  # includes Carmichael numbers 561, 41041, 825265
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_accepts_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_rejects_known_composites(self, c):
+        assert not is_probable_prime(c)
+
+    def test_negative_numbers(self):
+        assert not is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        # RFC 2409 Oakley group 2 modulus is prime.
+        p = int(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+            "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+            "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+            "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+            16)
+        assert is_probable_prime(p)
+
+    def test_product_of_large_primes_rejected(self):
+        rng = random.Random(1)
+        p = generate_prime(64, rng)
+        q = generate_prime(64, rng)
+        assert not is_probable_prime(p * q)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=4, max_value=10 ** 6))
+    def test_agrees_with_trial_division(self, n):
+        def trial(n):
+            if n < 2:
+                return False
+            i = 2
+            while i * i <= n:
+                if n % i == 0:
+                    return False
+                i += 1
+            return True
+
+        assert is_probable_prime(n) == trial(n)
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(2)
+        for bits in (8, 16, 64, 128):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(4, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        assert generate_prime(32, random.Random(9)) == generate_prime(
+            32, random.Random(9))
+
+    def test_odd(self):
+        assert generate_prime(32, random.Random(3)) % 2 == 1
+
+
+class TestGenerateSafePrime:
+    def test_safe_prime_structure(self):
+        rng = random.Random(4)
+        p = generate_safe_prime(64, rng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+        assert p.bit_length() == 64
+
+    def test_rejects_tiny(self):
+        with pytest.raises(KeyGenerationError):
+            generate_safe_prime(4, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        a = generate_safe_prime(48, random.Random(7))
+        b = generate_safe_prime(48, random.Random(7))
+        assert a == b

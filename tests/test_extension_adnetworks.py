@@ -1,0 +1,74 @@
+"""Unit tests for the ad-network registry and URL domain parsing."""
+
+import pytest
+
+from repro.extension.adnetworks import AdNetworkRegistry, domain_of
+
+
+class TestDomainOf:
+    def test_full_url(self):
+        assert domain_of("http://sub.doubleclick.net/path?q=1") == \
+            "sub.doubleclick.net"
+
+    def test_https(self):
+        assert domain_of("https://adnxs.com/x") == "adnxs.com"
+
+    def test_bare_domain(self):
+        assert domain_of("taboola.com") == "taboola.com"
+
+    def test_port_stripped(self):
+        assert domain_of("http://ads.example:8080/x") == "ads.example"
+
+    def test_case_normalized(self):
+        assert domain_of("HTTP://AdNxs.COM/") == "adnxs.com"
+
+    def test_empty(self):
+        assert domain_of("") == ""
+
+
+class TestRegistry:
+    def test_default_networks_present(self):
+        registry = AdNetworkRegistry()
+        assert registry.is_ad_network("http://doubleclick.net/click")
+        assert registry.is_ad_network("https://cdn.criteo.com/x.js")
+
+    def test_subdomain_matching(self):
+        registry = AdNetworkRegistry()
+        assert registry.is_ad_network("http://a.b.googlesyndication.com/ad")
+
+    def test_non_network(self):
+        registry = AdNetworkRegistry()
+        assert not registry.is_ad_network("http://news.example.com/story")
+
+    def test_suffix_not_fooled_by_lookalike(self):
+        registry = AdNetworkRegistry()
+        # evil-doubleclick.net is NOT a subdomain of doubleclick.net.
+        assert not registry.is_ad_network("http://evil-doubleclick.net/x")
+
+    def test_randomizing_flag(self):
+        registry = AdNetworkRegistry()
+        assert registry.randomizes_landing("http://dynamic-ads.example/l/abc")
+        assert not registry.randomizes_landing("http://doubleclick.net/x")
+        assert not registry.randomizes_landing("http://unknown.example/x")
+
+    def test_empty_registry(self):
+        registry = AdNetworkRegistry.empty()
+        assert len(registry) == 0
+        assert not registry.is_ad_network("http://doubleclick.net/x")
+
+    def test_add(self):
+        registry = AdNetworkRegistry.empty()
+        registry.add("MyAds.example", randomizes_landing=True)
+        assert registry.is_ad_network("http://sub.myads.example/z")
+        assert registry.randomizes_landing("http://myads.example/z")
+
+    def test_contains(self):
+        registry = AdNetworkRegistry()
+        assert "doubleclick.net" in registry
+        assert "sub.doubleclick.net" in registry
+        assert "example.org" not in registry
+
+    def test_domains_property(self):
+        registry = AdNetworkRegistry.empty()
+        registry.add("a.example")
+        assert registry.domains == {"a.example"}

@@ -1,0 +1,77 @@
+"""Tests for the EasyList-style filter-list parser."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extension.filterlist import (
+    BUNDLED_FILTER_LIST,
+    load_filter_list,
+    parse_filter_list,
+)
+from repro.extension.pages import make_ad_element, make_page
+
+
+class TestParser:
+    def test_comments_and_metadata_ignored(self):
+        parsed = parse_filter_list("! comment\n[Adblock Plus 2.0]\n\n")
+        assert parsed.num_rules == 0
+        assert parsed.skipped == []
+
+    def test_class_rule(self):
+        parsed = parse_filter_list("##.ad-slot")
+        assert len(parsed.element_rules) == 1
+        assert parsed.element_rules[0].pattern == "ad-slot"
+
+    def test_id_rule(self):
+        parsed = parse_filter_list("###gpt-ad")
+        assert parsed.element_rules[0].pattern == "gpt-ad"
+
+    def test_network_rule_terminators(self):
+        for line in ("||ads.example^", "||ads.example/path", "||ads.example$image"):
+            parsed = parse_filter_list(line)
+            assert parsed.network_domains == ["ads.example"]
+
+    def test_network_rule_lowercased(self):
+        parsed = parse_filter_list("||Ads.Example^")
+        assert parsed.network_domains == ["ads.example"]
+
+    def test_unsupported_lines_skipped(self):
+        parsed = parse_filter_list(
+            "/banner/*\n##div[data-ad]\n||^\n##.\n###")
+        assert parsed.num_rules == 0
+        assert len(parsed.skipped) == 5
+
+    def test_bundled_list_parses(self):
+        parsed = parse_filter_list(BUNDLED_FILTER_LIST)
+        assert len(parsed.element_rules) >= 8
+        assert "doubleclick.net" in parsed.network_domains
+        assert parsed.skipped == []
+
+
+class TestLoadFilterList:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_filter_list("! nothing here")
+
+    def test_default_detector_detects_ads(self):
+        detector, parsed = load_filter_list()
+        assert parsed.num_rules > 10
+        page = make_page("pub.example",
+                         ads=[make_ad_element("http://shop/x",
+                                              "http://cdn/c.jpg")])
+        assert len(detector.detect(page)) == 1
+
+    def test_custom_list_extends_registry(self):
+        detector, _ = load_filter_list(
+            "##.my-ad-widget\n||brand-new-network.example^")
+        assert detector.registry.is_ad_network(
+            "http://cdn.brand-new-network.example/x.js")
+        from repro.extension.pages import Element
+        page = make_page("pub.example")
+        slot = Element("div", attrs={"class": "my-ad-widget"})
+        page.root.children[0].append(slot)
+        assert len(detector.detect(page)) == 1
+
+    def test_no_false_positives_on_plain_page(self):
+        detector, _ = load_filter_list()
+        assert detector.detect(make_page("pub.example")) == []

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic DOM model and ad builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extension.pages import (
+    AD_STYLES,
+    Element,
+    make_ad_element,
+    make_content_element,
+    make_page,
+)
+
+
+class TestElement:
+    def test_append_returns_child(self):
+        root = Element("div")
+        child = root.append(Element("p", text="hi"))
+        assert child in root.children
+
+    def test_walk_depth_first(self):
+        root = Element("a")
+        b = root.append(Element("b"))
+        b.append(Element("c"))
+        root.append(Element("d"))
+        assert [el.tag for el in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_find_all(self):
+        root = Element("div")
+        root.append(Element("img", attrs={"src": "x"}))
+        inner = root.append(Element("div"))
+        inner.append(Element("img", attrs={"src": "y"}))
+        assert len(root.find_all("img")) == 2
+
+    def test_get_with_default(self):
+        el = Element("div", attrs={"class": "c"})
+        assert el.get("class") == "c"
+        assert el.get("missing") == ""
+        assert el.get("missing", "dft") == "dft"
+
+    def test_to_html(self):
+        el = Element("a", attrs={"href": "http://x"}, text="click")
+        assert el.to_html() == '<a href="http://x">click</a>'
+
+    def test_to_html_nested_sorted_attrs(self):
+        el = Element("div", attrs={"id": "i", "class": "c"})
+        el.append(Element("span", text="s"))
+        assert el.to_html() == '<div class="c" id="i"><span>s</span></div>'
+
+
+class TestAdBuilders:
+    def test_all_styles_build(self):
+        for style in AD_STYLES:
+            slot = make_ad_element("http://shop.example/p", "http://cdn/x.jpg",
+                                   style=style)
+            assert slot.tag == "div"
+            assert "ad-slot" in slot.get("class")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ad_element("http://x", "http://y", style="popup")
+
+    def test_anchor_style_exposes_href(self):
+        slot = make_ad_element("http://shop.example/p", "http://cdn/x.jpg",
+                               style="anchor")
+        anchors = slot.find_all("a")
+        assert anchors and anchors[0].get("href") == "http://shop.example/p"
+
+    def test_onclick_style_embeds_url(self):
+        slot = make_ad_element("http://shop.example/p", "http://cdn/x.jpg",
+                               style="onclick")
+        handlers = [el.get("onclick") for el in slot.walk() if el.get("onclick")]
+        assert any("http://shop.example/p" in h for h in handlers)
+
+    def test_script_style_embeds_url_in_text(self):
+        slot = make_ad_element("http://shop.example/p", "http://cdn/x.jpg",
+                               style="script")
+        scripts = slot.find_all("script")
+        assert scripts and "http://shop.example/p" in scripts[0].text
+
+    def test_redirect_style_points_at_network(self):
+        slot = make_ad_element("http://shop.example/p", "http://cdn/x.jpg",
+                               style="redirect",
+                               network_domain="ads.simnet.example")
+        href = slot.find_all("a")[0].get("href")
+        assert href.startswith("http://ads.simnet.example/click")
+
+    def test_randomized_style_unique_per_nonce(self):
+        a = make_ad_element("http://shop/p", "http://cdn/x.jpg",
+                            style="randomized", impression_nonce="n1")
+        b = make_ad_element("http://shop/p", "http://cdn/x.jpg",
+                            style="randomized", impression_nonce="n2")
+        assert a.find_all("a")[0].get("href") != b.find_all("a")[0].get("href")
+
+    def test_creative_always_present(self):
+        for style in AD_STYLES:
+            slot = make_ad_element("http://l", "http://cdn/creative.jpg",
+                                   style=style)
+            imgs = slot.find_all("img")
+            assert imgs and imgs[0].get("src") == "http://cdn/creative.jpg"
+
+
+class TestPageBuilder:
+    def test_page_has_content(self):
+        page = make_page("news.example", category="news")
+        assert page.url == "http://news.example/"
+        assert page.root.find_all("article")
+
+    def test_page_with_ads(self):
+        ads = [make_ad_element("http://a", "http://c1"),
+               make_ad_element("http://b", "http://c2")]
+        page = make_page("news.example", ads=ads)
+        assert len([el for el in page.elements()
+                    if "ad-slot" in el.get("class")]) == 2
+
+    def test_content_element_has_no_ad_markers(self):
+        content = make_content_element()
+        for el in content.walk():
+            assert "ad" not in el.get("class").lower() or \
+                el.get("class") == "post-body"

@@ -1,0 +1,117 @@
+"""Unit tests for wire messages and the in-memory transport."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.protocol.messages import (
+    CELL_BYTES,
+    HEADER_BYTES,
+    BlindedReport,
+    BlindingAdjustment,
+    CleartextReport,
+    MissingClientsNotice,
+    PublicKeyAnnouncement,
+    ThresholdBroadcast,
+)
+from repro.protocol.transport import InMemoryTransport
+
+
+class TestMessageSizes:
+    def test_blinded_report_size(self):
+        report = BlindedReport("u1", 1, cells=tuple(range(100)))
+        assert report.size_bytes() == HEADER_BYTES + 100 * CELL_BYTES
+
+    def test_cleartext_report_counts_urls(self):
+        report = CleartextReport("u1", 1, urls=("a" * 100, "b" * 50))
+        assert report.size_bytes() == HEADER_BYTES + 150
+
+    def test_cleartext_unicode_factor(self):
+        report = CleartextReport("u1", 1, urls=("a" * 100,), bytes_per_char=2)
+        assert report.size_bytes() == HEADER_BYTES + 200
+
+    def test_public_key_announcement(self):
+        msg = PublicKeyAnnouncement("u1", 12345, element_bytes=16)
+        assert msg.size_bytes() == HEADER_BYTES + 16
+
+    def test_missing_notice(self):
+        msg = MissingClientsNotice(1, (3, 5, 7))
+        assert msg.size_bytes() == HEADER_BYTES + 12
+
+    def test_adjustment(self):
+        msg = BlindingAdjustment("u1", 1, cells=(1, 2, 3))
+        assert msg.size_bytes() == HEADER_BYTES + 3 * CELL_BYTES
+
+    def test_threshold_broadcast(self):
+        msg = ThresholdBroadcast(1, 2.5)
+        assert msg.size_bytes() == HEADER_BYTES + 8
+
+
+class TestTransport:
+    def test_register_and_send(self):
+        t = InMemoryTransport()
+        t.register("a")
+        t.register("b")
+        t.send("a", "b", "hello")
+        assert t.receive("b") == ("a", "hello")
+
+    def test_receive_empty(self):
+        t = InMemoryTransport()
+        t.register("a")
+        assert t.receive("a") is None
+
+    def test_unknown_recipient(self):
+        t = InMemoryTransport()
+        with pytest.raises(TransportError):
+            t.send("a", "ghost", "x")
+
+    def test_unknown_mailbox_operations(self):
+        t = InMemoryTransport()
+        with pytest.raises(TransportError):
+            t.receive("ghost")
+        with pytest.raises(TransportError):
+            t.drain("ghost")
+        with pytest.raises(TransportError):
+            t.pending("ghost")
+
+    def test_fifo_order(self):
+        t = InMemoryTransport()
+        t.register("dst")
+        for i in range(5):
+            t.send("src", "dst", i)
+        assert [m for _, m in t.drain("dst")] == [0, 1, 2, 3, 4]
+
+    def test_failed_sender_dropped(self):
+        t = InMemoryTransport()
+        t.register("dst")
+        t.fail_sender("bad")
+        assert t.send("bad", "dst", "x") is False
+        assert t.pending("dst") == 0
+
+    def test_restore_sender(self):
+        t = InMemoryTransport()
+        t.register("dst")
+        t.fail_sender("u")
+        t.restore_sender("u")
+        assert t.send("u", "dst", "x") is True
+
+    def test_byte_accounting(self):
+        t = InMemoryTransport()
+        t.register("dst")
+        report = BlindedReport("u", 1, cells=(1, 2))
+        t.send("u", "dst", report)
+        assert t.bytes_sent["u"] == report.size_bytes()
+        assert t.total_bytes == report.size_bytes()
+        assert t.total_messages == 1
+
+    def test_non_sized_messages_counted_as_messages(self):
+        t = InMemoryTransport()
+        t.register("dst")
+        t.send("u", "dst", {"no": "size"})
+        assert t.total_messages == 1
+        assert t.total_bytes == 0
+
+    def test_endpoints_sorted(self):
+        t = InMemoryTransport()
+        t.register("b")
+        t.register("a")
+        assert t.endpoints == ["a", "b"]

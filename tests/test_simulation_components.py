@@ -1,0 +1,179 @@
+"""Unit tests for simulation building blocks: config, sites, users, visits."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.browsing import BrowsingModel, Visit
+from repro.simulation.config import DEFAULT_CATEGORIES, SimulationConfig
+from repro.simulation.population import (
+    AGE_BRACKETS,
+    GENDERS,
+    INCOME_BRACKETS,
+    Population,
+)
+from repro.simulation.websites import WebsiteCatalog
+from repro.types import TICKS_PER_WEEK
+
+
+class TestConfig:
+    def test_table1_defaults(self):
+        cfg = SimulationConfig.table1()
+        assert cfg.num_users == 500
+        assert cfg.num_websites == 1000
+        assert cfg.average_user_visits == 138
+        assert cfg.ads_per_website == 20
+        assert cfg.percentage_targeted == 0.1
+
+    def test_overrides(self):
+        cfg = SimulationConfig.table1(frequency_cap=12)
+        assert cfg.frequency_cap == 12
+
+    def test_small_preset(self):
+        cfg = SimulationConfig.small()
+        assert cfg.num_users == 50
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_users": 0},
+        {"num_websites": -1},
+        {"average_user_visits": 0},
+        {"ads_per_website": 0},
+        {"percentage_targeted": 101.0},
+        {"frequency_cap": 0},
+        {"num_weeks": 0},
+        {"interest_affinity": -0.1},
+        {"targeted_serve_probability": 2.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+
+class TestWebsiteCatalog:
+    def test_size_and_domains_unique(self):
+        catalog = WebsiteCatalog(100, seed=1)
+        assert len(catalog) == 100
+        assert len({s.domain for s in catalog}) == 100
+
+    def test_categories_from_taxonomy(self):
+        catalog = WebsiteCatalog(50, seed=2)
+        assert all(s.category in DEFAULT_CATEGORIES for s in catalog)
+
+    def test_by_domain(self):
+        catalog = WebsiteCatalog(10, seed=3)
+        site = catalog.sites[4]
+        assert catalog.by_domain(site.domain) is site
+        with pytest.raises(ConfigurationError):
+            catalog.by_domain("nope.example")
+
+    def test_in_category_partition(self):
+        catalog = WebsiteCatalog(200, seed=4)
+        total = sum(len(catalog.in_category(c)) for c in DEFAULT_CATEGORIES)
+        assert total == 200
+
+    def test_popularity_skew(self):
+        catalog = WebsiteCatalog(100, zipf_exponent=1.2, seed=5)
+        draws = [catalog.sample_popular().rank for _ in range(3000)]
+        head = sum(1 for r in draws if r < 10)
+        tail = sum(1 for r in draws if r >= 90)
+        assert head > tail * 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WebsiteCatalog(0)
+        with pytest.raises(ConfigurationError):
+            WebsiteCatalog(10, categories=[])
+
+
+class TestPopulation:
+    def test_size_and_ids_unique(self):
+        population = Population(40, seed=1)
+        assert len(population) == 40
+        assert len({u.user_id for u in population}) == 40
+
+    def test_interest_count(self):
+        population = Population(20, interests_per_user=3, seed=2)
+        assert all(len(u.interests) == 3 for u in population)
+        assert all(len(set(u.interests)) == 3 for u in population)
+
+    def test_demographics_in_brackets(self):
+        population = Population(30, seed=3)
+        for user in population:
+            demo = user.demographics
+            assert demo.gender in GENDERS
+            assert demo.age_bracket in AGE_BRACKETS
+            assert demo.income_bracket in INCOME_BRACKETS
+
+    def test_activity_positive(self):
+        population = Population(30, seed=4)
+        assert all(u.activity > 0 for u in population)
+
+    def test_by_id(self):
+        population = Population(5, seed=5)
+        user = population.users[2]
+        assert population.by_id(user.user_id) is user
+        with pytest.raises(ConfigurationError):
+            population.by_id("ghost")
+
+    def test_interested_in(self):
+        population = Population(50, seed=6)
+        category = population.users[0].interests[0]
+        interested = population.interested_in(category)
+        assert population.users[0] in interested
+        assert all(u.is_interested_in(category) for u in interested)
+
+    def test_deterministic(self):
+        a = Population(10, seed=7)
+        b = Population(10, seed=7)
+        assert [u.interests for u in a] == [u.interests for u in b]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Population(0)
+        with pytest.raises(ConfigurationError):
+            Population(5, interests_per_user=0)
+
+
+class TestBrowsingModel:
+    @pytest.fixture()
+    def model(self):
+        catalog = WebsiteCatalog(100, seed=1)
+        population = Population(20, seed=2)
+        return BrowsingModel(population, catalog, average_user_visits=30,
+                             seed=3)
+
+    def test_visit_count_near_average(self, model):
+        total = sum(len(model.visits_for_user(u)) for u in model.population)
+        expected = sum(30 * u.activity for u in model.population)
+        assert 0.7 * expected < total < 1.3 * expected
+
+    def test_visits_within_week(self, model):
+        for user in model.population:
+            for visit in model.visits_for_user(user, week=2):
+                assert 2 * TICKS_PER_WEEK <= visit.tick < 3 * TICKS_PER_WEEK
+                assert visit.week == 2
+
+    def test_visits_sorted(self, model):
+        visits = model.visits_for_week(0)
+        ticks = [v.tick for v in visits]
+        assert ticks == sorted(ticks)
+
+    def test_interest_bias(self):
+        catalog = WebsiteCatalog(200, seed=1)
+        population = Population(10, seed=2)
+        biased = BrowsingModel(population, catalog, average_user_visits=100,
+                               interest_affinity=1.0, seed=3)
+        for user in population.users[:3]:
+            visits = biased.visits_for_user(user)
+            if not visits:
+                continue
+            in_interest = sum(1 for v in visits
+                              if v.website.category in user.interests)
+            assert in_interest / len(visits) > 0.8
+
+    def test_validation(self):
+        catalog = WebsiteCatalog(10, seed=1)
+        population = Population(5, seed=2)
+        with pytest.raises(ConfigurationError):
+            BrowsingModel(population, catalog, average_user_visits=0)
+        with pytest.raises(ConfigurationError):
+            BrowsingModel(population, catalog, interest_affinity=1.5)

@@ -1,0 +1,110 @@
+"""Tests for campaign flight dynamics (launch + fade-out) and evasion."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulation.adserver import AdServer
+from repro.simulation.browsing import Visit
+from repro.simulation.campaigns import CampaignGenerator
+from repro.simulation.config import SimulationConfig
+from repro.simulation.population import Population
+from repro.simulation.websites import WebsiteCatalog
+from repro.types import AdKind, TICKS_PER_DAY
+
+
+def build_world(**config_overrides):
+    config = SimulationConfig.small(seed=5, **config_overrides)
+    catalog = WebsiteCatalog(config.num_websites, seed=5)
+    population = Population(config.num_users, seed=6)
+    campaigns = CampaignGenerator(config, catalog, population=population,
+                                  seed=7).generate()
+    return config, catalog, population, campaigns
+
+
+def targeted_user_of(campaigns, population):
+    for c in campaigns:
+        if c.kind is AdKind.TARGETED and c.audience_user_ids:
+            return c, population.by_id(sorted(c.audience_user_ids)[0])
+    raise AssertionError("no targeted campaign with an audience")
+
+
+class TestFlightDynamics:
+    def test_no_serving_before_launch(self):
+        config, catalog, population, campaigns = build_world(
+            targeted_serve_probability=1.0)
+        campaign, user = targeted_user_of(campaigns, population)
+        modified = [dataclasses.replace(c, launch_tick=100)
+                    if c.campaign_id == campaign.campaign_id else c
+                    for c in campaigns]
+        server = AdServer(modified, population, config, seed=8)
+        early = server.serve(Visit(user.user_id, catalog.sites[0], tick=5))
+        assert campaign.ad.identity not in {i.ad.identity for i in early}
+        late = server.serve(Visit(user.user_id, catalog.sites[1], tick=150))
+        assert campaign.ad.identity in {i.ad.identity for i in late}
+
+    def test_fade_out_reduces_serving(self):
+        config, catalog, population, campaigns = build_world(
+            targeted_serve_probability=1.0, frequency_cap=10 ** 6)
+        campaign, user = targeted_user_of(campaigns, population)
+        modified = [dataclasses.replace(
+                        c, fade_halflife_ticks=TICKS_PER_DAY)
+                    if c.campaign_id == campaign.campaign_id else c
+                    for c in campaigns]
+        server = AdServer(modified, population, config, seed=8)
+
+        def serve_count(tick_base):
+            hits = 0
+            for i, site in enumerate(catalog.sites[:40]):
+                served = server.serve(Visit(user.user_id, site,
+                                            tick=tick_base + i))
+                hits += sum(1 for imp in served
+                            if imp.ad.identity == campaign.ad.identity)
+            return hits
+
+        fresh = serve_count(0)
+        faded = serve_count(10 * TICKS_PER_DAY)
+        assert fresh > 0
+        assert faded < fresh
+
+    def test_no_fade_by_default(self):
+        config, catalog, population, campaigns = build_world(
+            targeted_serve_probability=1.0)
+        campaign, user = targeted_user_of(campaigns, population)
+        server = AdServer(campaigns, population, config, seed=8)
+        late = server.serve(Visit(user.user_id, catalog.sites[0],
+                                  tick=10 ** 6))
+        assert campaign.ad.identity in {i.ad.identity for i in late}
+
+
+class TestEvasionLimit:
+    def test_evading_campaign_stops_at_domain_limit(self):
+        config, catalog, population, campaigns = build_world(
+            targeted_serve_probability=1.0, frequency_cap=10 ** 6)
+        campaign, user = targeted_user_of(campaigns, population)
+        modified = [dataclasses.replace(c, evasion_domain_limit=2)
+                    if c.campaign_id == campaign.campaign_id else c
+                    for c in campaigns]
+        server = AdServer(modified, population, config, seed=8)
+        domains = set()
+        for i, site in enumerate(catalog.sites[:30]):
+            served = server.serve(Visit(user.user_id, site, tick=i))
+            domains.update(imp.domain for imp in served
+                           if imp.ad.identity == campaign.ad.identity)
+        assert len(domains) == 2
+
+    def test_evasion_allows_repeats_on_used_domains(self):
+        config, catalog, population, campaigns = build_world(
+            targeted_serve_probability=1.0, frequency_cap=10 ** 6)
+        campaign, user = targeted_user_of(campaigns, population)
+        modified = [dataclasses.replace(c, evasion_domain_limit=1)
+                    if c.campaign_id == campaign.campaign_id else c
+                    for c in campaigns]
+        server = AdServer(modified, population, config, seed=8)
+        site = catalog.sites[0]
+        hits = 0
+        for tick in range(6):
+            served = server.serve(Visit(user.user_id, site, tick=tick))
+            hits += sum(1 for imp in served
+                        if imp.ad.identity == campaign.ad.identity)
+        assert hits >= 2  # keeps serving on the single allowed domain

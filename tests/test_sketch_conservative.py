@@ -1,0 +1,67 @@
+"""Tests for the conservative-update CMS variant."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.countmin import CountMinSketch
+
+
+class TestConservativeUpdate:
+    def test_single_item_exact(self):
+        cms = CountMinSketch(4, 64)
+        for _ in range(5):
+            cms.update_conservative("x")
+        assert cms.query("x") == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(2, 8).update_conservative("x", -1)
+
+    def test_total_tracked(self):
+        cms = CountMinSketch(4, 64)
+        cms.update_conservative("a", 2)
+        cms.update_conservative("b", 3)
+        assert cms.total == 5
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=25), min_size=1,
+                    max_size=200))
+    def test_never_undercounts(self, stream):
+        cms = CountMinSketch(4, 32, seed=1)
+        truth = Counter()
+        for item in stream:
+            cms.update_conservative(item)
+            truth[item] += 1
+        for item, count in truth.items():
+            assert cms.query(item) >= count
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=10,
+                    max_size=300))
+    def test_no_worse_than_standard(self, stream):
+        """Conservative estimates are pointwise <= standard estimates."""
+        standard = CountMinSketch(4, 16, seed=2)
+        conservative = CountMinSketch(4, 16, seed=2)
+        for item in stream:
+            standard.update(item)
+            conservative.update_conservative(item)
+        for item in set(stream):
+            assert conservative.query(item) <= standard.query(item)
+
+    def test_strictly_better_under_collision_pressure(self):
+        """On a loaded sketch, conservative updates cut overcounting."""
+        standard = CountMinSketch(4, 16, seed=3)
+        conservative = CountMinSketch(4, 16, seed=3)
+        truth = Counter()
+        for i in range(600):
+            item = f"item-{i % 60}"
+            standard.update(item)
+            conservative.update_conservative(item)
+            truth[item] += 1
+        std_err = sum(standard.query(i) - c for i, c in truth.items())
+        con_err = sum(conservative.query(i) - c for i, c in truth.items())
+        assert con_err < std_err

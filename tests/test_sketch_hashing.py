@@ -1,0 +1,86 @@
+"""Unit tests for repro.sketch.hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.hashing import HashFamily, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("ad.example.com/x") == stable_hash("ad.example.com/x")
+
+    def test_str_bytes_int_supported(self):
+        assert isinstance(stable_hash("abc"), int)
+        assert isinstance(stable_hash(b"abc"), int)
+        assert isinstance(stable_hash(12345), int)
+
+    def test_salt_changes_digest(self):
+        assert stable_hash("x", salt=b"a") != stable_hash("x", salt=b"b")
+
+    def test_distinct_inputs_rarely_collide(self):
+        digests = {stable_hash(f"url-{i}") for i in range(10000)}
+        assert len(digests) == 10000
+
+    def test_negative_int(self):
+        assert stable_hash(-5) != stable_hash(5)
+
+    def test_zero_int(self):
+        assert isinstance(stable_hash(0), int)
+
+    @given(st.text())
+    def test_always_64_bit(self, s):
+        assert 0 <= stable_hash(s) < 2 ** 64
+
+
+class TestHashFamily:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            HashFamily(0, 10)
+        with pytest.raises(ConfigurationError):
+            HashFamily(3, 0)
+
+    def test_indexes_in_range(self):
+        fam = HashFamily(5, 97, seed=2)
+        for item in ("a", "b", "c", b"bytes", 42):
+            for idx in fam.indexes(item):
+                assert 0 <= idx < 97
+
+    def test_index_matches_indexes(self):
+        fam = HashFamily(4, 31, seed=9)
+        all_at_once = fam.indexes("hello")
+        one_by_one = [fam.index(r, "hello") for r in range(4)]
+        assert all_at_once == one_by_one
+
+    def test_same_seed_same_family(self):
+        a = HashFamily(3, 50, seed=7)
+        b = HashFamily(3, 50, seed=7)
+        assert a == b
+        assert a.indexes("item") == b.indexes("item")
+
+    def test_different_seed_different_mapping(self):
+        a = HashFamily(3, 1000, seed=1)
+        b = HashFamily(3, 1000, seed=2)
+        differs = any(a.indexes(f"i{n}") != b.indexes(f"i{n}") for n in range(20))
+        assert differs
+
+    def test_rows_are_independent_functions(self):
+        fam = HashFamily(6, 10_000, seed=3)
+        idx = fam.indexes("some-item")
+        assert len(set(idx)) > 1
+
+    def test_spread_roughly_uniform(self):
+        fam = HashFamily(1, 10, seed=5)
+        counts = [0] * 10
+        for i in range(5000):
+            counts[fam.index(0, f"item-{i}")] += 1
+        assert min(counts) > 300
+        assert max(counts) < 700
+
+    @given(st.text(min_size=1), st.integers(min_value=0, max_value=100))
+    def test_determinism_property(self, item, seed):
+        fam1 = HashFamily(4, 128, seed=seed)
+        fam2 = HashFamily(4, 128, seed=seed)
+        assert fam1.indexes(item) == fam2.indexes(item)

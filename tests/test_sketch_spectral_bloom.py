@@ -1,0 +1,111 @@
+"""Unit and property tests for the spectral bloom filter."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SketchDimensionMismatch
+from repro.sketch.spectral_bloom import SpectralBloomFilter
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            SpectralBloomFilter(0, 3)
+        with pytest.raises(ConfigurationError):
+            SpectralBloomFilter(10, 0)
+
+    def test_with_capacity_sizing(self):
+        sbf = SpectralBloomFilter.with_capacity(1000, 0.01)
+        assert sbf.size > 1000
+        assert sbf.num_hashes >= 1
+
+    def test_with_capacity_validates(self):
+        with pytest.raises(ConfigurationError):
+            SpectralBloomFilter.with_capacity(0)
+        with pytest.raises(ConfigurationError):
+            SpectralBloomFilter.with_capacity(10, 1.5)
+
+    def test_cell_roundtrip_length_checked(self):
+        with pytest.raises(SketchDimensionMismatch):
+            SpectralBloomFilter(4, 2, cells=[0, 0, 0])
+
+
+class TestUpdateQuery:
+    def test_basic_count(self):
+        sbf = SpectralBloomFilter(256, 4)
+        for _ in range(3):
+            sbf.update("ad")
+        assert sbf.query("ad") >= 3
+
+    def test_update_with_count(self):
+        sbf = SpectralBloomFilter(256, 4)
+        sbf.update("ad", 10)
+        assert sbf.query("ad") >= 10
+
+    def test_negative_update_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpectralBloomFilter(16, 2).update("x", -1)
+
+    def test_contains(self):
+        sbf = SpectralBloomFilter(128, 3)
+        sbf.update("present")
+        assert "present" in sbf
+
+    def test_total(self):
+        sbf = SpectralBloomFilter(64, 2)
+        sbf.update("a", 2)
+        sbf.update("b")
+        assert sbf.total == 3
+
+    def test_self_collision_does_not_overcount(self):
+        """An item whose k hashes collide must still count correctly."""
+        sbf = SpectralBloomFilter(2, 4, seed=0)  # tiny: collisions certain
+        sbf.update("item")
+        assert sbf.query("item") == 1
+
+
+class TestMerge:
+    def test_merge_counts(self):
+        a = SpectralBloomFilter(128, 3, seed=1)
+        b = SpectralBloomFilter(128, 3, seed=1)
+        a.update("ad", 2)
+        b.update("ad", 5)
+        a.merge(b)
+        assert a.query("ad") >= 7
+
+    def test_add_operator_totals(self):
+        a = SpectralBloomFilter(128, 3, seed=1)
+        b = SpectralBloomFilter(128, 3, seed=1)
+        a.update("x")
+        b.update("y", 2)
+        c = a + b
+        assert c.total == 3
+
+    def test_incompatible_rejected(self):
+        a = SpectralBloomFilter(128, 3, seed=1)
+        with pytest.raises(SketchDimensionMismatch):
+            a.merge(SpectralBloomFilter(64, 3, seed=1))
+        with pytest.raises(SketchDimensionMismatch):
+            a.merge(SpectralBloomFilter(128, 2, seed=1))
+        with pytest.raises(SketchDimensionMismatch):
+            a.merge(SpectralBloomFilter(128, 3, seed=2))
+
+
+class TestNoUndercountProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=200))
+    def test_never_undercounts(self, stream):
+        sbf = SpectralBloomFilter(64, 3, seed=2)
+        truth = Counter()
+        for item in stream:
+            sbf.update(item)
+            truth[item] += 1
+        for item, count in truth.items():
+            assert sbf.query(item) >= count
+
+    def test_size_bytes(self):
+        assert SpectralBloomFilter(100, 3).size_bytes(4) == 400

@@ -1,0 +1,119 @@
+"""Tests for KDE (Silverman bandwidth) and the text-plot helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.statsutil.density import GaussianKDE, silverman_bandwidth
+from repro.statsutil.textplot import curve_plot, sparkline
+
+
+class TestSilvermanBandwidth:
+    def test_formula_on_known_sample(self):
+        # Standard normal-ish sample with sigma ~1: h ~ 0.9 * n^-0.2.
+        values = [-2, -1, -0.5, 0, 0.5, 1, 2]
+        h = silverman_bandwidth(values)
+        assert 0.1 < h < 2.0
+
+    def test_shrinks_with_sample_size(self):
+        """Same distribution, more samples -> smaller bandwidth (n^-1/5)."""
+        base = [0.0, 1.0, 2.0, 3.0, 4.0]
+        small = silverman_bandwidth(base * 2)    # n = 10
+        large = silverman_bandwidth(base * 40)   # n = 200
+        assert large < small
+        assert large == pytest.approx(small * (10 / 200) ** 0.2, rel=0.05)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            silverman_bandwidth([1.0])
+
+    def test_constant_sample_positive_bandwidth(self):
+        assert silverman_bandwidth([5.0, 5.0, 5.0]) > 0
+
+    def test_iqr_robustness(self):
+        """One wild outlier should not explode the bandwidth."""
+        clean = silverman_bandwidth([1, 2, 3, 4, 5, 6, 7, 8])
+        spiked = silverman_bandwidth([1, 2, 3, 4, 5, 6, 7, 1000])
+        assert spiked < clean * 20
+
+
+class TestGaussianKDE:
+    def test_density_integrates_to_one(self):
+        kde = GaussianKDE([1, 2, 2, 3, 5], bandwidth=0.5)
+        series = kde.series(points=400, padding_bandwidths=8)
+        step = series[1][0] - series[0][0]
+        integral = sum(d for _x, d in series) * step
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_peak_near_data_mass(self):
+        kde = GaussianKDE([2, 2, 2, 2, 8], bandwidth=0.5)
+        assert kde.evaluate(2.0) > kde.evaluate(8.0) > kde.evaluate(20.0)
+
+    def test_default_bandwidth_is_silverman(self):
+        values = [1, 2, 3, 4, 5, 6]
+        assert GaussianKDE(values).bandwidth == pytest.approx(
+            silverman_bandwidth(values))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianKDE([])
+        with pytest.raises(ConfigurationError):
+            GaussianKDE([1, 2], bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            GaussianKDE([1, 2]).grid(0, 0, 10)
+        with pytest.raises(ConfigurationError):
+            GaussianKDE([1, 2]).grid(0, 1, 1)
+
+    def test_single_observation(self):
+        kde = GaussianKDE([3.0])
+        assert kde.evaluate(3.0) > kde.evaluate(10.0)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                    max_size=40))
+    def test_density_nonnegative_everywhere(self, values):
+        kde = GaussianKDE(values)
+        for x, d in kde.series(points=20):
+            assert d >= 0.0
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 5, 3, 2])) == 4
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0, 10])
+        assert line[0] == " "
+        assert line[1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([2, 2, 2]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestCurvePlot:
+    def test_renders_all_series_markers(self):
+        plot = curve_plot({
+            "Actual": [(0, 0), (1, 1), (2, 0.5)],
+            "CMS": [(0, 0.1), (1, 0.9), (2, 0.6)],
+        })
+        assert "A" in plot
+        assert "C" in plot
+        assert "A = Actual" in plot
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            curve_plot({})
+        with pytest.raises(ConfigurationError):
+            curve_plot({"x": [(0, 0)]}, width=5)
+        with pytest.raises(ConfigurationError):
+            curve_plot({"x": []})
+
+    def test_degenerate_ranges_handled(self):
+        plot = curve_plot({"s": [(1, 2), (1, 2)]})
+        assert "s" in plot

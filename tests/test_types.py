@@ -1,0 +1,113 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import (
+    TICKS_PER_DAY,
+    TICKS_PER_WEEK,
+    Ad,
+    AdKind,
+    ClassifiedAd,
+    ConfusionCounts,
+    Impression,
+    Label,
+)
+
+
+class TestAd:
+    def test_identity_prefers_url(self):
+        ad = Ad(url="http://x.example/p", content_hash="content:abc")
+        assert ad.identity == "http://x.example/p"
+
+    def test_identity_falls_back_to_content(self):
+        ad = Ad(url="", content_hash="content:abc")
+        assert ad.identity == "content:abc"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Ad(url="x").url = "y"
+
+    def test_hashable(self):
+        assert len({Ad(url="a"), Ad(url="a"), Ad(url="b")}) == 2
+
+
+class TestAdKind:
+    def test_targeted_kinds(self):
+        assert AdKind.TARGETED.is_targeted
+        assert AdKind.RETARGETED.is_targeted
+        assert AdKind.INDIRECT.is_targeted
+
+    def test_non_targeted_kinds(self):
+        assert not AdKind.CONTEXTUAL.is_targeted
+        assert not AdKind.STATIC.is_targeted
+        assert not AdKind.BRAND.is_targeted
+
+
+class TestImpression:
+    def test_week_derivation(self):
+        imp = Impression("u", Ad(url="a"), "d.example",
+                         tick=TICKS_PER_WEEK + 3)
+        assert imp.week == 1
+
+    def test_ticks_constants(self):
+        assert TICKS_PER_WEEK == 7 * TICKS_PER_DAY
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    def test_week_consistent_with_tick(self, tick):
+        imp = Impression("u", Ad(url="a"), "d", tick=tick)
+        assert imp.week * TICKS_PER_WEEK <= tick < \
+            (imp.week + 1) * TICKS_PER_WEEK
+
+
+class TestClassifiedAd:
+    def make(self, label):
+        return ClassifiedAd(user_id="u", ad=Ad(url="a"), label=label,
+                            domains_seen=1, users_seen=1.0,
+                            domains_threshold=0.5, users_threshold=2.0,
+                            week=0)
+
+    def test_is_targeted(self):
+        assert self.make(Label.TARGETED).is_targeted
+        assert not self.make(Label.NON_TARGETED).is_targeted
+        assert not self.make(Label.UNDECIDED).is_targeted
+
+
+class TestConfusionCounts:
+    def test_add_routes_correctly(self):
+        counts = ConfusionCounts()
+        counts.add(True, True)    # TP
+        counts.add(True, False)   # FP
+        counts.add(False, True)   # FN
+        counts.add(False, False)  # TN
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (1, 1, 1, 1)
+        assert counts.total == 4
+
+    def test_rates(self):
+        counts = ConfusionCounts(tp=3, fp=1, tn=9, fn=1)
+        assert counts.false_negative_rate == pytest.approx(0.25)
+        assert counts.false_positive_rate == pytest.approx(0.1)
+        assert counts.precision == pytest.approx(0.75)
+        assert counts.recall == pytest.approx(0.75)
+
+    def test_rates_with_zero_denominators(self):
+        counts = ConfusionCounts()
+        assert counts.false_negative_rate == 0.0
+        assert counts.false_positive_rate == 0.0
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+
+    def test_as_dict(self):
+        counts = ConfusionCounts(tp=1, undecided=2)
+        d = counts.as_dict()
+        assert d["tp"] == 1
+        assert d["undecided"] == 2
+        assert "precision" in d
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=50))
+    def test_total_matches_adds(self, pairs):
+        counts = ConfusionCounts()
+        for predicted, actual in pairs:
+            counts.add(predicted, actual)
+        assert counts.total == len(pairs)

@@ -1,0 +1,311 @@
+"""Unit and integration tests for the §7.3 validation methodology."""
+
+import pytest
+
+from repro.backend.crawler import CleanProfileCrawler
+from repro.errors import ConfigurationError, ValidationError
+from repro.simulation import SimulationConfig, Simulator
+from repro.simulation.browsing import Visit
+from repro.simulation.websites import WebsiteCatalog
+from repro.types import Ad, AdKind, ClassifiedAd, Label
+from repro.validation.comparison import (
+    COMPARISON_MATRIX,
+    SYSTEMS,
+    render_comparison_table,
+)
+from repro.validation.content_based import ContentBasedHeuristic
+from repro.validation.f8 import CrowdLabel, CrowdLabeler
+from repro.validation.study import LiveValidationStudy
+from repro.validation.tree import EvaluationTree, TreeOutcome
+from repro.validation.unknowns import UnknownResolver
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator(SimulationConfig.small(seed=13))
+
+
+@pytest.fixture(scope="module")
+def sim_result(sim):
+    return sim.run()
+
+
+def classified(user, identity, label, category="", users_seen=1.0,
+               users_threshold=5.0):
+    return ClassifiedAd(user_id=user, ad=Ad(url=identity, category=category),
+                        label=label, domains_seen=3, users_seen=users_seen,
+                        domains_threshold=1.0,
+                        users_threshold=users_threshold, week=0)
+
+
+class TestContentBasedHeuristic:
+    def make_visits(self, catalog, user="u1", category=None, n=25):
+        sites = catalog.in_category(category) if category else catalog.sites
+        return [Visit(user_id=user, website=sites[i % len(sites)], tick=i)
+                for i in range(n)]
+
+    def test_profile_needs_min_distinct_sites(self):
+        catalog = WebsiteCatalog(200, seed=1)
+        category = catalog.sites[0].category
+        heuristic = ContentBasedHeuristic(min_websites_per_category=5)
+        sites = catalog.in_category(category)[:4]  # below threshold
+        visits = [Visit("u1", s, i) for i, s in enumerate(sites)] * 10
+        heuristic.build_profiles(visits)
+        assert not heuristic.profile("u1").overlaps(category)
+
+    def test_profile_built_from_distinct_sites(self):
+        catalog = WebsiteCatalog(200, seed=1)
+        # Pick the largest category so >= 5 sites always exist.
+        category = max(catalog.categories,
+                       key=lambda c: len(catalog.in_category(c)))
+        sites = catalog.in_category(category)
+        assert len(sites) >= 5
+        heuristic = ContentBasedHeuristic(min_websites_per_category=5)
+        visits = [Visit("u1", s, i) for i, s in enumerate(sites[:5])]
+        heuristic.build_profiles(visits)
+        assert heuristic.profile("u1").overlaps(category)
+
+    def test_semantic_overlap_uses_ad_category(self):
+        catalog = WebsiteCatalog(200, seed=1)
+        category = catalog.sites[0].category
+        sites = catalog.in_category(category)
+        heuristic = ContentBasedHeuristic(min_websites_per_category=1)
+        heuristic.build_profiles([Visit("u1", sites[0], 0)])
+        assert heuristic.has_semantic_overlap("u1", Ad(url="x",
+                                                       category=category))
+        assert not heuristic.has_semantic_overlap("u1", Ad(url="x",
+                                                           category="other"))
+        assert not heuristic.has_semantic_overlap("u1", Ad(url="x"))
+
+    def test_unknown_user_empty_profile(self):
+        heuristic = ContentBasedHeuristic()
+        assert heuristic.profile("ghost").categories == set()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContentBasedHeuristic(min_websites_per_category=0)
+
+
+class TestCrowdLabeler:
+    TRUTH = {"t-ad": AdKind.TARGETED, "s-ad": AdKind.STATIC}
+
+    def test_labels_memoized(self):
+        labeler = CrowdLabeler(self.TRUTH, labeling_rate=1.0, seed=1)
+        first = labeler.label("u", "t-ad")
+        assert labeler.label("u", "t-ad") is first
+
+    def test_full_rate_perfect_accuracy(self):
+        labeler = CrowdLabeler(self.TRUTH, labeling_rate=1.0, accuracy=1.0,
+                               seed=2)
+        assert labeler.label("u", "t-ad") is CrowdLabel.TARGETED
+        assert labeler.label("u", "s-ad") is CrowdLabel.NON_TARGETED
+
+    def test_zero_rate_labels_nothing(self):
+        labeler = CrowdLabeler(self.TRUTH, labeling_rate=0.0, seed=3)
+        assert labeler.label("u", "t-ad") is CrowdLabel.NOT_LABELED
+        assert labeler.num_labeled == 0
+
+    def test_unknown_ad_not_labeled(self):
+        labeler = CrowdLabeler(self.TRUTH, labeling_rate=1.0, seed=4)
+        assert labeler.label("u", "mystery") is CrowdLabel.NOT_LABELED
+
+    def test_zero_accuracy_flips_labels(self):
+        labeler = CrowdLabeler(self.TRUTH, labeling_rate=1.0, accuracy=0.0,
+                               seed=5)
+        assert labeler.label("u", "t-ad") is CrowdLabel.NON_TARGETED
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrowdLabeler(self.TRUTH, labeling_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            CrowdLabeler(self.TRUTH, accuracy=-0.1)
+
+
+class TestEvaluationTree:
+    def make_tree(self, sim, crawler_sees=(), labeling_rate=0.0,
+                  profiles=None):
+        crawler = CleanProfileCrawler(sim.adserver)
+        crawler._seen.update((identity, "site-x") for identity in crawler_sees)
+        heuristic = ContentBasedHeuristic(min_websites_per_category=1)
+        if profiles:
+            heuristic.build_profiles(profiles)
+        truth = {c.ad.identity: c.kind for c in sim.campaigns}
+        crowd = CrowdLabeler(truth, labeling_rate=labeling_rate,
+                             accuracy=1.0, seed=9)
+        return EvaluationTree(crawler, heuristic, crowd)
+
+    def test_crawled_targeted_is_fp_cr(self, sim):
+        tree = self.make_tree(sim, crawler_sees=("the-ad",))
+        outcome = tree.assign(classified("u", "the-ad", Label.TARGETED))
+        assert outcome is TreeOutcome.FP_CR
+
+    def test_crawled_non_targeted_is_tn_cr(self, sim):
+        tree = self.make_tree(sim, crawler_sees=("the-ad",))
+        outcome = tree.assign(classified("u", "the-ad", Label.NON_TARGETED))
+        assert outcome is TreeOutcome.TN_CR
+
+    def test_unlabeled_lands_in_unknown(self, sim):
+        tree = self.make_tree(sim)
+        assert tree.assign(classified("u", "a1", Label.TARGETED)) is \
+            TreeOutcome.UNKNOWN_TARGETED
+        assert tree.assign(classified("u", "a1", Label.NON_TARGETED)) is \
+            TreeOutcome.UNKNOWN_NON_TARGETED
+
+    def test_f8_agreement_branches(self, sim):
+        targeted_ad = next(c.ad.identity for c in sim.campaigns
+                           if c.kind is AdKind.TARGETED)
+        static_ad = next(c.ad.identity for c in sim.campaigns
+                         if c.kind is AdKind.STATIC)
+        tree = self.make_tree(sim, labeling_rate=1.0)
+        assert tree.assign(classified("u", targeted_ad, Label.TARGETED)) is \
+            TreeOutcome.TP_F8
+        assert tree.assign(classified("u", static_ad, Label.TARGETED)) is \
+            TreeOutcome.FP_F8
+        assert tree.assign(classified("u", targeted_ad,
+                                      Label.NON_TARGETED)) is \
+            TreeOutcome.FN_F8
+        assert tree.assign(classified("u", static_ad,
+                                      Label.NON_TARGETED)) is \
+            TreeOutcome.TN_F8
+
+    def test_semantic_overlap_branches(self, sim, sim_result):
+        # Build a profile for u1 covering some category, then classify an
+        # ad of that category.
+        catalog = sim_result.catalog
+        category = catalog.sites[0].category
+        sites = catalog.in_category(category)
+        visits = [Visit("u1", s, i) for i, s in enumerate(sites)]
+        tree = self.make_tree(sim, profiles=visits)
+        item_t = classified("u1", "overlap-ad", Label.TARGETED,
+                            category=category)
+        item_n = classified("u1", "overlap-ad", Label.NON_TARGETED,
+                            category=category)
+        assert tree.assign(item_t) is TreeOutcome.TP_CB
+        assert tree.assign(item_n) is TreeOutcome.FN_CB
+
+    def test_evaluate_skips_undecided(self, sim):
+        tree = self.make_tree(sim)
+        rates = tree.evaluate([classified("u", "x", Label.UNDECIDED)])
+        assert rates.total_targeted == 0
+        assert rates.total_non_targeted == 0
+
+    def test_rates_within_branch(self, sim):
+        tree = self.make_tree(sim, crawler_sees=("a",))
+        rates = tree.evaluate([
+            classified("u", "a", Label.TARGETED),
+            classified("u", "b", Label.TARGETED),
+        ])
+        assert rates.total_targeted == 2
+        assert rates.rate_within_branch(TreeOutcome.FP_CR) == 0.5
+        assert rates.rate_within_branch(
+            TreeOutcome.UNKNOWN_TARGETED) == 0.5
+
+    def test_unknown_listing(self, sim):
+        tree = self.make_tree(sim)
+        items = [classified("u", "a", Label.TARGETED),
+                 classified("u", "b", Label.NON_TARGETED)]
+        rates = tree.evaluate(items)
+        assert [i.ad.identity for i in rates.unknowns(True)] == ["a"]
+        assert [i.ad.identity for i in rates.unknowns(False)] == ["b"]
+
+
+class TestUnknownResolver:
+    @pytest.fixture()
+    def resolver(self, sim, sim_result):
+        return UnknownResolver(sim.adserver, sim_result.population,
+                               sim_result.catalog, sim_result.campaigns,
+                               seed=3)
+
+    def test_retargeting_probe_confirms_retargeted(self, sim, sim_result,
+                                                   resolver):
+        retargeted = next(c for c in sim_result.campaigns
+                          if c.kind is AdKind.RETARGETED)
+        assert resolver.retargeting_probe(retargeted.ad.identity)
+
+    def test_retargeting_probe_rejects_static(self, sim_result, resolver):
+        static = next(c for c in sim_result.campaigns
+                      if c.kind is AdKind.STATIC)
+        assert not resolver.retargeting_probe(static.ad.identity)
+
+    def test_retargeting_probe_unknown_ad(self, resolver):
+        assert not resolver.retargeting_probe("no-such-ad")
+
+    def test_indirect_correlation_detects_skewed_receivers(self, sim_result,
+                                                           resolver):
+        # Use the indirect campaign with the largest audience: its
+        # receivers share the audience interest by construction, so the
+        # hypergeometric test must fire.
+        indirect = max((c for c in sim_result.campaigns
+                        if c.kind is AdKind.INDIRECT),
+                       key=lambda c: len(c.audience_user_ids))
+        receivers = sorted(indirect.audience_user_ids)
+        assert len(receivers) >= 2
+        assert resolver.indirect_oba_correlation(
+            indirect.ad.identity, receivers, indirect.ad.category)
+
+    def test_indirect_correlation_rejects_random_receivers(self, sim_result,
+                                                           resolver):
+        users = [u.user_id for u in sim_result.population][:10]
+        assert not resolver.indirect_oba_correlation("ad", users, "")
+
+    def test_resolve_counts(self, sim_result, resolver):
+        retargeted = next(c for c in sim_result.campaigns
+                          if c.kind is AdKind.RETARGETED)
+        static = next(c for c in sim_result.campaigns
+                      if c.kind is AdKind.STATIC)
+        targeted_unknowns = [
+            classified("u", retargeted.ad.identity, Label.TARGETED),
+            classified("u", static.ad.identity, Label.TARGETED),
+        ]
+        non_targeted_unknowns = [
+            classified("u", static.ad.identity, Label.NON_TARGETED),
+        ]
+        resolved = resolver.resolve(targeted_unknowns, non_targeted_unknowns,
+                                    receivers_of={})
+        assert resolved.likely_tp_retargeting == 1
+        assert resolved.likely_fp == 1
+        assert resolved.sampled_non_targeted == 1
+
+    def test_significance_validated(self, sim, sim_result):
+        with pytest.raises(ValidationError):
+            UnknownResolver(sim.adserver, sim_result.population,
+                            sim_result.catalog, sim_result.campaigns,
+                            significance=1.5)
+
+
+class TestComparisonTable:
+    def test_all_rows_have_all_systems(self):
+        for row, cells in COMPARISON_MATRIX.items():
+            assert len(cells) == len(SYSTEMS), row
+
+    def test_eyewnder_is_privacy_preserving(self):
+        idx = SYSTEMS.index("eyeWnder")
+        assert COMPARISON_MATRIX["Privacy-preserving"][idx] == "✓"
+        # And nothing else is, per the paper.
+        others = COMPARISON_MATRIX["Privacy-preserving"][:idx]
+        assert all(c == "" for c in others)
+
+    def test_only_eyewnder_is_count_based(self):
+        idx = SYSTEMS.index("eyeWnder")
+        row = COMPARISON_MATRIX["Count-based"]
+        assert row[idx] == "•"
+        assert all(c == "" for i, c in enumerate(row) if i != idx)
+
+    def test_render_contains_all_rows(self):
+        text = render_comparison_table()
+        for row in COMPARISON_MATRIX:
+            assert row in text
+        assert "eyeWnder" in text
+
+
+class TestLiveValidationStudy:
+    def test_small_study_runs(self):
+        study = LiveValidationStudy(
+            config=SimulationConfig.small(seed=21, frequency_cap=8),
+            cb_min_websites=3, crawl_sites=40, seed=21)
+        report = study.run()
+        assert report.total_ads > 0
+        assert 0.0 <= report.likely_tp_rate <= 1.0
+        assert 0.0 <= report.likely_tn_rate <= 1.0
+        # The paper's headline shape: high TN rate, decent TP rate.
+        assert report.likely_tn_rate > 0.5
