@@ -126,16 +126,23 @@ class DetectionPipeline:
             threshold_rule=self.detector_config.users_rule.compute)
         round_result = coordinator.run_round(round_id=week)
 
-        mapper = enrollment.clients[0].ad_mapper if not self.use_oprf else None
+        # With per-client OPRF mappers any client's cache computes the
+        # same (shared-key) function; use the first client's.
+        mapper = enrollment.clients[0].ad_mapper
+
+        # Batch the aggregate lookups: one query_many over every identity
+        # seen this window instead of id-space scalar queries per ad.
+        identities = sorted(all_identities)
+        ad_ids = [mapper.ad_id(identity) for identity in identities]
+        estimates = round_result.aggregate.query_many(ad_ids)
+        estimate_of = {identity: float(estimate) for identity, estimate
+                       in zip(identities, estimates.tolist())}
 
         def users_seen_of(identity: str) -> float:
-            if mapper is not None:
-                ad_id = mapper.ad_id(identity)
-            else:
-                # With per-client OPRF mappers any client's cache computes
-                # the same (shared-key) function; use the first client's.
-                ad_id = enrollment.clients[0].ad_mapper.ad_id(identity)
-            return float(round_result.aggregate.query(ad_id))
+            cached = estimate_of.get(identity)
+            if cached is not None:
+                return cached
+            return float(round_result.aggregate.query(mapper.ad_id(identity)))
 
         return (users_seen_of, round_result.distribution,
                 round_result.users_threshold, round_result)

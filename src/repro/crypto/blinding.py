@@ -20,12 +20,18 @@ rounds with thousands of sketch cells practical.
 Arithmetic is modulo ``2**32`` (matching the paper's 4-byte CMS cells):
 blinded cells are uniformly random individually, yet their sum recovers
 the true aggregate as long as true cell sums stay below ``2**32``.
+
+Every operation has an array form (:meth:`BlindingGenerator.blind_array`,
+:meth:`BlindingGenerator.blinding_vector_array`,
+:meth:`BlindingGenerator.adjustment_for_missing_array`) returning
+``numpy.uint64`` vectors so the protocol's fast path never boxes cells
+into Python ints; the ``List[int]`` methods are thin views over them.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Union
 
 import numpy as np
 
@@ -99,21 +105,25 @@ class BlindingGenerator:
         return (BLINDING_MODULUS - stream) % BLINDING_MODULUS
 
     def _accumulate(self, peers: Sequence[int], round_id: int,
-                    num_cells: int, negate: bool) -> List[int]:
+                    num_cells: int, negate: bool) -> np.ndarray:
+        # Each signed stream is < 2^32, so summing fewer than 2^32 peers
+        # cannot wrap uint64; one reduction at the end is bit-identical to
+        # reducing after every addition and halves the array passes.
         total = np.zeros(num_cells, dtype=np.uint64)
         for peer in peers:
-            total = (total + self._signed_stream(peer, round_id, num_cells)
-                     ) % BLINDING_MODULUS
+            total += self._signed_stream(peer, round_id, num_cells)
+        total %= BLINDING_MODULUS
         if negate:
             total = (BLINDING_MODULUS - total) % BLINDING_MODULUS
-        return [int(v) for v in total]
+        return total
 
-    def blinding_vector(self, num_cells: int, round_id: int,
-                        peers: Iterable[int] = None) -> List[int]:
-        """Blinding factors for ``num_cells`` cells in round ``round_id``.
+    def blinding_vector_array(self, num_cells: int, round_id: int,
+                              peers: Iterable[int] = None) -> np.ndarray:
+        """Blinding factors for ``num_cells`` cells as a ``uint64`` array.
 
-        ``peers`` restricts the sum to a subset of peers (used by the
-        fault-tolerance re-round); default is all known peers.
+        Values lie in ``[0, 2^32)``. ``peers`` restricts the sum to a
+        subset of peers (used by the fault-tolerance re-round); default is
+        all known peers.
         """
         if num_cells <= 0:
             raise ConfigurationError(
@@ -125,16 +135,33 @@ class BlindingGenerator:
         return self._accumulate(peer_list, round_id, num_cells,
                                 negate=False)
 
+    def blinding_vector(self, num_cells: int, round_id: int,
+                        peers: Iterable[int] = None) -> List[int]:
+        """List-of-int view of :meth:`blinding_vector_array`."""
+        return self.blinding_vector_array(num_cells, round_id, peers).tolist()
+
+    def blind_array(self, cells: Union[Sequence[int], np.ndarray],
+                    round_id: int,
+                    peers: Iterable[int] = None) -> np.ndarray:
+        """Blind a cell vector: ``(cells + blinding) mod 2^32``.
+
+        Accepts any integer sequence (a sketch's ``cells_array`` view makes
+        the whole path array-to-array) and returns ``uint64`` values in
+        ``[0, 2^32)``.
+        """
+        cell_arr = np.asarray(cells, dtype=np.uint64)
+        blinding = self.blinding_vector_array(len(cell_arr), round_id, peers)
+        return (cell_arr + blinding) % BLINDING_MODULUS
+
     def blind(self, cells: Sequence[int], round_id: int,
               peers: Iterable[int] = None) -> List[int]:
-        """Blind a cell vector: ``(cells + blinding) mod 2^32``."""
-        blinding = self.blinding_vector(len(cells), round_id, peers)
-        return [(int(c) + b) % BLINDING_MODULUS
-                for c, b in zip(cells, blinding)]
+        """List-of-int view of :meth:`blind_array`."""
+        return self.blind_array(cells, round_id, peers).tolist()
 
-    def adjustment_for_missing(self, missing: Iterable[int], num_cells: int,
-                               round_id: int) -> List[int]:
-        """Correction vector for the §6 fault-tolerance round.
+    def adjustment_for_missing_array(self, missing: Iterable[int],
+                                     num_cells: int,
+                                     round_id: int) -> np.ndarray:
+        """Correction vector for the §6 fault-tolerance round (``uint64``).
 
         If peers in ``missing`` never reported, their blinding terms do not
         cancel. Every *surviving* user sends the negation of the terms it
@@ -150,6 +177,12 @@ class BlindingGenerator:
         if unknown:
             raise BlindingError(f"no shared secret with peers {unknown}")
         return self._accumulate(missing, round_id, num_cells, negate=True)
+
+    def adjustment_for_missing(self, missing: Iterable[int], num_cells: int,
+                               round_id: int) -> List[int]:
+        """List-of-int view of :meth:`adjustment_for_missing_array`."""
+        return self.adjustment_for_missing_array(missing, num_cells,
+                                                 round_id).tolist()
 
     def exchange_bytes(self) -> int:
         """Bytes this user downloads for the key exchange (one public key

@@ -9,11 +9,16 @@ a blinded CMS report on demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.errors import ConfigurationError, RoundStateError
 from repro.crypto.blinding import BlindingGenerator
-from repro.protocol.messages import BlindedReport, BlindingAdjustment, CleartextReport
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    CellVector,
+    CleartextReport,
+)
 from repro.sketch.countmin import CountMinSketch
 
 
@@ -73,6 +78,9 @@ class ProtocolClient:
         self.blinding = blinding
         self.ad_mapper = ad_mapper
         self._seen_urls: Set[str] = set()
+        #: URL -> ad ID, filled as ads are observed so report building
+        #: never re-runs the OPRF/PRF evaluation.
+        self._ad_ids: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Observation phase
@@ -82,9 +90,10 @@ class ProtocolClient:
 
         The OPRF mapping happens here (once per unique ad), matching the
         paper's note that mapping is done as ads arrive, not at report
-        time.
+        time; the resulting ID is cached so :meth:`build_report` costs no
+        further PRF evaluations.
         """
-        ad_id = self.ad_mapper.ad_id(url)
+        ad_id = self._ad_id_cached(url)
         self._seen_urls.add(url)
         return ad_id
 
@@ -99,22 +108,34 @@ class ProtocolClient:
     def reset_window(self) -> None:
         """Clear observations at the start of a new weekly window."""
         self._seen_urls.clear()
+        self._ad_ids.clear()
 
     # ------------------------------------------------------------------
     # Reporting phase
     # ------------------------------------------------------------------
+    def _ad_id_cached(self, url: str) -> int:
+        ad_id = self._ad_ids.get(url)
+        if ad_id is None:
+            ad_id = self.ad_mapper.ad_id(url)
+            self._ad_ids[url] = ad_id
+        return ad_id
+
     def _build_sketch(self) -> CountMinSketch:
         sketch = self.config.make_sketch()
-        for url in self._seen_urls:
-            sketch.update(self.ad_mapper.ad_id(url))
+        sketch.update_many([self._ad_id_cached(url)
+                            for url in self._seen_urls])
         return sketch
 
     def build_report(self, round_id: int) -> BlindedReport:
-        """Encode seen ads into a CMS, blind every cell, wrap as a report."""
+        """Encode seen ads into a CMS, blind every cell, wrap as a report.
+
+        The cell vector stays a NumPy array from the sketch through the
+        blinding to the report's :class:`CellVector` — no per-cell boxing.
+        """
         sketch = self._build_sketch()
-        blinded = self.blinding.blind(sketch.cells, round_id)
+        blinded = self.blinding.blind_array(sketch.cells_array, round_id)
         return BlindedReport(user_id=self.user_id, round_id=round_id,
-                             cells=tuple(blinded))
+                             cells=CellVector(blinded))
 
     def build_cleartext_report(self, round_id: int) -> CleartextReport:
         """The non-private baseline used for §7.1 size comparison."""
@@ -124,7 +145,7 @@ class ProtocolClient:
     def build_adjustment(self, round_id: int,
                          missing_indexes: Iterable[int]) -> BlindingAdjustment:
         """Fault-tolerance round: corrections for missing peers."""
-        cells = self.blinding.adjustment_for_missing(
+        cells = self.blinding.adjustment_for_missing_array(
             missing_indexes, self.config.num_cells, round_id)
         return BlindingAdjustment(user_id=self.user_id, round_id=round_id,
-                                  cells=tuple(cells))
+                                  cells=CellVector(cells))

@@ -10,6 +10,11 @@ complete weekly exchange of paper §6:
 The result captures everything the evaluation needs: the aggregate sketch,
 the estimated #Users distribution, the computed threshold and the byte/
 message accounting per §7.1.
+
+Every cell vector on this path is a NumPy-backed
+:class:`~repro.protocol.messages.CellVector`: clients blind arrays, the
+server sums arrays and answers the distribution query with one batched
+gather — the coordinator never boxes cells into Python ints.
 """
 
 from __future__ import annotations

@@ -4,18 +4,100 @@ Every message type knows its serialized size under the paper's assumptions
 (4-byte sketch cells, group elements of the DH modulus size, 100-character
 Unicode URLs for the cleartext baseline) so the overhead benches can report
 communication costs without a real network stack.
+
+Cell-carrying messages (:class:`BlindedReport`, :class:`BlindingAdjustment`)
+accept either a plain tuple of ints or a :class:`CellVector` — an immutable
+sequence backed by a ``numpy.uint64`` array. The protocol's fast path keeps
+cell vectors as arrays from the client's blinding step through the server's
+aggregation (:func:`cells_to_array` recovers the array without per-cell
+boxing); equality, iteration and indexing behave exactly like the tuple
+form, so the two are interchangeable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
 
 #: Size of one sketch cell on the wire, per the paper.
 CELL_BYTES = 4
 
 #: Fixed header cost assumed per message (ids, round number, framing).
 HEADER_BYTES = 16
+
+
+class CellVector(Sequence):
+    """Immutable cell vector backed by a ``numpy.uint64`` array.
+
+    Compares equal to any integer sequence with the same values (so tests
+    and callers may mix tuples and vectors freely) and hashes like the
+    equivalent tuple. The constructor does not copy an array that is
+    already ``uint64`` — callers hand over ownership and must not mutate
+    it afterwards.
+    """
+
+    __slots__ = ("_array", "_hash")
+
+    def __init__(self, values: Union[Sequence[int], np.ndarray]) -> None:
+        arr = np.asarray(values, dtype=np.uint64)
+        arr.setflags(write=False)
+        self._array = arr
+        self._hash = None
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        if dtype is None or dtype == self._array.dtype:
+            return self._array.copy() if copy else self._array
+        if copy is False:
+            raise ValueError(
+                f"CellVector cannot be viewed as dtype {dtype} without "
+                "copying; pass copy=None or copy=True")
+        return self._array.astype(dtype)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The backing read-only ``uint64`` array (no copy)."""
+        return self._array
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(self._array[index].tolist())
+        return int(self._array[index])
+
+    def __iter__(self):
+        return iter(self._array.tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CellVector):
+            return np.array_equal(self._array, other._array)
+        if isinstance(other, (tuple, list)):
+            return len(other) == len(self._array) and \
+                tuple(self._array.tolist()) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(self._array.tolist()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"CellVector({tuple(self._array.tolist())!r})"
+
+
+#: Either representation of a cell vector on a message.
+Cells = Union[Tuple[int, ...], CellVector]
+
+
+def cells_to_array(cells: Cells) -> np.ndarray:
+    """The ``uint64`` array behind a cell vector, without per-cell boxing
+    when the message already carries a :class:`CellVector`."""
+    if isinstance(cells, CellVector):
+        return cells.array
+    return np.asarray(cells, dtype=np.uint64)
 
 
 @dataclass(frozen=True)
@@ -36,7 +118,11 @@ class BlindedReport:
 
     user_id: str
     round_id: int
-    cells: Tuple[int, ...]
+    cells: Cells
+
+    def cells_as_array(self) -> np.ndarray:
+        """The cell vector as a ``uint64`` array (zero-copy when possible)."""
+        return cells_to_array(self.cells)
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + len(self.cells) * CELL_BYTES
@@ -79,7 +165,11 @@ class BlindingAdjustment:
 
     user_id: str
     round_id: int
-    cells: Tuple[int, ...]
+    cells: Cells
+
+    def cells_as_array(self) -> np.ndarray:
+        """The cell vector as a ``uint64`` array (zero-copy when possible)."""
+        return cells_to_array(self.cells)
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + len(self.cells) * CELL_BYTES

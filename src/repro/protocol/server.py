@@ -4,11 +4,23 @@ The server is honest-but-curious (paper §6, "Security"): it follows the
 protocol but would read anything it can. What it receives are uniformly
 random-looking cell vectors; only the sum over *all* enrolled users (plus
 adjustments for dropouts) is meaningful.
+
+The aggregation hot path is fully vectorized: report cell vectors are
+summed as ``uint64`` arrays (one modular reduction at the end — summing
+fewer than ``2^32`` reports of values below ``2^32`` cannot wrap 64 bits,
+so this is bit-identical to reducing after every addition), and the
+#Users distribution query batches the whole public ID space through
+:meth:`~repro.sketch.countmin.CountMinSketch.query_many`. Because the
+ID-space indexes depend only on the round's hash family, the server caches
+the index table across rounds and a steady-state distribution query is a
+single NumPy gather.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.errors import MissingReportError, RoundStateError
 from repro.crypto.blinding import BLINDING_MODULUS
@@ -16,6 +28,13 @@ from repro.protocol.client import RoundConfig
 from repro.protocol.messages import BlindedReport, BlindingAdjustment
 from repro.sketch.countmin import CountMinSketch
 from repro.statsutil.distributions import EmpiricalDistribution
+
+#: Never cache an ID-space index table larger than this many bytes; larger
+#: spaces fall back to chunked (still vectorized) query_many calls.
+_ID_TABLE_MAX_BYTES = 128 * 1024 * 1024
+
+#: Chunk size for the uncached fallback enumeration of the ID space.
+_ID_CHUNK = 65536
 
 
 class AggregationServer:
@@ -32,6 +51,9 @@ class AggregationServer:
         self._reports: Dict[str, BlindedReport] = {}
         self._adjustments: List[BlindingAdjustment] = []
         self._round_id: Optional[int] = None
+        # (depth, width, seed) -> flat (d, id_space) cell-index table; the
+        # indexes are round-independent, so one table serves every round.
+        self._id_tables: Dict[Tuple[int, int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Collection
@@ -103,15 +125,25 @@ class AggregationServer:
             raise MissingReportError(
                 f"{len(missing)} users missing and no adjustments received: "
                 f"{missing[:5]}")
-        cells = [0] * self.config.num_cells
+        cells = np.zeros(self.config.num_cells, dtype=np.uint64)
         for report in self._reports.values():
-            for i, value in enumerate(report.cells):
-                cells[i] = (cells[i] + value) % BLINDING_MODULUS
+            cells += report.cells_as_array()
         for adjustment in self._adjustments:
-            for i, value in enumerate(adjustment.cells):
-                cells[i] = (cells[i] + value) % BLINDING_MODULUS
+            cells += adjustment.cells_as_array()
+        cells %= BLINDING_MODULUS
         return CountMinSketch(self.config.cms_depth, self.config.cms_width,
                               self.config.cms_seed, cells=cells)
+
+    def _id_table_for(self, aggregate: CountMinSketch) -> Optional[np.ndarray]:
+        """Flat cell indexes of every public ID, cached per hash family."""
+        key = (aggregate.depth, aggregate.width, aggregate.seed)
+        table = self._id_tables.get(key)
+        if table is None:
+            if aggregate.depth * self.config.id_space * 8 > _ID_TABLE_MAX_BYTES:
+                return None
+            table = aggregate.flat_indexes(range(self.config.id_space))
+            self._id_tables[key] = table
+        return table
 
     def users_distribution(self, aggregate: CountMinSketch
                            ) -> EmpiricalDistribution:
@@ -121,10 +153,21 @@ class AggregationServer:
         map to no real ad mostly return 0 (CMS false positives are rare by
         design) and are excluded, as zero-count IDs carry no information
         about any ad.
+
+        The whole ID space is queried in one batched gather against a
+        cached index table (or in vectorized chunks when the table would
+        be unreasonably large), replacing ``id_space * depth`` scalar
+        hash evaluations per round.
         """
+        table = self._id_table_for(aggregate)
+        if table is not None:
+            estimates = aggregate.cells_array[table].min(axis=0)
+        else:
+            chunks = [aggregate.query_many(range(start, min(
+                start + _ID_CHUNK, self.config.id_space)))
+                for start in range(0, self.config.id_space, _ID_CHUNK)]
+            estimates = np.concatenate(chunks) if chunks else \
+                np.empty(0, dtype=np.uint64)
         dist = EmpiricalDistribution()
-        for ad_id in range(self.config.id_space):
-            estimate = aggregate.query(ad_id)
-            if estimate > 0:
-                dist.add(estimate)
+        dist.extend(estimates[estimates > 0].tolist())
         return dist

@@ -19,14 +19,18 @@ from __future__ import annotations
 import struct
 from typing import Callable, Dict, Tuple, Type, Union
 
+import numpy as np
+
 from repro.errors import ProtocolError
 from repro.protocol.messages import (
     BlindedReport,
     BlindingAdjustment,
+    CellVector,
     CleartextReport,
     MissingClientsNotice,
     PublicKeyAnnouncement,
     ThresholdBroadcast,
+    cells_to_array,
 )
 
 MAGIC = b"eW"
@@ -61,18 +65,31 @@ def _unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
     return buf[start:start + length].decode("utf-8"), start + length
 
 
-def _pack_cells(cells: Tuple[int, ...]) -> bytes:
-    out = bytearray(struct.pack(">I", len(cells)))
-    for cell in cells:
-        out += struct.pack(">I", cell & 0xFFFFFFFF)
-    return bytes(out)
+def _pack_cells(cells) -> bytes:
+    """Big-endian 4-byte cells via a single NumPy ``tobytes`` call.
+
+    Accepts tuples or :class:`~repro.protocol.messages.CellVector`; falls
+    back to per-int packing only for exotic values NumPy cannot convert
+    (negative or >= 2^64 ints, which the scalar path masked silently).
+    """
+    header = struct.pack(">I", len(cells))
+    try:
+        arr = np.asarray(cells_to_array(cells))
+    except (OverflowError, ValueError, TypeError):
+        return header + b"".join(struct.pack(">I", cell & 0xFFFFFFFF)
+                                 for cell in cells)
+    return header + (arr & 0xFFFFFFFF).astype(">u4").tobytes()
 
 
-def _unpack_cells(buf: bytes, offset: int) -> Tuple[Tuple[int, ...], int]:
+def _unpack_cells(buf: bytes, offset: int) -> Tuple[CellVector, int]:
+    """Decode cells straight into an array-backed :class:`CellVector`."""
     (count,) = struct.unpack_from(">I", buf, offset)
     offset += 4
-    cells = struct.unpack_from(f">{count}I", buf, offset)
-    return tuple(cells), offset + 4 * count
+    if len(buf) < offset + 4 * count:
+        raise ProtocolError("cell payload truncated")
+    cells = np.frombuffer(buf, dtype=">u4", count=count,
+                          offset=offset).astype(np.uint64)
+    return CellVector(cells), offset + 4 * count
 
 
 def encode(message: Message) -> bytes:

@@ -8,13 +8,25 @@ integers by a stable (process-independent) byte hash.
 
 Python's builtin ``hash`` is salted per process, so sketches built in
 different processes would disagree; :func:`stable_hash` uses BLAKE2b instead.
+
+Two evaluation paths produce bit-identical indexes:
+
+* the scalar path (:meth:`HashFamily.index`, :meth:`HashFamily.indexes`)
+  computes ``(a*x + b) mod p`` with Python big ints;
+* the batch path (:func:`stable_hash_many`, :meth:`HashFamily.index_matrix`,
+  :meth:`HashFamily.indexes_many`) digests every item once and then computes
+  all ``d x n`` indexes with NumPy ``uint64`` arithmetic, using the Mersenne
+  fold ``y mod p = (y >> 61) + (y & p)`` and 32-bit limb multiplication so
+  no intermediate exceeds 64 bits.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import List, Tuple, Union
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -23,20 +35,80 @@ MERSENNE_P = (1 << 61) - 1
 
 Item = Union[str, bytes, int]
 
+_P64 = np.uint64(MERSENNE_P)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_U3 = np.uint64(3)
+_U30 = np.uint64(30)
+_U32 = np.uint64(32)
+_U61 = np.uint64(61)
+_ZERO_SALT = b"\0" * 16
+
+
+def _item_bytes(item: Item) -> bytes:
+    """Canonical byte encoding of an item (shared by both hash paths)."""
+    if isinstance(item, int):
+        return item.to_bytes((item.bit_length() + 8) // 8 or 1, "big",
+                             signed=item < 0)
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    if isinstance(item, bytes):
+        return item
+    raise ConfigurationError(f"unhashable item type: {type(item)!r}")
+
 
 def stable_hash(item: Item, salt: bytes = b"") -> int:
     """Deterministic 64-bit digest of an item, independent of PYTHONHASHSEED."""
-    if isinstance(item, int):
-        data = item.to_bytes((item.bit_length() + 8) // 8 or 1, "big", signed=item < 0)
-    elif isinstance(item, str):
-        data = item.encode("utf-8")
-    elif isinstance(item, bytes):
-        data = item
-    else:  # pragma: no cover - guarded by type hints
-        raise ConfigurationError(f"unhashable item type: {type(item)!r}")
+    data = _item_bytes(item)
     digest = hashlib.blake2b(data, digest_size=8, salt=salt[:16].ljust(16, b"\0")
-                             if salt else b"\0" * 16).digest()
+                             if salt else _ZERO_SALT).digest()
     return int.from_bytes(digest, "big")
+
+
+def stable_hash_many(items: Sequence[Item], salt: bytes = b"") -> np.ndarray:
+    """Batch :func:`stable_hash`: one ``uint64`` digest per item.
+
+    Bit-identical to calling :func:`stable_hash` per item; the per-item
+    BLAKE2b call is unavoidable, but batching keeps the digests in a NumPy
+    array so every downstream index computation is vectorized.
+    """
+    saltb = salt[:16].ljust(16, b"\0") if salt else _ZERO_SALT
+    blake2b = hashlib.blake2b
+    from_bytes = int.from_bytes
+    item_bytes = _item_bytes
+    out = np.empty(len(items), dtype=np.uint64)
+    for i, item in enumerate(items):
+        out[i] = from_bytes(
+            blake2b(item_bytes(item), digest_size=8, salt=saltb).digest(),
+            "big")
+    return out
+
+
+def _fold61(y: np.ndarray) -> np.ndarray:
+    """Reduce ``uint64`` values modulo ``p = 2^61 - 1``.
+
+    Valid for any ``y < 2^64``: since ``2^61 = p + 1``, folding the top bits
+    down (``(y >> 61) + (y & p)``) preserves the residue, and one conditional
+    subtraction lands the result in ``[0, p)``.
+    """
+    y = (y >> _U61) + (y & _P64)
+    return np.where(y >= _P64, y - _P64, y)
+
+
+def _mulmod61(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``(a * x) mod p`` for ``a, x < p`` without leaving ``uint64``.
+
+    Splits both operands into 32-bit limbs; every partial product and every
+    partial sum stays below ``2^64`` (``a``'s high limb is at most 29 bits),
+    and ``2^64 ≡ 8 (mod p)`` folds the high partial products back down.
+    """
+    ah, al = a >> _U32, a & _MASK32
+    xh, xl = x >> _U32, x & _MASK32
+    hh = _fold61((ah * xh) << _U3)            # ah*xh < 2^58, so << 3 fits
+    mid = _fold61(ah * xl + al * xh)          # each term < 2^61, sum < 2^62
+    mid_h, mid_l = mid >> _U32, mid & _MASK32
+    # mid * 2^32 = mid_h * 2^64 + mid_l * 2^32 ≡ 8*mid_h + mid_l*2^32 (mod p)
+    total = hh + (mid_h << _U3) + _fold61(mid_l << _U32) + _fold61(al * xl)
+    return _fold61(total)                     # total < 2^63: one fold suffices
 
 
 class HashFamily:
@@ -60,6 +132,12 @@ class HashFamily:
             (rng.randrange(1, MERSENNE_P), rng.randrange(0, MERSENNE_P))
             for _ in range(d)
         ]
+        # Column vectors (d, 1) so index_matrix broadcasts against (n,) digests.
+        self._a = np.array([a for a, _ in self._coeffs],
+                           dtype=np.uint64).reshape(-1, 1)
+        self._b = np.array([b for _, b in self._coeffs],
+                           dtype=np.uint64).reshape(-1, 1)
+        self._width64 = np.uint64(width)
 
     def index(self, row: int, item: Item) -> int:
         """Column index of ``item`` under hash function ``row``."""
@@ -71,6 +149,21 @@ class HashFamily:
         """Column index per row, in row order."""
         x = stable_hash(item)
         return [((a * x + b) % MERSENNE_P) % self.width for a, b in self._coeffs]
+
+    def index_matrix(self, digests: np.ndarray) -> np.ndarray:
+        """All column indexes for pre-hashed items: shape ``(d, n)``.
+
+        ``digests`` is the ``uint64`` output of :func:`stable_hash_many`.
+        Bit-identical to the scalar path: reducing a digest mod ``p`` before
+        the Carter–Wegman multiply does not change ``(a*x + b) mod p``.
+        """
+        x = _fold61(np.asarray(digests, dtype=np.uint64))
+        ax = _mulmod61(self._a, x)            # broadcast (d,1) x (n,) -> (d,n)
+        return _fold61(ax + self._b) % self._width64
+
+    def indexes_many(self, items: Sequence[Item]) -> np.ndarray:
+        """Batch :meth:`indexes`: digest once per item, then vectorize."""
+        return self.index_matrix(stable_hash_many(items))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HashFamily):

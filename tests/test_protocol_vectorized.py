@@ -1,0 +1,215 @@
+"""The vectorized blinded-aggregation path vs the seed scalar semantics.
+
+The protocol rewrite keeps cell vectors as ``uint64`` arrays from the
+client's blinding step through the server's aggregate; these tests pin the
+invariants that make that safe:
+
+* the vectorized server aggregate is bit-identical to the seed's scalar
+  per-cell modular sum over the same reports;
+* array and list blinding APIs agree;
+* :class:`CellVector` is interchangeable with the tuple form everywhere a
+  message crosses a layer boundary (equality, hashing, wire round-trip);
+* the batched #Users distribution equals the scalar id-by-id enumeration,
+  on both the cached-table and chunked fallback paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.blinding import BLINDING_MODULUS
+from repro.protocol import wire
+from repro.protocol.client import RoundConfig
+from repro.protocol.coordinator import RoundCoordinator
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.messages import BlindedReport, BlindingAdjustment, CellVector
+from repro.protocol.server import AggregationServer
+from repro.sketch.countmin import CountMinSketch
+from repro.statsutil.distributions import EmpiricalDistribution
+
+CONFIG = RoundConfig(cms_depth=4, cms_width=64, cms_seed=5, id_space=300)
+
+
+def _seed_scalar_aggregate(config, reports, adjustments=()):
+    """The seed implementation's aggregation loop, kept as the oracle."""
+    cells = [0] * config.num_cells
+    for report in reports:
+        for i, value in enumerate(report.cells):
+            cells[i] = (cells[i] + value) % BLINDING_MODULUS
+    for adjustment in adjustments:
+        for i, value in enumerate(adjustment.cells):
+            cells[i] = (cells[i] + value) % BLINDING_MODULUS
+    return CountMinSketch(config.cms_depth, config.cms_width,
+                          config.cms_seed, cells=cells)
+
+
+def _seed_scalar_distribution(config, aggregate):
+    """The seed implementation's id-by-id distribution query."""
+    dist = EmpiricalDistribution()
+    for ad_id in range(config.id_space):
+        estimate = aggregate.query(ad_id)
+        if estimate > 0:
+            dist.add(estimate)
+    return dist
+
+
+def _enrolled_round(seed=11, n_users=5, ads_per_user=8):
+    enrollment = enroll_users([f"u{i}" for i in range(n_users)], CONFIG,
+                              seed=seed, use_oprf=False)
+    for i, client in enumerate(enrollment.clients):
+        for j in range(ads_per_user):
+            client.observe_ad(f"ad-{(i * 3 + j) % 20}")
+    return enrollment
+
+
+class TestVectorizedAggregation:
+    def test_aggregate_bit_identical_to_seed_scalar_path(self):
+        enrollment = _enrolled_round()
+        reports = [c.build_report(4) for c in enrollment.clients]
+        server = AggregationServer(
+            CONFIG, {c.user_id: c.blinding.user_index
+                     for c in enrollment.clients})
+        server.start_round(4)
+        for report in reports:
+            server.submit_report(report)
+        vectorized = server.aggregate()
+        scalar = _seed_scalar_aggregate(CONFIG, reports)
+        assert vectorized.cells == scalar.cells
+
+    def test_aggregate_with_adjustments_matches_scalar(self):
+        enrollment = _enrolled_round(seed=13)
+        clients = enrollment.clients
+        missing = clients[-1]
+        survivors = clients[:-1]
+        reports = [c.build_report(2) for c in survivors]
+        adjustments = [c.build_adjustment(2, [missing.blinding.user_index])
+                       for c in survivors]
+        server = AggregationServer(
+            CONFIG, {c.user_id: c.blinding.user_index for c in clients})
+        server.start_round(2)
+        for report in reports:
+            server.submit_report(report)
+        for adjustment in adjustments:
+            server.submit_adjustment(adjustment)
+        vectorized = server.aggregate()
+        scalar = _seed_scalar_aggregate(CONFIG, reports, adjustments)
+        assert vectorized.cells == scalar.cells
+
+    def test_aggregate_accepts_tuple_and_vector_reports(self):
+        server = AggregationServer(CONFIG, {"a": 0, "b": 1})
+        server.start_round(1)
+        ones = [1] * CONFIG.num_cells
+        server.submit_report(BlindedReport("a", 1, cells=tuple(ones)))
+        server.submit_report(
+            BlindedReport("b", 1, cells=CellVector(np.asarray(
+                ones, dtype=np.uint64))))
+        agg = server.aggregate()
+        assert agg.cells == tuple([2] * CONFIG.num_cells)
+
+
+class TestVectorizedDistribution:
+    def test_batched_distribution_matches_scalar(self):
+        enrollment = _enrolled_round(seed=17)
+        coordinator = RoundCoordinator(CONFIG, enrollment.clients)
+        result = coordinator.run_round(1)
+        scalar = _seed_scalar_distribution(CONFIG, result.aggregate)
+        assert result.distribution.values == scalar.values
+
+    def test_chunked_fallback_matches_cached_table(self, monkeypatch):
+        from repro.protocol import server as server_mod
+        enrollment = _enrolled_round(seed=19)
+        reports = [c.build_report(1) for c in enrollment.clients]
+        index_of = {c.user_id: c.blinding.user_index
+                    for c in enrollment.clients}
+
+        def run(max_bytes):
+            monkeypatch.setattr(server_mod, "_ID_TABLE_MAX_BYTES", max_bytes)
+            monkeypatch.setattr(server_mod, "_ID_CHUNK", 77)
+            server = AggregationServer(CONFIG, index_of)
+            server.start_round(1)
+            for report in reports:
+                server.submit_report(report)
+            return server.users_distribution(server.aggregate())
+
+        cached = run(128 * 1024 * 1024)
+        chunked = run(0)  # force the no-table path
+        assert cached.values == chunked.values
+
+    def test_table_cache_reused_across_rounds(self):
+        enrollment = _enrolled_round(seed=23)
+        coordinator = RoundCoordinator(CONFIG, enrollment.clients)
+        r1 = coordinator.run_round(1)
+        r2 = coordinator.run_round(2)
+        assert len(coordinator.server._id_tables) == 1
+        # Same observations -> identical distributions in both rounds.
+        assert r1.distribution.values == r2.distribution.values
+
+
+class TestBlindingArrayApis:
+    def test_blind_array_matches_blind(self):
+        enrollment = _enrolled_round(seed=29, n_users=3)
+        client = enrollment.clients[0]
+        cells = list(range(CONFIG.num_cells))
+        as_list = client.blinding.blind(cells, round_id=6)
+        as_array = client.blinding.blind_array(
+            np.asarray(cells, dtype=np.uint64), round_id=6)
+        assert as_array.dtype == np.uint64
+        assert as_list == as_array.tolist()
+
+    def test_adjustment_array_matches_list(self):
+        enrollment = _enrolled_round(seed=31, n_users=4)
+        client = enrollment.clients[0]
+        missing = [enrollment.clients[-1].blinding.user_index]
+        as_list = client.blinding.adjustment_for_missing(
+            missing, CONFIG.num_cells, round_id=3)
+        as_array = client.blinding.adjustment_for_missing_array(
+            missing, CONFIG.num_cells, round_id=3)
+        assert as_list == as_array.tolist()
+
+    def test_blinding_vector_list_view(self):
+        enrollment = _enrolled_round(seed=37, n_users=3)
+        vec = enrollment.clients[0].blinding.blinding_vector(16, round_id=1)
+        arr = enrollment.clients[0].blinding.blinding_vector_array(
+            16, round_id=1)
+        assert isinstance(vec, list)
+        assert all(isinstance(v, int) for v in vec)
+        assert vec == arr.tolist()
+
+
+class TestCellVector:
+    def test_equality_with_tuple_both_directions(self):
+        vector = CellVector([1, 2, 3])
+        assert vector == (1, 2, 3)
+        assert (1, 2, 3) == vector
+        assert vector != (1, 2, 4)
+        assert vector != (1, 2)
+
+    def test_hash_matches_tuple(self):
+        assert hash(CellVector([5, 6, 7])) == hash((5, 6, 7))
+
+    def test_messages_mix_forms(self):
+        a = BlindedReport("u", 1, cells=(9, 9))
+        b = BlindedReport("u", 1, cells=CellVector([9, 9]))
+        assert a == b
+        assert BlindingAdjustment("u", 1, cells=CellVector([1])) == \
+            BlindingAdjustment("u", 1, cells=(1,))
+
+    def test_sequence_behaviour(self):
+        vector = CellVector([4, 5, 6, 7])
+        assert len(vector) == 4
+        assert vector[0] == 4 and isinstance(vector[0], int)
+        assert vector[1:3] == (5, 6)
+        assert list(vector) == [4, 5, 6, 7]
+        assert 6 in vector
+
+    def test_wire_roundtrip_preserves_equality(self):
+        report = BlindedReport("u", 3, cells=CellVector([0, 1, 0xFFFFFFFF]))
+        decoded = wire.decode(wire.encode(report))
+        assert decoded == report
+        assert isinstance(decoded.cells, CellVector)
+        # And against the tuple form of the same message.
+        assert decoded == BlindedReport("u", 3, cells=(0, 1, 0xFFFFFFFF))
+
+    def test_cells_as_array_zero_copy(self):
+        arr = np.asarray([1, 2, 3], dtype=np.uint64)
+        report = BlindedReport("u", 1, cells=CellVector(arr))
+        assert report.cells_as_array() is report.cells.array

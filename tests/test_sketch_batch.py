@@ -1,0 +1,187 @@
+"""Scalar/batch equivalence for the vectorized sketch fast path.
+
+The batch APIs (`update_many`, `query_many`, `update_many_conservative`,
+vectorized `merge`/`aggregate`) must be *bit-identical* to looping the
+scalar operations — the blinded-aggregation protocol depends on every
+participant computing exactly the same cell vectors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashing import HashFamily, stable_hash, stable_hash_many
+
+items_strategy = st.lists(
+    st.one_of(st.integers(min_value=-10, max_value=10 ** 9),
+              st.text(max_size=12),
+              st.binary(max_size=12)),
+    min_size=0, max_size=60)
+
+
+class TestBatchedHashing:
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy)
+    def test_stable_hash_many_matches_scalar(self, items):
+        batched = stable_hash_many(items)
+        assert batched.dtype == np.uint64
+        assert batched.tolist() == [stable_hash(x) for x in items]
+
+    def test_stable_hash_many_salt(self):
+        items = ["a", "b", b"c", 7]
+        batched = stable_hash_many(items, salt=b"pepper")
+        assert batched.tolist() == [stable_hash(x, salt=b"pepper")
+                                    for x in items]
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 12345])
+    def test_index_matrix_matches_scalar_across_seeds(self, seed):
+        """Cross-seed determinism: batch == scalar for every hash family."""
+        family = HashFamily(d=9, width=517, seed=seed)
+        items = [f"ad-{i}" for i in range(200)] + list(range(50))
+        matrix = family.indexes_many(items)
+        assert matrix.shape == (9, len(items))
+        for col, item in enumerate(items):
+            assert matrix[:, col].tolist() == family.indexes(item)
+
+    def test_index_matrix_deterministic_across_instances(self):
+        """Two families with the same (d, w, seed) agree on the batch path,
+        exactly as the blinded-merge property requires."""
+        items = list(range(500))
+        a = HashFamily(5, 2719, seed=42).indexes_many(items)
+        b = HashFamily(5, 2719, seed=42).indexes_many(items)
+        assert np.array_equal(a, b)
+
+    def test_large_digests_reduce_correctly(self):
+        """Digests above the Mersenne prime still match the big-int path."""
+        family = HashFamily(4, 997, seed=3)
+        # Hunt for items whose 64-bit digest exceeds p = 2^61 - 1 (about
+        # 7 in 8 random digests do).
+        items = [i for i in range(64) if stable_hash(i) >= (1 << 61)]
+        assert items, "expected some digests above the Mersenne prime"
+        matrix = family.indexes_many(items)
+        for col, item in enumerate(items):
+            assert matrix[:, col].tolist() == family.indexes(item)
+
+
+class TestBatchUpdateQuery:
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy)
+    def test_update_many_matches_looped_update(self, items):
+        batched = CountMinSketch(4, 64, seed=2)
+        looped = CountMinSketch(4, 64, seed=2)
+        batched.update_many(items)
+        for item in items:
+            looped.update(item)
+        assert batched.cells == looped.cells
+        assert batched.total == looped.total
+
+    def test_update_many_with_counts(self):
+        items = ["a", "b", "a", 3]
+        counts = [2, 5, 1, 7]
+        batched = CountMinSketch(3, 32, seed=1)
+        looped = CountMinSketch(3, 32, seed=1)
+        batched.update_many(items, counts)
+        for item, count in zip(items, counts):
+            looped.update(item, count)
+        assert batched.cells == looped.cells
+        assert batched.total == looped.total
+
+    def test_update_many_scalar_count(self):
+        batched = CountMinSketch(3, 32, seed=1)
+        batched.update_many(["x", "y"], 4)
+        assert batched.query("x") >= 4
+        assert batched.total == 8
+
+    def test_update_many_rejects_negative(self):
+        cms = CountMinSketch(2, 8)
+        with pytest.raises(ConfigurationError):
+            cms.update_many(["a"], [-1])
+        with pytest.raises(ConfigurationError):
+            cms.update_many(["a"], -2)
+
+    def test_update_many_empty_is_noop(self):
+        cms = CountMinSketch(2, 8)
+        cms.update_many([])
+        assert cms.total == 0
+        assert cms.cells == tuple([0] * 16)
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy, items_strategy)
+    def test_query_many_matches_looped_query(self, inserted, queried):
+        cms = CountMinSketch(4, 64, seed=5)
+        cms.update_many(inserted)
+        batched = cms.query_many(queried)
+        assert batched.tolist() == [cms.query(x) for x in queried]
+
+    def test_query_many_empty(self):
+        assert CountMinSketch(2, 8).query_many([]).size == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=25),
+                    min_size=1, max_size=50))
+    def test_conservative_batch_matches_scalar_loop(self, stream):
+        """Conservative updates are order-dependent; the batch version must
+        replay the same order bit for bit."""
+        batched = CountMinSketch(4, 32, seed=9)
+        looped = CountMinSketch(4, 32, seed=9)
+        batched.update_many_conservative(stream)
+        for item in stream:
+            looped.update_conservative(item)
+        assert batched.cells == looped.cells
+        assert batched.total == looped.total
+
+    def test_conservative_batch_with_counts(self):
+        stream = ["a", "b", "a", "c", "a"]
+        counts = [3, 1, 2, 5, 1]
+        batched = CountMinSketch(4, 32, seed=9)
+        looped = CountMinSketch(4, 32, seed=9)
+        batched.update_many_conservative(stream, counts)
+        for item, count in zip(stream, counts):
+            looped.update_conservative(item, count)
+        assert batched.cells == looped.cells
+
+
+class TestVectorizedMergeAggregate:
+    def test_aggregate_matches_sequential_merge(self):
+        sketches = []
+        for i in range(8):
+            s = CountMinSketch(4, 128, seed=3)
+            s.update_many([f"ad-{j}" for j in range(i + 1)])
+            sketches.append(s)
+        agg = CountMinSketch.aggregate(sketches)
+        manual = sketches[0].empty_like()
+        for s in sketches:
+            manual.merge(s)
+        assert agg.cells == manual.cells
+        assert agg.total == manual.total
+
+    def test_aggregate_single_sketch_copies(self):
+        s = CountMinSketch(2, 16, seed=1)
+        s.update("x", 5)
+        agg = CountMinSketch.aggregate([s])
+        assert agg.cells == s.cells
+        agg.update("y")
+        assert agg.cells != s.cells  # no aliasing with the input sketch
+
+    def test_cells_array_is_read_only_view(self):
+        s = CountMinSketch(2, 16, seed=1)
+        s.update("x")
+        view = s.cells_array
+        with pytest.raises(ValueError):
+            view[0] = 99
+        s.update("x")
+        assert view.tolist() == list(s.cells)  # live view, not a copy
+
+    def test_construct_from_array(self):
+        s = CountMinSketch(2, 8, seed=4)
+        s.update_many(["a", "b", "c"])
+        clone = CountMinSketch(2, 8, seed=4, cells=s.cells_array)
+        assert clone.cells == s.cells
+        assert clone.total == s.total
+
+    def test_construct_rejects_negative_cells(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(2, 2, cells=[0, 0, 0, -1])
