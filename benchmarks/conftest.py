@@ -8,6 +8,16 @@ timing numbers measure the reproduction cost, not the paper's metrics.
 
 from __future__ import annotations
 
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every bench is ``slow``: tier-1 (`pytest -x -q`) never collects
+    this directory (see ``testpaths`` in pytest.ini), and the marker lets
+    mixed invocations filter with ``-m "not slow"``."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
 
 def print_table(title: str, header: str, rows) -> None:
     """Uniform table printer for the reproduced results."""

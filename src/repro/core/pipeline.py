@@ -23,7 +23,7 @@ from repro.core.detector import CountBasedDetector, DetectorConfig
 from repro.errors import ConfigurationError
 from repro.protocol.client import RoundConfig
 from repro.protocol.coordinator import RoundCoordinator, RoundResult
-from repro.protocol.enrollment import enroll_users
+from repro.protocol.enrollment import MAX_CLIQUES, enroll_users
 from repro.statsutil.distributions import EmpiricalDistribution
 from repro.types import Ad, ClassifiedAd, Impression
 
@@ -68,7 +68,15 @@ class DetectionPipeline:
                  round_config: Optional[RoundConfig] = None,
                  use_oprf: bool = False,
                  enrollment_seed: int = 0,
-                 transport_factory=None) -> None:
+                 transport_factory=None,
+                 num_cliques: int = 1) -> None:
+        if num_cliques < 1:
+            raise ConfigurationError(
+                f"num_cliques must be >= 1, got {num_cliques}")
+        if num_cliques > MAX_CLIQUES:
+            raise ConfigurationError(
+                f"num_cliques {num_cliques} exceeds the wire format's "
+                f"clique-id range (max {MAX_CLIQUES})")
         self.detector_config = detector_config or DetectorConfig()
         self.private = private
         self.round_config = round_config
@@ -78,6 +86,11 @@ class DetectionPipeline:
         #: rounds — the hook for injecting client failures (longitudinal
         #: deployment, fault-tolerance tests).
         self.transport_factory = transport_factory
+        #: Blinding cliques per private round (paper §6 scaling lever):
+        #: keystream work drops from Θ(U²·cells) to Θ((U/k)·U·cells) with
+        #: a bit-identical aggregate. Clamped per window so every clique
+        #: keeps at least two members.
+        self.num_cliques = num_cliques
 
     # ------------------------------------------------------------------
     def _default_round_config(self, num_unique_ads: int) -> RoundConfig:
@@ -111,9 +124,13 @@ class DetectionPipeline:
                           for identity in per_user}
         config = self.round_config or self._default_round_config(
             len(all_identities))
+        # Clamp so every clique has >= 2 members in this window's
+        # population (a singleton clique would report unblinded).
+        cliques = max(1, min(self.num_cliques, len(user_ids) // 2))
         enrollment = enroll_users(user_ids, config,
                                   seed=self.enrollment_seed,
-                                  use_oprf=self.use_oprf)
+                                  use_oprf=self.use_oprf,
+                                  num_cliques=cliques)
         clients_by_id = {c.user_id: c for c in enrollment.clients}
         for user_id, per_user in ads_by_user.items():
             client = clients_by_id[user_id]

@@ -21,6 +21,16 @@ Arithmetic is modulo ``2**32`` (matching the paper's 4-byte CMS cells):
 blinded cells are uniformly random individually, yet their sum recovers
 the true aggregate as long as true cell sums stay below ``2**32``.
 
+Cancellation is a property of whichever *peer set* a generator was built
+over, not of the global population: when enrollment shards users into
+blinding cliques, each user's ``peer_publics`` holds only its clique
+mates, the ``i``/``j`` keystream pairs cancel clique by clique, and the
+sum over all cliques' reports equals the true aggregate exactly as in the
+unsharded protocol — while each user evaluates ``|clique| - 1`` instead
+of ``U - 1`` keystreams per round. The recovery adjustment works the same
+way: a survivor can (and may only) correct for missing peers *it shares a
+secret with*, i.e. dropouts inside its own clique.
+
 Every operation has an array form (:meth:`BlindingGenerator.blind_array`,
 :meth:`BlindingGenerator.blinding_vector_array`,
 :meth:`BlindingGenerator.adjustment_for_missing_array`) returning
@@ -73,8 +83,12 @@ class BlindingGenerator:
     keypair:
         This user's DH key pair.
     peer_publics:
-        Mapping of peer index -> peer public key for *all* users in the
-        round (the "public bulletin board" of the paper), excluding self.
+        Mapping of peer index -> peer public key for every user this one
+        blinds against, excluding self: the whole round's population in
+        the unsharded protocol, or just the members of this user's
+        blinding clique under sharded enrollment. Cancellation holds
+        within whatever peer set is given here, provided every peer's
+        generator is built over the matching set.
     """
 
     def __init__(self, group: DHGroup, user_index: int, keypair: KeyPair,

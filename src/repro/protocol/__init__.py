@@ -27,10 +27,11 @@ from repro.protocol.transport import InMemoryTransport, WireTransport
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.server import AggregationServer
 from repro.protocol.coordinator import RoundCoordinator, RoundResult
-from repro.protocol.enrollment import Enrollment, enroll_users
+from repro.protocol.enrollment import Enrollment, assign_cliques, enroll_users
 
 __all__ = [
     "Enrollment",
+    "assign_cliques",
     "enroll_users",
     "BlindedReport",
     "BlindingAdjustment",

@@ -8,6 +8,7 @@ a blinded CMS report on demand.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
@@ -68,19 +69,32 @@ class ProtocolClient:
         Anything exposing ``ad_id(url) -> int``; in deployment an
         :class:`~repro.crypto.prf.ObliviousAdMapper`, in unit tests often a
         :class:`~repro.crypto.prf.KeyedPRF`.
+    clique_id:
+        The blinding clique this user was enrolled into (0 when the
+        population is unsharded); stamped on every report and adjustment
+        so the server can track recovery per clique.
     """
 
     def __init__(self, user_id: str, config: RoundConfig,
                  blinding: BlindingGenerator,
-                 ad_mapper) -> None:
+                 ad_mapper, clique_id: int = 0) -> None:
         self.user_id = user_id
         self.config = config
         self.blinding = blinding
         self.ad_mapper = ad_mapper
+        self.clique_id = clique_id
         self._seen_urls: Set[str] = set()
         #: URL -> ad ID, filled as ads are observed so report building
         #: never re-runs the OPRF/PRF evaluation.
         self._ad_ids: Dict[str, int] = {}
+        #: round id -> digest of the cell vector blinded in that round.
+        #: The pairwise keystream is a one-time pad keyed by
+        #: ``(pair, round_id)``; blinding two *different* sketches under
+        #: the same round id would hand the server the cell difference in
+        #: the clear, so reuse is refused (identical rebuilds are
+        #: idempotent and allowed). Survives :meth:`reset_window` — the
+        #: pads are no fresher after a window reset.
+        self._blinded_rounds: Dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     # Observation phase
@@ -131,11 +145,26 @@ class ProtocolClient:
 
         The cell vector stays a NumPy array from the sketch through the
         blinding to the report's :class:`CellVector` — no per-cell boxing.
+
+        Raises :class:`RoundStateError` if ``round_id`` was already used
+        to blind a *different* cell vector: the ``(pair, round_id)``
+        keystream is a one-time pad, and reusing it across two sketches
+        would leak their cell-wise difference. Rebuilding the identical
+        report (e.g. a retransmission) is allowed.
         """
         sketch = self._build_sketch()
+        digest = hashlib.sha256(sketch.cells_array.tobytes()).digest()
+        previous = self._blinded_rounds.get(round_id)
+        if previous is not None and previous != digest:
+            raise RoundStateError(
+                f"client {self.user_id!r} already blinded a different "
+                f"sketch under round {round_id}; reusing the pairwise "
+                f"keystream would leak the cell difference")
         blinded = self.blinding.blind_array(sketch.cells_array, round_id)
+        self._blinded_rounds[round_id] = digest
         return BlindedReport(user_id=self.user_id, round_id=round_id,
-                             cells=CellVector(blinded))
+                             cells=CellVector(blinded),
+                             clique_id=self.clique_id)
 
     def build_cleartext_report(self, round_id: int) -> CleartextReport:
         """The non-private baseline used for §7.1 size comparison."""
@@ -144,8 +173,19 @@ class ProtocolClient:
 
     def build_adjustment(self, round_id: int,
                          missing_indexes: Iterable[int]) -> BlindingAdjustment:
-        """Fault-tolerance round: corrections for missing peers."""
+        """Fault-tolerance round: corrections for missing peers.
+
+        Trust caveat (inherent to the paper's §6 scheme, unsharded or
+        not): the client cannot verify the server's missing list. A
+        lying server that names a peer who actually *did* report
+        receives that pair's live keystream and can partially unblind
+        the named peer's submitted report. Defending this needs missing
+        lists authenticated by multiple parties (e.g. the bulletin
+        board) — out of scope here; the honest-but-curious model of the
+        paper assumes the server follows the protocol.
+        """
         cells = self.blinding.adjustment_for_missing_array(
             missing_indexes, self.config.num_cells, round_id)
         return BlindingAdjustment(user_id=self.user_id, round_id=round_id,
-                                  cells=CellVector(cells))
+                                  cells=CellVector(cells),
+                                  clique_id=self.clique_id)

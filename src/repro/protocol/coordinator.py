@@ -75,7 +75,8 @@ class RoundCoordinator:
         self.transport = transport or InMemoryTransport()
         self.threshold_rule = threshold_rule
         index_of = {c.user_id: c.blinding.user_index for c in clients}
-        self.server = AggregationServer(config, index_of)
+        clique_of = {c.user_id: c.clique_id for c in clients}
+        self.server = AggregationServer(config, index_of, clique_of=clique_of)
         self.transport.register(SERVER_ENDPOINT)
         for client in clients:
             self.transport.register(client.user_id)
@@ -92,20 +93,29 @@ class RoundCoordinator:
             if isinstance(message, BlindedReport):
                 self.server.submit_report(message)
 
-        # Phase 2 (only if needed): the two-message recovery round.
+        # Phase 2 (only if needed): the two-message recovery round,
+        # scoped per blinding clique — a dropout's pads exist only inside
+        # its own clique, so only that clique's survivors are notified
+        # (with only their clique's missing indexes) and owe adjustments.
         missing = self.server.missing_users()
         recovery_used = False
         if missing:
             recovery_used = True
-            notice = MissingClientsNotice(
-                round_id=round_id,
-                missing_indexes=tuple(self.server.missing_indexes()))
-            survivors = [c for c in self.clients
-                         if c.user_id not in set(missing)
-                         and not self.transport.is_failed(c.user_id)]
-            for client in survivors:
+            missing_set = set(missing)
+            missing_by_clique = self.server.missing_indexes_by_clique()
+            notified = []
+            for client in self.clients:
+                clique_missing = missing_by_clique.get(client.clique_id)
+                if clique_missing is None or client.user_id in missing_set \
+                        or self.transport.is_failed(client.user_id):
+                    continue
+                notice = MissingClientsNotice(
+                    round_id=round_id,
+                    missing_indexes=tuple(clique_missing),
+                    clique_id=client.clique_id)
                 self.transport.send(SERVER_ENDPOINT, client.user_id, notice)
-            for client in survivors:
+                notified.append(client)
+            for client in notified:
                 delivered = self.transport.drain(client.user_id)
                 for _sender, message in delivered:
                     if isinstance(message, MissingClientsNotice):

@@ -5,12 +5,25 @@ keys to the bulletin board and learn the round parameters. This factory
 performs that phase in-process: it generates a key pair per user, exchanges
 public keys, builds each user's :class:`BlindingGenerator` and connects
 everyone to a shared OPRF server for ad-ID mapping.
+
+Blinding cliques
+----------------
+The pairwise blinding keystream of §6 costs Θ(users² · cells) per round
+when every user shares a secret with every other user. ``num_cliques``
+shards the population into ``k`` disjoint cliques (deterministically from
+``seed``): each user exchanges keys and derives keystreams only *within*
+its clique, cutting per-round keystream work to Θ((U/k) · U · cells).
+Each clique's blinding terms sum to zero independently, so the global sum
+of all blinded reports — and therefore the final aggregate — is
+bit-identical to the unsharded protocol. The privacy trade-off is that a
+report now hides among its clique (U/k users) rather than the whole
+population; ``k=1`` (the default) preserves the original protocol exactly.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -21,6 +34,10 @@ from repro.crypto.prf import KeyedPRF, ObliviousAdMapper
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.statsutil.sampling import make_rng
 
+#: Largest supported clique count: clique ids ride a 16-bit wire field
+#: (see the header format in :mod:`repro.protocol.wire`).
+MAX_CLIQUES = 0xFFFF + 1
+
 
 @dataclass
 class Enrollment:
@@ -30,17 +47,61 @@ class Enrollment:
     group: DHGroup
     oprf_server: Optional[OPRFServer]
     config: RoundConfig
+    #: user id -> clique id; every user of a clique shares pairwise
+    #: secrets with exactly the other members of that clique.
+    clique_of: Dict[str, int] = field(default_factory=dict)
+    num_cliques: int = 1
 
     @property
     def user_ids(self) -> List[str]:
         return [c.user_id for c in self.clients]
 
 
+def assign_cliques(user_ids: Sequence[str], num_cliques: int,
+                   seed: int = 0) -> Dict[str, int]:
+    """Deterministic, balanced partition of users into blinding cliques.
+
+    The sorted user list is shuffled with an RNG derived from ``seed``
+    (independent of the key-generation RNG stream, so ``k=1`` enrollments
+    are bit-identical to the pre-sharding protocol) and dealt round-robin
+    into ``num_cliques`` groups whose sizes differ by at most one.
+
+    Every clique must end up with at least two members — a singleton
+    clique would have no peers, making its user's "blinded" report the
+    raw cleartext sketch. Note the sharper form of the same limit during
+    recovery: pads only hide a report among a clique's *reporting*
+    members, so if dropouts reduce a clique to one survivor, that
+    survivor's report plus its adjustment reveals its raw sketch (as in
+    the unsharded protocol with ``U - 1`` dropouts — inherent to the
+    additive-blinding scheme). Deployments should size ``k`` so that
+    ``U / k`` stays a comfortable anonymity set even under churn.
+    """
+    if len(set(user_ids)) != len(user_ids):
+        raise ConfigurationError("duplicate user ids in clique assignment")
+    if num_cliques < 1:
+        raise ConfigurationError(
+            f"num_cliques must be >= 1, got {num_cliques}")
+    if num_cliques > MAX_CLIQUES:
+        raise ConfigurationError(
+            f"num_cliques {num_cliques} exceeds the wire format's clique-id "
+            f"range (max {MAX_CLIQUES})")
+    if num_cliques > 1 and len(user_ids) < 2 * num_cliques:
+        raise ConfigurationError(
+            f"{num_cliques} cliques over {len(user_ids)} users would leave "
+            f"a clique with fewer than 2 members (blinding needs a peer)")
+    shuffled = sorted(user_ids)
+    # A distinct RNG stream: must not perturb the keypair RNG, and must
+    # not collide with it either (hence the tag constant).
+    make_rng(seed * 0x9E3779B1 + num_cliques).shuffle(shuffled)
+    return {uid: i % num_cliques for i, uid in enumerate(shuffled)}
+
+
 def enroll_users(user_ids: Sequence[str], config: RoundConfig,
                  group: Optional[DHGroup] = None,
                  seed: int = 0,
                  use_oprf: bool = True,
-                 oprf_bits: int = 256) -> Enrollment:
+                 oprf_bits: int = 256,
+                 num_cliques: int = 1) -> Enrollment:
     """Wire up a population of protocol clients.
 
     With ``use_oprf=True`` (deployment fidelity) every client maps ad URLs
@@ -48,11 +109,16 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
     share a :class:`KeyedPRF` directly — the same function without protocol
     messages, which is much faster for large simulations and detector-level
     tests where OPRF fidelity is irrelevant.
+
+    ``num_cliques`` shards the blinding graph (see the module docstring);
+    the default of 1 reproduces the unsharded protocol exactly.
     """
     if not user_ids:
         raise ConfigurationError("enroll_users needs at least one user id")
     if len(set(user_ids)) != len(user_ids):
         raise ConfigurationError("duplicate user ids in enrollment")
+
+    clique_of = assign_cliques(user_ids, num_cliques, seed=seed)
 
     rng = make_rng(seed)
     group = group or DHGroup.standard(128)
@@ -60,6 +126,8 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
     # Canonical blinding order: sorted user ids.
     index_of: Dict[str, int] = {uid: i for i, uid in enumerate(sorted(user_ids))}
     publics = {index_of[uid]: kp.public for uid, kp in keypairs.items()}
+    clique_of_index = {index_of[uid]: clique for uid, clique
+                       in clique_of.items()}
 
     oprf_server: Optional[OPRFServer] = None
     shared_prf: Optional[KeyedPRF] = None
@@ -67,13 +135,17 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
         oprf_server = OPRFServer.generate(bits=oprf_bits,
                                           rng=random.Random(seed + 1))
     else:
-        shared_prf = KeyedPRF(key=seed.to_bytes(8, "big", signed=True)
-                              or b"\0", id_space=config.id_space)
+        shared_prf = KeyedPRF(key=seed.to_bytes(8, "big", signed=True),
+                              id_space=config.id_space)
 
     clients: List[ProtocolClient] = []
     for uid in user_ids:
         idx = index_of[uid]
-        peers = {j: pub for j, pub in publics.items() if j != idx}
+        clique = clique_of[uid]
+        # Key exchange is clique-scoped: a user only learns (and pays a
+        # modexp for) the public keys of its own clique.
+        peers = {j: pub for j, pub in publics.items()
+                 if j != idx and clique_of_index[j] == clique}
         blinding = BlindingGenerator(group, idx, keypairs[uid], peers)
         if use_oprf:
             mapper = ObliviousAdMapper(
@@ -82,6 +154,8 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
                 oprf_server, id_space=config.id_space)
         else:
             mapper = shared_prf
-        clients.append(ProtocolClient(uid, config, blinding, mapper))
+        clients.append(ProtocolClient(uid, config, blinding, mapper,
+                                      clique_id=clique))
     return Enrollment(clients=clients, group=group, oprf_server=oprf_server,
-                      config=config)
+                      config=config, clique_of=clique_of,
+                      num_cliques=num_cliques)

@@ -114,11 +114,17 @@ class PublicKeyAnnouncement:
 
 @dataclass(frozen=True)
 class BlindedReport:
-    """One client's blinded CMS cell vector for a round."""
+    """One client's blinded CMS cell vector for a round.
+
+    ``clique_id`` names the blinding clique the cells were blinded
+    within; the server tracks dropouts and recovery per clique. An
+    unsharded population is a single clique 0.
+    """
 
     user_id: str
     round_id: int
     cells: Cells
+    clique_id: int = 0
 
     def cells_as_array(self) -> np.ndarray:
         """The cell vector as a ``uint64`` array (zero-copy when possible)."""
@@ -150,10 +156,16 @@ class CleartextReport:
 
 @dataclass(frozen=True)
 class MissingClientsNotice:
-    """Server -> surviving clients: these peers never reported."""
+    """Server -> surviving clients: these peers never reported.
+
+    With a sharded population the notice is clique-scoped: it lists only
+    the missing members of ``clique_id`` and is sent only to that
+    clique's survivors (the only users holding the pads to cancel).
+    """
 
     round_id: int
     missing_indexes: Tuple[int, ...]
+    clique_id: int = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + 4 * len(self.missing_indexes)
@@ -166,6 +178,7 @@ class BlindingAdjustment:
     user_id: str
     round_id: int
     cells: Cells
+    clique_id: int = 0
 
     def cells_as_array(self) -> np.ndarray:
         """The cell vector as a ``uint64`` array (zero-copy when possible)."""

@@ -14,6 +14,23 @@ so this is bit-identical to reducing after every addition), and the
 ID-space indexes depend only on the round's hash family, the server caches
 the index table across rounds and a steady-state distribution query is a
 single NumPy gather.
+
+Clique-scoped cancellation
+--------------------------
+When enrollment shards users into blinding cliques, each clique's pads sum
+to zero *independently*: the server accumulates a partial sum per clique
+and combines them into the global aggregate, which is bit-identical to the
+unsharded sum (modular addition is associative). Dropout recovery is
+likewise clique-local — a missing user only un-cancels pads inside its own
+clique, so only that clique's survivors owe adjustments, and a clique that
+vanished entirely contributed no pads at all (its counts are simply
+absent, not noise).
+
+The recovery round is validated strictly: adjustments must come from
+users that reported, from cliques that actually have missing members, and
+*every* survivor of an affected clique must adjust before the aggregate is
+released — partial coverage leaves un-cancelled pads in every cell, which
+is indistinguishable from a valid aggregate by inspection.
 """
 
 from __future__ import annotations
@@ -42,14 +59,25 @@ class AggregationServer:
 
     ``index_of`` maps user ids to their canonical blinding index; the
     server needs it only to name missing users in the recovery round —
-    indexes are public enrollment metadata, not private data.
+    indexes are public enrollment metadata, not private data. ``clique_of``
+    maps user ids to their blinding clique (public metadata too); omitted,
+    every user is in clique 0, the unsharded protocol.
     """
 
-    def __init__(self, config: RoundConfig, index_of: Dict[str, int]) -> None:
+    def __init__(self, config: RoundConfig, index_of: Dict[str, int],
+                 clique_of: Optional[Dict[str, int]] = None) -> None:
         self.config = config
         self.index_of = dict(index_of)
+        if clique_of is None:
+            self.clique_of: Dict[str, int] = {u: 0 for u in self.index_of}
+        else:
+            unknown = sorted(set(index_of) - set(clique_of))
+            if unknown:
+                raise RoundStateError(
+                    f"users with no clique assignment: {unknown[:5]}")
+            self.clique_of = {u: clique_of[u] for u in self.index_of}
         self._reports: Dict[str, BlindedReport] = {}
-        self._adjustments: List[BlindingAdjustment] = []
+        self._adjustments: Dict[str, BlindingAdjustment] = {}
         self._round_id: Optional[int] = None
         # (depth, width, seed) -> flat (d, id_space) cell-index table; the
         # indexes are round-independent, so one table serves every round.
@@ -70,7 +98,13 @@ class AggregationServer:
         return self._round_id
 
     def submit_report(self, report: BlindedReport) -> None:
-        """Accept one client's blinded report after validating it."""
+        """Accept one client's blinded report after validating it.
+
+        A resend of the identical report is idempotent; a *different*
+        report from a user that already reported is rejected — silently
+        overwriting would let a replayed or forged upload corrupt the
+        aggregate without any survivor noticing.
+        """
         round_id = self._require_round()
         if report.round_id != round_id:
             raise RoundStateError(
@@ -81,18 +115,51 @@ class AggregationServer:
             raise RoundStateError(
                 f"report has {len(report.cells)} cells, expected "
                 f"{self.config.num_cells}")
+        if report.clique_id != self.clique_of[report.user_id]:
+            raise RoundStateError(
+                f"report from {report.user_id!r} claims clique "
+                f"{report.clique_id}, enrolled in "
+                f"{self.clique_of[report.user_id]}")
+        existing = self._reports.get(report.user_id)
+        if existing is not None:
+            if np.array_equal(existing.cells_as_array(),
+                              report.cells_as_array()):
+                return  # idempotent retransmission
+            raise RoundStateError(
+                f"duplicate report from {report.user_id!r} with differing "
+                f"cells in round {round_id}")
         self._reports[report.user_id] = report
 
     def submit_adjustment(self, adjustment: BlindingAdjustment) -> None:
-        """Accept one survivor's fault-tolerance correction vector."""
+        """Accept one survivor's fault-tolerance correction vector.
+
+        Identical resends are idempotent; a differing second adjustment
+        from the same user is rejected like a duplicate report.
+        """
         round_id = self._require_round()
         if adjustment.round_id != round_id:
             raise RoundStateError(
                 f"adjustment for round {adjustment.round_id}, current is "
                 f"{round_id}")
+        if adjustment.user_id not in self.index_of:
+            raise RoundStateError(
+                f"adjustment from unknown user {adjustment.user_id!r}")
         if len(adjustment.cells) != self.config.num_cells:
             raise RoundStateError("adjustment cell-count mismatch")
-        self._adjustments.append(adjustment)
+        if adjustment.clique_id != self.clique_of[adjustment.user_id]:
+            raise RoundStateError(
+                f"adjustment from {adjustment.user_id!r} claims clique "
+                f"{adjustment.clique_id}, enrolled in "
+                f"{self.clique_of[adjustment.user_id]}")
+        existing = self._adjustments.get(adjustment.user_id)
+        if existing is not None:
+            if np.array_equal(existing.cells_as_array(),
+                              adjustment.cells_as_array()):
+                return
+            raise RoundStateError(
+                f"duplicate adjustment from {adjustment.user_id!r} with "
+                f"differing cells in round {round_id}")
+        self._adjustments[adjustment.user_id] = adjustment
 
     # ------------------------------------------------------------------
     # Status
@@ -101,6 +168,11 @@ class AggregationServer:
     def reported_users(self) -> Set[str]:
         return set(self._reports)
 
+    @property
+    def adjusted_users(self) -> Set[str]:
+        """Users whose recovery adjustment has arrived this round."""
+        return set(self._adjustments)
+
     def missing_users(self) -> List[str]:
         """Enrolled users whose report has not arrived this round."""
         return sorted(set(self.index_of) - set(self._reports))
@@ -108,28 +180,108 @@ class AggregationServer:
     def missing_indexes(self) -> List[int]:
         return sorted(self.index_of[u] for u in self.missing_users())
 
+    def missing_indexes_by_clique(self) -> Dict[int, List[int]]:
+        """Missing users' blinding indexes grouped by their clique.
+
+        Only these cliques need a recovery round; a dropout's pads exist
+        solely inside its own clique.
+        """
+        by_clique: Dict[int, List[int]] = {}
+        for user in self.missing_users():
+            by_clique.setdefault(self.clique_of[user], []).append(
+                self.index_of[user])
+        return {clique: sorted(idx) for clique, idx in by_clique.items()}
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
+    def _check_recovery_coverage(self) -> None:
+        """Raise unless every affected clique's recovery round completed.
+
+        Blinding cancels per clique, so the conditions are clique-local:
+        for every clique with at least one missing member, *every* one of
+        its surviving reporters must have submitted an adjustment.
+        Partial coverage leaves un-cancelled keystream terms in every
+        cell — the aggregate would be silently random noise.
+        """
+        missing = self.missing_users()
+        if missing and not self._reports:
+            # Degenerate round: everyone dropped. A zero aggregate would
+            # feed a garbage threshold downstream; fail loudly instead.
+            raise MissingReportError(
+                f"no reports arrived; all {len(missing)} enrolled users "
+                f"are missing")
+        survivors_by_clique: Dict[int, Set[str]] = {}
+        for user in self._reports:
+            survivors_by_clique.setdefault(
+                self.clique_of[user], set()).add(user)
+        adjusted = set(self._adjustments)
+        for clique in sorted({self.clique_of[u] for u in missing}):
+            survivors = survivors_by_clique.get(clique, set())
+            unadjusted = sorted(survivors - adjusted)
+            if unadjusted:
+                raise MissingReportError(
+                    f"clique {clique} has missing users but only "
+                    f"{len(survivors) - len(unadjusted)}/{len(survivors)} "
+                    f"survivors adjusted; blinding cannot cancel (first "
+                    f"unadjusted: {unadjusted[:5]})")
+
+    def _check_adjustment_consistency(self) -> None:
+        """Reject adjustments that would themselves corrupt the sum."""
+        missing_cliques = {self.clique_of[u] for u in self.missing_users()}
+        for user in sorted(self._adjustments):
+            if user not in self._reports:
+                raise RoundStateError(
+                    f"adjustment from {user!r} whose own report never "
+                    f"arrived; its pads are not in the sum to correct")
+            if self.clique_of[user] not in missing_cliques:
+                raise RoundStateError(
+                    f"adjustment from {user!r} in clique "
+                    f"{self.clique_of[user]}, which has no missing users; "
+                    f"applying it would add un-cancelled noise")
+
     def aggregate(self, allow_missing: bool = False) -> CountMinSketch:
         """Sum all reports (and adjustments) into the aggregate sketch.
 
-        With missing users and no adjustments the blinding does not cancel
-        and every cell is random noise; that state raises
-        :class:`MissingReportError` unless ``allow_missing`` is set (tests
-        use it to demonstrate exactly that noise property).
+        Reports and adjustments are accumulated into one partial sum per
+        blinding clique, then the partials are combined — bit-identical
+        to the flat sum (modular addition is associative) and the natural
+        place for a future multi-server split to shard work.
+
+        If any clique's recovery is incomplete — some of its members are
+        missing and not every survivor submitted an adjustment — the
+        blinding does not cancel and every cell is random noise; that
+        state raises :class:`MissingReportError` unless ``allow_missing``
+        is set (tests use it to demonstrate exactly that noise property).
+        A clique that is missing *entirely* needs no recovery: none of
+        its pads entered the sum.
+
+        ``allow_missing=True`` bypasses every release check and returns
+        whatever the submissions sum to — the escape hatch for
+        inspecting a corrupt or partial round state.
         """
         self._require_round()
-        missing = self.missing_users()
-        if missing and not self._adjustments and not allow_missing:
-            raise MissingReportError(
-                f"{len(missing)} users missing and no adjustments received: "
-                f"{missing[:5]}")
+        if not allow_missing:
+            self._check_adjustment_consistency()
+            self._check_recovery_coverage()
+        partials: Dict[int, np.ndarray] = {}
+
+        def partial(clique: int) -> np.ndarray:
+            arr = partials.get(clique)
+            if arr is None:
+                arr = partials[clique] = np.zeros(self.config.num_cells,
+                                                  dtype=np.uint64)
+            return arr
+
+        for user, report in self._reports.items():
+            arr = partial(self.clique_of[user])
+            arr += report.cells_as_array()
+        for user, adjustment in self._adjustments.items():
+            arr = partial(self.clique_of[user])
+            arr += adjustment.cells_as_array()
         cells = np.zeros(self.config.num_cells, dtype=np.uint64)
-        for report in self._reports.values():
-            cells += report.cells_as_array()
-        for adjustment in self._adjustments:
-            cells += adjustment.cells_as_array()
+        for clique in sorted(partials):
+            cells += partials[clique]
         cells %= BLINDING_MODULUS
         return CountMinSketch(self.config.cms_depth, self.config.cms_width,
                               self.config.cms_seed, cells=cells)

@@ -10,8 +10,13 @@ identity strings.
 
 Format (all integers big-endian):
 
-    header:  2s magic "eW" | B version | B type | I round_id | I payload_len | 4x pad
+    header:  2s magic "eW" | B version | B type | I round_id | I payload_len
+             | H clique_id | 2x pad
     payload: type-specific (see the _encode_* helpers)
+
+The clique id occupies two of the header bytes that were padding before
+blinding cliques existed, so the format's size (and therefore the §7.1
+byte accounting) is unchanged and old frames decode as clique 0.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.protocol.messages import (
 
 MAGIC = b"eW"
 VERSION = 1
-_HEADER = struct.Struct(">2sBBII4x")
+_HEADER = struct.Struct(">2sBBIIH2x")
 
 Message = Union[BlindedReport, BlindingAdjustment, CleartextReport,
                 MissingClientsNotice, PublicKeyAnnouncement,
@@ -129,7 +134,12 @@ def encode(message: Message) -> bytes:
     else:  # pragma: no cover - exhaustive above
         raise ProtocolError("unreachable")
 
-    header = _HEADER.pack(MAGIC, VERSION, type_tag, round_id, len(payload))
+    clique_id = getattr(message, "clique_id", 0)
+    if not 0 <= clique_id <= 0xFFFF:
+        raise ProtocolError(
+            f"clique_id {clique_id} out of wire range [0, 65535]")
+    header = _HEADER.pack(MAGIC, VERSION, type_tag, round_id, len(payload),
+                          clique_id)
     return header + payload
 
 
@@ -137,8 +147,8 @@ def decode(data: bytes) -> Message:
     """Parse bytes back into a protocol message."""
     if len(data) < _HEADER.size:
         raise ProtocolError(f"message too short: {len(data)} bytes")
-    magic, version, type_tag, round_id, payload_len = _HEADER.unpack_from(
-        data, 0)
+    magic, version, type_tag, round_id, payload_len, clique_id = \
+        _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
     if version != VERSION:
@@ -159,7 +169,8 @@ def decode(data: bytes) -> Message:
     if type_tag == 2:
         user_id, offset = _unpack_str(payload, 0)
         cells, _ = _unpack_cells(payload, offset)
-        return BlindedReport(user_id=user_id, round_id=round_id, cells=cells)
+        return BlindedReport(user_id=user_id, round_id=round_id, cells=cells,
+                             clique_id=clique_id)
     if type_tag == 3:
         user_id, offset = _unpack_str(payload, 0)
         bytes_per_char, count = struct.unpack_from(">BI", payload, offset)
@@ -175,12 +186,13 @@ def decode(data: bytes) -> Message:
         (count,) = struct.unpack_from(">I", payload, 0)
         indexes = struct.unpack_from(f">{count}I", payload, 4)
         return MissingClientsNotice(round_id=round_id,
-                                    missing_indexes=tuple(indexes))
+                                    missing_indexes=tuple(indexes),
+                                    clique_id=clique_id)
     if type_tag == 5:
         user_id, offset = _unpack_str(payload, 0)
         cells, _ = _unpack_cells(payload, offset)
         return BlindingAdjustment(user_id=user_id, round_id=round_id,
-                                  cells=cells)
+                                  cells=cells, clique_id=clique_id)
     if type_tag == 6:
         (threshold,) = struct.unpack_from(">d", payload, 0)
         return ThresholdBroadcast(round_id=round_id,

@@ -1,0 +1,230 @@
+"""Regression tests for the recovery-round hardening fixes.
+
+Each class pins one bug that existed before the hardening PR:
+
+* ``aggregate()`` accepted *partial* adjustment coverage (any non-empty
+  adjustment list silenced the missing-user check), releasing an
+  aggregate whose blinding had not cancelled — pure noise, silently.
+* ``submit_report`` silently overwrote an earlier report from the same
+  user, letting a replayed or forged upload corrupt the sum.
+* ``ProtocolClient.build_report`` would blind two different sketches
+  under the same round id, reusing the pairwise one-time pad and leaking
+  the cell-wise difference of the sketches.
+* ``enroll_users`` carried a dead ``or b"\\0"`` fallback on the shared
+  PRF key (an 8-byte bytes object is always truthy).
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.errors import MissingReportError, RoundStateError
+from repro.protocol import enrollment as enrollment_mod
+from repro.protocol.client import RoundConfig
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.messages import BlindedReport, BlindingAdjustment
+from repro.protocol.server import AggregationServer
+
+CONFIG = RoundConfig(cms_depth=4, cms_width=64, cms_seed=5, id_space=300)
+
+
+def make_enrollment(n=4, seed=0, **kwargs):
+    return enroll_users([f"user-{i}" for i in range(n)], CONFIG,
+                        seed=seed, use_oprf=False, **kwargs)
+
+
+def make_server(clients):
+    index_of = {c.user_id: c.blinding.user_index for c in clients}
+    clique_of = {c.user_id: c.clique_id for c in clients}
+    return AggregationServer(CONFIG, index_of, clique_of=clique_of)
+
+
+class TestPartialAdjustmentCoverage:
+    def _drop_last(self, n=5):
+        clients = make_enrollment(n).clients
+        server = make_server(clients)
+        server.start_round(1)
+        for client in clients:
+            client.observe_ad("http://ad.example/1")
+        for client in clients[:-1]:
+            server.submit_report(client.build_report(1))
+        missing_index = clients[-1].blinding.user_index
+        return clients, server, missing_index
+
+    def test_partial_coverage_raises(self):
+        """Some-but-not-all survivors adjusting must not release noise."""
+        clients, server, missing_index = self._drop_last()
+        survivors = clients[:-1]
+        for client in survivors[:2]:  # 2 of 4 adjust
+            server.submit_adjustment(client.build_adjustment(
+                1, [missing_index]))
+        with pytest.raises(MissingReportError):
+            server.aggregate()
+
+    def test_full_coverage_releases_clean_aggregate(self):
+        clients, server, missing_index = self._drop_last()
+        survivors = clients[:-1]
+        for client in survivors:
+            server.submit_adjustment(client.build_adjustment(
+                1, [missing_index]))
+        aggregate = server.aggregate()
+        mapper = clients[0].ad_mapper
+        assert aggregate.query(mapper.ad_id("http://ad.example/1")) >= \
+            len(survivors)
+
+    def test_allow_missing_still_bypasses(self):
+        _clients, server, _missing_index = self._drop_last()
+        noisy = server.aggregate(allow_missing=True)
+        nonzero = sum(1 for c in noisy.cells if c != 0)
+        assert nonzero > len(noisy.cells) * 0.9
+
+    def test_all_dropout_round_raises(self):
+        """Zero reports must not release an all-zero 'aggregate'."""
+        clients = make_enrollment(3).clients
+        server = make_server(clients)
+        server.start_round(1)
+        with pytest.raises(MissingReportError):
+            server.aggregate()
+        empty = server.aggregate(allow_missing=True)
+        assert all(c == 0 for c in empty.cells)
+
+    def test_adjusted_users_tracked(self):
+        clients, server, missing_index = self._drop_last()
+        assert server.adjusted_users == set()
+        server.submit_adjustment(clients[0].build_adjustment(
+            1, [missing_index]))
+        assert server.adjusted_users == {clients[0].user_id}
+
+    def test_adjustment_from_non_reporting_user_rejected(self):
+        """A user whose own pads never entered the sum cannot 'correct'."""
+        clients = make_enrollment(4).clients
+        server = make_server(clients)
+        server.start_round(1)
+        for client in clients[:2]:
+            server.submit_report(client.build_report(1))
+        # clients[2] never reported but sends an adjustment for clients[3].
+        server.submit_adjustment(clients[2].build_adjustment(
+            1, [clients[3].blinding.user_index]))
+        with pytest.raises(RoundStateError):
+            server.aggregate()
+        # The escape hatch still extracts the (corrupt) sum for inspection.
+        noisy = server.aggregate(allow_missing=True)
+        assert len(noisy.cells) == CONFIG.num_cells
+
+    def test_adjustment_without_any_missing_user_rejected(self):
+        """An unsolicited adjustment is un-cancelled noise, not a fix."""
+        clients = make_enrollment(3).clients
+        server = make_server(clients)
+        server.start_round(1)
+        reports = [c.build_report(1) for c in clients]
+        for report in reports:
+            server.submit_report(report)
+        server.submit_adjustment(BlindingAdjustment(
+            clients[0].user_id, 1,
+            cells=tuple([1] * CONFIG.num_cells)))
+        with pytest.raises(RoundStateError):
+            server.aggregate()
+
+
+class TestDuplicateReports:
+    def _server_with_report(self):
+        clients = make_enrollment(3).clients
+        server = make_server(clients)
+        server.start_round(1)
+        clients[0].observe_ad("http://ad.example/1")
+        report = clients[0].build_report(1)
+        server.submit_report(report)
+        return clients, server, report
+
+    def test_differing_resubmission_rejected(self):
+        clients, server, report = self._server_with_report()
+        forged = BlindedReport(
+            user_id=report.user_id, round_id=1,
+            cells=tuple((c + 1) % (2 ** 32) for c in report.cells))
+        with pytest.raises(RoundStateError):
+            server.submit_report(forged)
+        # And the original report is still the one in the round.
+        assert server.reported_users == {report.user_id}
+
+    def test_identical_resend_is_idempotent(self):
+        clients, server, report = self._server_with_report()
+        server.submit_report(report)  # no raise
+        for client in clients[1:]:
+            server.submit_report(client.build_report(1))
+        aggregate = server.aggregate()
+        mapper = clients[0].ad_mapper
+        # Counted once despite the resend.
+        est = aggregate.query(mapper.ad_id("http://ad.example/1"))
+        assert est >= 1
+
+    def test_duplicate_adjustment_differing_rejected(self):
+        clients = make_enrollment(4).clients
+        server = make_server(clients)
+        server.start_round(1)
+        for client in clients[:-1]:
+            server.submit_report(client.build_report(1))
+        missing = [clients[-1].blinding.user_index]
+        adjustment = clients[0].build_adjustment(1, missing)
+        server.submit_adjustment(adjustment)
+        server.submit_adjustment(adjustment)  # identical resend ok
+        forged = BlindingAdjustment(
+            adjustment.user_id, 1,
+            cells=tuple((c + 1) % (2 ** 32) for c in adjustment.cells))
+        with pytest.raises(RoundStateError):
+            server.submit_adjustment(forged)
+
+
+class TestRoundIdReuse:
+    def test_blinding_two_sketches_same_round_rejected(self):
+        client = make_enrollment(2).clients[0]
+        client.observe_ad("http://first.example/ad")
+        client.build_report(7)
+        client.observe_ad("http://second.example/ad")  # sketch changed
+        with pytest.raises(RoundStateError):
+            client.build_report(7)
+
+    def test_identical_rebuild_allowed(self):
+        client = make_enrollment(2).clients[0]
+        client.observe_ad("http://same.example/ad")
+        first = client.build_report(3)
+        second = client.build_report(3)  # retransmission of the same state
+        assert first == second
+
+    def test_fresh_round_id_always_allowed(self):
+        client = make_enrollment(2).clients[0]
+        client.observe_ad("http://a.example/1")
+        client.build_report(1)
+        client.observe_ad("http://b.example/2")
+        report = client.build_report(2)
+        assert report.round_id == 2
+
+    def test_guard_survives_window_reset(self):
+        """Pads are keyed by (pair, round); a new window does not refresh
+        them, so reuse across windows must still be refused."""
+        client = make_enrollment(2).clients[0]
+        client.observe_ad("http://w0.example/ad")
+        client.build_report(5)
+        client.reset_window()
+        client.observe_ad("http://w1.example/ad")
+        with pytest.raises(RoundStateError):
+            client.build_report(5)
+
+
+class TestSeedZeroPrfKey:
+    def test_seed_zero_enrollment_works(self):
+        enrollment = make_enrollment(3, seed=0)
+        mapper = enrollment.clients[0].ad_mapper
+        assert len(mapper._key) == 8
+        ad_id = mapper.ad_id("http://ad.example/1")
+        assert 0 <= ad_id < CONFIG.id_space
+        assert mapper.ad_id("http://ad.example/1") == ad_id
+
+    def test_dead_fallback_removed(self):
+        """``seed.to_bytes(8, ...)`` is never falsy (8 bytes are truthy
+        even when all zero), so the old ``or b"\\0"`` branch was dead
+        code masquerading as a safety net."""
+        source = inspect.getsource(enrollment_mod.enroll_users)
+        assert 'or b"\\0"' not in source and "or b'\\0'" not in source
+        # And the real guarantee the fallback pretended to give:
+        assert (0).to_bytes(8, "big", signed=True)  # truthy, 8 bytes
