@@ -12,11 +12,13 @@ import pytest
 
 
 def pytest_collection_modifyitems(config, items):
-    """Every bench is ``slow``: tier-1 (`pytest -x -q`) never collects
-    this directory (see ``testpaths`` in pytest.ini), and the marker lets
-    mixed invocations filter with ``-m "not slow"``."""
+    """Every bench is ``slow`` unless explicitly marked ``smoke``:
+    tier-1 (`pytest -x -q`) never collects this directory (see
+    ``testpaths`` in pytest.ini), ``-m "not slow"`` selects only the
+    quick CI smoke benches, and ``-m slow`` the full suite."""
     for item in items:
-        item.add_marker(pytest.mark.slow)
+        if item.get_closest_marker("smoke") is None:
+            item.add_marker(pytest.mark.slow)
 
 
 def print_table(title: str, header: str, rows) -> None:

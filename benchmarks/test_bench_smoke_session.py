@@ -1,0 +1,89 @@
+"""CI smoke bench: one small fan-out session, timed and gated.
+
+Everything under ``benchmarks/`` is auto-marked ``slow`` except tests
+carrying the ``smoke`` marker (see ``conftest.py``), so CI can run
+
+    PYTHONPATH=src python -m pytest benchmarks -m "not slow" -q
+
+in seconds and still exercise the real protocol data path end to end:
+enrollment with blinding cliques, the per-clique aggregator fan-out over
+both drivers, and the monolithic reference. The timing record lands in
+``BENCH_perf_hotpaths.json`` so the perf trajectory has a per-commit
+gate, not just an occasional full bench run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import ProtocolSession
+from repro.protocol.client import RoundConfig
+from repro.protocol.enrollment import enroll_users
+
+NUM_USERS = 24
+NUM_CLIQUES = 4
+CONFIG = RoundConfig(cms_depth=4, cms_width=256, cms_seed=7, id_space=2000)
+
+TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / \
+    "BENCH_perf_hotpaths.json"
+
+#: Generous wall-clock ceiling for the tiny session: an order of
+#: magnitude above a warm laptop run, tight enough to catch a protocol
+#: layer that silently fell off the vectorized path.
+TIME_LIMIT_S = 20.0
+
+
+def _enrolled(seed=11):
+    enrollment = enroll_users([f"user-{i:03d}" for i in range(NUM_USERS)],
+                              CONFIG, seed=seed, use_oprf=False,
+                              num_cliques=NUM_CLIQUES)
+    for i, client in enumerate(enrollment.clients):
+        for j in range(8):
+            client.observe_ad(f"http://ads.example/{(i * 5 + j) % 40}")
+    return enrollment
+
+
+def _append_trajectory(record):
+    runs = []
+    if TRAJECTORY_FILE.exists():
+        try:
+            runs = json.loads(TRAJECTORY_FILE.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+    runs.append(record)
+    TRAJECTORY_FILE.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+
+
+@pytest.mark.smoke
+def test_smoke_session_round(capsys):
+    timings = {}
+    results = {}
+    for label, topology, driver in (
+            ("fanout_sync", "fanout", "sync"),
+            ("fanout_async", "fanout", "async"),
+            ("monolithic", "monolithic", "sync")):
+        session = ProtocolSession.from_enrollment(
+            _enrolled(), topology=topology, driver=driver)
+        t0 = time.perf_counter()
+        results[label] = session.run_round(1)
+        timings[label] = time.perf_counter() - t0
+
+    reference = results["monolithic"].aggregate.cells
+    assert results["fanout_sync"].aggregate.cells == reference
+    assert results["fanout_async"].aggregate.cells == reference
+    assert all(t < TIME_LIMIT_S for t in timings.values()), timings
+
+    _append_trajectory({
+        "bench": "smoke_session_round",
+        "timestamp": time.time(),
+        "users": NUM_USERS,
+        "cliques": NUM_CLIQUES,
+        "cms_cells": CONFIG.num_cells,
+        **{f"{label}_s": round(t, 6) for label, t in timings.items()},
+    })
+    with capsys.disabled():
+        print(f"\nsmoke session ({NUM_USERS} users, {NUM_CLIQUES} cliques): "
+              + ", ".join(f"{k}={v * 1e3:.1f}ms"
+                          for k, v in timings.items()))

@@ -5,9 +5,15 @@ Walks the full machinery with a visible cast: an OPRF server mapping ad
 URLs to IDs, ten users encoding ads into count-min sketches, DH-derived
 blinding factors, a dropout mid-round, the two-message recovery, and the
 final aggregate the honest-but-curious server actually sees.
+
+The round runs through :class:`repro.api.ProtocolSession` — the stable
+entry point over the message-driven endpoint layer — with the blinding
+cliques sharded two ways, so the exchange fans out over two per-clique
+aggregators whose partial sums a root aggregator combines.
 """
 
-from repro.protocol import RoundConfig, RoundCoordinator, enroll_users
+from repro.api import ProtocolSession
+from repro.protocol import RoundConfig, enroll_users
 from repro.protocol.transport import InMemoryTransport
 
 
@@ -16,7 +22,7 @@ def main() -> None:
                          id_space=2000)
     print("Enrolling 10 users (DH keypairs + blind-RSA OPRF server) ...")
     enrollment = enroll_users([f"user-{i}" for i in range(10)], config,
-                              seed=3, use_oprf=True)
+                              seed=3, use_oprf=True, num_cliques=2)
     clients = enrollment.clients
 
     # Everyone sees the brand ad; user-3 alone is chased by a tracker.
@@ -38,10 +44,18 @@ def main() -> None:
     print("\nRunning the round with user-7 crashing before reporting ...")
     transport = InMemoryTransport()
     transport.fail_sender("user-7")
-    coordinator = RoundCoordinator(config, clients, transport=transport)
-    result = coordinator.run_round(round_id=1)
+    session = ProtocolSession(config, clients, transport=transport)
+    aggregators = [e.endpoint_id for e in session.endpoints
+                   if e.endpoint_id.startswith("clique-aggregator")]
+    print(f"  message-driven session: {len(session.endpoints)} endpoints, "
+          f"fan-out over {aggregators}")
+    result = session.run_round(1)
     print(f"  missing: {result.missing_users}, recovery round used: "
-          f"{result.recovery_round_used}")
+          f"{result.recovery_round_used} (scoped to the victim's clique)")
+    print(f"  every client got the broadcast: Users_th = "
+          f"{clients[0].last_threshold:.2f}, no mail left behind "
+          f"({sum(transport.pending(e.endpoint_id) for e in session.endpoints)} "
+          f"pending messages)")
 
     brand_id = mapper.ad_id("http://brand.example/springsale")
     tracker_id = mapper.ad_id("http://tracker.example/you-again")

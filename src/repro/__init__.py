@@ -12,7 +12,8 @@ The package implements the paper's three layers end to end:
 * the **privacy-preserving counting protocol** (:mod:`repro.protocol`,
   :mod:`repro.crypto`, :mod:`repro.sketch`): blinded count-min sketches
   aggregated by an honest-but-curious server, with OPRF-based ad-ID
-  mapping;
+  mapping; :mod:`repro.api` (``ProtocolSession``) is the supported
+  entry point for driving its message-driven rounds;
 * the **evaluation apparatus** (:mod:`repro.simulation`,
   :mod:`repro.validation`, :mod:`repro.analysis`, :mod:`repro.backend`,
   :mod:`repro.extension`): the controlled simulator, the Figure-4 live
@@ -45,6 +46,7 @@ from repro.core import (
 )
 from repro.sketch import CountMinSketch, SpectralBloomFilter
 from repro.protocol import RoundConfig, RoundCoordinator, enroll_users
+from repro.api import ProtocolSession, run_detection, run_private_round
 from repro.simulation import SimulationConfig, Simulator
 from repro.validation import LiveValidationStudy
 
@@ -66,6 +68,9 @@ __all__ = [
     "SpectralBloomFilter",
     "RoundConfig",
     "RoundCoordinator",
+    "ProtocolSession",
+    "run_detection",
+    "run_private_round",
     "enroll_users",
     "SimulationConfig",
     "Simulator",

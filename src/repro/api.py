@@ -1,0 +1,218 @@
+"""``repro.api`` — the stable public facade of the reproduction.
+
+This module is the supported entry point for running the paper's §6
+privacy-preserving counting protocol and the count-based detection it
+feeds. Everything here is a thin, stable veneer over the endpoint/runner
+machinery in :mod:`repro.protocol`; the internals may keep moving, the
+names below will not.
+
+* :class:`ProtocolSession` — a long-lived binding of enrolled clients to
+  an aggregation topology, a driver and a transport; call
+  :meth:`~ProtocolSession.run_round` once per reporting window.
+* :func:`run_private_round` — one-shot convenience: enrolled clients in,
+  :class:`~repro.protocol.runner.RoundResult` out.
+* :func:`run_detection` — impressions in, classified (user, ad) pairs
+  out, through either the cleartext oracle or the full private protocol.
+
+Migration from ``RoundCoordinator`` (deprecated)::
+
+    # before
+    coordinator = RoundCoordinator(config, clients, transport=t)
+    result = coordinator.run_round(round_id=1)
+
+    # after
+    session = ProtocolSession(config, clients, transport=t)
+    result = session.run_round(1)
+
+The session defaults to the per-clique aggregator fan-out (bit-identical
+to the monolithic server, parallelizable per clique) driven
+synchronously; ``topology="monolithic"`` restores the single-server
+wiring and ``driver="async"`` runs the clique aggregators concurrently
+on an asyncio loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.endpoint import (
+    ProtocolEndpoint,
+    ThresholdRuleFn,
+    mean_threshold,
+)
+from repro.protocol.enrollment import Enrollment, enroll_users
+from repro.protocol.runner import (
+    AsyncProtocolRunner,
+    ProtocolRunner,
+    RoundResult,
+    build_fanout_endpoints,
+    build_monolithic_endpoints,
+)
+from repro.protocol.transport import InMemoryTransport
+
+__all__ = [
+    "ProtocolSession",
+    "run_private_round",
+    "run_detection",
+    "RoundConfig",
+    "RoundResult",
+]
+
+#: Supported aggregation topologies.
+TOPOLOGIES = ("fanout", "monolithic")
+
+#: Supported round drivers.
+DRIVERS = ("sync", "async")
+
+
+class ProtocolSession:
+    """A reusable binding of protocol endpoints to a driver.
+
+    Where the deprecated ``RoundCoordinator`` re-scripted every round
+    inline, a session wires the parties once — clients, aggregators (one
+    per blinding clique under ``topology="fanout"``, a single server
+    under ``"monolithic"``) and the root — and then drives as many
+    rounds as the deployment needs over the same transport, draining
+    every mailbox each round.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`~repro.protocol.client.RoundConfig`.
+    clients:
+        Enrolled :class:`~repro.protocol.client.ProtocolClient` objects
+        (see :func:`~repro.protocol.enrollment.enroll_users`).
+    transport:
+        Mailbox transport; defaults to a fresh
+        :class:`~repro.protocol.transport.InMemoryTransport`. Pass a
+        :class:`~repro.protocol.transport.WireTransport` to round-trip
+        every message through the byte-exact codec.
+    threshold_rule:
+        Maps the #Users distribution to ``Users_th`` (default: mean,
+        §4.2).
+    topology:
+        ``"fanout"`` (default) or ``"monolithic"``.
+    driver:
+        ``"sync"`` (default) or ``"async"``; the async driver pumps the
+        clique aggregators as concurrent asyncio tasks and produces a
+        bit-identical result.
+    """
+
+    def __init__(self, config: RoundConfig,
+                 clients: Sequence[ProtocolClient],
+                 transport: Optional[InMemoryTransport] = None,
+                 threshold_rule: ThresholdRuleFn = mean_threshold,
+                 topology: str = "fanout",
+                 driver: str = "sync") -> None:
+        if topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {topology!r}; expected one of "
+                f"{TOPOLOGIES}")
+        if driver not in DRIVERS:
+            raise ConfigurationError(
+                f"unknown driver {driver!r}; expected one of {DRIVERS}")
+        self.config = config
+        self.clients = list(clients)
+        self.topology = topology
+        self.driver = driver
+        build = (build_fanout_endpoints if topology == "fanout"
+                 else build_monolithic_endpoints)
+        endpoints, root = build(config, self.clients,
+                                threshold_rule=threshold_rule)
+        runner_cls = ProtocolRunner if driver == "sync" \
+            else AsyncProtocolRunner
+        self._runner = runner_cls(endpoints, root, transport=transport)
+        self.root = root
+
+    @classmethod
+    def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
+               topology: str = "fanout", driver: str = "sync",
+               transport: Optional[InMemoryTransport] = None,
+               threshold_rule: ThresholdRuleFn = mean_threshold,
+               **enroll_kwargs) -> "ProtocolSession":
+        """Enrollment and session wiring in one step.
+
+        ``enroll_kwargs`` are forwarded to
+        :func:`~repro.protocol.enrollment.enroll_users` (``seed``,
+        ``use_oprf``, ``num_cliques``, ...).
+        """
+        enrollment = enroll_users(user_ids, config, **enroll_kwargs)
+        return cls.from_enrollment(enrollment, topology=topology,
+                                   driver=driver, transport=transport,
+                                   threshold_rule=threshold_rule)
+
+    @classmethod
+    def from_enrollment(cls, enrollment: Enrollment,
+                        topology: str = "fanout", driver: str = "sync",
+                        transport: Optional[InMemoryTransport] = None,
+                        threshold_rule: ThresholdRuleFn = mean_threshold,
+                        ) -> "ProtocolSession":
+        return cls(enrollment.config, enrollment.clients,
+                   transport=transport, threshold_rule=threshold_rule,
+                   topology=topology, driver=driver)
+
+    @property
+    def transport(self) -> InMemoryTransport:
+        return self._runner.transport
+
+    @property
+    def endpoints(self) -> List[ProtocolEndpoint]:
+        return list(self._runner.endpoints)
+
+    def run_round(self, round_id: int) -> RoundResult:
+        """Execute one complete reporting round (with fault recovery)."""
+        if self.driver == "async":
+            return asyncio.run(self.run_round_async(round_id))
+        return self._runner.run_round(round_id)
+
+    async def run_round_async(self, round_id: int) -> RoundResult:
+        """Awaitable round execution (``driver="async"`` sessions)."""
+        if not isinstance(self._runner, AsyncProtocolRunner):
+            raise ConfigurationError(
+                "run_round_async needs a session with driver='async'")
+        return await self._runner.run_round(round_id)
+
+    def reset_windows(self) -> None:
+        """Clear every client's observation window (new weekly window)."""
+        for client in self.clients:
+            client.reset_window()
+
+
+def run_private_round(config: RoundConfig,
+                      clients: Sequence[ProtocolClient],
+                      round_id: int = 0,
+                      transport: Optional[InMemoryTransport] = None,
+                      threshold_rule: ThresholdRuleFn = mean_threshold,
+                      topology: str = "fanout",
+                      driver: str = "sync") -> RoundResult:
+    """One-shot §6 round: wire a session, run it, return the result."""
+    session = ProtocolSession(config, clients, transport=transport,
+                              threshold_rule=threshold_rule,
+                              topology=topology, driver=driver)
+    return session.run_round(round_id)
+
+
+def run_detection(impressions, week: int = 0, private: bool = True,
+                  detector_config=None, round_config=None,
+                  use_oprf: bool = False, enrollment_seed: int = 0,
+                  transport_factory=None, num_cliques: int = 1,
+                  topology: str = "fanout", driver: str = "sync"):
+    """Classify one week of impressions, optionally through the private
+    protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
+
+    The facade over :class:`~repro.core.pipeline.DetectionPipeline` for
+    callers that do not need to keep the pipeline object around.
+    """
+    from repro.core.pipeline import DetectionPipeline
+    pipeline = DetectionPipeline(detector_config=detector_config,
+                                 private=private,
+                                 round_config=round_config,
+                                 use_oprf=use_oprf,
+                                 enrollment_seed=enrollment_seed,
+                                 transport_factory=transport_factory,
+                                 num_cliques=num_cliques,
+                                 topology=topology, driver=driver)
+    return pipeline.run_week(impressions, week=week)

@@ -22,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.api import run_detection
 from repro.core.detector import DetectorConfig
-from repro.core.pipeline import DetectionPipeline, PipelineResult
 from repro.errors import ConfigurationError
 from repro.simulation.config import SimulationConfig
 from repro.simulation.simulator import Simulator
@@ -78,7 +78,9 @@ class LongitudinalDeployment:
                  detector_config: Optional[DetectorConfig] = None,
                  churn_rate: float = 0.15,
                  dropout_rate: float = 0.05,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 num_cliques: int = 1,
+                 driver: str = "sync") -> None:
         if not 0.0 <= churn_rate < 1.0:
             raise ConfigurationError("churn_rate must be in [0, 1)")
         if not 0.0 <= dropout_rate < 1.0:
@@ -89,6 +91,11 @@ class LongitudinalDeployment:
         self.dropout_rate = dropout_rate
         self._rng = make_rng(seed)
         self.seed = seed
+        #: Protocol knobs forwarded to each week's private session:
+        #: blinding cliques (one aggregator per clique) and the round
+        #: driver ("async" pumps the aggregators concurrently).
+        self.num_cliques = num_cliques
+        self.driver = driver
 
     def _active_subset(self, user_ids: Sequence[str]) -> Set[str]:
         """This week's panel: each user inactive with churn probability.
@@ -134,11 +141,12 @@ class LongitudinalDeployment:
                     transport.fail_sender(uid)
                 return transport
 
-            pipeline = DetectionPipeline(
-                self.detector_config, private=True,
+            out = run_detection(
+                week_impressions, week=week, private=True,
+                detector_config=self.detector_config,
                 enrollment_seed=self.seed + week,
-                transport_factory=failing_transport)
-            out = pipeline.run_week(week_impressions, week=week)
+                transport_factory=failing_transport,
+                num_cliques=self.num_cliques, driver=self.driver)
             log.weeks.append(WeeklyOpsReport(
                 week=week,
                 active_users=len(reporting_users),

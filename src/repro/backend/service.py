@@ -11,11 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.api import ProtocolSession
 from repro.backend.database import MetadataStore
 from repro.core.thresholds import ThresholdRule
 from repro.errors import RoundStateError
 from repro.protocol.client import ProtocolClient, RoundConfig
-from repro.protocol.coordinator import RoundCoordinator, RoundResult
+from repro.protocol.runner import RoundResult
 from repro.protocol.transport import InMemoryTransport
 from repro.statsutil.distributions import EmpiricalDistribution
 
@@ -37,23 +38,43 @@ class BackendService:
                  clients: Sequence[ProtocolClient],
                  store: Optional[MetadataStore] = None,
                  users_rule: ThresholdRule = ThresholdRule.MEAN,
-                 transport: Optional[InMemoryTransport] = None) -> None:
+                 transport: Optional[InMemoryTransport] = None,
+                 topology: str = "fanout",
+                 driver: str = "sync") -> None:
         self.config = config
         self.clients = list(clients)
         self.store = store or MetadataStore()
+        #: One long-lived session serves every weekly round: endpoints
+        #: are wired once (the roster is fixed at construction) and each
+        #: round drains every mailbox, so the shared transport cannot
+        #: accumulate stale broadcasts across a multi-week deployment.
+        self.session = ProtocolSession(
+            config, self.clients, transport=transport,
+            threshold_rule=users_rule.compute,
+            topology=topology, driver=driver)
         self.users_rule = users_rule
-        self.transport = transport or InMemoryTransport()
+        self.transport = self.session.transport
         self._snapshots: Dict[int, WeeklySnapshot] = {}
         for client in self.clients:
             self.store.enroll_user(client.user_id, week=0,
                                    blinding_index=client.blinding.user_index)
 
+    @property
+    def users_rule(self) -> ThresholdRule:
+        """The weekly threshold rule. Assignable between weeks (the
+        pre-session service rebuilt its round wiring per week, so rule
+        changes took effect; the persistent session honors that by
+        forwarding to the aggregation root)."""
+        return self._users_rule
+
+    @users_rule.setter
+    def users_rule(self, rule: ThresholdRule) -> None:
+        self._users_rule = rule
+        self.session.root.threshold_rule = rule.compute
+
     def run_week(self, week: int) -> WeeklySnapshot:
         """Execute the aggregation round for ``week`` and persist stats."""
-        coordinator = RoundCoordinator(
-            self.config, self.clients, transport=self.transport,
-            threshold_rule=self.users_rule.compute)
-        result = coordinator.run_round(round_id=week)
+        result = self.session.run_round(week)
         snapshot = WeeklySnapshot(
             week=week, users_threshold=result.users_threshold,
             distribution=result.distribution, round_result=result)

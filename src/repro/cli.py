@@ -28,8 +28,8 @@ from repro.analysis.biasstudy import (
     generate_bias_study,
 )
 from repro.analysis.effects import predicted_effects
+from repro.api import run_detection
 from repro.core.detector import DetectorConfig
-from repro.core.pipeline import DetectionPipeline
 from repro.core.thresholds import ThresholdRule
 from repro.simulation import SimulationConfig, Simulator
 from repro.simulation.metrics import evaluate_classifications
@@ -85,10 +85,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
     config = _config_from(args)
     result = Simulator(config).run()
     rule = ThresholdRule(args.threshold_rule)
-    pipeline = DetectionPipeline(
-        DetectorConfig(domains_rule=rule, users_rule=rule),
-        private=args.private)
-    out = pipeline.run_week(result.impressions, week=0)
+    out = run_detection(
+        result.impressions, week=0, private=args.private,
+        detector_config=DetectorConfig(domains_rule=rule, users_rule=rule),
+        num_cliques=args.cliques, driver=args.driver)
     mode = "private (blinded CMS)" if args.private else "cleartext oracle"
     print(f"mode: {mode}   Users_th={out.users_threshold:.2f} "
           f"({rule.value})")
@@ -186,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--threshold-rule", default="mean",
                        choices=[r.value for r in ThresholdRule])
     p_det.add_argument("--max-flagged", type=int, default=10)
+    p_det.add_argument("--cliques", type=int, default=1,
+                       help="blinding cliques (and aggregators) for the "
+                            "private round (default 1)")
+    p_det.add_argument("--driver", default="sync",
+                       choices=["sync", "async"],
+                       help="round driver: sync, or async to run clique "
+                            "aggregators concurrently (default sync)")
     p_det.set_defaults(func=cmd_detect)
 
     p_val = sub.add_parser("validate",

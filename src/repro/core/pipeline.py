@@ -5,8 +5,10 @@ Two modes differing only in where the global #Users statistic comes from:
 * **cleartext** — the exact :class:`GlobalUserCounter`; this is the
   evaluation oracle ("Actual" in the paper's Figure 2);
 * **private** — the full §6 machinery: every user is enrolled with DH
-  blinding keys, encodes its ads into a blinded CMS, the round coordinator
-  aggregates, and #Users values are CMS estimates ("CMS" in Figure 2).
+  blinding keys, encodes its ads into a blinded CMS, a
+  :class:`repro.api.ProtocolSession` runs the message-driven round
+  (per-clique aggregator fan-out by default), and #Users values are CMS
+  estimates ("CMS" in Figure 2).
 
 The detector code is identical in both modes; only the counter source
 changes, which is exactly the claim Figure 2 supports.
@@ -18,12 +20,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import ProtocolSession
 from repro.core.counters import GlobalUserCounter
 from repro.core.detector import CountBasedDetector, DetectorConfig
 from repro.errors import ConfigurationError
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import RoundCoordinator, RoundResult
 from repro.protocol.enrollment import MAX_CLIQUES, enroll_users
+from repro.protocol.runner import RoundResult
 from repro.statsutil.distributions import EmpiricalDistribution
 from repro.types import Ad, ClassifiedAd, Impression
 
@@ -69,7 +72,9 @@ class DetectionPipeline:
                  use_oprf: bool = False,
                  enrollment_seed: int = 0,
                  transport_factory=None,
-                 num_cliques: int = 1) -> None:
+                 num_cliques: int = 1,
+                 topology: str = "fanout",
+                 driver: str = "sync") -> None:
         if num_cliques < 1:
             raise ConfigurationError(
                 f"num_cliques must be >= 1, got {num_cliques}")
@@ -91,6 +96,12 @@ class DetectionPipeline:
         #: a bit-identical aggregate. Clamped per window so every clique
         #: keeps at least two members.
         self.num_cliques = num_cliques
+        #: Aggregation topology and round driver for the private session
+        #: (see :class:`repro.api.ProtocolSession`): per-clique fan-out
+        #: by default, optionally the monolithic server or the asyncio
+        #: driver that pumps clique aggregators concurrently.
+        self.topology = topology
+        self.driver = driver
 
     # ------------------------------------------------------------------
     def _default_round_config(self, num_unique_ads: int) -> RoundConfig:
@@ -138,10 +149,11 @@ class DetectionPipeline:
                 client.observe_ad(identity)
         transport = (self.transport_factory()
                      if self.transport_factory is not None else None)
-        coordinator = RoundCoordinator(
+        session = ProtocolSession(
             config, enrollment.clients, transport=transport,
-            threshold_rule=self.detector_config.users_rule.compute)
-        round_result = coordinator.run_round(round_id=week)
+            threshold_rule=self.detector_config.users_rule.compute,
+            topology=self.topology, driver=self.driver)
+        round_result = session.run_round(week)
 
         # With per-client OPRF mappers any client's cache computes the
         # same (shared-key) function; use the first client's.

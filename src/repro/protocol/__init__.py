@@ -1,18 +1,46 @@
-"""The privacy-preserving reporting protocol (paper §6).
+"""The privacy-preserving reporting protocol (paper §6), message-driven.
 
 Round structure, per weekly window:
 
 1. Every client maps the ad URLs it saw to ad IDs (via the OPRF), encodes
    the *set* of IDs into a count-min sketch, blinds every cell with its
    additive share of zero, and uploads the blinded sketch.
-2. The server sums the sketches cell-wise modulo ``2**32``. If every client
-   reported, blindings cancel and the sum is the true aggregate sketch.
-3. If some clients are missing, the server announces the missing set and
-   surviving clients answer with blinding adjustments (one extra round,
-   as in the paper's fault-tolerance description).
-4. The server queries the aggregate sketch for every ID in the (public) ad
-   ID space, recovers the ``#Users`` distribution, computes ``Users_th``
-   and broadcasts it back to the clients.
+2. The aggregation side sums the sketches cell-wise modulo ``2**32``. If
+   every client reported, blindings cancel and the sum is the true
+   aggregate sketch.
+3. If some clients are missing, their cliques' survivors are notified and
+   answer with blinding adjustments (one extra round, as in the paper's
+   fault-tolerance description).
+4. The aggregate sketch is queried for every ID in the (public) ad ID
+   space, the ``#Users`` distribution recovered, ``Users_th`` computed
+   and broadcast back to the clients.
+
+Architecture — endpoints, messages, drivers
+-------------------------------------------
+Every party is a reactive :class:`~repro.protocol.endpoint.
+ProtocolEndpoint`: it holds a transport mailbox and acts only in response
+to round-lifecycle hooks and incoming messages, returning its replies for
+a driver to deliver. Two aggregation topologies wire the same clients:
+
+* **monolithic** — one :class:`~repro.protocol.server.ServerEndpoint`
+  (the wrapped :class:`AggregationServer`) receives everything; this is
+  the paper's single honest-but-curious backend.
+* **fan-out** — one :class:`~repro.protocol.aggregator.CliqueAggregator`
+  per blinding clique feeds a
+  :class:`~repro.protocol.aggregator.RootAggregator` with
+  :class:`~repro.protocol.messages.PartialAggregate` messages. Blinding
+  cancels per clique (PR 2), so the combined aggregate is bit-identical
+  to the monolithic sum while collection parallelizes per clique — the
+  seam for a multi-server deployment.
+
+Drivers (:class:`~repro.protocol.runner.ProtocolRunner` synchronously,
+:class:`~repro.protocol.runner.AsyncProtocolRunner` with per-clique
+concurrency) move messages until the round quiesces; they raise on
+unknown message types and drain every mailbox before returning.
+
+**Entry point**: :mod:`repro.api` (:class:`~repro.api.ProtocolSession`)
+is the supported facade over all of this. ``RoundCoordinator`` is a
+deprecated shim kept for pre-redesign callers.
 """
 
 from repro.protocol.messages import (
@@ -20,13 +48,28 @@ from repro.protocol.messages import (
     BlindingAdjustment,
     CleartextReport,
     MissingClientsNotice,
+    PartialAggregate,
     PublicKeyAnnouncement,
     ThresholdBroadcast,
 )
 from repro.protocol.transport import InMemoryTransport, WireTransport
+from repro.protocol.endpoint import (
+    SERVER_ENDPOINT,
+    ProtocolEndpoint,
+    RoundSummary,
+    mean_threshold,
+)
 from repro.protocol.client import ProtocolClient, RoundConfig
-from repro.protocol.server import AggregationServer
-from repro.protocol.coordinator import RoundCoordinator, RoundResult
+from repro.protocol.server import AggregationServer, ServerEndpoint
+from repro.protocol.aggregator import CliqueAggregator, RootAggregator
+from repro.protocol.runner import (
+    AsyncProtocolRunner,
+    ProtocolRunner,
+    RoundResult,
+    build_fanout_endpoints,
+    build_monolithic_endpoints,
+)
+from repro.protocol.coordinator import RoundCoordinator
 from repro.protocol.enrollment import Enrollment, assign_cliques, enroll_users
 
 __all__ = [
@@ -37,13 +80,25 @@ __all__ = [
     "BlindingAdjustment",
     "CleartextReport",
     "MissingClientsNotice",
+    "PartialAggregate",
     "PublicKeyAnnouncement",
     "ThresholdBroadcast",
     "InMemoryTransport",
     "WireTransport",
+    "SERVER_ENDPOINT",
+    "ProtocolEndpoint",
+    "RoundSummary",
+    "mean_threshold",
     "ProtocolClient",
     "RoundConfig",
     "AggregationServer",
-    "RoundCoordinator",
+    "ServerEndpoint",
+    "CliqueAggregator",
+    "RootAggregator",
+    "ProtocolRunner",
+    "AsyncProtocolRunner",
     "RoundResult",
+    "build_fanout_endpoints",
+    "build_monolithic_endpoints",
+    "RoundCoordinator",
 ]

@@ -1,0 +1,250 @@
+"""Per-clique aggregation fan-out: clique aggregators and their root.
+
+PR 2 made blinding cancellation *clique-local*: each clique's pads sum
+to zero independently, so a clique's reports (plus its own recovery
+adjustments) can be collected and summed without ever seeing another
+clique's traffic. This module exploits that seam, replacing the single
+:class:`~repro.protocol.server.AggregationServer` endpoint with
+
+* one :class:`CliqueAggregator` per blinding clique — collects exactly
+  its clique's :class:`~repro.protocol.messages.BlindedReport` messages,
+  runs the clique-local recovery round when members drop out, and emits
+  one :class:`~repro.protocol.messages.PartialAggregate` to the root;
+* one :class:`RootAggregator` — combines the partials into the global
+  aggregate (bit-identical to the monolithic sum: each partial is the
+  clique's cell-wise sum modulo the blinding modulus, and modular
+  addition is associative), answers the #Users distribution query and
+  broadcasts the threshold.
+
+Because clique aggregators share no state, they are the unit of
+concurrency: the asyncio driver runs them as independent tasks, and a
+multi-server deployment would place each behind its own socket.
+
+Each :class:`CliqueAggregator` *wraps* a clique-restricted
+:class:`~repro.protocol.server.AggregationServer`, so every validation
+the monolithic server performs — duplicate/differing resends, wrong
+clique ids, adjustments from non-reporters, strict recovery-coverage
+release checks — applies unchanged to the fan-out path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MissingReportError, ProtocolError, RoundStateError
+from repro.crypto.blinding import BLINDING_MODULUS
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import (
+    SERVER_ENDPOINT,
+    Outbox,
+    ProtocolEndpoint,
+    RoundSummary,
+    ThresholdRuleFn,
+    mean_threshold,
+)
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    CellVector,
+    MissingClientsNotice,
+    PartialAggregate,
+    ThresholdBroadcast,
+)
+from repro.protocol.server import AggregationServer, UsersDistributionQuery
+from repro.sketch.countmin import CountMinSketch
+
+
+def clique_endpoint_id(clique_id: int) -> str:
+    """Canonical transport name of one clique's aggregator."""
+    return f"clique-aggregator-{clique_id}"
+
+
+class CliqueAggregator(ProtocolEndpoint):
+    """Aggregation endpoint for one blinding clique.
+
+    ``index_of`` maps exactly this clique's members to their blinding
+    indexes. Reports and adjustments from anyone else are rejected by
+    the wrapped server's membership validation — a report routed to the
+    wrong aggregator is an error, never silently absorbed.
+
+    Round flow: collect reports until the driver signals idle (the
+    deployment's phase timeout); if members are missing *and* at least
+    one member reported, notify the survivors and wait for their
+    adjustments; then release the clique's partial sum to the root. A
+    clique whose members all dropped out emits an all-zero partial — its
+    pads never entered any sum, so there is nothing to recover (the
+    root still learns its roster went missing).
+    """
+
+    def __init__(self, clique_id: int, config: RoundConfig,
+                 index_of: Dict[str, int],
+                 root_id: str = SERVER_ENDPOINT) -> None:
+        if not index_of:
+            raise ProtocolError(
+                f"clique {clique_id} has no members to aggregate")
+        self.clique_id = clique_id
+        self.config = config
+        self.root_id = root_id
+        self.endpoint_id = clique_endpoint_id(clique_id)
+        self.server = AggregationServer(
+            config, dict(index_of),
+            clique_of={uid: clique_id for uid in index_of})
+        self._notices_sent = False
+        self._released = False
+
+    def on_round_start(self, round_id: int) -> Outbox:
+        self.server.start_round(round_id)
+        self._notices_sent = False
+        self._released = False
+        return []
+
+    def on_message(self, sender: str, message) -> Outbox:
+        if isinstance(message, BlindedReport):
+            self.server.submit_report(message)
+            return []
+        if isinstance(message, BlindingAdjustment):
+            self.server.submit_adjustment(message)
+            return []
+        return super().on_message(sender, message)
+
+    def on_idle(self, round_id: int) -> Outbox:
+        if self._released:
+            return []
+        missing = self.server.missing_users()
+        if missing and self.server.reported_users and not self._notices_sent:
+            self._notices_sent = True
+            notice_indexes = tuple(
+                sorted(self.server.index_of[u] for u in missing))
+            notice = MissingClientsNotice(round_id=round_id,
+                                          missing_indexes=notice_indexes,
+                                          clique_id=self.clique_id)
+            return [(user_id, notice)
+                    for user_id in sorted(self.server.reported_users)]
+        return [(self.root_id, self._release(round_id))]
+
+    def _release(self, round_id: int) -> PartialAggregate:
+        """The clique's partial sum, after its recovery completed.
+
+        Raises :class:`~repro.errors.MissingReportError` (via the wrapped
+        server's release checks) if survivors were notified but coverage
+        is still partial — un-cancelled pads would poison every cell of
+        the global aggregate.
+        """
+        missing = tuple(self.server.missing_users())
+        reported = tuple(sorted(self.server.reported_users))
+        if not reported:
+            # Whole clique dropped out: no pads entered any sum, nothing
+            # to recover; contribute zeros and report the roster missing.
+            cells = np.zeros(self.config.num_cells, dtype=np.uint64)
+        else:
+            cells = self.server.aggregate().cells_array
+        self._released = True
+        return PartialAggregate(clique_id=self.clique_id, round_id=round_id,
+                                cells=CellVector(cells), reported=reported,
+                                missing=missing)
+
+
+class RootAggregator(ProtocolEndpoint):
+    """Combines every clique's partial into the round's global result.
+
+    Purely message-driven: it neither knows users nor touches blinding —
+    it waits for one :class:`PartialAggregate` per expected clique, adds
+    the cell vectors modulo the blinding modulus (bit-identical to the
+    monolithic sum), answers the #Users distribution query with the same
+    cached-index-table code the monolithic server uses, and broadcasts
+    ``Users_th`` to every client.
+    """
+
+    def __init__(self, config: RoundConfig, clique_ids: Sequence[int],
+                 client_ids: Sequence[str],
+                 threshold_rule: ThresholdRuleFn = mean_threshold,
+                 endpoint_id: str = SERVER_ENDPOINT) -> None:
+        if not clique_ids:
+            raise ProtocolError("root aggregator needs at least one clique")
+        if len(set(clique_ids)) != len(clique_ids):
+            raise ProtocolError("duplicate clique ids")
+        self.config = config
+        self.clique_ids = sorted(clique_ids)
+        self.client_ids = list(client_ids)
+        self.threshold_rule = threshold_rule
+        self.endpoint_id = endpoint_id
+        self._distribution_query = UsersDistributionQuery(config)
+        self._round_id: Optional[int] = None
+        self._partials: Dict[int, PartialAggregate] = {}
+        self._summary: Optional[RoundSummary] = None
+
+    def on_round_start(self, round_id: int) -> Outbox:
+        self._round_id = round_id
+        self._partials.clear()
+        self._summary = None
+        return []
+
+    def on_message(self, sender: str, message) -> Outbox:
+        if not isinstance(message, PartialAggregate):
+            return super().on_message(sender, message)
+        if self._round_id is None:
+            raise RoundStateError("no round in progress at the root")
+        if message.round_id != self._round_id:
+            raise RoundStateError(
+                f"partial for round {message.round_id}, current is "
+                f"{self._round_id}")
+        if message.clique_id not in set(self.clique_ids):
+            raise RoundStateError(
+                f"partial from unexpected clique {message.clique_id}")
+        if len(message.cells) != self.config.num_cells:
+            raise RoundStateError(
+                f"partial has {len(message.cells)} cells, expected "
+                f"{self.config.num_cells}")
+        existing = self._partials.get(message.clique_id)
+        if existing is not None:
+            if existing == message:
+                return []  # idempotent retransmission
+            raise RoundStateError(
+                f"duplicate partial from clique {message.clique_id} with "
+                f"differing content")
+        self._partials[message.clique_id] = message
+        if len(self._partials) == len(self.clique_ids):
+            return self._finalize(self._round_id)
+        return []
+
+    def _finalize(self, round_id: int) -> Outbox:
+        reported: List[str] = []
+        missing: List[str] = []
+        for clique in self.clique_ids:
+            partial = self._partials[clique]
+            reported.extend(partial.reported)
+            missing.extend(partial.missing)
+        if not reported:
+            raise MissingReportError(
+                f"no reports arrived; all {len(missing)} enrolled users "
+                f"are missing")
+        cells = np.zeros(self.config.num_cells, dtype=np.uint64)
+        for clique in self.clique_ids:
+            cells += self._partials[clique].cells_as_array()
+        cells %= BLINDING_MODULUS
+        aggregate = CountMinSketch(self.config.cms_depth,
+                                   self.config.cms_width,
+                                   self.config.cms_seed, cells=cells)
+        distribution = self._distribution_query.distribution(aggregate)
+        threshold = self.threshold_rule(distribution)
+        self._summary = RoundSummary(
+            round_id=round_id,
+            aggregate=aggregate,
+            distribution=distribution,
+            users_threshold=threshold,
+            reported_users=sorted(reported),
+            missing_users=sorted(missing),
+            recovery_round_used=bool(missing),
+        )
+        broadcast = ThresholdBroadcast(round_id=round_id,
+                                       users_threshold=threshold)
+        return [(user_id, broadcast) for user_id in self.client_ids]
+
+    def round_summary(self) -> RoundSummary:
+        if self._summary is None:
+            raise ProtocolError(
+                f"round has not finalized: {len(self._partials)}/"
+                f"{len(self.clique_ids)} partials arrived")
+        return self._summary

@@ -4,6 +4,17 @@ A :class:`ProtocolClient` accumulates the *set* of ads its user saw during
 the current window (set, not multiset: the global statistic is "how many
 users saw ad α", so each user contributes at most 1 per ad), then produces
 a blinded CMS report on demand.
+
+The client is a reactive :class:`~repro.protocol.endpoint.
+ProtocolEndpoint`: when a round opens it uploads its blinded report to
+its :attr:`~ProtocolClient.uplink` (the monolithic server, or its
+clique's aggregator in the fan-out topology), a
+:class:`~repro.protocol.messages.MissingClientsNotice` makes it answer
+with a :class:`~repro.protocol.messages.BlindingAdjustment`, and a
+:class:`~repro.protocol.messages.ThresholdBroadcast` is recorded as
+:attr:`~ProtocolClient.last_threshold`. The report/adjustment builders
+remain callable directly for tests and analyses that exercise the
+primitives without a driver.
 """
 
 from __future__ import annotations
@@ -14,11 +25,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.errors import ConfigurationError, RoundStateError
 from repro.crypto.blinding import BlindingGenerator
+from repro.protocol.endpoint import SERVER_ENDPOINT, Outbox, ProtocolEndpoint
 from repro.protocol.messages import (
     BlindedReport,
     BlindingAdjustment,
     CellVector,
     CleartextReport,
+    MissingClientsNotice,
+    ThresholdBroadcast,
 )
 from repro.sketch.countmin import CountMinSketch
 
@@ -53,7 +67,7 @@ class RoundConfig:
         return CountMinSketch(self.cms_depth, self.cms_width, self.cms_seed)
 
 
-class ProtocolClient:
+class ProtocolClient(ProtocolEndpoint):
     """One user's protocol endpoint.
 
     Parameters
@@ -83,6 +97,14 @@ class ProtocolClient:
         self.blinding = blinding
         self.ad_mapper = ad_mapper
         self.clique_id = clique_id
+        #: Where this client's reports and adjustments go: the monolithic
+        #: server by default; the session wiring repoints it at the
+        #: clique's aggregator in the fan-out topology.
+        self.uplink: str = SERVER_ENDPOINT
+        #: The last ``Users_th`` received via ThresholdBroadcast (what the
+        #: extension's local detector consumes), and its round.
+        self.last_threshold: Optional[float] = None
+        self.last_threshold_round: Optional[int] = None
         self._seen_urls: Set[str] = set()
         #: URL -> ad ID, filled as ads are observed so report building
         #: never re-runs the OPRF/PRF evaluation.
@@ -189,3 +211,28 @@ class ProtocolClient:
         return BlindingAdjustment(user_id=self.user_id, round_id=round_id,
                                   cells=CellVector(cells),
                                   clique_id=self.clique_id)
+
+    # ------------------------------------------------------------------
+    # Reactive endpoint behaviour (driven by a ProtocolRunner)
+    # ------------------------------------------------------------------
+    @property
+    def endpoint_id(self) -> str:
+        return self.user_id
+
+    def on_round_start(self, round_id: int) -> Outbox:
+        """The round opened: upload this window's blinded report."""
+        return [(self.uplink, self.build_report(round_id))]
+
+    def on_message(self, sender: str, message) -> Outbox:
+        """React to server traffic: notices beget adjustments, the
+        threshold broadcast is recorded; anything else is a protocol
+        violation and raises."""
+        if isinstance(message, MissingClientsNotice):
+            adjustment = self.build_adjustment(message.round_id,
+                                               message.missing_indexes)
+            return [(sender, adjustment)]
+        if isinstance(message, ThresholdBroadcast):
+            self.last_threshold = message.users_threshold
+            self.last_threshold_round = message.round_id
+            return []
+        return super().on_message(sender, message)

@@ -1,151 +1,80 @@
-"""Full-round orchestration over a transport, including fault recovery.
+"""Deprecated round coordinator — a thin shim over the endpoint runner.
 
-:class:`RoundCoordinator` wires clients and the aggregation server through
-an :class:`~repro.protocol.transport.InMemoryTransport` and executes the
-complete weekly exchange of paper §6:
+.. deprecated::
+    ``RoundCoordinator`` predates the message-driven endpoint API. It
+    used to *puppet* clients and the server through a fixed synchronous
+    script; it now simply wires the same parties as reactive endpoints
+    (the clients plus one monolithic
+    :class:`~repro.protocol.server.ServerEndpoint`) and hands them to a
+    :class:`~repro.protocol.runner.ProtocolRunner`. Behaviour, results
+    and byte accounting are unchanged.
 
-  report -> (detect missing -> notice -> adjustments) -> aggregate
-  -> query distribution -> threshold broadcast.
-
-The result captures everything the evaluation needs: the aggregate sketch,
-the estimated #Users distribution, the computed threshold and the byte/
-message accounting per §7.1.
-
-Every cell vector on this path is a NumPy-backed
-:class:`~repro.protocol.messages.CellVector`: clients blind arrays, the
-server sums arrays and answers the distribution query with one batched
-gather — the coordinator never boxes cells into Python ints.
+    New code should use :class:`repro.api.ProtocolSession` (or the
+    :func:`repro.api.run_private_round` convenience), which also enables
+    the per-clique aggregator fan-out and the asyncio driver. This shim
+    exists so pre-redesign callers and tests keep working; it will not
+    grow features.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Callable, Optional, Sequence
 
-from repro.errors import ProtocolError
 from repro.protocol.client import ProtocolClient, RoundConfig
-from repro.protocol.messages import (
-    BlindedReport,
-    BlindingAdjustment,
-    MissingClientsNotice,
-    ThresholdBroadcast,
+from repro.protocol.endpoint import SERVER_ENDPOINT, mean_threshold
+from repro.protocol.runner import (
+    ProtocolRunner,
+    RoundResult,
+    build_monolithic_endpoints,
 )
-from repro.protocol.server import AggregationServer
 from repro.protocol.transport import InMemoryTransport
-from repro.sketch.countmin import CountMinSketch
 from repro.statsutil.distributions import EmpiricalDistribution
 
-#: Transport endpoint name of the aggregation server.
-SERVER_ENDPOINT = "backend-server"
+__all__ = ["SERVER_ENDPOINT", "RoundCoordinator", "RoundResult"]
 
-#: Default threshold rule: the mean of the distribution (paper §4.2).
-def _mean_threshold(dist: EmpiricalDistribution) -> float:
-    return dist.mean
-
-
-@dataclass
-class RoundResult:
-    """Outcome of one protocol round."""
-
-    round_id: int
-    aggregate: CountMinSketch
-    distribution: EmpiricalDistribution
-    users_threshold: float
-    reported_users: List[str]
-    missing_users: List[str]
-    recovery_round_used: bool
-    total_bytes: int
-    total_messages: int
+#: Kept for callers that imported the default rule from here.
+_mean_threshold = mean_threshold
 
 
 class RoundCoordinator:
-    """Drives clients and server through one complete reporting round."""
+    """Drives clients and server through one complete reporting round.
+
+    Deprecated alias for the monolithic-topology session: construct a
+    :class:`repro.api.ProtocolSession` instead. The attributes legacy
+    callers inspect — :attr:`server`, :attr:`clients`,
+    :attr:`transport` — are preserved.
+    """
 
     def __init__(self, config: RoundConfig, clients: Sequence[ProtocolClient],
                  transport: Optional[InMemoryTransport] = None,
                  threshold_rule: Callable[[EmpiricalDistribution], float]
-                 = _mean_threshold) -> None:
-        if not clients:
-            raise ProtocolError("a round needs at least one client")
-        ids = [c.user_id for c in clients]
-        if len(set(ids)) != len(ids):
-            raise ProtocolError("duplicate client user_ids")
+                 = mean_threshold) -> None:
+        warnings.warn(
+            "RoundCoordinator is deprecated; use repro.api.ProtocolSession "
+            "(endpoint/runner API) instead",
+            DeprecationWarning, stacklevel=2)
         self.config = config
         self.clients = list(clients)
-        self.transport = transport or InMemoryTransport()
-        self.threshold_rule = threshold_rule
-        index_of = {c.user_id: c.blinding.user_index for c in clients}
-        clique_of = {c.user_id: c.clique_id for c in clients}
-        self.server = AggregationServer(config, index_of, clique_of=clique_of)
-        self.transport.register(SERVER_ENDPOINT)
-        for client in clients:
-            self.transport.register(client.user_id)
+        endpoints, root = build_monolithic_endpoints(
+            config, self.clients, threshold_rule=threshold_rule)
+        #: The monolithic aggregation server (legacy inspection surface).
+        self.server = root.server
+        self._root = root
+        self._runner = ProtocolRunner(endpoints, root, transport=transport)
+        self.transport = self._runner.transport
+
+    @property
+    def threshold_rule(self):
+        """The rule the server endpoint applies at finalize time; the
+        old coordinator read this attribute per round, so assignment
+        after construction still takes effect."""
+        return self._root.threshold_rule
+
+    @threshold_rule.setter
+    def threshold_rule(self, rule) -> None:
+        self._root.threshold_rule = rule
 
     def run_round(self, round_id: int) -> RoundResult:
         """Execute the full round; recovers from dropped clients."""
-        self.server.start_round(round_id)
-
-        # Phase 1: every (non-failed) client uploads a blinded report.
-        for client in self.clients:
-            report = client.build_report(round_id)
-            self.transport.send(client.user_id, SERVER_ENDPOINT, report)
-        for sender, message in self.transport.drain(SERVER_ENDPOINT):
-            if isinstance(message, BlindedReport):
-                self.server.submit_report(message)
-
-        # Phase 2 (only if needed): the two-message recovery round,
-        # scoped per blinding clique — a dropout's pads exist only inside
-        # its own clique, so only that clique's survivors are notified
-        # (with only their clique's missing indexes) and owe adjustments.
-        missing = self.server.missing_users()
-        recovery_used = False
-        if missing:
-            recovery_used = True
-            missing_set = set(missing)
-            missing_by_clique = self.server.missing_indexes_by_clique()
-            notified = []
-            for client in self.clients:
-                clique_missing = missing_by_clique.get(client.clique_id)
-                if clique_missing is None or client.user_id in missing_set \
-                        or self.transport.is_failed(client.user_id):
-                    continue
-                notice = MissingClientsNotice(
-                    round_id=round_id,
-                    missing_indexes=tuple(clique_missing),
-                    clique_id=client.clique_id)
-                self.transport.send(SERVER_ENDPOINT, client.user_id, notice)
-                notified.append(client)
-            for client in notified:
-                delivered = self.transport.drain(client.user_id)
-                for _sender, message in delivered:
-                    if isinstance(message, MissingClientsNotice):
-                        adjustment = client.build_adjustment(
-                            round_id, message.missing_indexes)
-                        self.transport.send(client.user_id, SERVER_ENDPOINT,
-                                            adjustment)
-            for _sender, message in self.transport.drain(SERVER_ENDPOINT):
-                if isinstance(message, BlindingAdjustment):
-                    self.server.submit_adjustment(message)
-
-        # Phase 3: aggregate, unblind (implicit), extract the distribution.
-        aggregate = self.server.aggregate()
-        distribution = self.server.users_distribution(aggregate)
-        threshold = self.threshold_rule(distribution)
-
-        # Phase 4: broadcast the threshold to everyone still online.
-        broadcast = ThresholdBroadcast(round_id=round_id,
-                                       users_threshold=threshold)
-        for client in self.clients:
-            self.transport.send(SERVER_ENDPOINT, client.user_id, broadcast)
-
-        return RoundResult(
-            round_id=round_id,
-            aggregate=aggregate,
-            distribution=distribution,
-            users_threshold=threshold,
-            reported_users=sorted(self.server.reported_users),
-            missing_users=missing,
-            recovery_round_used=recovery_used,
-            total_bytes=self.transport.total_bytes,
-            total_messages=self.transport.total_messages,
-        )
+        return self._runner.run_round(round_id)

@@ -197,3 +197,32 @@ class ThresholdBroadcast:
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """Clique aggregator -> root: one clique's recovered partial sum.
+
+    Sent once per round by each :class:`~repro.protocol.aggregator.
+    CliqueAggregator` after its clique's blinding has cancelled (all
+    members reported, or the clique-local recovery round completed).
+    ``cells`` is the clique's cell-wise sum modulo the blinding modulus;
+    the root adds the partials and reduces again, which is bit-identical
+    to the monolithic sum (modular addition is associative). ``reported``
+    and ``missing`` carry the clique's participation roster so the root
+    can reconstruct the round-wide accounting.
+    """
+
+    clique_id: int
+    round_id: int
+    cells: Cells
+    reported: Tuple[str, ...] = ()
+    missing: Tuple[str, ...] = ()
+
+    def cells_as_array(self) -> np.ndarray:
+        """The cell vector as a ``uint64`` array (zero-copy when possible)."""
+        return cells_to_array(self.cells)
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + len(self.cells) * CELL_BYTES
+                + sum(len(uid) for uid in self.reported + self.missing))

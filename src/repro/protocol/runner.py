@@ -1,0 +1,271 @@
+"""Transport-agnostic drivers for message-driven protocol rounds.
+
+A driver owns no protocol logic. It opens the round on every endpoint,
+moves messages between mailboxes until the exchange quiesces, fires the
+idle hooks that model deployment phase-timeouts, and repeats until every
+endpoint is quiet. Two drivers share that contract:
+
+* :class:`ProtocolRunner` — synchronous; endpoints are serviced in
+  registration order. Deterministic and debuggable; what the facade and
+  the deprecated coordinator use.
+* :class:`AsyncProtocolRunner` — ``asyncio``; all busy endpoints are
+  pumped concurrently, so the per-clique aggregators of the fan-out
+  topology make progress as independent tasks (the in-process analogue
+  of one aggregation server per clique). Produces the same message
+  multiset and a bit-identical result.
+
+Invariants the drivers enforce (and the old inline coordinator did not):
+
+* an unknown or unroutable message **raises**
+  :class:`~repro.errors.ProtocolError` instead of being dropped;
+* every mailbox — including every client's — is fully drained by the
+  end of a round, so a long-lived transport cannot accumulate unread
+  ``ThresholdBroadcast`` backlogs across a multi-week session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocol.aggregator import (
+    CliqueAggregator,
+    RootAggregator,
+    clique_endpoint_id,
+)
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.endpoint import (
+    Outbox,
+    ProtocolEndpoint,
+    RoundSummary,
+    ThresholdRuleFn,
+    mean_threshold,
+)
+from repro.protocol.server import AggregationServer, ServerEndpoint
+from repro.protocol.transport import InMemoryTransport
+from repro.sketch.countmin import CountMinSketch
+from repro.statsutil.distributions import EmpiricalDistribution
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one protocol round."""
+
+    round_id: int
+    aggregate: CountMinSketch
+    distribution: EmpiricalDistribution
+    users_threshold: float
+    reported_users: List[str]
+    missing_users: List[str]
+    recovery_round_used: bool
+    total_bytes: int
+    total_messages: int
+
+
+def validate_clients(clients: Sequence[ProtocolClient]) -> None:
+    """Shared endpoint-wiring validation (duplicates, emptiness)."""
+    if not clients:
+        raise ProtocolError("a round needs at least one client")
+    ids = [c.user_id for c in clients]
+    if len(set(ids)) != len(ids):
+        raise ProtocolError("duplicate client user_ids")
+
+
+def build_monolithic_endpoints(
+        config: RoundConfig, clients: Sequence[ProtocolClient],
+        threshold_rule: ThresholdRuleFn = mean_threshold,
+        server: Optional[AggregationServer] = None,
+) -> Tuple[List[ProtocolEndpoint], ServerEndpoint]:
+    """Wire the original single-server topology: every client uplinks to
+    one :class:`ServerEndpoint`. Returns ``(endpoints, root)``."""
+    validate_clients(clients)
+    if server is None:
+        index_of = {c.user_id: c.blinding.user_index for c in clients}
+        clique_of = {c.user_id: c.clique_id for c in clients}
+        server = AggregationServer(config, index_of, clique_of=clique_of)
+    root = ServerEndpoint(server, [c.user_id for c in clients],
+                          threshold_rule=threshold_rule)
+    for client in clients:
+        client.uplink = root.endpoint_id
+    return [*clients, root], root
+
+
+def build_fanout_endpoints(
+        config: RoundConfig, clients: Sequence[ProtocolClient],
+        threshold_rule: ThresholdRuleFn = mean_threshold,
+) -> Tuple[List[ProtocolEndpoint], RootAggregator]:
+    """Wire the per-clique fan-out topology.
+
+    One :class:`~repro.protocol.aggregator.CliqueAggregator` per blinding
+    clique present in ``clients`` (an unsharded population is one clique,
+    hence one aggregator), all feeding a
+    :class:`~repro.protocol.aggregator.RootAggregator` that owns the
+    distribution query and the broadcast. Returns ``(endpoints, root)``.
+    """
+    validate_clients(clients)
+    members: Dict[int, Dict[str, int]] = {}
+    for client in clients:
+        members.setdefault(client.clique_id, {})[client.user_id] = \
+            client.blinding.user_index
+    aggregators = [CliqueAggregator(clique_id, config, index_of)
+                   for clique_id, index_of in sorted(members.items())]
+    root = RootAggregator(config, sorted(members),
+                          [c.user_id for c in clients],
+                          threshold_rule=threshold_rule)
+    for client in clients:
+        client.uplink = clique_endpoint_id(client.clique_id)
+    return [*clients, *aggregators, root], root
+
+
+class _RunnerBase:
+    """Wiring and bookkeeping shared by both drivers."""
+
+    #: Safety valve: a correct round quiesces in a handful of cycles; a
+    #: buggy endpoint that keeps emitting must not hang the process.
+    _MAX_CYCLES = 10_000
+
+    def __init__(self, endpoints: Sequence[ProtocolEndpoint],
+                 root, transport: Optional[InMemoryTransport] = None) -> None:
+        self.endpoints = list(endpoints)
+        if not self.endpoints:
+            raise ProtocolError("a runner needs at least one endpoint")
+        ids = [e.endpoint_id for e in self.endpoints]
+        if len(set(ids)) != len(ids):
+            raise ProtocolError(f"duplicate endpoint ids: {sorted(ids)[:5]}")
+        if root not in self.endpoints:
+            raise ProtocolError("root must be one of the endpoints")
+        self.root = root
+        self.transport = transport or InMemoryTransport()
+        for endpoint in self.endpoints:
+            self.transport.register(endpoint.endpoint_id)
+        # Snapshot each client's uplink as wired at construction, and
+        # re-apply it when a round opens: building another session over
+        # the same client objects rewires their (shared, mutable) uplink
+        # attribute, and without the snapshot this runner's next round
+        # would route reports to the other topology's aggregators.
+        self._uplinks = {e.endpoint_id: e.uplink for e in self.endpoints
+                         if isinstance(e, ProtocolClient)}
+
+    def _dispatch(self, sender_id: str, outbox: Outbox) -> None:
+        """Send an endpoint's outbox; an unregistered recipient raises
+        :class:`~repro.errors.TransportError` (unroutable = violation)."""
+        for recipient, message in outbox:
+            self.transport.send(sender_id, recipient, message)
+
+    def _open_round(self, round_id: int) -> None:
+        for endpoint in self.endpoints:
+            uplink = self._uplinks.get(endpoint.endpoint_id)
+            if uplink is not None:
+                endpoint.uplink = uplink
+            self._dispatch(endpoint.endpoint_id,
+                           endpoint.on_round_start(round_id))
+
+    def _close_round(self, round_id: int) -> RoundResult:
+        for endpoint in self.endpoints:
+            endpoint.on_round_end(round_id)
+            if self.transport.pending(endpoint.endpoint_id):
+                raise ProtocolError(
+                    f"mailbox {endpoint.endpoint_id!r} not drained at "
+                    f"round end")
+        summary: RoundSummary = self.root.round_summary()
+        return RoundResult(
+            round_id=summary.round_id,
+            aggregate=summary.aggregate,
+            distribution=summary.distribution,
+            users_threshold=summary.users_threshold,
+            reported_users=summary.reported_users,
+            missing_users=summary.missing_users,
+            recovery_round_used=summary.recovery_round_used,
+            total_bytes=self.transport.total_bytes,
+            total_messages=self.transport.total_messages,
+        )
+
+
+class ProtocolRunner(_RunnerBase):
+    """Synchronous round driver over any mailbox transport."""
+
+    def run_round(self, round_id: int) -> RoundResult:
+        """Drive one complete round; returns once every endpoint is quiet.
+
+        Raises :class:`~repro.errors.ProtocolError` for unknown message
+        types, unroutable recipients, or a round that will not quiesce;
+        :class:`~repro.errors.MissingReportError` when an incomplete
+        recovery makes the aggregate unreleasable.
+        """
+        self._open_round(round_id)
+        for _ in range(self._MAX_CYCLES):
+            if self._deliver_pending():
+                continue
+            if not self._idle_phase(round_id):
+                return self._close_round(round_id)
+        raise ProtocolError(f"round {round_id} did not quiesce")
+
+    def _deliver_pending(self) -> bool:
+        progressed = False
+        for endpoint in self.endpoints:
+            while True:
+                item = self.transport.receive(endpoint.endpoint_id)
+                if item is None:
+                    break
+                sender, message = item
+                self._dispatch(endpoint.endpoint_id,
+                               endpoint.on_message(sender, message))
+                progressed = True
+        return progressed
+
+    def _idle_phase(self, round_id: int) -> bool:
+        emitted = False
+        for endpoint in self.endpoints:
+            outbox = endpoint.on_idle(round_id)
+            if outbox:
+                self._dispatch(endpoint.endpoint_id, outbox)
+                emitted = True
+        return emitted
+
+
+class AsyncProtocolRunner(_RunnerBase):
+    """``asyncio`` round driver: busy endpoints are pumped concurrently.
+
+    Each delivery cycle spawns one task per endpoint with pending mail —
+    in the fan-out topology that is every clique aggregator at once, the
+    in-process analogue of one aggregation server per clique. Endpoint
+    handlers themselves are synchronous (they are CPU-bound sums); the
+    driver yields between messages so tasks interleave. State updates
+    are per-endpoint, messages commute across cliques, and modular
+    addition commutes inside the root, so the result is bit-identical to
+    the synchronous driver and the message multiset is the same.
+    """
+
+    async def run_round(self, round_id: int) -> RoundResult:
+        self._open_round(round_id)
+        for _ in range(self._MAX_CYCLES):
+            busy = [e for e in self.endpoints
+                    if self.transport.pending(e.endpoint_id)]
+            if busy:
+                await asyncio.gather(*(self._pump(e) for e in busy))
+                continue
+            emitted = await asyncio.gather(
+                *(self._idle(e, round_id) for e in self.endpoints))
+            if not any(emitted):
+                return self._close_round(round_id)
+        raise ProtocolError(f"round {round_id} did not quiesce")
+
+    async def _pump(self, endpoint: ProtocolEndpoint) -> None:
+        while True:
+            item = self.transport.receive(endpoint.endpoint_id)
+            if item is None:
+                return
+            sender, message = item
+            self._dispatch(endpoint.endpoint_id,
+                           endpoint.on_message(sender, message))
+            await asyncio.sleep(0)
+
+    async def _idle(self, endpoint: ProtocolEndpoint,
+                    round_id: int) -> bool:
+        outbox = endpoint.on_idle(round_id)
+        if outbox:
+            self._dispatch(endpoint.endpoint_id, outbox)
+        await asyncio.sleep(0)
+        return bool(outbox)

@@ -31,6 +31,12 @@ users that reported, from cliques that actually have missing members, and
 *every* survivor of an affected clique must adjust before the aggregate is
 released — partial coverage leaves un-cancelled pads in every cell, which
 is indistinguishable from a valid aggregate by inspection.
+
+In the message-driven protocol this class is pure aggregation state and
+validation; :class:`ServerEndpoint` (below) wraps it as the reactive
+monolithic-topology endpoint, and each fan-out
+:class:`~repro.protocol.aggregator.CliqueAggregator` wraps a
+clique-restricted instance so every validation applies per clique too.
 """
 
 from __future__ import annotations
@@ -39,10 +45,23 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import MissingReportError, RoundStateError
+from repro.errors import MissingReportError, ProtocolError, RoundStateError
 from repro.crypto.blinding import BLINDING_MODULUS
 from repro.protocol.client import RoundConfig
-from repro.protocol.messages import BlindedReport, BlindingAdjustment
+from repro.protocol.endpoint import (
+    SERVER_ENDPOINT,
+    Outbox,
+    ProtocolEndpoint,
+    RoundSummary,
+    ThresholdRuleFn,
+    mean_threshold,
+)
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    MissingClientsNotice,
+    ThresholdBroadcast,
+)
 from repro.sketch.countmin import CountMinSketch
 from repro.statsutil.distributions import EmpiricalDistribution
 
@@ -52,6 +71,53 @@ _ID_TABLE_MAX_BYTES = 128 * 1024 * 1024
 
 #: Chunk size for the uncached fallback enumeration of the ID space.
 _ID_CHUNK = 65536
+
+
+class UsersDistributionQuery:
+    """The #Users distribution query over an aggregate sketch.
+
+    Queries every ID in the public ID space (the server cannot enumerate
+    ads — only IDs, paper §6) as one batched gather against a cached,
+    round-independent index table, or in vectorized chunks when the table
+    would be unreasonably large. Zero-count IDs are excluded — they carry
+    no information about any ad.
+
+    Extracted from :class:`AggregationServer` so the fan-out topology's
+    root aggregator answers the query with the very same code (and
+    therefore bit-identical values); the cache is keyed by hash family
+    and survives across rounds.
+    """
+
+    def __init__(self, config: RoundConfig) -> None:
+        self.config = config
+        # (depth, width, seed) -> flat (d, id_space) cell-index table; the
+        # indexes are round-independent, so one table serves every round.
+        self._id_tables: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+    def _id_table_for(self, aggregate: CountMinSketch) -> Optional[np.ndarray]:
+        """Flat cell indexes of every public ID, cached per hash family."""
+        key = (aggregate.depth, aggregate.width, aggregate.seed)
+        table = self._id_tables.get(key)
+        if table is None:
+            if aggregate.depth * self.config.id_space * 8 > _ID_TABLE_MAX_BYTES:
+                return None
+            table = aggregate.flat_indexes(range(self.config.id_space))
+            self._id_tables[key] = table
+        return table
+
+    def distribution(self, aggregate: CountMinSketch) -> EmpiricalDistribution:
+        table = self._id_table_for(aggregate)
+        if table is not None:
+            estimates = aggregate.cells_array[table].min(axis=0)
+        else:
+            chunks = [aggregate.query_many(range(start, min(
+                start + _ID_CHUNK, self.config.id_space)))
+                for start in range(0, self.config.id_space, _ID_CHUNK)]
+            estimates = np.concatenate(chunks) if chunks else \
+                np.empty(0, dtype=np.uint64)
+        dist = EmpiricalDistribution()
+        dist.extend(estimates[estimates > 0].tolist())
+        return dist
 
 
 class AggregationServer:
@@ -79,9 +145,7 @@ class AggregationServer:
         self._reports: Dict[str, BlindedReport] = {}
         self._adjustments: Dict[str, BlindingAdjustment] = {}
         self._round_id: Optional[int] = None
-        # (depth, width, seed) -> flat (d, id_space) cell-index table; the
-        # indexes are round-independent, so one table serves every round.
-        self._id_tables: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._distribution_query = UsersDistributionQuery(config)
 
     # ------------------------------------------------------------------
     # Collection
@@ -286,40 +350,121 @@ class AggregationServer:
         return CountMinSketch(self.config.cms_depth, self.config.cms_width,
                               self.config.cms_seed, cells=cells)
 
-    def _id_table_for(self, aggregate: CountMinSketch) -> Optional[np.ndarray]:
-        """Flat cell indexes of every public ID, cached per hash family."""
-        key = (aggregate.depth, aggregate.width, aggregate.seed)
-        table = self._id_tables.get(key)
-        if table is None:
-            if aggregate.depth * self.config.id_space * 8 > _ID_TABLE_MAX_BYTES:
-                return None
-            table = aggregate.flat_indexes(range(self.config.id_space))
-            self._id_tables[key] = table
-        return table
+    @property
+    def _id_tables(self) -> Dict[Tuple[int, int, int], np.ndarray]:
+        """The distribution query's index-table cache (kept for callers
+        that inspect caching behaviour across rounds)."""
+        return self._distribution_query._id_tables
 
     def users_distribution(self, aggregate: CountMinSketch
                            ) -> EmpiricalDistribution:
         """The #Users distribution: query every ID in the public ID space.
 
-        The server cannot enumerate ads — only IDs (paper §6). IDs that
-        map to no real ad mostly return 0 (CMS false positives are rare by
-        design) and are excluded, as zero-count IDs carry no information
-        about any ad.
-
-        The whole ID space is queried in one batched gather against a
-        cached index table (or in vectorized chunks when the table would
-        be unreasonably large), replacing ``id_space * depth`` scalar
-        hash evaluations per round.
+        Delegates to :class:`UsersDistributionQuery` — one batched gather
+        against a cached index table (or vectorized chunks when the table
+        would be unreasonably large), replacing ``id_space * depth``
+        scalar hash evaluations per round.
         """
-        table = self._id_table_for(aggregate)
-        if table is not None:
-            estimates = aggregate.cells_array[table].min(axis=0)
-        else:
-            chunks = [aggregate.query_many(range(start, min(
-                start + _ID_CHUNK, self.config.id_space)))
-                for start in range(0, self.config.id_space, _ID_CHUNK)]
-            estimates = np.concatenate(chunks) if chunks else \
-                np.empty(0, dtype=np.uint64)
-        dist = EmpiricalDistribution()
-        dist.extend(estimates[estimates > 0].tolist())
-        return dist
+        return self._distribution_query.distribution(aggregate)
+
+
+class ServerEndpoint(ProtocolEndpoint):
+    """The monolithic :class:`AggregationServer`, as a reactive endpoint.
+
+    Wraps the original single-server design: every report and adjustment
+    from the whole population lands here. On the first idle after the
+    reports are in, missing users trigger clique-scoped notices; on the
+    next idle the recovery must have completed (the wrapped server's
+    strict release checks raise otherwise), the aggregate and #Users
+    distribution are computed, and the threshold is broadcast to every
+    client.
+
+    The deprecated :class:`~repro.protocol.coordinator.RoundCoordinator`
+    drives exactly this endpoint, so its behaviour — message flow, byte
+    accounting, failure modes — matches the pre-endpoint coordinator.
+    """
+
+    def __init__(self, server: AggregationServer,
+                 client_ids: Sequence[str],
+                 threshold_rule: ThresholdRuleFn = mean_threshold,
+                 endpoint_id: str = SERVER_ENDPOINT) -> None:
+        self.server = server
+        self.client_ids = list(client_ids)
+        self.threshold_rule = threshold_rule
+        self.endpoint_id = endpoint_id
+        self._notices_sent = False
+        self._summary: Optional[RoundSummary] = None
+
+    def on_round_start(self, round_id: int) -> Outbox:
+        self.server.start_round(round_id)
+        self._notices_sent = False
+        self._summary = None
+        return []
+
+    def on_message(self, sender: str, message) -> Outbox:
+        if isinstance(message, BlindedReport):
+            self.server.submit_report(message)
+            return []
+        if isinstance(message, BlindingAdjustment):
+            self.server.submit_adjustment(message)
+            return []
+        return super().on_message(sender, message)
+
+    def on_idle(self, round_id: int) -> Outbox:
+        if self._summary is not None:
+            return []
+        if not self._notices_sent:
+            self._notices_sent = True
+            notices = self._recovery_notices(round_id)
+            if notices:
+                return notices
+        return self._finalize(round_id)
+
+    def _recovery_notices(self, round_id: int) -> Outbox:
+        """Clique-scoped notices to every survivor of an affected clique.
+
+        A dropout's pads exist only inside its own clique, so only that
+        clique's surviving reporters are notified, with only their
+        clique's missing indexes. A clique that is missing *entirely*
+        has no survivors to notify — and needs none.
+        """
+        missing_by_clique = self.server.missing_indexes_by_clique()
+        if not missing_by_clique:
+            return []
+        out: Outbox = []
+        reported = self.server.reported_users
+        for user_id in self.client_ids:
+            if user_id not in reported:
+                continue
+            clique = self.server.clique_of[user_id]
+            clique_missing = missing_by_clique.get(clique)
+            if clique_missing is None:
+                continue
+            out.append((user_id, MissingClientsNotice(
+                round_id=round_id,
+                missing_indexes=tuple(clique_missing),
+                clique_id=clique)))
+        return out
+
+    def _finalize(self, round_id: int) -> Outbox:
+        missing = self.server.missing_users()
+        aggregate = self.server.aggregate()
+        distribution = self.server.users_distribution(aggregate)
+        threshold = self.threshold_rule(distribution)
+        self._summary = RoundSummary(
+            round_id=round_id,
+            aggregate=aggregate,
+            distribution=distribution,
+            users_threshold=threshold,
+            reported_users=sorted(self.server.reported_users),
+            missing_users=missing,
+            recovery_round_used=bool(missing),
+        )
+        broadcast = ThresholdBroadcast(round_id=round_id,
+                                       users_threshold=threshold)
+        return [(user_id, broadcast) for user_id in self.client_ids]
+
+    def round_summary(self) -> RoundSummary:
+        if self._summary is None:
+            raise ProtocolError("round has not finalized")
+        return self._summary

@@ -16,13 +16,21 @@ from repro.errors import TransportError
 
 
 class InMemoryTransport:
-    """Point-to-point mailboxes keyed by endpoint name."""
+    """Point-to-point mailboxes keyed by endpoint name.
 
-    def __init__(self) -> None:
+    ``record_transcript=True`` keeps an append-only log of every
+    *delivered* ``(sender, recipient, message)`` triple — the evidence
+    the driver-equivalence tests compare. Off by default: a transcript
+    grows without bound across a multi-week session.
+    """
+
+    def __init__(self, record_transcript: bool = False) -> None:
         self._mailboxes: Dict[str, Deque[Tuple[str, Any]]] = {}
         self._failed_senders: Set[str] = set()
         self.bytes_sent: Dict[str, int] = defaultdict(int)
         self.messages_sent: Dict[str, int] = defaultdict(int)
+        self.transcript: Optional[List[Tuple[str, str, Any]]] = \
+            [] if record_transcript else None
 
     def register(self, endpoint: str) -> None:
         """Create a mailbox; idempotent."""
@@ -51,20 +59,32 @@ class InMemoryTransport:
     def send(self, sender: str, recipient: str, message: Any) -> bool:
         """Deliver ``message``; returns False if the sender is failed.
 
-        Messages exposing ``size_bytes()`` are counted toward the sender's
-        byte totals (dropped messages are not — a crashed client sends
-        nothing).
+        The single send path for every transport: failed-sender drop,
+        mailbox append, message/byte accounting and transcript recording
+        live here, and subclasses customize only :meth:`_transcode` — so
+        byte accounting cannot drift between transports. Dropped messages
+        are not counted: a crashed client sends nothing.
         """
         if recipient not in self._mailboxes:
             raise TransportError(f"unknown endpoint: {recipient!r}")
         if sender in self._failed_senders:
             return False
-        self._mailboxes[recipient].append((sender, message))
+        delivered, nbytes = self._transcode(message)
+        self._mailboxes[recipient].append((sender, delivered))
         self.messages_sent[sender] += 1
-        size = getattr(message, "size_bytes", None)
-        if callable(size):
-            self.bytes_sent[sender] += size()
+        self.bytes_sent[sender] += nbytes
+        if self.transcript is not None:
+            self.transcript.append((sender, recipient, delivered))
         return True
+
+    def _transcode(self, message: Any) -> Tuple[Any, int]:
+        """Codec hook: (message as delivered, bytes to account).
+
+        The in-memory transport delivers the object itself and bills the
+        ``size_bytes()`` model (0 for messages without one).
+        """
+        size = getattr(message, "size_bytes", None)
+        return message, (size() if callable(size) else 0)
 
     def receive(self, endpoint: str) -> Optional[Tuple[str, Any]]:
         """Pop the oldest (sender, message) pair, or None if empty."""
@@ -103,17 +123,11 @@ class WireTransport(InMemoryTransport):
     each delivery parses it back, so a full protocol round over this
     transport proves the byte-exact format carries everything the round
     needs. Byte accounting uses the *actual encoded size* rather than the
-    ``size_bytes()`` model.
+    ``size_bytes()`` model. Everything else — failed senders, mailboxes,
+    accounting — is the base class's single send path.
     """
 
-    def send(self, sender: str, recipient: str, message: Any) -> bool:
+    def _transcode(self, message: Any) -> Tuple[Any, int]:
         from repro.protocol import wire
-        if recipient not in self._mailboxes:
-            raise TransportError(f"unknown endpoint: {recipient!r}")
-        if sender in self._failed_senders:
-            return False
         encoded = wire.encode(message)
-        self._mailboxes[recipient].append((sender, wire.decode(encoded)))
-        self.messages_sent[sender] += 1
-        self.bytes_sent[sender] += len(encoded)
-        return True
+        return wire.decode(encoded), len(encoded)

@@ -33,6 +33,7 @@ from repro.protocol.messages import (
     CellVector,
     CleartextReport,
     MissingClientsNotice,
+    PartialAggregate,
     PublicKeyAnnouncement,
     ThresholdBroadcast,
     cells_to_array,
@@ -43,8 +44,8 @@ VERSION = 1
 _HEADER = struct.Struct(">2sBBIIH2x")
 
 Message = Union[BlindedReport, BlindingAdjustment, CleartextReport,
-                MissingClientsNotice, PublicKeyAnnouncement,
-                ThresholdBroadcast]
+                MissingClientsNotice, PartialAggregate,
+                PublicKeyAnnouncement, ThresholdBroadcast]
 
 #: Message type tags on the wire.
 _TYPE_OF: Dict[type, int] = {
@@ -54,6 +55,7 @@ _TYPE_OF: Dict[type, int] = {
     MissingClientsNotice: 4,
     BlindingAdjustment: 5,
     ThresholdBroadcast: 6,
+    PartialAggregate: 7,
 }
 
 
@@ -68,6 +70,21 @@ def _unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
     (length,) = struct.unpack_from(">H", buf, offset)
     start = offset + 2
     return buf[start:start + length].decode("utf-8"), start + length
+
+
+def _pack_str_seq(strings) -> bytes:
+    return struct.pack(">I", len(strings)) \
+        + b"".join(_pack_str(s) for s in strings)
+
+
+def _unpack_str_seq(buf: bytes, offset: int) -> Tuple[Tuple[str, ...], int]:
+    (count,) = struct.unpack_from(">I", buf, offset)
+    offset += 4
+    out = []
+    for _ in range(count):
+        s, offset = _unpack_str(buf, offset)
+        out.append(s)
+    return tuple(out), offset
 
 
 def _pack_cells(cells) -> bytes:
@@ -130,6 +147,10 @@ def encode(message: Message) -> bytes:
         round_id = message.round_id
     elif isinstance(message, ThresholdBroadcast):
         payload = struct.pack(">d", message.users_threshold)
+        round_id = message.round_id
+    elif isinstance(message, PartialAggregate):
+        payload = _pack_str_seq(message.reported) \
+            + _pack_str_seq(message.missing) + _pack_cells(message.cells)
         round_id = message.round_id
     else:  # pragma: no cover - exhaustive above
         raise ProtocolError("unreachable")
@@ -197,4 +218,11 @@ def decode(data: bytes) -> Message:
         (threshold,) = struct.unpack_from(">d", payload, 0)
         return ThresholdBroadcast(round_id=round_id,
                                   users_threshold=threshold)
+    if type_tag == 7:
+        reported, offset = _unpack_str_seq(payload, 0)
+        missing, offset = _unpack_str_seq(payload, offset)
+        cells, _ = _unpack_cells(payload, offset)
+        return PartialAggregate(clique_id=clique_id, round_id=round_id,
+                                cells=cells, reported=reported,
+                                missing=missing)
     raise ProtocolError(f"unknown message type tag {type_tag}")

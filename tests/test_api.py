@@ -1,0 +1,134 @@
+"""The stable ``repro.api`` facade: sessions, one-shot helpers, knobs."""
+
+import pytest
+
+from repro.api import ProtocolSession, run_detection, run_private_round
+from repro.errors import ConfigurationError
+from repro.protocol.client import RoundConfig
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.transport import WireTransport
+
+CONFIG = RoundConfig(cms_depth=4, cms_width=64, cms_seed=3, id_space=200)
+
+
+def make_enrollment(n=4, num_cliques=1, seed=2):
+    enrollment = enroll_users([f"u{i}" for i in range(n)], CONFIG,
+                              seed=seed, use_oprf=False,
+                              num_cliques=num_cliques)
+    for client in enrollment.clients:
+        client.observe_ad("http://everyone.example/ad")
+    enrollment.clients[0].observe_ad("http://rare.example/ad")
+    return enrollment
+
+
+class TestProtocolSession:
+    def test_run_round_counts_users(self):
+        enrollment = make_enrollment()
+        session = ProtocolSession.from_enrollment(enrollment)
+        result = session.run_round(1)
+        mapper = enrollment.clients[0].ad_mapper
+        assert result.aggregate.query(
+            mapper.ad_id("http://everyone.example/ad")) >= 4
+        assert result.missing_users == []
+
+    def test_enroll_classmethod(self):
+        session = ProtocolSession.enroll(
+            [f"u{i}" for i in range(6)], CONFIG, seed=1, use_oprf=False,
+            num_cliques=3)
+        for client in session.clients:
+            client.observe_ad("http://x.example/1")
+        result = session.run_round(1)
+        assert result.reported_users == [f"u{i}" for i in range(6)]
+
+    def test_multi_round_session_reuses_wiring(self):
+        enrollment = make_enrollment()
+        session = ProtocolSession.from_enrollment(
+            enrollment, transport=WireTransport())
+        r1 = session.run_round(1)
+        r2 = session.run_round(2)
+        assert r2.aggregate.cells == r1.aggregate.cells
+        # Accounting accumulates on the shared transport across rounds.
+        assert r2.total_messages == 2 * r1.total_messages
+
+    def test_reset_windows(self):
+        enrollment = make_enrollment()
+        session = ProtocolSession.from_enrollment(enrollment)
+        session.reset_windows()
+        assert all(c.num_seen == 0 for c in session.clients)
+
+    def test_validation(self):
+        enrollment = make_enrollment()
+        with pytest.raises(ConfigurationError):
+            ProtocolSession(CONFIG, enrollment.clients,
+                            topology="sharded-nonsense")
+        with pytest.raises(ConfigurationError):
+            ProtocolSession(CONFIG, enrollment.clients, driver="threads")
+
+    def test_sessions_over_shared_clients_keep_their_wiring(self):
+        """Constructing a second session over the same client objects
+        must not hijack the first session's report routing."""
+        enrollment = make_enrollment(8, num_cliques=2)
+        fan = ProtocolSession(CONFIG, enrollment.clients,
+                              topology="fanout")
+        mono = ProtocolSession(CONFIG, enrollment.clients,
+                               topology="monolithic")
+        fan_result = fan.run_round(1)  # runs after mono rewired uplinks
+        mono_result = mono.run_round(1)
+        assert fan_result.aggregate.cells == mono_result.aggregate.cells
+
+    def test_threshold_rule_assignable_after_construction(self):
+        from repro.protocol.coordinator import RoundCoordinator
+        enrollment = make_enrollment()
+        with pytest.warns(DeprecationWarning):
+            coordinator = RoundCoordinator(CONFIG, enrollment.clients)
+        coordinator.threshold_rule = lambda dist: 123.5
+        assert coordinator.run_round(1).users_threshold == 123.5
+
+    def test_service_users_rule_assignable_between_weeks(self):
+        from repro.backend.service import BackendService
+        from repro.core.thresholds import ThresholdRule
+        enrollment = make_enrollment()
+        service = BackendService(CONFIG, enrollment.clients)
+        service.run_week(0)
+        for client in enrollment.clients:  # windows reset after week 0
+            client.observe_ad("http://everyone.example/ad")
+        service.users_rule = ThresholdRule.MEAN_PLUS_STD
+        snapshot = service.run_week(1)
+        assert snapshot.users_threshold == \
+            ThresholdRule.MEAN_PLUS_STD.compute(snapshot.distribution)
+
+    def test_sync_session_rejects_async_await(self):
+        enrollment = make_enrollment()
+        session = ProtocolSession.from_enrollment(enrollment)
+        with pytest.raises(ConfigurationError):
+            import asyncio
+            asyncio.run(session.run_round_async(1))
+
+
+class TestOneShotHelpers:
+    def test_run_private_round_matches_session(self):
+        a = run_private_round(CONFIG, make_enrollment().clients, round_id=1)
+        b = ProtocolSession.from_enrollment(make_enrollment()).run_round(1)
+        assert a.aggregate.cells == b.aggregate.cells
+        assert a.users_threshold == b.users_threshold
+
+    def test_topologies_agree(self):
+        fan = run_private_round(CONFIG, make_enrollment(8, 2).clients,
+                                round_id=1, topology="fanout")
+        mono = run_private_round(CONFIG, make_enrollment(8, 2).clients,
+                                 round_id=1, topology="monolithic")
+        assert fan.aggregate.cells == mono.aggregate.cells
+
+    def test_run_detection_private_and_cleartext(self):
+        from repro.simulation import SimulationConfig, Simulator
+        sim = Simulator(SimulationConfig(
+            num_users=12, num_websites=30, average_user_visits=30,
+            percentage_targeted=2.0, frequency_cap=6, num_weeks=1,
+            seed=4)).run()
+        private = run_detection(sim.impressions, private=True,
+                                num_cliques=2)
+        clear = run_detection(sim.impressions, private=False)
+        assert private.private and not clear.private
+        assert private.round_result is not None
+        assert clear.round_result is None
+        assert len(private.classified) == len(clear.classified)

@@ -1,0 +1,387 @@
+"""The message-driven endpoint layer: fan-out, drivers, and hygiene.
+
+Covers the redesign's contracts:
+
+* the per-clique aggregator fan-out is **bit-identical** to the
+  monolithic server — same aggregate cells, same #Users distribution,
+  same threshold — for k in {1, 4}, including dropout-recovery rounds;
+* the asyncio driver produces the same messages (as a multiset over
+  (sender, recipient, message)) and the same result as the sync driver;
+* every mailbox is drained at the end of every round (the old inline
+  coordinator leaked ThresholdBroadcasts into client mailboxes forever);
+* unknown / unroutable messages raise ProtocolError instead of being
+  silently dropped.
+"""
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.api import ProtocolSession
+from repro.errors import (
+    MissingReportError,
+    ProtocolError,
+    RoundStateError,
+    TransportError,
+)
+from repro.protocol import wire
+from repro.protocol.aggregator import (
+    CliqueAggregator,
+    RootAggregator,
+    clique_endpoint_id,
+)
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import SERVER_ENDPOINT
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.messages import (
+    BlindedReport,
+    CellVector,
+    PartialAggregate,
+    ThresholdBroadcast,
+)
+from repro.protocol.server import AggregationServer
+from repro.protocol.transport import InMemoryTransport, WireTransport
+
+CONFIG = RoundConfig(cms_depth=4, cms_width=128, cms_seed=7, id_space=500)
+USER_IDS = [f"user-{i:02d}" for i in range(12)]
+
+
+def enrolled(num_cliques=1, seed=3, user_ids=USER_IDS):
+    enrollment = enroll_users(user_ids, CONFIG, seed=seed, use_oprf=False,
+                              num_cliques=num_cliques)
+    for i, client in enumerate(enrollment.clients):
+        for j in range(5):
+            client.observe_ad(f"ad-{(i * 3 + j) % 15}")
+    return enrollment
+
+
+def run_session(enrollment, topology, driver="sync", failed=(),
+                transport_cls=InMemoryTransport, round_id=1,
+                record_transcript=False):
+    transport = transport_cls(record_transcript=record_transcript)
+    for uid in failed:
+        transport.fail_sender(uid)
+    session = ProtocolSession(CONFIG, enrollment.clients,
+                              transport=transport, topology=topology,
+                              driver=driver)
+    return session, session.run_round(round_id)
+
+
+def monolithic_reference_aggregate(enrollment, failed=(), round_id=1):
+    """What the pre-redesign monolithic server computes, fed directly."""
+    clients = [c for c in enrollment.clients if c.user_id not in failed]
+    index_of = {c.user_id: c.blinding.user_index
+                for c in enrollment.clients}
+    server = AggregationServer(CONFIG, index_of,
+                               clique_of=enrollment.clique_of)
+    server.start_round(round_id)
+    for client in clients:
+        server.submit_report(client.build_report(round_id))
+    missing_by_clique = server.missing_indexes_by_clique()
+    for client in clients:
+        clique_missing = missing_by_clique.get(client.clique_id)
+        if clique_missing:
+            server.submit_adjustment(
+                client.build_adjustment(round_id, clique_missing))
+    return server.aggregate()
+
+
+class TestFanoutEquivalence:
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_bit_identical_to_monolithic(self, num_cliques):
+        enrollment = enrolled(num_cliques=num_cliques)
+        _, mono = run_session(enrollment, "monolithic")
+        _, fan = run_session(enrollment, "fanout")
+        assert fan.aggregate.cells == mono.aggregate.cells
+        assert fan.distribution.values == mono.distribution.values
+        assert fan.users_threshold == mono.users_threshold
+        assert fan.reported_users == mono.reported_users
+        assert fan.missing_users == mono.missing_users == []
+
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_bit_identical_with_dropout_recovery(self, num_cliques):
+        failed = ("user-05",)
+        enrollment = enrolled(num_cliques=num_cliques)
+        _, mono = run_session(enrollment, "monolithic", failed=failed)
+        _, fan = run_session(enrollment, "fanout", failed=failed)
+        assert mono.recovery_round_used and fan.recovery_round_used
+        assert fan.missing_users == mono.missing_users == ["user-05"]
+        assert fan.aggregate.cells == mono.aggregate.cells
+        assert fan.distribution.values == mono.distribution.values
+        assert fan.users_threshold == mono.users_threshold
+
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_matches_direct_aggregation_server(self, num_cliques):
+        """Acceptance: the fan-out path equals AggregationServer.aggregate()
+        on the same enrollment/round inputs, dropouts included."""
+        failed = ("user-02", "user-09")
+        enrollment = enrolled(num_cliques=num_cliques)
+        reference = monolithic_reference_aggregate(enrollment, failed=failed)
+        _, fan = run_session(enrollment, "fanout", failed=failed)
+        assert fan.aggregate.cells == reference.cells
+
+    def test_fanout_spawns_one_aggregator_per_clique(self):
+        enrollment = enrolled(num_cliques=4)
+        session = ProtocolSession(CONFIG, enrollment.clients)
+        aggregator_ids = {e.endpoint_id for e in session.endpoints
+                          if isinstance(e, CliqueAggregator)}
+        assert aggregator_ids == {clique_endpoint_id(c) for c in range(4)}
+        for client in enrollment.clients:
+            assert client.uplink == clique_endpoint_id(client.clique_id)
+
+    def test_recovery_stays_inside_the_clique(self):
+        enrollment = enrolled(num_cliques=4)
+        victim = "user-05"
+        session, result = run_session(enrollment, "fanout",
+                                      failed=(victim,))
+        assert result.missing_users == [victim]
+        victim_clique = enrollment.clique_of[victim]
+        for endpoint in session.endpoints:
+            if not isinstance(endpoint, CliqueAggregator):
+                continue
+            adjusted = endpoint.server.adjusted_users
+            if endpoint.clique_id == victim_clique:
+                mates = {uid for uid, c in enrollment.clique_of.items()
+                         if c == victim_clique and uid != victim}
+                assert adjusted == mates
+            else:
+                assert adjusted == set()
+
+    def test_whole_clique_missing_contributes_zero_partial(self):
+        enrollment = enrolled(num_cliques=4)
+        dead_clique = enrollment.clique_of["user-00"]
+        dead = tuple(uid for uid, c in enrollment.clique_of.items()
+                     if c == dead_clique)
+        _, fan = run_session(enrollment, "fanout", failed=dead)
+        _, mono = run_session(enrollment, "monolithic", failed=dead)
+        assert sorted(fan.missing_users) == sorted(dead)
+        assert fan.aggregate.cells == mono.aggregate.cells
+
+    def test_unrecovered_clique_raises(self):
+        """A survivor that fails after reporting (its adjustment is
+        dropped) makes the round unreleasable, loudly."""
+        enrollment = enrolled(num_cliques=1)
+        transport = InMemoryTransport()
+        transport.fail_sender("user-03")
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport)
+        # Let reports through but drop one survivor's adjustment — the
+        # "failed after reporting" shape the recovery cannot absorb.
+        original_send = transport.send
+
+        def send_hook(sender, recipient, message):
+            if sender == "user-04" and not isinstance(message,
+                                                      BlindedReport):
+                return False  # drop user-04's adjustment
+            return original_send(sender, recipient, message)
+
+        transport.send = send_hook
+        with pytest.raises(MissingReportError):
+            session.run_round(1)
+
+
+class TestAsyncDriver:
+    @pytest.mark.parametrize("num_cliques,failed", [
+        (1, ()), (4, ()), (4, ("user-05", "user-09"))])
+    def test_async_equals_sync_message_for_message(self, num_cliques,
+                                                   failed):
+        sync_enr = enrolled(num_cliques=num_cliques)
+        async_enr = enrolled(num_cliques=num_cliques)
+        _, sync_result = run_session(sync_enr, "fanout", driver="sync",
+                                     failed=failed, record_transcript=True)
+        _, async_result = run_session(async_enr, "fanout", driver="async",
+                                      failed=failed, record_transcript=True)
+        # Same work: bit-identical aggregate, identical accounting.
+        assert async_result.aggregate.cells == sync_result.aggregate.cells
+        assert async_result.distribution.values == \
+            sync_result.distribution.values
+        assert async_result.users_threshold == sync_result.users_threshold
+        assert async_result.total_messages == sync_result.total_messages
+        assert async_result.total_bytes == sync_result.total_bytes
+
+    def test_async_transcript_is_same_multiset(self):
+        failed = ("user-05",)
+        transcripts = []
+        for driver in ("sync", "async"):
+            enrollment = enrolled(num_cliques=4)
+            session, _ = run_session(enrollment, "fanout", driver=driver,
+                                     failed=failed, record_transcript=True)
+            transcripts.append(Counter(session.transport.transcript))
+        assert transcripts[0] == transcripts[1]
+
+    def test_run_round_async_awaitable(self):
+        enrollment = enrolled(num_cliques=4)
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  driver="async")
+        result = asyncio.run(session.run_round_async(1))
+        assert result.reported_users == sorted(USER_IDS)
+
+
+class TestMultiRoundWireSession:
+    """Acceptance: a full multi-round, multi-clique session over the
+    byte-exact codec with injected dropouts."""
+
+    def test_three_rounds_with_dropouts_over_wire(self):
+        enrollment = enrolled(num_cliques=4)
+        transport = WireTransport()
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport)
+        reference = enrolled(num_cliques=4)
+
+        # Round 1: everyone reports.
+        r1 = session.run_round(1)
+        assert r1.aggregate.cells == \
+            monolithic_reference_aggregate(reference, round_id=1).cells
+
+        # Round 2: two users in different cliques drop out.
+        transport.fail_sender("user-02")
+        transport.fail_sender("user-09")
+        r2 = session.run_round(2)
+        assert sorted(r2.missing_users) == ["user-02", "user-09"]
+        assert r2.recovery_round_used
+        assert r2.aggregate.cells == monolithic_reference_aggregate(
+            reference, failed=("user-02", "user-09"), round_id=2).cells
+
+        # Round 3: they come back; the session keeps going.
+        transport.restore_sender("user-02")
+        transport.restore_sender("user-09")
+        r3 = session.run_round(3)
+        assert r3.missing_users == []
+        assert r3.aggregate.cells == \
+            monolithic_reference_aggregate(reference, round_id=3).cells
+
+        # Every client received every round's broadcast and no endpoint
+        # has unread mail after three rounds on the same transport.
+        for client in enrollment.clients:
+            assert client.last_threshold_round == 3
+        for endpoint in session.endpoints:
+            assert transport.pending(endpoint.endpoint_id) == 0
+
+    def test_async_driver_over_wire_matches_sync(self):
+        results = []
+        for driver in ("sync", "async"):
+            enrollment = enrolled(num_cliques=4)
+            session, result = run_session(
+                enrollment, "fanout", driver=driver, failed=("user-05",),
+                transport_cls=WireTransport, record_transcript=True)
+            results.append((Counter(session.transport.transcript), result))
+        (sync_t, sync_r), (async_t, async_r) = results
+        assert sync_t == async_t
+        assert async_r.aggregate.cells == sync_r.aggregate.cells
+        assert async_r.total_bytes == sync_r.total_bytes
+
+
+class TestMailboxHygiene:
+    def test_round_drains_every_mailbox(self):
+        """Regression for the broadcast leak: the old coordinator pushed
+        ThresholdBroadcasts (and stale notices) into client mailboxes and
+        never drained them, growing the transport without bound across a
+        multi-week session."""
+        enrollment = enrolled(num_cliques=2)
+        transport = InMemoryTransport()
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport)
+        for week in range(1, 6):
+            session.run_round(week)
+            for endpoint in session.endpoints:
+                assert transport.pending(endpoint.endpoint_id) == 0, \
+                    f"week {week}: {endpoint.endpoint_id} has unread mail"
+
+    def test_clients_receive_the_broadcast(self):
+        enrollment = enrolled(num_cliques=2)
+        session = ProtocolSession(CONFIG, enrollment.clients)
+        result = session.run_round(1)
+        for client in enrollment.clients:
+            assert client.last_threshold == result.users_threshold
+            assert client.last_threshold_round == 1
+
+    def test_backend_service_transport_stays_drained(self):
+        from repro.backend.service import BackendService
+        enrollment = enrolled(num_cliques=2)
+        service = BackendService(CONFIG, enrollment.clients)
+        for week in range(3):
+            for i, client in enumerate(enrollment.clients):
+                client.observe_ad(f"ad-week{week}-{i % 4}")
+            service.run_week(week)
+            for client in enrollment.clients:
+                assert service.transport.pending(client.user_id) == 0
+
+
+class TestStrictRouting:
+    def test_unknown_message_type_raises_not_dropped(self):
+        """Regression: the old coordinator silently discarded unexpected
+        message types when draining the server mailbox."""
+        enrollment = enrolled(num_cliques=1)
+        transport = InMemoryTransport()
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport,
+                                  topology="monolithic")
+        transport.send(enrollment.clients[0].user_id, SERVER_ENDPOINT,
+                       ThresholdBroadcast(round_id=1, users_threshold=1.0))
+        with pytest.raises(ProtocolError):
+            session.run_round(1)
+
+    def test_client_rejects_foreign_message(self):
+        enrollment = enrolled(num_cliques=1)
+        client = enrollment.clients[0]
+        partial = PartialAggregate(clique_id=0, round_id=1,
+                                   cells=CellVector([0] * CONFIG.num_cells))
+        with pytest.raises(ProtocolError):
+            client.on_message("someone", partial)
+
+    def test_unroutable_recipient_raises(self):
+        transport = InMemoryTransport()
+        transport.register("known")
+        with pytest.raises(TransportError):
+            transport.send("known", "unknown-endpoint", object())
+
+    def test_root_rejects_wrong_round_partial(self):
+        root = RootAggregator(CONFIG, [0], USER_IDS)
+        root.on_round_start(2)
+        partial = PartialAggregate(clique_id=0, round_id=1,
+                                   cells=CellVector([0] * CONFIG.num_cells))
+        with pytest.raises(RoundStateError):
+            root.on_message(clique_endpoint_id(0), partial)
+
+    def test_root_rejects_differing_duplicate_partial(self):
+        root = RootAggregator(CONFIG, [0, 1], USER_IDS)
+        root.on_round_start(1)
+        a = PartialAggregate(clique_id=0, round_id=1,
+                             cells=CellVector([1] * CONFIG.num_cells),
+                             reported=("u",))
+        b = PartialAggregate(clique_id=0, round_id=1,
+                             cells=CellVector([2] * CONFIG.num_cells),
+                             reported=("u",))
+        root.on_message(clique_endpoint_id(0), a)
+        root.on_message(clique_endpoint_id(0), a)  # identical: idempotent
+        with pytest.raises(RoundStateError):
+            root.on_message(clique_endpoint_id(0), b)
+
+    def test_report_routed_to_wrong_clique_aggregator_rejected(self):
+        enrollment = enrolled(num_cliques=4)
+        session = ProtocolSession(CONFIG, enrollment.clients)
+        aggregators = {e.clique_id: e for e in session.endpoints
+                       if isinstance(e, CliqueAggregator)}
+        client = enrollment.clients[0]
+        wrong = aggregators[(client.clique_id + 1) % 4]
+        wrong.on_round_start(1)
+        with pytest.raises(RoundStateError):
+            wrong.on_message(client.user_id, client.build_report(1))
+
+
+class TestPartialAggregateWire:
+    def test_roundtrip(self):
+        partial = PartialAggregate(clique_id=9, round_id=4,
+                                   cells=CellVector([1, 2, 3]),
+                                   reported=("a", "b"), missing=("c",))
+        assert wire.decode(wire.encode(partial)) == partial
+
+    def test_size_model_tracks_encoding(self):
+        partial = PartialAggregate(clique_id=1, round_id=2,
+                                   cells=CellVector([5] * 16),
+                                   reported=("user-a",), missing=())
+        encoded = wire.encode(partial)
+        # The model ignores per-string framing; it must still be within
+        # the header + length-prefix slack of the true encoding.
+        assert abs(len(encoded) - partial.size_bytes()) < 64
