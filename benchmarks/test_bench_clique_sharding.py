@@ -16,14 +16,12 @@ Results append to ``BENCH_perf_hotpaths.json`` alongside the PR-1 data
 path trajectory.
 """
 
-import json
 import time
-from pathlib import Path
 
-from conftest import print_table
+from conftest import append_trajectory as _append_trajectory, print_table
 
+from repro.api import ProtocolSession
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import RoundCoordinator
 from repro.protocol.enrollment import enroll_users
 from repro.statsutil.sampling import make_rng
 
@@ -35,19 +33,6 @@ NUM_CLIQUES = 4
 CONFIG = RoundConfig(cms_depth=6, cms_width=1024, cms_seed=7,
                      id_space=UNIQUE_ADS * 10)
 
-TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / \
-    "BENCH_perf_hotpaths.json"
-
-
-def _append_trajectory(record):
-    runs = []
-    if TRAJECTORY_FILE.exists():
-        try:
-            runs = json.loads(TRAJECTORY_FILE.read_text()).get("runs", [])
-        except (json.JSONDecodeError, OSError):
-            runs = []
-    runs.append(record)
-    TRAJECTORY_FILE.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
 
 
 def _observe_workload(enrollment, rng_seed=2024):
@@ -67,9 +52,10 @@ def _timed_round(num_cliques):
                               CONFIG, seed=11, use_oprf=False,
                               num_cliques=num_cliques)
     _observe_workload(enrollment)
-    coordinator = RoundCoordinator(CONFIG, enrollment.clients)
+    session = ProtocolSession(CONFIG, enrollment.clients,
+                              topology="monolithic")
     t0 = time.perf_counter()
-    result = coordinator.run_round(round_id=1)
+    result = session.run_round(1)
     return result, time.perf_counter() - t0
 
 
@@ -125,14 +111,15 @@ def test_clique_sharding_recovery_speedup():
         _observe_workload(enrollment)
         transport = InMemoryTransport()
         transport.fail_sender("user-0042")
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients,
-                                       transport=transport)
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport,
+                                  topology="monolithic")
         t0 = time.perf_counter()
-        result = coordinator.run_round(round_id=1)
-        return coordinator, result, time.perf_counter() - t0
+        result = session.run_round(1)
+        return session, result, time.perf_counter() - t0
 
-    flat_coord, flat_result, flat_s = run(1)
-    shard_coord, shard_result, shard_s = run(NUM_CLIQUES)
+    flat_sess, flat_result, flat_s = run(1)
+    shard_sess, shard_result, shard_s = run(NUM_CLIQUES)
 
     assert flat_result.recovery_round_used
     assert shard_result.recovery_round_used
@@ -140,17 +127,17 @@ def test_clique_sharding_recovery_speedup():
     assert shard_result.aggregate.cells == flat_result.aggregate.cells
     # Unsharded: all 199 survivors adjust. Sharded: only the victim's
     # 49 clique mates do.
-    assert len(flat_coord.server.adjusted_users) == NUM_USERS - 1
-    assert len(shard_coord.server.adjusted_users) == \
+    assert len(flat_sess.root.server.adjusted_users) == NUM_USERS - 1
+    assert len(shard_sess.root.server.adjusted_users) == \
         NUM_USERS // NUM_CLIQUES - 1
 
     print_table(
         "perf: clique sharding, round with one dropout + recovery",
         "  (adjustment fan-out is clique-local)",
         [f"  k=1:  {flat_s * 1000:8.1f} ms, "
-         f"{len(flat_coord.server.adjusted_users)} adjustments",
+         f"{len(flat_sess.root.server.adjusted_users)} adjustments",
          f"  k={NUM_CLIQUES}:  {shard_s * 1000:8.1f} ms, "
-         f"{len(shard_coord.server.adjusted_users)} adjustments"])
+         f"{len(shard_sess.root.server.adjusted_users)} adjustments"])
 
     _append_trajectory({
         "bench": "clique_sharding_recovery",
@@ -159,6 +146,6 @@ def test_clique_sharding_recovery_speedup():
         "num_cliques": NUM_CLIQUES,
         "flat_round_s": round(flat_s, 6),
         "sharded_round_s": round(shard_s, 6),
-        "flat_adjustments": len(flat_coord.server.adjusted_users),
-        "sharded_adjustments": len(shard_coord.server.adjusted_users),
+        "flat_adjustments": len(flat_sess.root.server.adjusted_users),
+        "sharded_adjustments": len(shard_sess.root.server.adjusted_users),
     })

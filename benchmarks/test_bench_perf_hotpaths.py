@@ -27,12 +27,10 @@ and every run appends a record to ``BENCH_perf_hotpaths.json`` at the repo
 root so future PRs can track regressions.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
-from conftest import print_table
+from conftest import append_trajectory as _append_trajectory, print_table
 
 from repro.core.pipeline import DetectionPipeline
 from repro.crypto.blinding import BLINDING_MODULUS
@@ -54,10 +52,6 @@ ROUND_ID = 1
 #: small enough that a single round's keystream stays in the ~100 MB range.
 CONFIG = RoundConfig(cms_depth=6, cms_width=1024, cms_seed=7,
                      id_space=UNIQUE_ADS * 10)
-
-TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / \
-    "BENCH_perf_hotpaths.json"
-
 
 def _workload(rng):
     """Deterministic users -> seen-URL sets covering all unique ads."""
@@ -135,16 +129,6 @@ def _fast_data_path(per_user, blinding, ad_ids_by_user, server):
     aggregate = server.aggregate()
     return aggregate, server.users_distribution(aggregate)
 
-
-def _append_trajectory(record):
-    runs = []
-    if TRAJECTORY_FILE.exists():
-        try:
-            runs = json.loads(TRAJECTORY_FILE.read_text()).get("runs", [])
-        except (json.JSONDecodeError, OSError):
-            runs = []
-    runs.append(record)
-    TRAJECTORY_FILE.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
 
 
 def test_private_round_data_path_speedup():

@@ -12,11 +12,10 @@ both drivers, and the monolithic reference. The timing record lands in
 gate, not just an occasional full bench run.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
+from conftest import append_trajectory as _append_trajectory
 
 from repro.api import ProtocolSession
 from repro.protocol.client import RoundConfig
@@ -25,9 +24,6 @@ from repro.protocol.enrollment import enroll_users
 NUM_USERS = 24
 NUM_CLIQUES = 4
 CONFIG = RoundConfig(cms_depth=4, cms_width=256, cms_seed=7, id_space=2000)
-
-TRAJECTORY_FILE = Path(__file__).resolve().parent.parent / \
-    "BENCH_perf_hotpaths.json"
 
 #: Generous wall-clock ceiling for the tiny session: an order of
 #: magnitude above a warm laptop run, tight enough to catch a protocol
@@ -44,16 +40,6 @@ def _enrolled(seed=11):
             client.observe_ad(f"http://ads.example/{(i * 5 + j) % 40}")
     return enrollment
 
-
-def _append_trajectory(record):
-    runs = []
-    if TRAJECTORY_FILE.exists():
-        try:
-            runs = json.loads(TRAJECTORY_FILE.read_text()).get("runs", [])
-        except (ValueError, AttributeError):
-            runs = []
-    runs.append(record)
-    TRAJECTORY_FILE.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
 
 
 @pytest.mark.smoke

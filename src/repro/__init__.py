@@ -45,7 +45,12 @@ from repro.core import (
     ThresholdRule,
 )
 from repro.sketch import CountMinSketch, SpectralBloomFilter
-from repro.protocol import RoundConfig, RoundCoordinator, enroll_users
+from repro.protocol import (
+    Epoch,
+    MembershipManager,
+    RoundConfig,
+    enroll_users,
+)
 from repro.api import ProtocolSession, run_detection, run_private_round
 from repro.simulation import SimulationConfig, Simulator
 from repro.validation import LiveValidationStudy
@@ -67,7 +72,8 @@ __all__ = [
     "CountMinSketch",
     "SpectralBloomFilter",
     "RoundConfig",
-    "RoundCoordinator",
+    "Epoch",
+    "MembershipManager",
     "ProtocolSession",
     "run_detection",
     "run_private_round",
@@ -77,3 +83,12 @@ __all__ = [
     "LiveValidationStudy",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    if name == "RoundCoordinator":
+        # Re-raise repro.protocol's migration guidance for the old
+        # top-level re-export too.
+        from repro import protocol
+        return protocol.RoundCoordinator  # always raises with guidance
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,29 +6,37 @@ feeds. Everything here is a thin, stable veneer over the endpoint/runner
 machinery in :mod:`repro.protocol`; the internals may keep moving, the
 names below will not.
 
-* :class:`ProtocolSession` — a long-lived binding of enrolled clients to
-  an aggregation topology, a driver and a transport; call
-  :meth:`~ProtocolSession.run_round` once per reporting window.
+* :class:`ProtocolSession` — a long-lived binding of an enrolled
+  population to an aggregation topology, a driver and a transport; call
+  :meth:`~ProtocolSession.run_round` once per reporting window and
+  :meth:`~ProtocolSession.advance_epoch` when the population churns
+  between windows.
 * :func:`run_private_round` — one-shot convenience: enrolled clients in,
   :class:`~repro.protocol.runner.RoundResult` out.
 * :func:`run_detection` — impressions in, classified (user, ad) pairs
   out, through either the cleartext oracle or the full private protocol.
 
-Migration from ``RoundCoordinator`` (deprecated)::
+The session lifecycle mirrors a deployment's operational cadence::
 
-    # before
-    coordinator = RoundCoordinator(config, clients, transport=t)
-    result = coordinator.run_round(round_id=1)
+    session = ProtocolSession.enroll(users, config, num_cliques=8)
+    r0 = session.run_next_round()          # epoch 0
+    r1 = session.run_next_round()
+    session.advance_epoch(joins=["new-user"], leaves=["churned-user"])
+    r2 = session.run_next_round()          # epoch 1, same key material
 
-    # after
-    session = ProtocolSession(config, clients, transport=t)
-    result = session.run_round(1)
+``advance_epoch`` re-shards minimally (see
+:mod:`repro.protocol.membership`): users keep their DH key pairs and
+every surviving pair secret, the per-clique aggregators are re-wired in
+place over the same transport, and round ids keep increasing so pads are
+never reused across epochs.
 
 The session defaults to the per-clique aggregator fan-out (bit-identical
 to the monolithic server, parallelizable per clique) driven
 synchronously; ``topology="monolithic"`` restores the single-server
 wiring and ``driver="async"`` runs the clique aggregators concurrently
-on an asyncio loop.
+on an asyncio loop. (The pre-epoch ``RoundCoordinator`` shim has been
+removed; ``ProtocolSession(config, clients, topology="monolithic")`` is
+the drop-in replacement.)
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ from __future__ import annotations
 import asyncio
 from typing import List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RoundStateError
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.endpoint import (
     ProtocolEndpoint,
@@ -44,6 +52,11 @@ from repro.protocol.endpoint import (
     mean_threshold,
 )
 from repro.protocol.enrollment import Enrollment, enroll_users
+from repro.protocol.membership import (
+    Epoch,
+    EpochTransition,
+    MembershipManager,
+)
 from repro.protocol.runner import (
     AsyncProtocolRunner,
     ProtocolRunner,
@@ -71,12 +84,14 @@ DRIVERS = ("sync", "async")
 class ProtocolSession:
     """A reusable binding of protocol endpoints to a driver.
 
-    Where the deprecated ``RoundCoordinator`` re-scripted every round
-    inline, a session wires the parties once — clients, aggregators (one
-    per blinding clique under ``topology="fanout"``, a single server
-    under ``"monolithic"``) and the root — and then drives as many
-    rounds as the deployment needs over the same transport, draining
-    every mailbox each round.
+    A session wires the parties once — clients, aggregators (one per
+    blinding clique under ``topology="fanout"``, a single server under
+    ``"monolithic"``) and the root — and then drives as many rounds as
+    the deployment needs over the same transport, draining every mailbox
+    each round. Sessions built from an epoch-aware enrollment (any
+    :func:`~repro.protocol.enrollment.enroll_users` result) also support
+    :meth:`advance_epoch`, which applies membership churn and re-wires
+    the aggregation endpoints in place.
 
     Parameters
     ----------
@@ -99,6 +114,10 @@ class ProtocolSession:
         ``"sync"`` (default) or ``"async"``; the async driver pumps the
         clique aggregators as concurrent asyncio tasks and produces a
         bit-identical result.
+    membership:
+        Optional :class:`~repro.protocol.membership.MembershipManager`
+        enabling :meth:`advance_epoch`; built automatically by
+        :meth:`enroll` and :meth:`from_enrollment`.
     """
 
     def __init__(self, config: RoundConfig,
@@ -106,7 +125,8 @@ class ProtocolSession:
                  transport: Optional[InMemoryTransport] = None,
                  threshold_rule: ThresholdRuleFn = mean_threshold,
                  topology: str = "fanout",
-                 driver: str = "sync") -> None:
+                 driver: str = "sync",
+                 membership: Optional[MembershipManager] = None) -> None:
         if topology not in TOPOLOGIES:
             raise ConfigurationError(
                 f"unknown topology {topology!r}; expected one of "
@@ -115,14 +135,26 @@ class ProtocolSession:
             raise ConfigurationError(
                 f"unknown driver {driver!r}; expected one of {DRIVERS}")
         self.config = config
-        self.clients = list(clients)
         self.topology = topology
         self.driver = driver
-        build = (build_fanout_endpoints if topology == "fanout"
+        self.membership = membership
+        # A membership mid-lifecycle (e.g. handed to from_membership
+        # after rounds or epoch advances elsewhere) dictates the first
+        # usable round id; pads from its earlier rounds are spent.
+        self._next_round = membership.next_round if membership else 0
+        self._wire(clients, transport, threshold_rule)
+
+    def _wire(self, clients: Sequence[ProtocolClient],
+              transport: Optional[InMemoryTransport],
+              threshold_rule: ThresholdRuleFn) -> None:
+        """(Re-)build endpoints and runner; shared by construction and
+        epoch advances (which pass the session's existing transport)."""
+        self.clients = list(clients)
+        build = (build_fanout_endpoints if self.topology == "fanout"
                  else build_monolithic_endpoints)
-        endpoints, root = build(config, self.clients,
+        endpoints, root = build(self.config, self.clients,
                                 threshold_rule=threshold_rule)
-        runner_cls = ProtocolRunner if driver == "sync" \
+        runner_cls = ProtocolRunner if self.driver == "sync" \
             else AsyncProtocolRunner
         self._runner = runner_cls(endpoints, root, transport=transport)
         self.root = root
@@ -133,11 +165,11 @@ class ProtocolSession:
                transport: Optional[InMemoryTransport] = None,
                threshold_rule: ThresholdRuleFn = mean_threshold,
                **enroll_kwargs) -> "ProtocolSession":
-        """Enrollment and session wiring in one step.
+        """Epoch-0 enrollment and session wiring in one step.
 
         ``enroll_kwargs`` are forwarded to
         :func:`~repro.protocol.enrollment.enroll_users` (``seed``,
-        ``use_oprf``, ``num_cliques``, ...).
+        ``use_oprf``, ``num_cliques``, ``share_pad_streams``, ...).
         """
         enrollment = enroll_users(user_ids, config, **enroll_kwargs)
         return cls.from_enrollment(enrollment, topology=topology,
@@ -150,9 +182,23 @@ class ProtocolSession:
                         transport: Optional[InMemoryTransport] = None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
                         ) -> "ProtocolSession":
+        """Wrap an :class:`~repro.protocol.enrollment.Enrollment` —
+        membership-aware whenever the enrollment carries key material."""
+        membership = (MembershipManager(enrollment)
+                      if enrollment.keypairs else None)
         return cls(enrollment.config, enrollment.clients,
                    transport=transport, threshold_rule=threshold_rule,
-                   topology=topology, driver=driver)
+                   topology=topology, driver=driver, membership=membership)
+
+    @classmethod
+    def from_membership(cls, membership: MembershipManager,
+                        topology: str = "fanout", driver: str = "sync",
+                        transport: Optional[InMemoryTransport] = None,
+                        threshold_rule: ThresholdRuleFn = mean_threshold,
+                        ) -> "ProtocolSession":
+        return cls(membership.config, membership.clients,
+                   transport=transport, threshold_rule=threshold_rule,
+                   topology=topology, driver=driver, membership=membership)
 
     @property
     def transport(self) -> InMemoryTransport:
@@ -162,18 +208,95 @@ class ProtocolSession:
     def endpoints(self) -> List[ProtocolEndpoint]:
         return list(self._runner.endpoints)
 
+    @property
+    def epoch(self) -> Optional[Epoch]:
+        """The current epoch (None for sessions without membership)."""
+        return self.membership.epoch if self.membership else None
+
+    @property
+    def next_round(self) -> int:
+        """The round id :meth:`run_next_round` will use.
+
+        Reconciled against the current epoch's ``first_round``: epochs
+        advanced directly on the membership manager (outside this
+        session) move the floor forward, and the session follows rather
+        than wedging on its own stale counter.
+        """
+        epoch = self.epoch
+        if epoch is not None:
+            return max(self._next_round, epoch.first_round)
+        return self._next_round
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def _check_round_id(self, round_id: int) -> None:
+        epoch = self.epoch
+        if epoch is not None and epoch.epoch_id > 0 \
+                and round_id < epoch.first_round:
+            raise RoundStateError(
+                f"round {round_id} predates epoch {epoch.epoch_id} "
+                f"(first_round={epoch.first_round}); pads are keyed by "
+                f"(pair, round) and pairs survive epochs, so reusing an "
+                f"earlier round id would reuse one-time pads")
+
     def run_round(self, round_id: int) -> RoundResult:
         """Execute one complete reporting round (with fault recovery)."""
         if self.driver == "async":
             return asyncio.run(self.run_round_async(round_id))
-        return self._runner.run_round(round_id)
+        self._check_round_id(round_id)
+        result = self._runner.run_round(round_id)
+        self._note_round(round_id)
+        return result
+
+    def _note_round(self, round_id: int) -> None:
+        self._next_round = max(self._next_round, round_id + 1)
+        if self.membership is not None:
+            self.membership.note_round(round_id)
 
     async def run_round_async(self, round_id: int) -> RoundResult:
         """Awaitable round execution (``driver="async"`` sessions)."""
         if not isinstance(self._runner, AsyncProtocolRunner):
             raise ConfigurationError(
                 "run_round_async needs a session with driver='async'")
-        return await self._runner.run_round(round_id)
+        self._check_round_id(round_id)
+        result = await self._runner.run_round(round_id)
+        self._note_round(round_id)
+        return result
+
+    def run_next_round(self) -> RoundResult:
+        """Run the next round in the session's monotonic round sequence."""
+        return self.run_round(self.next_round)
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def advance_epoch(self, joins: Sequence[str] = (),
+                      leaves: Sequence[str] = ()) -> EpochTransition:
+        """Apply membership churn and re-wire the session in place.
+
+        Delegates the key-material work to the session's
+        :class:`~repro.protocol.membership.MembershipManager` (only
+        users whose clique changed are re-keyed), then rebuilds the
+        aggregation endpoints — one aggregator per surviving clique
+        under the fan-out topology — over the *same* transport, so
+        byte/message accounting and any injected failures persist
+        across the transition. The new epoch's ``first_round`` is this
+        session's next round id: rounds never reuse an id across
+        epochs, keeping every pairwise pad one-time.
+        """
+        if self.membership is None:
+            raise ConfigurationError(
+                "this session has no membership manager; construct it via "
+                "ProtocolSession.enroll / from_enrollment (an enrollment "
+                "built by enroll_users carries the required key material)")
+        transition = self.membership.advance_epoch(
+            joins=joins, leaves=leaves, first_round=self._next_round)
+        # Carry the current rule (possibly reassigned on the old root,
+        # e.g. by BackendService.users_rule) into the new wiring.
+        rule = self.root.threshold_rule
+        self._wire(self.membership.clients, self.transport, rule)
+        return transition
 
     def reset_windows(self) -> None:
         """Clear every client's observation window (new weekly window)."""
@@ -199,7 +322,8 @@ def run_detection(impressions, week: int = 0, private: bool = True,
                   detector_config=None, round_config=None,
                   use_oprf: bool = False, enrollment_seed: int = 0,
                   transport_factory=None, num_cliques: int = 1,
-                  topology: str = "fanout", driver: str = "sync"):
+                  topology: str = "fanout", driver: str = "sync",
+                  rounds_per_window: int = 1):
     """Classify one week of impressions, optionally through the private
     protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
 
@@ -214,5 +338,6 @@ def run_detection(impressions, week: int = 0, private: bool = True,
                                  enrollment_seed=enrollment_seed,
                                  transport_factory=transport_factory,
                                  num_cliques=num_cliques,
-                                 topology=topology, driver=driver)
+                                 topology=topology, driver=driver,
+                                 rounds_per_window=rounds_per_window)
     return pipeline.run_week(impressions, week=week)

@@ -18,7 +18,8 @@ _SCHEMA = """
 CREATE TABLE IF NOT EXISTS users (
     user_id TEXT PRIMARY KEY,
     enrolled_week INTEGER NOT NULL,
-    blinding_index INTEGER NOT NULL
+    blinding_index INTEGER NOT NULL,
+    departed_week INTEGER
 );
 CREATE TABLE IF NOT EXISTS weekly_stats (
     week INTEGER PRIMARY KEY,
@@ -46,6 +47,15 @@ class MetadataStore:
     def __init__(self, path: str = ":memory:") -> None:
         self._conn = sqlite3.connect(path)
         self._conn.executescript(_SCHEMA)
+        # Pre-epoch stores lack the churn column; add it in place. Fresh
+        # stores get it from the schema, so only actually-old files pay
+        # (and surface) the ALTER.
+        columns = {row[1] for row in self._conn.execute(
+            "PRAGMA table_info(users)")}
+        if "departed_week" not in columns:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE users ADD COLUMN departed_week INTEGER")
 
     def close(self) -> None:
         self._conn.close()
@@ -72,9 +82,35 @@ class MetadataStore:
                 f"user {user_id!r} already enrolled") from None
 
     def active_users(self) -> List[str]:
+        """Users currently enrolled (departed ones excluded)."""
+        rows = self._conn.execute(
+            "SELECT user_id FROM users WHERE departed_week IS NULL "
+            "ORDER BY user_id").fetchall()
+        return [r[0] for r in rows]
+
+    def known_users(self) -> List[str]:
+        """Every user ever enrolled, departed or not."""
         rows = self._conn.execute(
             "SELECT user_id FROM users ORDER BY user_id").fetchall()
         return [r[0] for r in rows]
+
+    def mark_departed(self, user_id: str, week: int) -> None:
+        """Record that a user left the panel in ``week``."""
+        with self._conn:
+            updated = self._conn.execute(
+                "UPDATE users SET departed_week = ? WHERE user_id = ?",
+                (week, user_id)).rowcount
+        if not updated:
+            raise ConfigurationError(f"unknown user {user_id!r}")
+
+    def mark_rejoined(self, user_id: str) -> None:
+        """Clear a departure (the user re-enrolled)."""
+        with self._conn:
+            updated = self._conn.execute(
+                "UPDATE users SET departed_week = NULL WHERE user_id = ?",
+                (user_id,)).rowcount
+        if not updated:
+            raise ConfigurationError(f"unknown user {user_id!r}")
 
     def blinding_index(self, user_id: str) -> int:
         row = self._conn.execute(

@@ -14,8 +14,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.api import ProtocolSession
 from repro.backend.database import MetadataStore
 from repro.core.thresholds import ThresholdRule
-from repro.errors import RoundStateError
+from repro.errors import ConfigurationError, RoundStateError
 from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.enrollment import Enrollment
+from repro.protocol.membership import EpochTransition
 from repro.protocol.runner import RoundResult
 from repro.protocol.transport import InMemoryTransport
 from repro.statsutil.distributions import EmpiricalDistribution
@@ -32,32 +34,60 @@ class WeeklySnapshot:
 
 
 class BackendService:
-    """Operates weekly aggregation rounds and serves their outputs."""
+    """Operates weekly aggregation rounds and serves their outputs.
+
+    Construct with an epoch-aware enrollment (``enrollment=...`` or
+    :meth:`from_enrollment`) to unlock :meth:`advance_epoch` — the
+    between-weeks membership rotation that re-keys only users whose
+    clique changed instead of re-running enrollment.
+    """
 
     def __init__(self, config: RoundConfig,
-                 clients: Sequence[ProtocolClient],
+                 clients: Optional[Sequence[ProtocolClient]] = None,
                  store: Optional[MetadataStore] = None,
                  users_rule: ThresholdRule = ThresholdRule.MEAN,
                  transport: Optional[InMemoryTransport] = None,
                  topology: str = "fanout",
-                 driver: str = "sync") -> None:
+                 driver: str = "sync",
+                 enrollment: Optional[Enrollment] = None) -> None:
+        if enrollment is not None:
+            if clients is not None:
+                raise ConfigurationError(
+                    "pass clients or enrollment, not both (an enrollment "
+                    "serves its own client population)")
+            clients = enrollment.clients
+        if clients is None:
+            raise ConfigurationError(
+                "BackendService needs clients or an enrollment")
         self.config = config
         self.clients = list(clients)
         self.store = store or MetadataStore()
         #: One long-lived session serves every weekly round: endpoints
-        #: are wired once (the roster is fixed at construction) and each
-        #: round drains every mailbox, so the shared transport cannot
-        #: accumulate stale broadcasts across a multi-week deployment.
-        self.session = ProtocolSession(
-            config, self.clients, transport=transport,
-            threshold_rule=users_rule.compute,
-            topology=topology, driver=driver)
+        #: are wired once per epoch and each round drains every mailbox,
+        #: so the shared transport cannot accumulate stale broadcasts
+        #: across a multi-week deployment.
+        if enrollment is not None:
+            self.session = ProtocolSession.from_enrollment(
+                enrollment, transport=transport,
+                threshold_rule=users_rule.compute,
+                topology=topology, driver=driver)
+        else:
+            self.session = ProtocolSession(
+                config, self.clients, transport=transport,
+                threshold_rule=users_rule.compute,
+                topology=topology, driver=driver)
         self.users_rule = users_rule
         self.transport = self.session.transport
         self._snapshots: Dict[int, WeeklySnapshot] = {}
         for client in self.clients:
             self.store.enroll_user(client.user_id, week=0,
                                    blinding_index=client.blinding.user_index)
+
+    @classmethod
+    def from_enrollment(cls, enrollment: Enrollment,
+                        **kwargs) -> "BackendService":
+        """Epoch-capable service over an enrollment's population."""
+        return cls(enrollment.config, enrollment=enrollment, **kwargs)
 
     @property
     def users_rule(self) -> ThresholdRule:
@@ -71,6 +101,35 @@ class BackendService:
     def users_rule(self, rule: ThresholdRule) -> None:
         self._users_rule = rule
         self.session.root.threshold_rule = rule.compute
+
+    def advance_epoch(self, joins: Sequence[str] = (),
+                      leaves: Sequence[str] = (),
+                      week: Optional[int] = None) -> EpochTransition:
+        """Rotate membership between weekly rounds.
+
+        Forwards to :meth:`repro.api.ProtocolSession.advance_epoch`
+        (minimal re-shard, key material reused, aggregators re-wired in
+        place) and keeps the service's bookkeeping in step: joiners are
+        enrolled in the metadata store under ``week`` (default: the next
+        week after the last one run) and :attr:`clients` reflects the
+        new roster.
+        """
+        transition = self.session.advance_epoch(joins=joins, leaves=leaves)
+        self.clients = list(self.session.clients)
+        if week is None:
+            week = (max(self._snapshots) + 1) if self._snapshots else 0
+        by_id = {c.user_id: c for c in self.clients}
+        known = set(self.store.known_users())
+        for user_id in transition.left:
+            self.store.mark_departed(user_id, week=week)
+        for user_id in transition.joined:
+            if user_id in known:  # a rejoin reactivates its old record
+                self.store.mark_rejoined(user_id)
+            else:
+                self.store.enroll_user(
+                    user_id, week=week,
+                    blinding_index=by_id[user_id].blinding.user_index)
+        return transition
 
     def run_week(self, week: int) -> WeeklySnapshot:
         """Execute the aggregation round for ``week`` and persist stats."""

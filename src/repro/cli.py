@@ -81,17 +81,49 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    """``detect``: simulate one week, classify it and print the verdicts."""
+    """``detect``: simulate, classify and print the verdicts.
+
+    With ``--churn`` (private mode) the run spans two weekly windows
+    over a churned population: between the windows the persistent epoch
+    session applies the roster delta via ``advance_epoch`` instead of
+    re-enrolling, and the transition bookkeeping is printed.
+    ``--epoch-rounds`` repeats the reporting round within each window
+    (identical aggregates, fresh pads) to exercise multi-round epochs.
+    """
+    if not 0.0 <= args.churn < 1.0:
+        print(f"--churn is a fraction of users replaced per epoch and "
+              f"must be in [0, 1), got {args.churn}", file=sys.stderr)
+        return 2
+    if args.epoch_rounds < 1:
+        print(f"--epoch-rounds must be >= 1, got {args.epoch_rounds}",
+              file=sys.stderr)
+        return 2
+    if (args.churn or args.epoch_rounds > 1) and not args.private:
+        print("--churn and --epoch-rounds require --private (epochs are "
+              "a property of the counting protocol session)",
+              file=sys.stderr)
+        return 2
+    if args.churn and round(args.churn * args.users) < 1:
+        print(f"--churn {args.churn} replaces round({args.churn} * "
+              f"{args.users}) = 0 users per epoch; raise --churn or "
+              f"--users", file=sys.stderr)
+        return 2
+    if args.churn:
+        return _detect_with_churn(args)
     config = _config_from(args)
     result = Simulator(config).run()
     rule = ThresholdRule(args.threshold_rule)
     out = run_detection(
         result.impressions, week=0, private=args.private,
         detector_config=DetectorConfig(domains_rule=rule, users_rule=rule),
-        num_cliques=args.cliques, driver=args.driver)
+        num_cliques=args.cliques, driver=args.driver,
+        rounds_per_window=args.epoch_rounds)
     mode = "private (blinded CMS)" if args.private else "cleartext oracle"
     print(f"mode: {mode}   Users_th={out.users_threshold:.2f} "
           f"({rule.value})")
+    if args.private and args.epoch_rounds > 1:
+        print(f"epoch rounds this window: {args.epoch_rounds} "
+              f"(identical aggregates, fresh pads each round)")
     print(f"classified {len(out.classified)} (user, ad) pairs; "
           f"{len(out.targeted)} flagged\n")
     for call in out.targeted[:args.max_flagged]:
@@ -104,6 +136,80 @@ def cmd_detect(args: argparse.Namespace) -> int:
     print(f"\nFN={counts.false_negative_rate:.1%} "
           f"FP={counts.false_positive_rate:.2%} "
           f"precision={counts.precision:.1%}")
+    return 0
+
+
+def _detect_with_churn(args: argparse.Namespace) -> int:
+    """Two windows over a churned population via the epoch lifecycle."""
+    from repro.core.pipeline import DetectionPipeline
+    from repro.simulation.churn import apply_churn, churn_schedule
+
+    # The same rounding churn_schedule applies to the week-0 roster, so
+    # the held-out joiner pool matches the schedule's quota exactly.
+    quota = round(args.churn * args.users)
+    # Simulate the base panel plus the future joiners (held out of the
+    # first window) over two weekly windows.
+    config = _config_from(args, num_weeks=2)
+    config.num_users = args.users + quota
+    result = Simulator(config).run()
+    # Rosters come from the simulated population, not the impression
+    # set — a quiet user with zero impressions is still a panel member,
+    # and deriving from impressions would silently shrink the quota.
+    all_users = sorted(u.user_id for u in result.population.users)
+    base_roster = all_users[:args.users]
+    joiner_pool = all_users[args.users:]
+    plan = churn_schedule(base_roster, num_epochs=1,
+                          churn_rate=args.churn, seed=args.seed,
+                          joiner_pool=joiner_pool,
+                          rejoin_probability=0.0)[0]
+    rosters = [base_roster, apply_churn(base_roster, plan)]
+
+    rule = ThresholdRule(args.threshold_rule)
+    unique_ads = {imp.ad.identity for imp in result.impressions}
+    pipeline = DetectionPipeline(
+        detector_config=DetectorConfig(domains_rule=rule, users_rule=rule),
+        private=True,
+        round_config=DetectionPipeline.default_round_config(len(unique_ads)),
+        num_cliques=args.cliques, driver=args.driver,
+        rounds_per_window=args.epoch_rounds)
+
+    print(f"mode: private (blinded CMS), churned population "
+          f"({args.churn:.0%}/epoch, {args.epoch_rounds} round(s)/window)")
+    from repro.types import TICKS_PER_WEEK
+    for week, roster in enumerate(rosters):
+        # A roster member only participates in a window it has traffic
+        # in — the pipeline enrolls reporters, so restrict the printed
+        # roster to them too or the stats would drift from reality.
+        active = {imp.user_id for imp in result.impressions
+                  if imp.tick // TICKS_PER_WEEK == week}
+        members = set(roster) & active
+        impressions = [imp for imp in result.impressions
+                       if imp.user_id in members]
+        prev_session = pipeline.session
+        out = pipeline.run_week(impressions, week=week)
+        epoch = pipeline.session.epoch
+        print(f"\nweek {week}: epoch {epoch.epoch_id} "
+              f"({epoch.size} users, {epoch.num_cliques} cliques, "
+              f"min clique {epoch.min_clique_size})   "
+              f"Users_th={out.users_threshold:.2f}   "
+              f"{len(out.targeted)} flagged")
+        transition = pipeline.last_transition
+        if transition is not None:
+            print(f"  epoch transition: +{len(transition.joined)} joined, "
+                  f"-{len(transition.left)} left, "
+                  f"{len(transition.moved)} moved cliques; "
+                  f"re-keyed {len(transition.rekeyed)} users "
+                  f"({transition.modexps} modexps, "
+                  f"{transition.secrets_reused} pair secrets reused)")
+            if transition.epoch.min_clique_size < 4:
+                print("  note: churn left a small clique — a report only "
+                      "hides among its clique's reporting members "
+                      f"(min {transition.epoch.min_clique_size})")
+        elif week > 0 and pipeline.session is not prev_session:
+            print("  (window re-enrolled from scratch: the roster delta "
+                  "was not servable as an epoch transition)")
+        elif week > 0:
+            print("  (no membership change this window)")
     return 0
 
 
@@ -193,6 +299,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["sync", "async"],
                        help="round driver: sync, or async to run clique "
                             "aggregators concurrently (default sync)")
+    p_det.add_argument("--epoch-rounds", type=int, default=1,
+                       help="reporting rounds per window (private mode): "
+                            "extra rounds reuse the epoch's cached pad "
+                            "streams (default 1)")
+    p_det.add_argument("--churn", type=float, default=0.0,
+                       help="fraction of users replaced between two "
+                            "weekly windows (private mode): runs both "
+                            "windows through one session, rotating the "
+                            "roster with advance_epoch (default 0)")
     p_det.set_defaults(func=cmd_detect)
 
     p_val = sub.add_parser("validate",

@@ -12,12 +12,19 @@ Two modes differing only in where the global #Users statistic comes from:
 
 The detector code is identical in both modes; only the counter source
 changes, which is exactly the claim Figure 2 supports.
+
+Across windows the private mode follows the epoch lifecycle
+(:mod:`repro.protocol.membership`): the pipeline keeps one
+:class:`~repro.api.ProtocolSession` alive and turns each window's
+population delta into ``advance_epoch(joins=..., leaves=...)`` — users
+present in consecutive windows keep their keys and pair secrets instead
+of re-running the full DH enrollment per window.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.api import ProtocolSession
@@ -26,6 +33,7 @@ from repro.core.detector import CountBasedDetector, DetectorConfig
 from repro.errors import ConfigurationError
 from repro.protocol.client import RoundConfig
 from repro.protocol.enrollment import MAX_CLIQUES, enroll_users
+from repro.protocol.membership import EpochTransition
 from repro.protocol.runner import RoundResult
 from repro.statsutil.distributions import EmpiricalDistribution
 from repro.types import Ad, ClassifiedAd, Impression
@@ -74,7 +82,8 @@ class DetectionPipeline:
                  transport_factory=None,
                  num_cliques: int = 1,
                  topology: str = "fanout",
-                 driver: str = "sync") -> None:
+                 driver: str = "sync",
+                 rounds_per_window: int = 1) -> None:
         if num_cliques < 1:
             raise ConfigurationError(
                 f"num_cliques must be >= 1, got {num_cliques}")
@@ -82,6 +91,9 @@ class DetectionPipeline:
             raise ConfigurationError(
                 f"num_cliques {num_cliques} exceeds the wire format's "
                 f"clique-id range (max {MAX_CLIQUES})")
+        if rounds_per_window < 1:
+            raise ConfigurationError(
+                f"rounds_per_window must be >= 1, got {rounds_per_window}")
         self.detector_config = detector_config or DetectorConfig()
         self.private = private
         self.round_config = round_config
@@ -89,7 +101,10 @@ class DetectionPipeline:
         self.enrollment_seed = enrollment_seed
         #: Optional zero-arg callable returning the transport for private
         #: rounds — the hook for injecting client failures (longitudinal
-        #: deployment, fault-tolerance tests).
+        #: deployment, fault-tolerance tests). When set, every window
+        #: gets a fresh enrollment over the injected transport (the
+        #: pre-epoch behaviour); the persistent epoch session below is
+        #: only used without it.
         self.transport_factory = transport_factory
         #: Blinding cliques per private round (paper §6 scaling lever):
         #: keystream work drops from Θ(U²·cells) to Θ((U/k)·U·cells) with
@@ -102,15 +117,55 @@ class DetectionPipeline:
         #: driver that pumps clique aggregators concurrently.
         self.topology = topology
         self.driver = driver
+        #: Reporting rounds run per window (CLI ``--epoch-rounds``). The
+        #: aggregate is identical every round (same observations, fresh
+        #: pads); extra rounds model a deployment reporting more than
+        #: once per window and exercise the pad-stream cache.
+        self.rounds_per_window = rounds_per_window
+        #: The persistent epoch session reused across windows: when the
+        #: next window's population differs, the roster delta becomes an
+        #: ``advance_epoch(joins=..., leaves=...)`` instead of a full
+        #: re-enrollment.
+        self._session: Optional[ProtocolSession] = None
+        self._session_key = None
+        #: Derived-config pin: without an explicit ``round_config`` the
+        #: CMS is sized from the first window's ad volume and *kept* for
+        #: later windows (re-derived with headroom only when the volume
+        #: outgrows it) — per-window re-sizing would change the session
+        #: key every window and silently defeat epoch reuse.
+        self._derived_config: Optional[RoundConfig] = None
+        self._derived_for_ads = 0
+        #: Pipeline-lifetime round-id floor. Fresh sessions (the
+        #: transport_factory path, or a rebuild after an unservable
+        #: delta) restart their own counter at 0, but same-seed
+        #: re-enrollments of the same roster derive the *same* pair
+        #: secrets — replaying round ids across windows would reuse
+        #: one-time pads. Every window's rounds start at this floor.
+        self._round_floor = 0
+        #: The last window's epoch transition (None when the window ran
+        #: in the session's existing epoch or on a fresh enrollment).
+        self.last_transition: Optional[EpochTransition] = None
+
+    @property
+    def session(self) -> Optional[ProtocolSession]:
+        """The persistent private-mode epoch session (None before the
+        first private window, or when ``transport_factory`` is set)."""
+        return self._session
 
     # ------------------------------------------------------------------
-    def _default_round_config(self, num_unique_ads: int) -> RoundConfig:
+    @staticmethod
+    def default_round_config(num_unique_ads: int) -> RoundConfig:
         """Size the CMS and ID space from the observed ad volume.
 
         The paper overestimates |A| (10x ID space here) and uses
         delta = epsilon = 0.001 for the sketch (§7.1), which keeps the
         total insertion load per column low enough that the min-estimator
         barely overcounts — the property Figure 2 demonstrates.
+
+        Multi-window epoch runs should compute this once over the whole
+        deployment's expected ad volume and pass it as ``round_config``:
+        a fixed config is what lets the persistent session survive from
+        window to window.
         """
         id_space = max(64, num_unique_ads * 10)
         from repro.sketch.countmin import CountMinSketch
@@ -127,37 +182,141 @@ class DetectionPipeline:
         threshold = self.detector_config.users_rule.compute(distribution)
         return counter.users_seen, distribution, threshold, None
 
+    def _window_config(self, num_unique_ads: int) -> RoundConfig:
+        """This window's round config: explicit > pinned > derived.
+
+        The first private window derives the exact pre-epoch sizing;
+        later windows reuse it while their ad volume fits (the sketch
+        and ID space were sized for at least this many ads), and a
+        window that outgrows it re-derives with 25% headroom so steady
+        growth does not re-enroll every single window. The legacy
+        ``transport_factory`` path keeps per-window sizing — it builds
+        a fresh session each window anyway.
+        """
+        if self.round_config is not None:
+            return self.round_config
+        if self.transport_factory is not None:
+            return self.default_round_config(num_unique_ads)
+        if self._derived_config is not None \
+                and num_unique_ads <= self._derived_for_ads:
+            return self._derived_config
+        sized_for = num_unique_ads if self._derived_config is None \
+            else num_unique_ads + num_unique_ads // 4
+        self._derived_config = self.default_round_config(sized_for)
+        self._derived_for_ads = sized_for
+        return self._derived_config
+
+    def _fresh_session(self, user_ids, config: RoundConfig,
+                       cliques: int) -> ProtocolSession:
+        """Epoch-0 enrollment of one window's population."""
+        enrollment = enroll_users(user_ids, config,
+                                  seed=self.enrollment_seed,
+                                  use_oprf=self.use_oprf,
+                                  num_cliques=cliques)
+        transport = (self.transport_factory()
+                     if self.transport_factory is not None else None)
+        return ProtocolSession.from_enrollment(
+            enrollment, transport=transport,
+            threshold_rule=self.detector_config.users_rule.compute,
+            topology=self.topology, driver=self.driver)
+
+    def _session_for(self, user_ids, config: RoundConfig,
+                     cliques: int) -> ProtocolSession:
+        """The window's session: reuse the persistent epoch session when
+        possible, advancing its epoch by the roster delta; fall back to
+        a fresh epoch-0 enrollment otherwise.
+
+        ``transport_factory`` disables persistence — failure injection
+        wants a fresh, caller-controlled transport per window.
+        """
+        self.last_transition = None
+        if self.transport_factory is not None:
+            return self._fresh_session(user_ids, config, cliques)
+        # Prefer the live session's clique count whenever the window's
+        # population still supports it: re-sharding to a different k
+        # cannot reuse key material, so a population oscillating around
+        # a clamp boundary must not flap between layouts (each flap
+        # would silently re-run full enrollment). The pin is not a
+        # one-way ratchet, though — once the population *comfortably*
+        # supports a larger configured k (>= 4 members per clique, 2x
+        # the hard floor, as flap hysteresis), the sharding speedup is
+        # worth one re-enrollment.
+        if self._session is not None and self._session_key is not None \
+                and self._session_key[0] == config:
+            pinned_cliques = self._session_key[1]
+            supports_pinned = (pinned_cliques == 1
+                               or len(user_ids) >= 2 * pinned_cliques)
+            upgrade = (cliques > pinned_cliques
+                       and len(user_ids) >= 4 * cliques)
+            if supports_pinned and not upgrade:
+                cliques = pinned_cliques
+        key = (config, cliques)
+        session = self._session
+        if session is not None and self._session_key == key:
+            roster = set(session.membership.roster)
+            joins = sorted(set(user_ids) - roster)
+            leaves = sorted(roster - set(user_ids))
+            if not joins and not leaves:
+                return session
+            try:
+                self.last_transition = session.advance_epoch(
+                    joins=joins, leaves=leaves)
+                return session
+            except ConfigurationError:
+                # Roster delta the clique layout cannot absorb (e.g. the
+                # window shrank below 2 members/clique): re-enroll.
+                self.last_transition = None
+        self._session = self._fresh_session(user_ids, config, cliques)
+        self._session_key = key
+        return self._session
+
     def _global_from_protocol(self, impressions: Sequence[Impression],
                               week: int):
         ads_by_user = _unique_ads_by_user(impressions)
         user_ids = sorted(ads_by_user)
         all_identities = {identity for per_user in ads_by_user.values()
                           for identity in per_user}
-        config = self.round_config or self._default_round_config(
-            len(all_identities))
+        config = self._window_config(len(all_identities))
         # Clamp so every clique has >= 2 members in this window's
         # population (a singleton clique would report unblinded).
         cliques = max(1, min(self.num_cliques, len(user_ids) // 2))
-        enrollment = enroll_users(user_ids, config,
-                                  seed=self.enrollment_seed,
-                                  use_oprf=self.use_oprf,
-                                  num_cliques=cliques)
-        clients_by_id = {c.user_id: c for c in enrollment.clients}
+        session = self._session_for(user_ids, config, cliques)
+        session.reset_windows()
+        clients_by_id = {c.user_id: c for c in session.clients}
         for user_id, per_user in ads_by_user.items():
             client = clients_by_id[user_id]
             for identity in per_user:
                 client.observe_ad(identity)
-        transport = (self.transport_factory()
-                     if self.transport_factory is not None else None)
-        session = ProtocolSession(
-            config, enrollment.clients, transport=transport,
-            threshold_rule=self.detector_config.users_rule.compute,
-            topology=self.topology, driver=self.driver)
-        round_result = session.run_round(week)
+        # Round ids are session-monotonic (never reused across epochs —
+        # the pads are one-time). Extra rounds per window re-report the
+        # same observations under fresh pads: bit-identical aggregates,
+        # and the multi-round surface --epoch-rounds exercises.
+        # Byte/message accounting on the persistent session's transport
+        # is cumulative; report this *window's* traffic (the §7.1
+        # quantity), covering all of its rounds.
+        bytes_before = session.transport.total_bytes
+        messages_before = session.transport.total_messages
+        # The week index feeds the floor too: *independent* pipelines
+        # (e.g. one run_detection call per week) with the same
+        # enrollment seed derive identical pair secrets, and only the
+        # week number distinguishes their windows — exactly the pre-
+        # epoch `run_round(week)` guarantee, generalized to multi-round
+        # windows.
+        self._round_floor = max(self._round_floor,
+                                week * self.rounds_per_window)
+        for _ in range(self.rounds_per_window):
+            round_id = max(session.next_round, self._round_floor)
+            round_result = session.run_round(round_id)
+            self._round_floor = round_id + 1
+        round_result = replace(
+            round_result,
+            total_bytes=session.transport.total_bytes - bytes_before,
+            total_messages=(session.transport.total_messages
+                            - messages_before))
 
         # With per-client OPRF mappers any client's cache computes the
         # same (shared-key) function; use the first client's.
-        mapper = enrollment.clients[0].ad_mapper
+        mapper = session.clients[0].ad_mapper
 
         # Batch the aggregate lookups: one query_many over every identity
         # seen this window instead of id-space scalar queries per ad.

@@ -17,7 +17,11 @@ overhead benches (§7.1) with paper-scale 1024-bit parameters.
 
 from repro.crypto.primes import generate_prime, generate_safe_prime, is_probable_prime
 from repro.crypto.group import DHGroup, KeyPair
-from repro.crypto.blinding import BlindingGenerator, BLINDING_MODULUS
+from repro.crypto.blinding import (
+    BlindingGenerator,
+    BLINDING_MODULUS,
+    PadStreamProvider,
+)
 from repro.crypto.rsa import RSAKeyPair
 from repro.crypto.oprf import OPRFClient, OPRFServer, MultiServerOPRF
 from repro.crypto.prf import KeyedPRF, ObliviousAdMapper
@@ -30,6 +34,7 @@ __all__ = [
     "KeyPair",
     "BlindingGenerator",
     "BLINDING_MODULUS",
+    "PadStreamProvider",
     "RSAKeyPair",
     "OPRFClient",
     "OPRFServer",

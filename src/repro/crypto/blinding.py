@@ -36,12 +36,28 @@ Every operation has an array form (:meth:`BlindingGenerator.blind_array`,
 :meth:`BlindingGenerator.adjustment_for_missing_array`) returning
 ``numpy.uint64`` vectors so the protocol's fast path never boxes cells
 into Python ints; the ``List[int]`` methods are thin views over them.
+
+Pad-stream caching
+------------------
+A real deployment's clients derive every (pair, round) stream locally,
+and so does a :class:`BlindingGenerator` built without a provider. An
+in-process session, however, hosts *both* ends of every pair, and the
+two ends derive byte-identical streams from the same shared secret —
+half of all SHAKE-256 work in a simulated round is duplicated. A
+:class:`PadStreamProvider` shared across an enrollment removes that
+duplication: it keeps one absorbed XOF state per pair for the lifetime
+of an epoch (successive rounds fork the cached state instead of
+re-absorbing the secret from scratch) and hands each derived
+(pair, round) stream to both members, computing it once. Streams are
+derived exactly as the uncached path derives them, so reports — and
+therefore aggregates — are bit-identical with or without a provider.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Sequence, Union
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,20 +70,142 @@ BLINDING_MODULUS = 1 << 32
 #: Bytes per keystream block (one 32-bit cell).
 _CELL_BYTES = 4
 
+#: A pair of user indexes, ordered (low, high): the cache key of one
+#: shared secret's keystream.
+PairKey = Tuple[int, int]
 
-def _keystream(secret_bytes: bytes, round_id: int,
-               num_cells: int) -> np.ndarray:
-    """PRF keystream: ``num_cells`` uint64 values in [0, 2^32).
 
-    One SHAKE-256 XOF call per (pair, round); the byte stream is viewed
-    as big-endian 32-bit cells. Returned as uint64 so sums of thousands
-    of terms cannot wrap before the final mod-2^32 reduction.
-    """
+def _absorb(secret_bytes: bytes) -> "hashlib._Hash":
+    """SHAKE-256 with the pair's shared secret absorbed, round not yet."""
     xof = hashlib.shake_256()
     xof.update(secret_bytes)
+    return xof
+
+
+def _squeeze(absorbed: "hashlib._Hash", round_id: int,
+             num_cells: int) -> np.ndarray:
+    """Fork an absorbed XOF state with the round id and squeeze cells.
+
+    The byte stream is viewed as big-endian 32-bit cells and returned as
+    a native ``uint32`` array; accumulation sums these into ``uint64``
+    totals, which cannot wrap before the final mod-2^32 reduction.
+    """
+    xof = absorbed.copy()
     xof.update(round_id.to_bytes(8, "big", signed=True))
     raw = xof.digest(num_cells * _CELL_BYTES)
-    return np.frombuffer(raw, dtype=">u4").astype(np.uint64)
+    return np.frombuffer(raw, dtype=">u4").astype(np.uint32)
+
+
+class PadStreamProvider:
+    """Shared cache of pairwise pad streams for an in-process session.
+
+    One provider is shared by every :class:`BlindingGenerator` of an
+    enrollment (an epoch's worth of clients living in one process). It
+    caches two things:
+
+    * per pair — the SHAKE-256 state with the shared secret already
+      absorbed, kept for the whole epoch so each round *extends* the
+      pair's stream family (fork + squeeze) instead of re-deriving the
+      state from scratch;
+    * per (pair, round) — the derived stream itself, so the second
+      member of the pair reuses the bytes the first member computed.
+      Both members consume each stream exactly once per round, so an
+      entry is dropped on its second fetch; an LRU bound caps worst-case
+      memory between the two fetches, and the first request of a newer
+      round evicts older rounds' unconsumed leftovers (e.g. streams a
+      dropout derived but never delivered).
+
+    Derivation is byte-identical to the provider-less path (the same
+    ``_squeeze(_absorb(secret), round, cells)`` a generator runs
+    locally), so blinded reports — not just aggregates — are unchanged
+    by caching. Deployment clients never share a provider; this is
+    purely the in-process perf lever ROADMAP PR 2/3 named.
+    """
+
+    #: Default bound on cached derived streams (each ``num_cells`` uint32
+    #: values): at 6144 cells this caps the cache near 200 MB.
+    DEFAULT_MAX_STREAMS = 8192
+
+    def __init__(self, max_streams: int = DEFAULT_MAX_STREAMS) -> None:
+        if max_streams < 1:
+            raise ConfigurationError(
+                f"max_streams must be >= 1, got {max_streams}")
+        self.max_streams = max_streams
+        self._absorbed: Dict[PairKey, "hashlib._Hash"] = {}
+        #: (pair, round, cells) -> the derived uint32 stream, waiting
+        #: for the pair's second member; dropped when fetched. Entries
+        #: a dropout never fetched (its transport send failed, or a
+        #: recovery re-derivation) would otherwise linger forever —
+        #: round ids are monotonic, so the first request of a *newer*
+        #: round evicts every older round's leftovers.
+        self._streams: "OrderedDict[Tuple[PairKey, int, int], np.ndarray]" \
+            = OrderedDict()
+        self._latest_round: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+
+    def stream(self, pair: PairKey, secret_bytes: bytes, round_id: int,
+               num_cells: int) -> np.ndarray:
+        """The pair's unsigned keystream for one round.
+
+        A read-only native ``uint32`` array of values in ``[0, 2^32)``
+        (callers accumulate into ``uint64`` totals). ``pair`` must be
+        the ordered ``(low_index, high_index)`` tuple; both members pass
+        the same shared-secret bytes, so whichever asks first pays the
+        SHAKE-256 squeeze and the other reuses the cached bytes.
+        """
+        key = (pair, round_id, num_cells)
+        stream = self._streams.pop(key, None)
+        if stream is not None:
+            # The pair's other member: hand over the bytes and drop the
+            # entry — both ends consume each stream exactly once per
+            # round (a rare third fetch, e.g. recovery adjustments,
+            # simply re-derives below).
+            self.hits += 1
+            return stream
+        self.misses += 1
+        if self._latest_round is None or round_id > self._latest_round:
+            # A newer round started: older rounds' unconsumed entries
+            # (dropouts, recovery re-derivations) can never be fetched
+            # again — round ids only move forward.
+            for stale in [k for k in self._streams if k[1] < round_id]:
+                del self._streams[stale]
+            self._latest_round = round_id
+        absorbed = self._absorbed.get(pair)
+        if absorbed is None:
+            absorbed = self._absorbed[pair] = _absorb(secret_bytes)
+        stream = _squeeze(absorbed, round_id, num_cells)
+        stream.setflags(write=False)
+        self._streams[key] = stream
+        while len(self._streams) > self.max_streams:
+            self._streams.popitem(last=False)
+        return stream
+
+    def forget_users(self, user_indexes: Iterable[int]) -> None:
+        """Drop cached state for every pair touching any of the given
+        users (membership changes remove or re-key them) — one pass
+        over the caches regardless of how many users depart."""
+        drop = set(user_indexes)
+        if not drop:
+            return
+        self._absorbed = {pair: xof for pair, xof in self._absorbed.items()
+                          if not (pair[0] in drop or pair[1] in drop)}
+        for key in [k for k in self._streams
+                    if k[0][0] in drop or k[0][1] in drop]:
+            del self._streams[key]
+
+    def forget_user(self, user_index: int) -> None:
+        """Single-user convenience over :meth:`forget_users`."""
+        self.forget_users((user_index,))
+
+    def clear(self) -> None:
+        """Drop every cached stream and absorbed state."""
+        self._absorbed.clear()
+        self._streams.clear()
+
+    @property
+    def cached_streams(self) -> int:
+        return len(self._streams)
 
 
 class BlindingGenerator:
@@ -88,11 +226,18 @@ class BlindingGenerator:
         the unsharded protocol, or just the members of this user's
         blinding clique under sharded enrollment. Cancellation holds
         within whatever peer set is given here, provided every peer's
-        generator is built over the matching set.
+        generator is built over the matching set. The set is mutable
+        between epochs (:meth:`add_peer` / :meth:`remove_peer` /
+        :meth:`set_peers`): membership churn re-keys only the pairs that
+        actually changed, reusing every surviving shared secret.
+    pad_streams:
+        Optional shared :class:`PadStreamProvider`. ``None`` (the
+        deployment-faithful default) derives every stream locally.
     """
 
     def __init__(self, group: DHGroup, user_index: int, keypair: KeyPair,
-                 peer_publics: Dict[int, int]) -> None:
+                 peer_publics: Dict[int, int],
+                 pad_streams: Optional[PadStreamProvider] = None) -> None:
         if user_index in peer_publics:
             raise ConfigurationError(
                 f"peer_publics must not contain the user's own index "
@@ -100,8 +245,10 @@ class BlindingGenerator:
         self.group = group
         self.user_index = user_index
         self.keypair = keypair
+        self.pad_streams = pad_streams
         # Precompute shared-secret bytes per peer: one modexp each, reused
-        # for every cell and round.
+        # for every cell and round (and across epochs while the pair
+        # survives membership changes).
         self._secret_bytes: Dict[int, bytes] = {
             j: group.element_to_bytes(group.shared_secret(keypair, pub))
             for j, pub in peer_publics.items()
@@ -111,25 +258,80 @@ class BlindingGenerator:
     def peer_indexes(self) -> List[int]:
         return sorted(self._secret_bytes)
 
-    def _signed_stream(self, peer: int, round_id: int,
-                       num_cells: int) -> np.ndarray:
-        stream = _keystream(self._secret_bytes[peer], round_id, num_cells)
-        if self.user_index > peer:
-            return stream
-        return (BLINDING_MODULUS - stream) % BLINDING_MODULUS
+    # ------------------------------------------------------------------
+    # Epoch membership: incremental peer management
+    # ------------------------------------------------------------------
+    def add_peer(self, peer_index: int, public_key: int) -> bool:
+        """Derive (or keep) the shared secret with one peer.
+
+        Returns True when a modexp was actually performed — i.e. the
+        pair is new; an already-known peer is a no-op, which is what
+        makes epoch re-sharding cheap for unchanged pairs.
+        """
+        if peer_index == self.user_index:
+            raise ConfigurationError(
+                f"user {self.user_index} cannot peer with itself")
+        if peer_index in self._secret_bytes:
+            return False
+        self._secret_bytes[peer_index] = self.group.element_to_bytes(
+            self.group.shared_secret(self.keypair, public_key))
+        return True
+
+    def remove_peer(self, peer_index: int) -> None:
+        """Forget the shared secret with a departed (or re-sharded) peer."""
+        self._secret_bytes.pop(peer_index, None)
+
+    def set_peers(self, peer_publics: Dict[int, int]) -> Tuple[int, int, int]:
+        """Reconcile the peer set against a new clique roster.
+
+        Keeps the derived secret of every pair that survives, removes
+        departed pairs, and performs a modexp only for genuinely new
+        pairs (the caller guarantees key pairs are stable across epochs,
+        so a kept pair's secret cannot have changed). Returns
+        ``(kept, added, removed)`` pair counts — the bookkeeping epoch
+        transitions report.
+        """
+        if self.user_index in peer_publics:
+            raise ConfigurationError(
+                f"peer_publics must not contain the user's own index "
+                f"({self.user_index})")
+        removed = [j for j in self._secret_bytes if j not in peer_publics]
+        for j in removed:
+            del self._secret_bytes[j]
+        added = 0
+        for j, pub in peer_publics.items():
+            if self.add_peer(j, pub):
+                added += 1
+        return len(self._secret_bytes) - added, added, len(removed)
+
+    def _unsigned_stream(self, peer: int, round_id: int,
+                         num_cells: int) -> np.ndarray:
+        """The raw (sign-free) pair keystream, cached or derived."""
+        secret = self._secret_bytes[peer]
+        if self.pad_streams is not None:
+            pair = (min(self.user_index, peer), max(self.user_index, peer))
+            return self.pad_streams.stream(pair, secret, round_id,
+                                           num_cells)
+        return _squeeze(_absorb(secret), round_id, num_cells)
 
     def _accumulate(self, peers: Sequence[int], round_id: int,
                     num_cells: int, negate: bool) -> np.ndarray:
-        # Each signed stream is < 2^32, so summing fewer than 2^32 peers
-        # cannot wrap uint64; one reduction at the end is bit-identical to
-        # reducing after every addition and halves the array passes.
-        total = np.zeros(num_cells, dtype=np.uint64)
+        # Positive and negative stream sums accumulate separately (each
+        # stream value is < 2^32, so fewer than 2^32 peers cannot wrap
+        # uint64), then one wrapping subtraction: uint64 arithmetic is
+        # exact mod 2^64 and 2^32 divides 2^64, so the final mod-2^32
+        # reduction is bit-identical to negating every stream into
+        # [0, 2^32) and summing — without materializing a negated copy
+        # per peer.
+        pos = np.zeros(num_cells, dtype=np.uint64)
+        neg = np.zeros(num_cells, dtype=np.uint64)
         for peer in peers:
-            total += self._signed_stream(peer, round_id, num_cells)
-        total %= BLINDING_MODULUS
-        if negate:
-            total = (BLINDING_MODULUS - total) % BLINDING_MODULUS
-        return total
+            stream = self._unsigned_stream(peer, round_id, num_cells)
+            if (self.user_index > peer) != negate:
+                pos += stream
+            else:
+                neg += stream
+        return (pos - neg) % BLINDING_MODULUS
 
     def blinding_vector_array(self, num_cells: int, round_id: int,
                               peers: Iterable[int] = None) -> np.ndarray:

@@ -1,19 +1,47 @@
 """The privacy-preserving reporting protocol (paper §6), message-driven.
 
-Round structure, per weekly window:
+Lifecycle — enroll, rounds, advance epoch, rounds
+-------------------------------------------------
+A deployment's population is not fixed: users enroll, churn out, and
+come back between reporting windows. The protocol layer models that as
+an **epoch lifecycle**:
 
-1. Every client maps the ad URLs it saw to ad IDs (via the OPRF), encodes
-   the *set* of IDs into a count-min sketch, blinds every cell with its
-   additive share of zero, and uploads the blinded sketch.
-2. The aggregation side sums the sketches cell-wise modulo ``2**32``. If
-   every client reported, blindings cancel and the sum is the true
-   aggregate sketch.
-3. If some clients are missing, their cliques' survivors are notified and
-   answer with blinding adjustments (one extra round, as in the paper's
-   fault-tolerance description).
-4. The aggregate sketch is queried for every ID in the (public) ad ID
-   space, the ``#Users`` distribution recovered, ``Users_th`` computed
-   and broadcast back to the clients.
+1. **Enroll (epoch 0)** — :func:`~repro.protocol.enrollment.enroll_users`
+   generates a DH key pair per user, performs the clique-scoped key
+   exchange and wires every user's blinding generator. The returned
+   :class:`~repro.protocol.enrollment.Enrollment` carries the key
+   material that later epochs reuse.
+2. **Rounds** — per reporting window, every client maps the ad URLs it
+   saw to ad IDs (via the OPRF), encodes the *set* of IDs into a
+   count-min sketch, blinds every cell with its additive share of zero,
+   and uploads the blinded sketch. The aggregation side sums cell-wise
+   modulo ``2**32``; missing clients trigger the clique-local recovery
+   round; the ``#Users`` distribution and ``Users_th`` are recovered
+   from the aggregate and broadcast. Successive rounds of an epoch reuse
+   each pair's cached pad-stream state
+   (:class:`~repro.crypto.blinding.PadStreamProvider`) instead of
+   re-deriving it from scratch.
+3. **Advance epoch** — between windows,
+   :class:`~repro.protocol.membership.MembershipManager.advance_epoch`
+   applies ``joins`` and ``leaves``. Re-sharding is minimal and
+   deterministic: only users whose clique changed are re-keyed, every
+   surviving pair secret is reused, and a modexp is paid per genuinely
+   new pair — never the full U·(U/k−1) exchange again.
+4. **More rounds** — round ids keep increasing across epochs (pads are
+   keyed by ``(pair, round)`` and pairs outlive epochs, so ids never
+   repeat), and any epoch's aggregate is bit-identical to what a fresh
+   enrollment of the same roster would produce.
+
+**Anonymity-set caveat.** A blinded report hides among its clique's
+*reporting* members. Churn that shrinks a clique — leaves without joins,
+or dropouts within a round — shrinks that anonymity set; in the limit, a
+clique reduced to one reporting survivor exposes that survivor's raw
+sketch (inherent to additive blinding; the unsharded protocol behaves
+the same at ``U - 1`` dropouts). The membership layer refuses rosters
+that cannot keep every clique at two members or more, and
+:attr:`~repro.protocol.membership.Epoch.min_clique_size` is the number
+deployments should watch when sizing ``num_cliques`` against expected
+churn.
 
 Architecture — endpoints, messages, drivers
 -------------------------------------------
@@ -29,9 +57,10 @@ a driver to deliver. Two aggregation topologies wire the same clients:
   per blinding clique feeds a
   :class:`~repro.protocol.aggregator.RootAggregator` with
   :class:`~repro.protocol.messages.PartialAggregate` messages. Blinding
-  cancels per clique (PR 2), so the combined aggregate is bit-identical
-  to the monolithic sum while collection parallelizes per clique — the
-  seam for a multi-server deployment.
+  cancels per clique, so the combined aggregate is bit-identical to the
+  monolithic sum while collection parallelizes per clique — the seam for
+  a multi-server deployment. Epoch advances re-wire the aggregator set
+  in place as cliques gain and lose members.
 
 Drivers (:class:`~repro.protocol.runner.ProtocolRunner` synchronously,
 :class:`~repro.protocol.runner.AsyncProtocolRunner` with per-clique
@@ -39,8 +68,11 @@ concurrency) move messages until the round quiesces; they raise on
 unknown message types and drain every mailbox before returning.
 
 **Entry point**: :mod:`repro.api` (:class:`~repro.api.ProtocolSession`)
-is the supported facade over all of this. ``RoundCoordinator`` is a
-deprecated shim kept for pre-redesign callers.
+is the supported facade over all of this — including
+``advance_epoch(joins=..., leaves=...)`` on a live session. The
+pre-epoch ``RoundCoordinator`` shim has been removed;
+``ProtocolSession(config, clients, topology="monolithic")`` is the
+drop-in replacement.
 """
 
 from repro.protocol.messages import (
@@ -69,13 +101,20 @@ from repro.protocol.runner import (
     build_fanout_endpoints,
     build_monolithic_endpoints,
 )
-from repro.protocol.coordinator import RoundCoordinator
 from repro.protocol.enrollment import Enrollment, assign_cliques, enroll_users
+from repro.protocol.membership import (
+    Epoch,
+    EpochTransition,
+    MembershipManager,
+)
 
 __all__ = [
     "Enrollment",
     "assign_cliques",
     "enroll_users",
+    "Epoch",
+    "EpochTransition",
+    "MembershipManager",
     "BlindedReport",
     "BlindingAdjustment",
     "CleartextReport",
@@ -100,5 +139,21 @@ __all__ = [
     "RoundResult",
     "build_fanout_endpoints",
     "build_monolithic_endpoints",
-    "RoundCoordinator",
 ]
+
+
+def __getattr__(name):
+    if name == "RoundCoordinator":
+        # AttributeError keeps hasattr()/getattr(default) feature
+        # detection working (an ImportError here would crash probing
+        # consumers). The from-import form trades our guidance for
+        # Python's generic "cannot import name 'RoundCoordinator'",
+        # which still names exactly what was removed.
+        raise AttributeError(
+            "RoundCoordinator was removed in the epoch-lifecycle refactor; "
+            "use repro.api.ProtocolSession instead — "
+            "ProtocolSession(config, clients, topology='monolithic') is the "
+            "drop-in replacement (session.root.server exposes the wrapped "
+            "AggregationServer the coordinator used to expose as .server)")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

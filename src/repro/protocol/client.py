@@ -109,6 +109,10 @@ class ProtocolClient(ProtocolEndpoint):
         #: URL -> ad ID, filled as ads are observed so report building
         #: never re-runs the OPRF/PRF evaluation.
         self._ad_ids: Dict[str, int] = {}
+        #: The window's built sketch, reused across an epoch's rounds
+        #: (observations fix it); invalidated by new observations and
+        #: window resets.
+        self._sketch_cache: Optional[CountMinSketch] = None
         #: round id -> digest of the cell vector blinded in that round.
         #: The pairwise keystream is a one-time pad keyed by
         #: ``(pair, round_id)``; blinding two *different* sketches under
@@ -130,7 +134,9 @@ class ProtocolClient(ProtocolEndpoint):
         further PRF evaluations.
         """
         ad_id = self._ad_id_cached(url)
-        self._seen_urls.add(url)
+        if url not in self._seen_urls:
+            self._seen_urls.add(url)
+            self._sketch_cache = None
         return ad_id
 
     @property
@@ -145,6 +151,7 @@ class ProtocolClient(ProtocolEndpoint):
         """Clear observations at the start of a new weekly window."""
         self._seen_urls.clear()
         self._ad_ids.clear()
+        self._sketch_cache = None
 
     # ------------------------------------------------------------------
     # Reporting phase
@@ -157,10 +164,12 @@ class ProtocolClient(ProtocolEndpoint):
         return ad_id
 
     def _build_sketch(self) -> CountMinSketch:
-        sketch = self.config.make_sketch()
-        sketch.update_many([self._ad_id_cached(url)
-                            for url in self._seen_urls])
-        return sketch
+        if self._sketch_cache is None:
+            sketch = self.config.make_sketch()
+            sketch.update_many([self._ad_id_cached(url)
+                                for url in self._seen_urls])
+            self._sketch_cache = sketch
+        return self._sketch_cache
 
     def build_report(self, round_id: int) -> BlindedReport:
         """Encode seen ads into a CMS, blind every cell, wrap as a report.

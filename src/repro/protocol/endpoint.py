@@ -19,7 +19,7 @@ Three endpoint roles exist:
   records the threshold broadcast;
 * :class:`~repro.protocol.server.ServerEndpoint` — the monolithic
   aggregation server of the original design, wrapped as a reactive
-  endpoint (what the deprecated ``RoundCoordinator`` drives);
+  endpoint (``topology="monolithic"`` sessions drive it);
 * :class:`~repro.protocol.aggregator.CliqueAggregator` /
   :class:`~repro.protocol.aggregator.RootAggregator` — the fan-out
   topology: one aggregator per blinding clique, partials combined by a

@@ -6,6 +6,14 @@ performs that phase in-process: it generates a key pair per user, exchanges
 public keys, builds each user's :class:`BlindingGenerator` and connects
 everyone to a shared OPRF server for ad-ID mapping.
 
+In the epoch lifecycle (:mod:`repro.protocol.membership`) this is the
+**epoch-0 constructor**: an :class:`Enrollment` carries the key material
+(key pairs, stable blinding indexes, the shared PRF / OPRF server and the
+pad-stream provider) that a
+:class:`~repro.protocol.membership.MembershipManager` reuses when the
+population churns between epochs, so joins and leaves never re-run the
+full U·(U/k−1)-modexp exchange.
+
 Blinding cliques
 ----------------
 The pairwise blinding keystream of §6 costs Θ(users² · cells) per round
@@ -27,8 +35,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
-from repro.crypto.blinding import BlindingGenerator
-from repro.crypto.group import DHGroup
+from repro.crypto.blinding import BlindingGenerator, PadStreamProvider
+from repro.crypto.group import DHGroup, KeyPair
 from repro.crypto.oprf import OPRFClient, OPRFServer
 from repro.crypto.prf import KeyedPRF, ObliviousAdMapper
 from repro.protocol.client import ProtocolClient, RoundConfig
@@ -41,7 +49,14 @@ MAX_CLIQUES = 0xFFFF + 1
 
 @dataclass
 class Enrollment:
-    """The wired population: clients plus the shared infrastructure."""
+    """The wired population: clients plus the shared infrastructure.
+
+    Beyond the clients themselves, an enrollment retains the epoch-0 key
+    material — per-user :class:`~repro.crypto.group.KeyPair` objects and
+    stable blinding indexes — so a
+    :class:`~repro.protocol.membership.MembershipManager` can rotate the
+    roster between epochs without regenerating keys for users that stay.
+    """
 
     clients: List[ProtocolClient]
     group: DHGroup
@@ -51,10 +66,30 @@ class Enrollment:
     #: secrets with exactly the other members of that clique.
     clique_of: Dict[str, int] = field(default_factory=dict)
     num_cliques: int = 1
+    #: user id -> DH key pair (epoch-0 key material, reused across epochs).
+    keypairs: Dict[str, KeyPair] = field(default_factory=dict)
+    #: user id -> stable blinding index (never reassigned by churn).
+    index_of: Dict[str, int] = field(default_factory=dict)
+    #: Enrollment seed: the determinism root for clique assignment and
+    #: for deriving joiners' key material in later epochs.
+    seed: int = 0
+    use_oprf: bool = True
+    #: The shared KeyedPRF when ``use_oprf=False`` (None otherwise).
+    shared_prf: Optional[KeyedPRF] = None
+    #: The pad-stream cache shared by this population's generators
+    #: (None when ``share_pad_streams=False``).
+    pad_streams: Optional[PadStreamProvider] = None
 
     @property
     def user_ids(self) -> List[str]:
         return [c.user_id for c in self.clients]
+
+
+def _clique_sizes(num_users: int, num_cliques: int) -> List[int]:
+    """Sizes of the round-robin deal: clique ``i`` takes every
+    ``num_cliques``-th user starting at position ``i``."""
+    return [len(range(i, num_users, num_cliques))
+            for i in range(num_cliques)]
 
 
 def assign_cliques(user_ids: Sequence[str], num_cliques: int,
@@ -80,15 +115,21 @@ def assign_cliques(user_ids: Sequence[str], num_cliques: int,
         raise ConfigurationError("duplicate user ids in clique assignment")
     if num_cliques < 1:
         raise ConfigurationError(
-            f"num_cliques must be >= 1, got {num_cliques}")
+            f"num_cliques must be >= 1, got {num_cliques} (0 cliques would "
+            f"leave every user unassigned; negative counts are meaningless)")
     if num_cliques > MAX_CLIQUES:
         raise ConfigurationError(
             f"num_cliques {num_cliques} exceeds the wire format's clique-id "
             f"range (max {MAX_CLIQUES})")
     if num_cliques > 1 and len(user_ids) < 2 * num_cliques:
+        sizes = _clique_sizes(len(user_ids), num_cliques)
+        offenders = [i for i, size in enumerate(sizes) if size < 2]
+        kind = "empty" if min(sizes) == 0 else "singleton"
         raise ConfigurationError(
-            f"{num_cliques} cliques over {len(user_ids)} users would leave "
-            f"a clique with fewer than 2 members (blinding needs a peer)")
+            f"num_cliques={num_cliques} over {len(user_ids)} users would "
+            f"leave {kind} cliques {offenders} (sizes {sizes}); blinding "
+            f"needs >= 2 members per clique, i.e. at least "
+            f"{2 * num_cliques} users for {num_cliques} cliques")
     shuffled = sorted(user_ids)
     # A distinct RNG stream: must not perturb the keypair RNG, and must
     # not collide with it either (hence the tag constant).
@@ -96,13 +137,29 @@ def assign_cliques(user_ids: Sequence[str], num_cliques: int,
     return {uid: i % num_cliques for i, uid in enumerate(shuffled)}
 
 
+def keypair_seed(seed: int, user_id: str) -> int:
+    """The deterministic RNG seed for one user's DH key pair.
+
+    Keyed by ``(enrollment seed, user id)`` only — independent of join
+    order and epoch — so two runs replaying the same join/leave sequence
+    derive identical key material for every user, which is what makes
+    epoch transitions reproducible across independently constructed
+    sessions.
+    """
+    import hashlib as _hashlib
+    digest = _hashlib.sha256(
+        b"repro-keypair:%d:%s" % (seed, user_id.encode())).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def enroll_users(user_ids: Sequence[str], config: RoundConfig,
                  group: Optional[DHGroup] = None,
                  seed: int = 0,
                  use_oprf: bool = True,
                  oprf_bits: int = 256,
-                 num_cliques: int = 1) -> Enrollment:
-    """Wire up a population of protocol clients.
+                 num_cliques: int = 1,
+                 share_pad_streams: bool = True) -> Enrollment:
+    """Wire up a population of protocol clients (epoch 0).
 
     With ``use_oprf=True`` (deployment fidelity) every client maps ad URLs
     through a shared blind-RSA OPRF server. With ``use_oprf=False`` clients
@@ -112,6 +169,13 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
 
     ``num_cliques`` shards the blinding graph (see the module docstring);
     the default of 1 reproduces the unsharded protocol exactly.
+
+    ``share_pad_streams`` (default on) wires every client to one
+    :class:`~repro.crypto.blinding.PadStreamProvider`, halving the
+    SHAKE-256 pad work of an in-process session; the derived streams are
+    byte-identical, so every report and aggregate is unchanged. Pass
+    ``False`` to model deployment clients that each derive their own
+    streams.
     """
     if not user_ids:
         raise ConfigurationError("enroll_users needs at least one user id")
@@ -123,7 +187,9 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
     rng = make_rng(seed)
     group = group or DHGroup.standard(128)
     keypairs = {uid: group.keypair(rng) for uid in user_ids}
-    # Canonical blinding order: sorted user ids.
+    # Canonical blinding order: sorted user ids. These indexes are stable
+    # for the lifetime of a membership manager; later joiners extend the
+    # range, they never renumber epoch-0 users.
     index_of: Dict[str, int] = {uid: i for i, uid in enumerate(sorted(user_ids))}
     publics = {index_of[uid]: kp.public for uid, kp in keypairs.items()}
     clique_of_index = {index_of[uid]: clique for uid, clique
@@ -138,6 +204,7 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
         shared_prf = KeyedPRF(key=seed.to_bytes(8, "big", signed=True),
                               id_space=config.id_space)
 
+    pad_streams = PadStreamProvider() if share_pad_streams else None
     clients: List[ProtocolClient] = []
     for uid in user_ids:
         idx = index_of[uid]
@@ -146,7 +213,8 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
         # modexp for) the public keys of its own clique.
         peers = {j: pub for j, pub in publics.items()
                  if j != idx and clique_of_index[j] == clique}
-        blinding = BlindingGenerator(group, idx, keypairs[uid], peers)
+        blinding = BlindingGenerator(group, idx, keypairs[uid], peers,
+                                     pad_streams=pad_streams)
         if use_oprf:
             mapper = ObliviousAdMapper(
                 OPRFClient(oprf_server.public_key,
@@ -158,4 +226,6 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
                                       clique_id=clique))
     return Enrollment(clients=clients, group=group, oprf_server=oprf_server,
                       config=config, clique_of=clique_of,
-                      num_cliques=num_cliques)
+                      num_cliques=num_cliques, keypairs=keypairs,
+                      index_of=index_of, seed=seed, use_oprf=use_oprf,
+                      shared_prf=shared_prf, pad_streams=pad_streams)

@@ -1,0 +1,407 @@
+"""Epoch-based membership lifecycle: churn without re-enrollment.
+
+The paper's protocol fixes the enrolled population per reporting window.
+A production deployment does not get that luxury: users install and
+uninstall the extension, go dormant, and come back *between* windows —
+and re-running the full DH enrollment (U·(U/k−1) modexps) every window
+is unaffordable at millions of users. This module makes membership a
+first-class lifecycle:
+
+* an :class:`Epoch` is an immutable snapshot — a frozen roster, its
+  clique map, and the first round id valid under it. Rounds run against
+  one epoch's wiring; the roster never changes mid-round.
+* a :class:`MembershipManager` owns the durable key material (DH key
+  pairs, stable blinding indexes, the OPRF server / shared PRF, the
+  pad-stream cache) and produces the next epoch from ``joins`` and
+  ``leaves``. Re-sharding is *minimal and deterministic*: continuing
+  users keep their clique wherever possible, joiners fill the smallest
+  cliques, and only when a clique would fall below two members does a
+  deterministically chosen member move. Consequently only users whose
+  clique actually changed are re-keyed, and even they reuse their DH
+  key pair — a modexp is paid per genuinely new pair, never for a
+  surviving one (:meth:`~repro.crypto.blinding.BlindingGenerator.
+  set_peers`).
+
+Lifecycle::
+
+    enrollment = enroll_users(users, config, num_cliques=8)   # epoch 0
+    manager = MembershipManager(enrollment)
+    ... run rounds ...
+    transition = manager.advance_epoch(joins=[...], leaves=[...],
+                                       first_round=next_round)
+    ... run more rounds against the new epoch ...
+
+Correctness: blinding cancels within whatever peer set a clique's
+generators agree on, so any epoch's rounds aggregate bit-identically to
+a fresh enrollment of the same roster — the pads differ, their sum does
+not. Privacy: the anonymity set of a report is its clique's *reporting*
+members; churn that shrinks a clique shrinks that set, so the manager
+refuses rosters that cannot keep every clique at two members or more
+(and deployments should keep U/k comfortably larger — see
+:func:`~repro.protocol.enrollment.assign_cliques`).
+
+Epoch ids and round ids only move forward. Pads are keyed by
+``(pair secret, round id)`` and pair secrets survive epochs, so reusing
+a round id after an epoch advance would reuse one-time pads; callers
+(e.g. :class:`repro.api.ProtocolSession`) thread a monotonically
+increasing ``first_round`` through :meth:`MembershipManager.
+advance_epoch` to make that structurally impossible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.crypto.blinding import BlindingGenerator
+from repro.crypto.oprf import OPRFClient
+from repro.crypto.prf import ObliviousAdMapper
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.enrollment import Enrollment, keypair_seed
+from repro.statsutil.sampling import make_rng
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One immutable membership snapshot.
+
+    Rounds ``first_round, first_round + 1, ...`` (until the next epoch's
+    ``first_round``) run against this roster and clique map. The roster
+    is the frozen, sorted user-id tuple; the clique map assigns each of
+    them to a blinding clique.
+    """
+
+    epoch_id: int
+    user_ids: Tuple[str, ...]
+    clique_of: Dict[str, int]
+    num_cliques: int = 1
+    first_round: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.user_ids)
+
+    def members_of(self, clique_id: int) -> Tuple[str, ...]:
+        """The sorted members of one clique."""
+        return tuple(sorted(u for u, c in self.clique_of.items()
+                            if c == clique_id))
+
+    def clique_sizes(self) -> Dict[int, int]:
+        sizes: Dict[int, int] = {c: 0 for c in range(self.num_cliques)}
+        for clique in self.clique_of.values():
+            sizes[clique] += 1
+        return sizes
+
+    @property
+    def min_clique_size(self) -> int:
+        """The smallest clique — the epoch's worst-case anonymity bound
+        (a report hides among its clique's reporting members only)."""
+        return min(self.clique_sizes().values())
+
+
+@dataclass(frozen=True)
+class EpochTransition:
+    """What one :meth:`MembershipManager.advance_epoch` call did.
+
+    ``rekeyed`` lists every user whose peer set was rebuilt because its
+    clique assignment changed: joiners plus forcibly moved continuing
+    users. Everyone else kept their generator untouched (or, in a clique
+    that only gained/lost a member, kept every surviving pair secret).
+    The pair-secret counters are per *generator end* — an in-process
+    session hosts both ends of a pair, so a brand-new pair contributes
+    two modexps, exactly as two real clients would each pay one.
+    """
+
+    epoch: Epoch
+    joined: Tuple[str, ...]
+    left: Tuple[str, ...]
+    #: Continuing users whose clique id changed (forced re-shard moves).
+    moved: Tuple[str, ...]
+    #: joined + moved: the only users whose blinding was rebuilt.
+    rekeyed: Tuple[str, ...]
+    #: Modexps actually performed (one per new generator-end secret).
+    modexps: int
+    #: Generator-end pair secrets reused unchanged across the transition.
+    secrets_reused: int
+    #: Generator-end pair secrets dropped (departed or re-sharded pairs).
+    secrets_dropped: int
+
+
+def _reshard(clique_of: Dict[str, int], num_cliques: int,
+             joins: Sequence[str]) -> Tuple[Dict[str, int], List[str]]:
+    """Minimal-movement deterministic re-shard.
+
+    ``clique_of`` holds the continuing users' current assignment (leavers
+    already removed). Joiners (processed in sorted order) fill whichever
+    clique is currently smallest (ties: lowest clique id). If any clique
+    still has fewer than two members, the lexicographically largest
+    member of the largest clique moves over, repeatedly — the only case
+    that re-keys a continuing user. Returns the new assignment and the
+    moved users.
+    """
+    assignment = dict(clique_of)
+    sizes = {c: 0 for c in range(num_cliques)}
+    for clique in assignment.values():
+        sizes[clique] += 1
+    for joiner in sorted(joins):
+        target = min(sizes, key=lambda c: (sizes[c], c))
+        assignment[joiner] = target
+        sizes[target] += 1
+    moved: List[str] = []
+    if num_cliques > 1:
+        while min(sizes.values()) < 2:
+            target = min(sizes, key=lambda c: (sizes[c], c))
+            donor = max(sizes, key=lambda c: (sizes[c], -c))
+            if sizes[donor] <= 2:
+                raise ConfigurationError(
+                    f"cannot keep {num_cliques} cliques at >= 2 members "
+                    f"with {len(assignment)} users")
+            mover = max(u for u, c in assignment.items() if c == donor)
+            assignment[mover] = target
+            sizes[donor] -= 1
+            sizes[target] += 1
+            moved.append(mover)
+    return assignment, sorted(moved)
+
+
+class MembershipManager:
+    """Owns the durable key material and advances the epoch lifecycle.
+
+    Construct from an epoch-0 :class:`~repro.protocol.enrollment.
+    Enrollment` (see :func:`~repro.protocol.enrollment.enroll_users`),
+    then call :meth:`advance_epoch` between reporting windows. Key pairs
+    and blinding indexes are remembered even for departed users, so a
+    user that leaves and later rejoins gets its old identity back — and
+    round ids never repeat across epochs, so the rejoined pairs' pads
+    stay one-time.
+    """
+
+    def __init__(self, enrollment: Enrollment) -> None:
+        missing = [u for u in enrollment.user_ids
+                   if u not in enrollment.keypairs
+                   or u not in enrollment.index_of]
+        if missing:
+            raise ConfigurationError(
+                f"enrollment lacks key material for {missing[:5]}; build it "
+                f"with enroll_users() (epoch-aware enrollments carry "
+                f"keypairs and stable indexes)")
+        self.config: RoundConfig = enrollment.config
+        self.group = enrollment.group
+        self.seed = enrollment.seed
+        self.use_oprf = enrollment.use_oprf
+        self.oprf_server = enrollment.oprf_server
+        self.shared_prf = enrollment.shared_prf
+        self.pad_streams = enrollment.pad_streams
+        self.num_cliques = enrollment.num_cliques
+        self._keypairs = dict(enrollment.keypairs)
+        self._index_of = dict(enrollment.index_of)
+        self._next_index = max(self._index_of.values()) + 1
+        self._clients: Dict[str, ProtocolClient] = {
+            c.user_id: c for c in enrollment.clients}
+        self._next_round = 0
+        self._epoch = Epoch(
+            epoch_id=0,
+            user_ids=tuple(sorted(enrollment.user_ids)),
+            clique_of=dict(enrollment.clique_of),
+            num_cliques=enrollment.num_cliques,
+            first_round=0,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
+               **enroll_kwargs) -> "MembershipManager":
+        """Epoch-0 enrollment and manager construction in one step."""
+        from repro.protocol.enrollment import enroll_users
+        return cls(enroll_users(user_ids, config, **enroll_kwargs))
+
+    @property
+    def epoch(self) -> Epoch:
+        return self._epoch
+
+    @property
+    def next_round(self) -> int:
+        """The first round id not yet spent against this membership's
+        pads (sessions report completed rounds via :meth:`note_round`,
+        so a session rebuilt mid-epoch resumes after them)."""
+        return max(self._next_round, self._epoch.first_round)
+
+    def note_round(self, round_id: int) -> None:
+        """Record that ``round_id`` ran: its (pair, round) pads are
+        spent and may never be reused by any future session."""
+        self._next_round = max(self._next_round, round_id + 1)
+
+    @property
+    def roster(self) -> Tuple[str, ...]:
+        return self._epoch.user_ids
+
+    @property
+    def clients(self) -> List[ProtocolClient]:
+        """Active clients in roster (sorted user id) order."""
+        return [self._clients[u] for u in self._epoch.user_ids]
+
+    def client_of(self, user_id: str) -> ProtocolClient:
+        try:
+            return self._clients[user_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"{user_id!r} is not in epoch {self._epoch.epoch_id}'s "
+                f"roster") from None
+
+    # ------------------------------------------------------------------
+    def _validate_churn(self, joins: Sequence[str],
+                        leaves: Sequence[str]) -> None:
+        roster = set(self._epoch.user_ids)
+        if len(set(joins)) != len(joins):
+            raise ConfigurationError("duplicate user ids in joins")
+        if len(set(leaves)) != len(leaves):
+            raise ConfigurationError("duplicate user ids in leaves")
+        both = sorted(set(joins) & set(leaves))
+        if both:
+            raise ConfigurationError(
+                f"users cannot join and leave in the same transition: "
+                f"{both[:5]}")
+        already = sorted(set(joins) & roster)
+        if already:
+            raise ConfigurationError(
+                f"joins already enrolled: {already[:5]}")
+        unknown = sorted(set(leaves) - roster)
+        if unknown:
+            raise ConfigurationError(
+                f"leaves not currently enrolled: {unknown[:5]}")
+        new_size = len(roster) - len(leaves) + len(joins)
+        # The privacy floor holds for every k, including k=1: a clique
+        # with a single member has no peers, so its user's "blinded"
+        # report would be the raw cleartext sketch.
+        if new_size < 2 * max(1, self.num_cliques):
+            raise ConfigurationError(
+                f"advance_epoch would leave {new_size} users across "
+                f"{self.num_cliques} clique(s); blinding needs >= 2 "
+                f"members per clique (>= {2 * self.num_cliques} users), "
+                f"or a lone survivor would report its raw sketch")
+
+    def _materialize(self, user_id: str) -> Tuple[int, object]:
+        """Stable index + key pair for a joiner (new or returning)."""
+        keypair = self._keypairs.get(user_id)
+        if keypair is None:
+            keypair = self.group.keypair(
+                make_rng(keypair_seed(self.seed, user_id)))
+            self._keypairs[user_id] = keypair
+        index = self._index_of.get(user_id)
+        if index is None:
+            index = self._next_index
+            self._next_index += 1
+            self._index_of[user_id] = index
+        return index, keypair
+
+    def _mapper_for(self, index: int):
+        if not self.use_oprf:
+            return self.shared_prf
+        return ObliviousAdMapper(
+            OPRFClient(self.oprf_server.public_key,
+                       rng=random.Random((self.seed << 16) ^ index)),
+            self.oprf_server, id_space=self.config.id_space)
+
+    def advance_epoch(self, joins: Sequence[str] = (),
+                      leaves: Sequence[str] = (),
+                      first_round: Optional[int] = None) -> EpochTransition:
+        """Produce the next epoch from a join/leave delta.
+
+        ``first_round`` is the first round id the new epoch will run
+        (callers that drive rounds — sessions — pass their counter so
+        round ids, and therefore pads, never repeat across epochs);
+        omitted, the rounds recorded via :meth:`note_round` decide.
+
+        Only users whose clique changed are re-keyed; everyone else
+        keeps their generator, and survivors of an affected clique keep
+        every pair secret that survives (one modexp per genuinely new
+        pair end). Returns the bookkeeping as an
+        :class:`EpochTransition`.
+        """
+        self._validate_churn(joins, leaves)
+        old = self._epoch
+        old_clique = dict(old.clique_of)
+
+        continuing = {u: c for u, c in old_clique.items()
+                      if u not in set(leaves)}
+        new_clique, moved = _reshard(continuing, self.num_cliques, joins)
+
+        # Drop leavers' clients (key material is retained for rejoins);
+        # invalidate their — and moved users' — cached pad streams in
+        # one pass. Leavers' generator ends go with them, counted as
+        # dropped below.
+        leaver_ends = 0
+        for user in leaves:
+            leaver_ends += len(self._clients[user].blinding.peer_indexes)
+            del self._clients[user]
+        if self.pad_streams is not None:
+            self.pad_streams.forget_users(
+                self._index_of[user] for user in (*leaves, *moved))
+
+        # Materialize joiners: reused or freshly derived key material,
+        # an empty peer set until the affected cliques reconcile below.
+        for user in sorted(joins):
+            index, keypair = self._materialize(user)
+            blinding = BlindingGenerator(self.group, index, keypair, {},
+                                         pad_streams=self.pad_streams)
+            self._clients[user] = ProtocolClient(
+                user, self.config, blinding, self._mapper_for(index),
+                clique_id=new_clique[user])
+
+        # Cliques whose membership changed: old homes of leavers and
+        # moved users, new homes of joiners and moved users. Only their
+        # members' peer sets are touched at all.
+        affected = {old_clique[u] for u in leaves}
+        affected.update(old_clique[u] for u in moved)
+        affected.update(new_clique[u] for u in moved)
+        affected.update(new_clique[u] for u in joins)
+
+        modexps = reused = 0
+        dropped = leaver_ends
+        publics = {self._index_of[u]: self._keypairs[u].public
+                   for u in new_clique}
+        members_by_clique: Dict[int, List[str]] = {}
+        for user, clique in new_clique.items():
+            members_by_clique.setdefault(clique, []).append(user)
+        for clique in sorted(affected):
+            for user in sorted(members_by_clique.get(clique, ())):
+                client = self._clients[user]
+                client.clique_id = clique
+                peers = {self._index_of[m]: publics[self._index_of[m]]
+                         for m in members_by_clique[clique] if m != user}
+                kept, added, removed = client.blinding.set_peers(peers)
+                reused += kept
+                modexps += added
+                dropped += removed
+        # Cliques the churn never touched reuse every end untouched —
+        # count them so the totals describe the whole transition, not
+        # just the affected cliques.
+        for clique, members in members_by_clique.items():
+            if clique not in affected:
+                reused += len(members) * (len(members) - 1)
+
+        epoch = Epoch(
+            epoch_id=old.epoch_id + 1,
+            user_ids=tuple(sorted(new_clique)),
+            clique_of=new_clique,
+            num_cliques=self.num_cliques,
+            # Clamp even an explicit first_round to the rounds already
+            # recorded: a stale session's counter must not re-open
+            # spent (pair, round) one-time pads.
+            first_round=(self.next_round if first_round is None
+                         else max(first_round, self.next_round)),
+        )
+        self._epoch = epoch
+        self._next_round = epoch.first_round
+        return EpochTransition(
+            epoch=epoch,
+            joined=tuple(sorted(joins)),
+            left=tuple(sorted(leaves)),
+            moved=tuple(moved),
+            rekeyed=tuple(sorted(set(joins) | set(moved))),
+            modexps=modexps,
+            secrets_reused=reused,
+            secrets_dropped=dropped,
+        )

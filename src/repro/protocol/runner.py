@@ -6,8 +6,8 @@ idle hooks that model deployment phase-timeouts, and repeats until every
 endpoint is quiet. Two drivers share that contract:
 
 * :class:`ProtocolRunner` — synchronous; endpoints are serviced in
-  registration order. Deterministic and debuggable; what the facade and
-  the deprecated coordinator use.
+  registration order. Deterministic and debuggable; what the facade
+  uses by default.
 * :class:`AsyncProtocolRunner` — ``asyncio``; all busy endpoints are
   pumped concurrently, so the per-clique aggregators of the fan-out
   topology make progress as independent tasks (the in-process analogue

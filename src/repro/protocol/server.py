@@ -379,9 +379,10 @@ class ServerEndpoint(ProtocolEndpoint):
     distribution are computed, and the threshold is broadcast to every
     client.
 
-    The deprecated :class:`~repro.protocol.coordinator.RoundCoordinator`
-    drives exactly this endpoint, so its behaviour — message flow, byte
-    accounting, failure modes — matches the pre-endpoint coordinator.
+    A ``topology="monolithic"`` session drives exactly this endpoint;
+    its behaviour — message flow, byte accounting, failure modes —
+    matches the paper's single-backend design (and the long-removed
+    inline coordinator it replaced).
     """
 
     def __init__(self, server: AggregationServer,

@@ -16,7 +16,9 @@ package rebuilds that simulator:
   frequency caps;
 * :mod:`repro.simulation.simulator` — the loop tying it together;
 * :mod:`repro.simulation.metrics` — confusion-matrix evaluation against
-  the simulator's ground truth.
+  the simulator's ground truth;
+* :mod:`repro.simulation.churn` — deterministic join/leave schedules for
+  the epoch-lifecycle (churned-population) scenario family.
 
 ``SimulationConfig`` defaults are Table 1 of the paper: 500 users, 1000
 websites, 138 average visits, 20 ads per website, 10% targeted ads.
@@ -30,9 +32,19 @@ from repro.simulation.campaigns import Campaign, CampaignGenerator
 from repro.simulation.adserver import AdServer
 from repro.simulation.simulator import SimulationResult, Simulator
 from repro.simulation.metrics import evaluate_classifications
+from repro.simulation.churn import (
+    ChurnPlan,
+    apply_churn,
+    churn_schedule,
+    rosters_over_epochs,
+)
 
 __all__ = [
     "SimulationConfig",
+    "ChurnPlan",
+    "apply_churn",
+    "churn_schedule",
+    "rosters_over_epochs",
     "Population",
     "UserProfile",
     "Website",

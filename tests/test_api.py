@@ -77,12 +77,29 @@ class TestProtocolSession:
         assert fan_result.aggregate.cells == mono_result.aggregate.cells
 
     def test_threshold_rule_assignable_after_construction(self):
-        from repro.protocol.coordinator import RoundCoordinator
         enrollment = make_enrollment()
-        with pytest.warns(DeprecationWarning):
-            coordinator = RoundCoordinator(CONFIG, enrollment.clients)
-        coordinator.threshold_rule = lambda dist: 123.5
-        assert coordinator.run_round(1).users_threshold == 123.5
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  topology="monolithic")
+        session.root.threshold_rule = lambda dist: 123.5
+        assert session.run_round(1).users_threshold == 123.5
+
+    def test_round_coordinator_removed_with_guidance(self):
+        """The deprecated shim is gone; every import path points callers
+        at ProtocolSession."""
+        import importlib
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.protocol.coordinator")
+        import repro.protocol
+        with pytest.raises(AttributeError, match="ProtocolSession"):
+            repro.protocol.RoundCoordinator
+        with pytest.raises(ImportError, match="RoundCoordinator"):
+            from repro.protocol import RoundCoordinator  # noqa: F401
+        import repro
+        with pytest.raises(AttributeError, match="ProtocolSession"):
+            repro.RoundCoordinator
+        # hasattr-based feature detection must keep working.
+        assert not hasattr(repro.protocol, "RoundCoordinator")
+        assert not hasattr(repro, "RoundCoordinator")
 
     def test_service_users_rule_assignable_between_weeks(self):
         from repro.backend.service import BackendService

@@ -13,7 +13,7 @@ import pytest
 from repro.errors import ConfigurationError, MissingReportError
 from repro.protocol import wire
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import RoundCoordinator
+from repro.api import ProtocolSession
 from repro.protocol.enrollment import assign_cliques, enroll_users
 from repro.protocol.messages import (
     BlindedReport,
@@ -70,6 +70,27 @@ class TestAssignment:
     def test_single_clique_is_trivial(self):
         assert set(assign_cliques(USER_IDS, 1, seed=5).values()) == {0}
 
+    def test_error_messages_name_offending_cliques(self):
+        """The singleton refusal reports *which* cliques starve and the
+        offending k vs population size."""
+        with pytest.raises(ConfigurationError) as err:
+            assign_cliques(USER_IDS, 7)  # sizes [2,2,2,2,2,1,1]
+        message = str(err.value)
+        assert "num_cliques=7" in message
+        assert "12 users" in message
+        assert "singleton" in message
+        assert "[5, 6]" in message  # the two size-1 cliques
+        assert "at least 14 users" in message
+        with pytest.raises(ConfigurationError) as err:
+            assign_cliques(USER_IDS[:3], 5)  # sizes [1,1,1,0,0]
+        assert "empty" in str(err.value)
+        with pytest.raises(ConfigurationError) as err:
+            assign_cliques(USER_IDS, 0)
+        assert "must be >= 1" in str(err.value)
+        with pytest.raises(ConfigurationError) as err:
+            assign_cliques(USER_IDS, -3)
+        assert "got -3" in str(err.value)
+
     def test_enrollment_scopes_peers_to_clique(self):
         enrollment = enrolled(num_cliques=4)
         index_of = {c.user_id: c.blinding.user_index
@@ -93,7 +114,7 @@ class TestAggregateEquivalence:
         results = {}
         for k in (1, 3, 4):
             enrollment = enrolled(num_cliques=k)
-            results[k] = RoundCoordinator(
+            results[k] = ProtocolSession(
                 CONFIG, enrollment.clients).run_round(1)
         assert results[3].aggregate.cells == results[1].aggregate.cells
         assert results[4].aggregate.cells == results[1].aggregate.cells
@@ -107,7 +128,7 @@ class TestAggregateEquivalence:
         for client in enrollment.clients:
             for url in client.seen_urls:
                 raw.update(client.ad_mapper.ad_id(url))
-        result = RoundCoordinator(CONFIG, enrollment.clients).run_round(2)
+        result = ProtocolSession(CONFIG, enrollment.clients).run_round(2)
         assert result.aggregate.cells == raw.cells
 
     def test_individual_reports_differ_across_k(self):
@@ -124,23 +145,24 @@ class TestScopedRecovery:
         enrollment = enrolled(num_cliques=num_cliques)
         transport = InMemoryTransport()
         transport.fail_sender(victim)
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients,
-                                       transport=transport)
-        result = coordinator.run_round(1)
-        return enrollment, coordinator, result
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport,
+                                  topology="monolithic")
+        result = session.run_round(1)
+        return enrollment, session, result
 
     def test_dropout_confined_to_its_clique(self):
-        enrollment, coordinator, result = self._run_with_dropout(4)
+        enrollment, session, result = self._run_with_dropout(4)
         victim_clique = enrollment.clique_of["user-05"]
         mates = {uid for uid, clique in enrollment.clique_of.items()
                  if clique == victim_clique and uid != "user-05"}
         assert result.recovery_round_used
         assert result.missing_users == ["user-05"]
         # Exactly the victim's clique mates adjusted — nobody else.
-        assert coordinator.server.adjusted_users == mates
+        assert session.root.server.adjusted_users == mates
 
     def test_dropout_recovery_equals_survivor_truth(self):
-        enrollment, _coordinator, result = self._run_with_dropout(4)
+        enrollment, _session, result = self._run_with_dropout(4)
         mapper = enrollment.clients[0].ad_mapper
         survivors = [c for c in enrollment.clients if c.user_id != "user-05"]
         truth = {}
@@ -156,9 +178,10 @@ class TestScopedRecovery:
         victims = ["user-02", "user-09"]
         for victim in victims:
             transport.fail_sender(victim)
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients,
-                                       transport=transport)
-        result = coordinator.run_round(1)
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport,
+                                  topology="monolithic")
+        result = session.run_round(1)
         # Reconstruct what each survivor was asked to fix from the server:
         by_clique = {}
         index_of = {c.user_id: c.blinding.user_index
@@ -166,7 +189,7 @@ class TestScopedRecovery:
         for victim in victims:
             by_clique.setdefault(
                 enrollment.clique_of[victim], []).append(index_of[victim])
-        assert coordinator.server.missing_indexes_by_clique() == \
+        assert session.root.server.missing_indexes_by_clique() == \
             {clique: sorted(idx) for clique, idx in by_clique.items()}
         assert sorted(result.missing_users) == sorted(victims)
 
@@ -250,8 +273,8 @@ class TestCliqueWireFormat:
         enrollment = enrolled(num_cliques=4)
         transport = WireTransport()
         transport.fail_sender("user-03")
-        result = RoundCoordinator(CONFIG, enrollment.clients,
-                                  transport=transport).run_round(1)
+        result = ProtocolSession(CONFIG, enrollment.clients,
+                                 transport=transport).run_round(1)
         assert result.missing_users == ["user-03"]
         # Recovery over the byte-exact codec still matches the survivor
         # truth (the victim's ads are absent, so only >= checks).

@@ -19,7 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import RoundCoordinator
+from repro.api import ProtocolSession
 from repro.protocol.enrollment import enroll_users
 from repro.sketch.countmin import CountMinSketch
 
@@ -44,7 +44,7 @@ class TestAggregateCorrectness:
                 url = f"ad-{n}"
                 client.observe_ad(url)
                 truth[url].add(client.user_id)
-        result = RoundCoordinator(CONFIG, enrollment.clients).run_round(1)
+        result = ProtocolSession(CONFIG, enrollment.clients).run_round(1)
         mapper = enrollment.clients[0].ad_mapper
         for url, users in truth.items():
             assert result.aggregate.query(mapper.ad_id(url)) >= len(users)
@@ -61,7 +61,7 @@ class TestAggregateCorrectness:
             for n in set(ad_numbers):
                 client.observe_ad(f"ad-{n}")
                 raw_sum.update(client.ad_mapper.ad_id(f"ad-{n}"))
-        result = RoundCoordinator(CONFIG, enrollment.clients).run_round(7)
+        result = ProtocolSession(CONFIG, enrollment.clients).run_round(7)
         assert result.aggregate.cells == raw_sum.cells
 
     @settings(max_examples=8, deadline=None)
@@ -83,8 +83,8 @@ class TestAggregateCorrectness:
         from repro.protocol.transport import InMemoryTransport
         transport = InMemoryTransport()
         transport.fail_sender(enrollment.clients[drop_index].user_id)
-        result = RoundCoordinator(CONFIG, enrollment.clients,
-                                  transport=transport).run_round(2)
+        result = ProtocolSession(CONFIG, enrollment.clients,
+                                 transport=transport).run_round(2)
         mapper = enrollment.clients[0].ad_mapper
         for url, users in surviving_truth.items():
             assert result.aggregate.query(mapper.ad_id(url)) >= len(users)

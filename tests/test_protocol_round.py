@@ -15,8 +15,8 @@ from repro.errors import (
     ProtocolError,
     RoundStateError,
 )
+from repro.api import ProtocolSession
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import SERVER_ENDPOINT, RoundCoordinator
 from repro.protocol.enrollment import enroll_users
 from repro.protocol.messages import BlindedReport
 from repro.protocol.server import AggregationServer
@@ -29,6 +29,12 @@ CONFIG = RoundConfig(cms_depth=4, cms_width=128, cms_seed=7, id_space=500)
 def make_enrollment(n_users=4, use_oprf=False, seed=0):
     return enroll_users([f"user-{i}" for i in range(n_users)], CONFIG,
                         seed=seed, use_oprf=use_oprf)
+
+
+def monolithic_session(clients, transport=None):
+    """The single-server wiring the deleted RoundCoordinator drove."""
+    return ProtocolSession(CONFIG, clients, transport=transport,
+                           topology="monolithic")
 
 
 class TestRoundConfig:
@@ -102,8 +108,7 @@ class TestFullRound:
             client.observe_ad("http://popular.ad/1")
         clients[0].observe_ad("http://niche.ad/1")
 
-        coordinator = RoundCoordinator(CONFIG, clients)
-        result = coordinator.run_round(round_id=1)
+        result = monolithic_session(clients).run_round(round_id=1)
 
         mapper = clients[0].ad_mapper
         popular_est = result.aggregate.query(mapper.ad_id("http://popular.ad/1"))
@@ -120,7 +125,7 @@ class TestFullRound:
         for client in clients:
             client.observe_ad("http://everyone.sees/ad")
         clients[0].observe_ad("http://only.one/ad")
-        result = RoundCoordinator(CONFIG, clients).run_round(1)
+        result = monolithic_session(clients).run_round(1)
         # Two ads -> distribution has ~2 entries (maybe more from CMS
         # collisions); threshold is the mean, between 1 and 4.
         assert len(result.distribution) >= 2
@@ -145,7 +150,7 @@ class TestFullRound:
         clients = enrollment.clients
         for client in clients:
             client.observe_ad("http://with.oprf/ad")
-        result = RoundCoordinator(CONFIG, clients).run_round(2)
+        result = monolithic_session(clients).run_round(2)
         ad_id = clients[0].ad_mapper.ad_id("http://with.oprf/ad")
         assert result.aggregate.query(ad_id) >= 3
 
@@ -153,7 +158,7 @@ class TestFullRound:
         enrollment = make_enrollment(3)
         for client in enrollment.clients:
             client.observe_ad("http://x/1")
-        result = RoundCoordinator(CONFIG, enrollment.clients).run_round(1)
+        result = monolithic_session(enrollment.clients).run_round(1)
         # 3 reports + 3 broadcasts at minimum.
         assert result.total_messages >= 6
         assert result.total_bytes > 3 * CONFIG.num_cells * 4
@@ -168,8 +173,7 @@ class TestFaultTolerance:
         transport = InMemoryTransport()
         transport.fail_sender(clients[2].user_id)
 
-        coordinator = RoundCoordinator(CONFIG, clients, transport=transport)
-        result = coordinator.run_round(1)
+        result = monolithic_session(clients, transport=transport).run_round(1)
 
         assert result.missing_users == [clients[2].user_id]
         assert result.recovery_round_used
@@ -185,8 +189,8 @@ class TestFaultTolerance:
         transport = InMemoryTransport()
         transport.fail_sender(clients[0].user_id)
         transport.fail_sender(clients[5].user_id)
-        result = RoundCoordinator(CONFIG, clients,
-                                  transport=transport).run_round(3)
+        result = monolithic_session(
+            clients, transport=transport).run_round(3)
         assert len(result.missing_users) == 2
         ad_id = clients[1].ad_mapper.ad_id("http://shared.ad/1")
         assert result.aggregate.query(ad_id) >= 4
@@ -242,9 +246,9 @@ class TestServerValidation:
         with pytest.raises(RoundStateError):
             server.submit_report(BlindedReport(clients[0].user_id, 1, (1, 2)))
 
-    def test_coordinator_rejects_empty_and_duplicates(self):
+    def test_session_rejects_empty_and_duplicates(self):
         with pytest.raises(ProtocolError):
-            RoundCoordinator(CONFIG, [])
+            monolithic_session([])
         clients = make_enrollment(2).clients
         with pytest.raises(ProtocolError):
-            RoundCoordinator(CONFIG, [clients[0], clients[0]])
+            monolithic_session([clients[0], clients[0]])

@@ -19,7 +19,7 @@ import pytest
 from repro.crypto.blinding import BLINDING_MODULUS
 from repro.protocol import wire
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import RoundCoordinator
+from repro.api import ProtocolSession
 from repro.protocol.enrollment import enroll_users
 from repro.protocol.messages import BlindedReport, BlindingAdjustment, CellVector
 from repro.protocol.server import AggregationServer
@@ -109,8 +109,9 @@ class TestVectorizedAggregation:
 class TestVectorizedDistribution:
     def test_batched_distribution_matches_scalar(self):
         enrollment = _enrolled_round(seed=17)
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients)
-        result = coordinator.run_round(1)
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  topology="monolithic")
+        result = session.run_round(1)
         scalar = _seed_scalar_distribution(CONFIG, result.aggregate)
         assert result.distribution.values == scalar.values
 
@@ -136,10 +137,11 @@ class TestVectorizedDistribution:
 
     def test_table_cache_reused_across_rounds(self):
         enrollment = _enrolled_round(seed=23)
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients)
-        r1 = coordinator.run_round(1)
-        r2 = coordinator.run_round(2)
-        assert len(coordinator.server._id_tables) == 1
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  topology="monolithic")
+        r1 = session.run_round(1)
+        r2 = session.run_round(2)
+        assert len(session.root.server._id_tables) == 1
         # Same observations -> identical distributions in both rounds.
         assert r1.distribution.values == r2.distribution.values
 

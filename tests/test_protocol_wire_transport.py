@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.protocol.client import RoundConfig
-from repro.protocol.coordinator import RoundCoordinator
+from repro.api import ProtocolSession
 from repro.protocol.enrollment import enroll_users
 from repro.protocol.transport import WireTransport
 
@@ -19,9 +19,9 @@ class TestWireTransportRound:
         for client in enrollment.clients:
             client.observe_ad("http://everyone.example/ad")
         enrollment.clients[1].observe_ad("http://rare.example/ad")
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients,
-                                       transport=WireTransport())
-        result = coordinator.run_round(round_id=5)
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=WireTransport())
+        result = session.run_round(5)
         mapper = enrollment.clients[0].ad_mapper
         assert result.aggregate.query(
             mapper.ad_id("http://everyone.example/ad")) >= 4
@@ -35,8 +35,8 @@ class TestWireTransportRound:
             client.observe_ad("http://shared.example/ad")
         transport = WireTransport()
         transport.fail_sender("u2")
-        result = RoundCoordinator(CONFIG, enrollment.clients,
-                                  transport=transport).run_round(1)
+        result = ProtocolSession(CONFIG, enrollment.clients,
+                                 transport=transport).run_round(1)
         assert result.missing_users == ["u2"]
         mapper = enrollment.clients[0].ad_mapper
         assert result.aggregate.query(
@@ -46,9 +46,9 @@ class TestWireTransportRound:
         enrollment = enroll_users(["a", "b"], CONFIG, seed=4,
                                   use_oprf=False)
         transport = WireTransport()
-        coordinator = RoundCoordinator(CONFIG, enrollment.clients,
-                                       transport=transport)
-        result = coordinator.run_round(0)
+        session = ProtocolSession(CONFIG, enrollment.clients,
+                                  transport=transport)
+        result = session.run_round(0)
         # Each report is 16B header + id + 4B/cell; two reports plus
         # broadcasts must exceed two raw cell payloads.
         assert result.total_bytes > 2 * CONFIG.num_cells * 4
