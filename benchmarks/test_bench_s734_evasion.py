@@ -11,7 +11,6 @@ impressions (its reach) fall with it, so full evasion costs most of the
 campaign's delivery.
 """
 
-from collections import defaultdict
 
 import dataclasses
 

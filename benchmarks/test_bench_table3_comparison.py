@@ -6,7 +6,6 @@ and MyAdChoices are the only real-user, real-time, scalable tools; all
 prior persona-based systems inject fake impressions.
 """
 
-from conftest import print_table
 
 from repro.validation.comparison import (
     COMPARISON_MATRIX,

@@ -15,7 +15,7 @@ an intercept-free gender block (R's ``~ 0 + G + ...``), income base level
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional
 
 import math
 

@@ -15,16 +15,11 @@ and mid incomes more; the regression then has a ground truth to recover.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.analysis.biasstudy import BiasStudyData
 from repro.errors import ConfigurationError
 from repro.simulation.campaigns import Campaign
-from repro.simulation.population import (
-    AGE_BRACKETS,
-    GENDERS,
-    INCOME_BRACKETS,
-)
 from repro.simulation.simulator import SimulationResult
 from repro.statsutil.sampling import make_rng
 

@@ -15,8 +15,8 @@ male rows against the intercept-free gender block).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats

@@ -37,6 +37,14 @@ wiring and ``driver="async"`` runs the clique aggregators concurrently
 on an asyncio loop. (The pre-epoch ``RoundCoordinator`` shim has been
 removed; ``ProtocolSession(config, clients, topology="monolithic")`` is
 the drop-in replacement.)
+
+Transports are selected by name — ``transport="memory"`` (default),
+``"wire"`` (byte-exact codec round-trip) or ``"socket"`` (real TCP
+frames) — and ``aggregator_procs=k`` additionally runs each clique
+aggregator and the root as real subprocesses
+(:mod:`repro.protocol.net`), re-wired in place by ``advance_epoch``.
+Sessions that own subprocesses or sockets are context managers; call
+:meth:`ProtocolSession.close` (or use ``with``) when done.
 """
 
 from __future__ import annotations
@@ -80,6 +88,30 @@ TOPOLOGIES = ("fanout", "monolithic")
 #: Supported round drivers.
 DRIVERS = ("sync", "async")
 
+#: Named transports ``ProtocolSession(transport=...)`` resolves; an
+#: :class:`~repro.protocol.transport.InMemoryTransport` instance is
+#: accepted as well. ``"wire"`` round-trips every message through the
+#: byte-exact codec, ``"socket"`` ships the same bytes through a real
+#: localhost TCP connection (length-prefixed frames).
+TRANSPORTS = ("memory", "wire", "socket")
+
+
+def _resolve_transport(spec):
+    """Transport spec -> (instance-or-None, session_owns_it)."""
+    if spec is None or isinstance(spec, InMemoryTransport):
+        return spec, False
+    if spec == "memory":
+        return InMemoryTransport(), True
+    if spec == "wire":
+        from repro.protocol.transport import WireTransport
+        return WireTransport(), True
+    if spec == "socket":
+        from repro.protocol.net import SocketTransport
+        return SocketTransport(), True
+    raise ConfigurationError(
+        f"unknown transport {spec!r}; expected one of {TRANSPORTS} or an "
+        f"InMemoryTransport instance")
+
 
 class ProtocolSession:
     """A reusable binding of protocol endpoints to a driver.
@@ -122,11 +154,12 @@ class ProtocolSession:
 
     def __init__(self, config: RoundConfig,
                  clients: Sequence[ProtocolClient],
-                 transport: Optional[InMemoryTransport] = None,
+                 transport=None,
                  threshold_rule: ThresholdRuleFn = mean_threshold,
                  topology: str = "fanout",
                  driver: str = "sync",
-                 membership: Optional[MembershipManager] = None) -> None:
+                 membership: Optional[MembershipManager] = None,
+                 aggregator_procs: int = 0) -> None:
         if topology not in TOPOLOGIES:
             raise ConfigurationError(
                 f"unknown topology {topology!r}; expected one of "
@@ -138,22 +171,63 @@ class ProtocolSession:
         self.topology = topology
         self.driver = driver
         self.membership = membership
+        self._closed = False
+        self._pool = None
+        if aggregator_procs:
+            if topology != "fanout":
+                raise ConfigurationError(
+                    "aggregator_procs runs the per-clique fan-out in "
+                    "subprocesses and needs topology='fanout', got "
+                    f"{topology!r}")
+            cliques_present = len({c.clique_id for c in clients})
+            if aggregator_procs != cliques_present:
+                raise ConfigurationError(
+                    f"aggregator_procs={aggregator_procs} but the enrolled "
+                    f"population has {cliques_present} blinding clique(s); "
+                    f"one aggregator process serves exactly one clique "
+                    f"(enroll with num_cliques={aggregator_procs}, or pass "
+                    f"aggregator_procs={cliques_present})")
+            from repro.protocol.net import ProcessAggregatorPool
+            self._pool = ProcessAggregatorPool(config)
         # A membership mid-lifecycle (e.g. handed to from_membership
         # after rounds or epoch advances elsewhere) dictates the first
         # usable round id; pads from its earlier rounds are spent.
         self._next_round = membership.next_round if membership else 0
-        self._wire(clients, transport, threshold_rule)
+        transport, self._owns_transport = _resolve_transport(transport)
+        try:
+            self._wire(clients, transport, threshold_rule)
+        except BaseException:
+            # Wiring failures must not strand owned subprocesses or the
+            # owned socket transport: the caller never gets a session
+            # object to close.
+            if self._pool is not None:
+                self._pool.close()
+            if self._owns_transport:
+                close = getattr(transport, "close", None)
+                if callable(close):
+                    close()
+            raise
 
     def _wire(self, clients: Sequence[ProtocolClient],
               transport: Optional[InMemoryTransport],
               threshold_rule: ThresholdRuleFn) -> None:
         """(Re-)build endpoints and runner; shared by construction and
-        epoch advances (which pass the session's existing transport)."""
+        epoch advances (which pass the session's existing transport).
+
+        With an aggregator pool, the fan-out endpoints are proxies to
+        live subprocesses: the pool converges its process set onto the
+        current clique map (reconfiguring survivors in place) and the
+        runner drives the proxies through the unchanged endpoint
+        lifecycle.
+        """
         self.clients = list(clients)
-        build = (build_fanout_endpoints if self.topology == "fanout"
-                 else build_monolithic_endpoints)
-        endpoints, root = build(self.config, self.clients,
-                                threshold_rule=threshold_rule)
+        if self._pool is not None:
+            endpoints, root = self._pool.wire(self.clients, threshold_rule)
+        else:
+            build = (build_fanout_endpoints if self.topology == "fanout"
+                     else build_monolithic_endpoints)
+            endpoints, root = build(self.config, self.clients,
+                                    threshold_rule=threshold_rule)
         runner_cls = ProtocolRunner if self.driver == "sync" \
             else AsyncProtocolRunner
         self._runner = runner_cls(endpoints, root, transport=transport)
@@ -162,8 +236,9 @@ class ProtocolSession:
     @classmethod
     def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
                topology: str = "fanout", driver: str = "sync",
-               transport: Optional[InMemoryTransport] = None,
+               transport=None,
                threshold_rule: ThresholdRuleFn = mean_threshold,
+               aggregator_procs: int = 0,
                **enroll_kwargs) -> "ProtocolSession":
         """Epoch-0 enrollment and session wiring in one step.
 
@@ -174,13 +249,15 @@ class ProtocolSession:
         enrollment = enroll_users(user_ids, config, **enroll_kwargs)
         return cls.from_enrollment(enrollment, topology=topology,
                                    driver=driver, transport=transport,
-                                   threshold_rule=threshold_rule)
+                                   threshold_rule=threshold_rule,
+                                   aggregator_procs=aggregator_procs)
 
     @classmethod
     def from_enrollment(cls, enrollment: Enrollment,
                         topology: str = "fanout", driver: str = "sync",
-                        transport: Optional[InMemoryTransport] = None,
+                        transport=None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
+                        aggregator_procs: int = 0,
                         ) -> "ProtocolSession":
         """Wrap an :class:`~repro.protocol.enrollment.Enrollment` —
         membership-aware whenever the enrollment carries key material."""
@@ -188,21 +265,30 @@ class ProtocolSession:
                       if enrollment.keypairs else None)
         return cls(enrollment.config, enrollment.clients,
                    transport=transport, threshold_rule=threshold_rule,
-                   topology=topology, driver=driver, membership=membership)
+                   topology=topology, driver=driver, membership=membership,
+                   aggregator_procs=aggregator_procs)
 
     @classmethod
     def from_membership(cls, membership: MembershipManager,
                         topology: str = "fanout", driver: str = "sync",
-                        transport: Optional[InMemoryTransport] = None,
+                        transport=None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
+                        aggregator_procs: int = 0,
                         ) -> "ProtocolSession":
         return cls(membership.config, membership.clients,
                    transport=transport, threshold_rule=threshold_rule,
-                   topology=topology, driver=driver, membership=membership)
+                   topology=topology, driver=driver, membership=membership,
+                   aggregator_procs=aggregator_procs)
 
     @property
     def transport(self) -> InMemoryTransport:
         return self._runner.transport
+
+    @property
+    def aggregator_pool(self):
+        """The live :class:`~repro.protocol.net.ProcessAggregatorPool`
+        (None when aggregation runs in-process)."""
+        return self._pool
 
     @property
     def endpoints(self) -> List[ProtocolEndpoint]:
@@ -303,19 +389,53 @@ class ProtocolSession:
         for client in self.clients:
             client.reset_window()
 
+    # ------------------------------------------------------------------
+    # Resource lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release owned out-of-process resources (idempotent).
+
+        Shuts down the aggregator subprocess pool (when this session
+        spawned one) and any transport the session created from a named
+        spec (``transport="socket"``). A caller-provided transport
+        instance is the caller's to close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+        if self._owns_transport:
+            close = getattr(self.transport, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "ProtocolSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def run_private_round(config: RoundConfig,
                       clients: Sequence[ProtocolClient],
                       round_id: int = 0,
-                      transport: Optional[InMemoryTransport] = None,
+                      transport=None,
                       threshold_rule: ThresholdRuleFn = mean_threshold,
                       topology: str = "fanout",
-                      driver: str = "sync") -> RoundResult:
-    """One-shot §6 round: wire a session, run it, return the result."""
-    session = ProtocolSession(config, clients, transport=transport,
-                              threshold_rule=threshold_rule,
-                              topology=topology, driver=driver)
-    return session.run_round(round_id)
+                      driver: str = "sync",
+                      aggregator_procs: int = 0) -> RoundResult:
+    """One-shot §6 round: wire a session, run it, return the result.
+
+    The session (and any subprocesses / sockets it owns) is closed
+    before returning; pass a transport *instance* to inspect byte
+    accounting afterwards.
+    """
+    with ProtocolSession(config, clients, transport=transport,
+                         threshold_rule=threshold_rule,
+                         topology=topology, driver=driver,
+                         aggregator_procs=aggregator_procs) as session:
+        return session.run_round(round_id)
 
 
 def run_detection(impressions, week: int = 0, private: bool = True,
@@ -323,12 +443,16 @@ def run_detection(impressions, week: int = 0, private: bool = True,
                   use_oprf: bool = False, enrollment_seed: int = 0,
                   transport_factory=None, num_cliques: int = 1,
                   topology: str = "fanout", driver: str = "sync",
-                  rounds_per_window: int = 1):
+                  rounds_per_window: int = 1,
+                  transport: Optional[str] = None,
+                  aggregator_procs: int = 0):
     """Classify one week of impressions, optionally through the private
     protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
 
     The facade over :class:`~repro.core.pipeline.DetectionPipeline` for
-    callers that do not need to keep the pipeline object around.
+    callers that do not need to keep the pipeline object around; the
+    pipeline (and any aggregator subprocesses or socket transports its
+    session owns) is closed before returning.
     """
     from repro.core.pipeline import DetectionPipeline
     pipeline = DetectionPipeline(detector_config=detector_config,
@@ -339,5 +463,10 @@ def run_detection(impressions, week: int = 0, private: bool = True,
                                  transport_factory=transport_factory,
                                  num_cliques=num_cliques,
                                  topology=topology, driver=driver,
-                                 rounds_per_window=rounds_per_window)
-    return pipeline.run_week(impressions, week=week)
+                                 rounds_per_window=rounds_per_window,
+                                 transport=transport,
+                                 aggregator_procs=aggregator_procs)
+    try:
+        return pipeline.run_week(impressions, week=week)
+    finally:
+        pipeline.close()

@@ -20,7 +20,7 @@ panel size, dropouts, Users_th trajectory, flagged counts, traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.api import run_detection
 from repro.core.detector import DetectorConfig
@@ -28,7 +28,6 @@ from repro.errors import ConfigurationError
 from repro.simulation.config import SimulationConfig
 from repro.simulation.simulator import Simulator
 from repro.statsutil.sampling import make_rng
-from repro.types import Impression
 
 
 @dataclass

@@ -8,8 +8,9 @@ extension needs for local classification (threshold + per-ad estimates).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import ProtocolSession
 from repro.backend.database import MetadataStore
@@ -19,8 +20,24 @@ from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.enrollment import Enrollment
 from repro.protocol.membership import EpochTransition
 from repro.protocol.runner import RoundResult
-from repro.protocol.transport import InMemoryTransport
 from repro.statsutil.distributions import EmpiricalDistribution
+
+
+class _LiveRootHandle:
+    """Delegates every attribute to the session's *current* root.
+
+    ``advance_epoch`` rebinds ``session.root`` to a freshly wired
+    aggregation endpoint; a server holding the old object by reference
+    would keep answering remote queries from the stale pre-epoch root
+    forever. Hosting this handle instead resolves the live root on
+    every dispatch.
+    """
+
+    def __init__(self, session: ProtocolSession) -> None:
+        self._session = session
+
+    def __getattr__(self, name):
+        return getattr(self._session.root, name)
 
 
 @dataclass
@@ -46,10 +63,11 @@ class BackendService:
                  clients: Optional[Sequence[ProtocolClient]] = None,
                  store: Optional[MetadataStore] = None,
                  users_rule: ThresholdRule = ThresholdRule.MEAN,
-                 transport: Optional[InMemoryTransport] = None,
+                 transport=None,
                  topology: str = "fanout",
                  driver: str = "sync",
-                 enrollment: Optional[Enrollment] = None) -> None:
+                 enrollment: Optional[Enrollment] = None,
+                 aggregator_procs: int = 0) -> None:
         if enrollment is not None:
             if clients is not None:
                 raise ConfigurationError(
@@ -70,14 +88,26 @@ class BackendService:
             self.session = ProtocolSession.from_enrollment(
                 enrollment, transport=transport,
                 threshold_rule=users_rule.compute,
-                topology=topology, driver=driver)
+                topology=topology, driver=driver,
+                aggregator_procs=aggregator_procs)
         else:
             self.session = ProtocolSession(
                 config, self.clients, transport=transport,
                 threshold_rule=users_rule.compute,
-                topology=topology, driver=driver)
+                topology=topology, driver=driver,
+                aggregator_procs=aggregator_procs)
+        #: Serializes session operations against the served root
+        #: endpoint: :meth:`run_week` / :meth:`advance_epoch` / the
+        #: :attr:`users_rule` setter hold it, and the :meth:`serve_root`
+        #: server dispatches remote frames under the same lock, so a
+        #: query can never observe (or corrupt) an in-flight round —
+        #: nor interleave frames with a rule swap on the root proxy's
+        #: single request/reply socket. Created before the first
+        #: ``users_rule`` assignment below, which already takes it.
+        self._ops_lock = threading.Lock()
         self.users_rule = users_rule
         self.transport = self.session.transport
+        self._root_server = None
         self._snapshots: Dict[int, WeeklySnapshot] = {}
         for client in self.clients:
             self.store.enroll_user(client.user_id, week=0,
@@ -100,7 +130,11 @@ class BackendService:
     @users_rule.setter
     def users_rule(self, rule: ThresholdRule) -> None:
         self._users_rule = rule
-        self.session.root.threshold_rule = rule.compute
+        # Under the ops lock: with subprocess aggregators this is a
+        # SET_RULE frame exchange on the root proxy's socket, which must
+        # not interleave with a served SUMMARY query's frames.
+        with self._ops_lock:
+            self.session.root.threshold_rule = rule.compute
 
     def advance_epoch(self, joins: Sequence[str] = (),
                       leaves: Sequence[str] = (),
@@ -114,7 +148,9 @@ class BackendService:
         week after the last one run) and :attr:`clients` reflects the
         new roster.
         """
-        transition = self.session.advance_epoch(joins=joins, leaves=leaves)
+        with self._ops_lock:
+            transition = self.session.advance_epoch(joins=joins,
+                                                    leaves=leaves)
         self.clients = list(self.session.clients)
         if week is None:
             week = (max(self._snapshots) + 1) if self._snapshots else 0
@@ -133,7 +169,8 @@ class BackendService:
 
     def run_week(self, week: int) -> WeeklySnapshot:
         """Execute the aggregation round for ``week`` and persist stats."""
-        result = self.session.run_round(week)
+        with self._ops_lock:
+            result = self.session.run_round(week)
         snapshot = WeeklySnapshot(
             week=week, users_threshold=result.users_threshold,
             distribution=result.distribution, round_result=result)
@@ -167,3 +204,66 @@ class BackendService:
     @property
     def weeks_run(self) -> List[int]:
         return sorted(self._snapshots)
+
+    # ------------------------------------------------------------------
+    # Network hosting
+    # ------------------------------------------------------------------
+    def serve_root(self, host: str = "127.0.0.1",
+                   port: int = 0) -> Tuple[str, int]:
+        """Put the aggregation root behind a listening TCP port.
+
+        Starts an :class:`~repro.protocol.net.EndpointServer` on a
+        daemon thread hosting this service's live root endpoint and
+        speaking the length-prefixed frame protocol of
+        :mod:`repro.protocol.net`. A remote party — an extension host,
+        a monitoring probe — connects with
+        :meth:`~repro.protocol.net.ProcessEndpointProxy.connect` and
+        fetches the finalized
+        :class:`~repro.protocol.endpoint.RoundSummary` of the last week
+        that ran. The surface is **query-only**: SUMMARY is the sole
+        accepted frame kind; lifecycle, rule-swap and shutdown frames
+        are refused. Returns the bound ``(host, port)``.
+
+        The hosted object is the session's root as-is: when the session
+        runs with ``aggregator_procs``, this server fronts the root
+        *proxy*, chaining the query through to the root's own process.
+        """
+        from repro.protocol.net import EndpointServer
+        if self._root_server is not None:
+            raise RoundStateError(
+                "the root aggregator is already being served "
+                f"at {self._root_server.address}")
+        # The server dispatches remote frames under the same lock the
+        # weekly rounds hold, so queries serialize against rounds (and,
+        # with subprocess aggregators, against the root proxy's single
+        # request/reply socket). The served surface is query-only
+        # (SUMMARY frames): a remote peer must not be able to inject
+        # round lifecycle calls, swap the threshold rule, or stop the
+        # service. The live-root handle tracks epoch advances, which
+        # rebind the session's root endpoint.
+        from repro.protocol.net import frames
+        self._root_server = EndpointServer(
+            _LiveRootHandle(self.session),
+            host=host, port=port,
+            lock=self._ops_lock,
+            allowed_kinds=frozenset({frames.SUMMARY}))
+        return self._root_server.start()
+
+    @property
+    def root_address(self) -> Optional[Tuple[str, int]]:
+        """Where :meth:`serve_root` is listening (None when not serving)."""
+        return (self._root_server.address
+                if self._root_server is not None else None)
+
+    def close(self) -> None:
+        """Stop serving and release the session's owned resources."""
+        if self._root_server is not None:
+            self._root_server.stop()
+            self._root_server = None
+        self.session.close()
+
+    def __enter__(self) -> "BackendService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -28,7 +28,6 @@ from repro.analysis.biasstudy import (
     generate_bias_study,
 )
 from repro.analysis.effects import predicted_effects
-from repro.api import run_detection
 from repro.core.detector import DetectorConfig
 from repro.core.thresholds import ThresholdRule
 from repro.simulation import SimulationConfig, Simulator
@@ -103,6 +102,22 @@ def cmd_detect(args: argparse.Namespace) -> int:
               "a property of the counting protocol session)",
               file=sys.stderr)
         return 2
+    if args.aggregator_procs < 0:
+        print(f"--aggregator-procs must be >= 0, got "
+              f"{args.aggregator_procs}", file=sys.stderr)
+        return 2
+    if (args.transport != "memory" or args.aggregator_procs) \
+            and not args.private:
+        print("--transport and --aggregator-procs configure the private "
+              "counting protocol session; add --private", file=sys.stderr)
+        return 2
+    if args.aggregator_procs:
+        if args.cliques not in (1, args.aggregator_procs):
+            print(f"--aggregator-procs {args.aggregator_procs} conflicts "
+                  f"with --cliques {args.cliques}: one aggregator process "
+                  f"serves exactly one blinding clique", file=sys.stderr)
+            return 2
+        args.cliques = args.aggregator_procs
     if args.churn and round(args.churn * args.users) < 1:
         print(f"--churn {args.churn} replaces round({args.churn} * "
               f"{args.users}) = 0 users per epoch; raise --churn or "
@@ -113,11 +128,30 @@ def cmd_detect(args: argparse.Namespace) -> int:
     config = _config_from(args)
     result = Simulator(config).run()
     rule = ThresholdRule(args.threshold_rule)
-    out = run_detection(
-        result.impressions, week=0, private=args.private,
+    from repro.core.pipeline import DetectionPipeline
+    pipeline = DetectionPipeline(
         detector_config=DetectorConfig(domains_rule=rule, users_rule=rule),
+        private=args.private,
         num_cliques=args.cliques, driver=args.driver,
-        rounds_per_window=args.epoch_rounds)
+        rounds_per_window=args.epoch_rounds,
+        transport=args.transport if args.private else None,
+        aggregator_procs=args.aggregator_procs)
+    try:
+        out = pipeline.run_week(result.impressions, week=0)
+        session = pipeline.session
+        pool = session.aggregator_pool if session is not None else None
+        if pool is not None:
+            pids = pool.pids
+            print(f"distributed round: {len(pids) - 1} clique aggregator "
+                  f"process(es) + root, over the "
+                  f"{args.transport!r} transport")
+            for endpoint_id, pid in pids.items():
+                print(f"  {endpoint_id:24s} pid {pid}")
+        if args.private and args.transport != "memory":
+            print(f"bytes on the wire this window: "
+                  f"{out.round_result.total_bytes}")
+    finally:
+        pipeline.close()
     mode = "private (blinded CMS)" if args.private else "cleartext oracle"
     print(f"mode: {mode}   Users_th={out.users_threshold:.2f} "
           f"({rule.value})")
@@ -171,10 +205,19 @@ def _detect_with_churn(args: argparse.Namespace) -> int:
         private=True,
         round_config=DetectionPipeline.default_round_config(len(unique_ads)),
         num_cliques=args.cliques, driver=args.driver,
-        rounds_per_window=args.epoch_rounds)
+        rounds_per_window=args.epoch_rounds,
+        transport=args.transport,
+        aggregator_procs=args.aggregator_procs)
 
     print(f"mode: private (blinded CMS), churned population "
           f"({args.churn:.0%}/epoch, {args.epoch_rounds} round(s)/window)")
+    try:
+        return _run_churn_windows(args, pipeline, rosters, result)
+    finally:
+        pipeline.close()
+
+
+def _run_churn_windows(args, pipeline, rosters, result) -> int:
     from repro.types import TICKS_PER_WEEK
     for week, roster in enumerate(rosters):
         # A roster member only participates in a window it has traffic
@@ -193,6 +236,13 @@ def _detect_with_churn(args: argparse.Namespace) -> int:
               f"min clique {epoch.min_clique_size})   "
               f"Users_th={out.users_threshold:.2f}   "
               f"{len(out.targeted)} flagged")
+        pool = (pipeline.session.aggregator_pool
+                if pipeline.session is not None else None)
+        if pool is not None:
+            pids = ", ".join(f"{eid}={pid}"
+                             for eid, pid in pool.pids.items())
+            print(f"  aggregator processes (re-wired in place across "
+                  f"epochs, never restarted): {pids}")
         transition = pipeline.last_transition
         if transition is not None:
             print(f"  epoch transition: +{len(transition.joined)} joined, "
@@ -299,6 +349,17 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["sync", "async"],
                        help="round driver: sync, or async to run clique "
                             "aggregators concurrently (default sync)")
+    p_det.add_argument("--transport", default="memory",
+                       choices=["memory", "wire", "socket"],
+                       help="private-round transport: in-memory mailboxes, "
+                            "the byte-exact wire codec, or real TCP "
+                            "sockets with length-prefixed frames "
+                            "(default memory)")
+    p_det.add_argument("--aggregator-procs", type=int, default=0,
+                       help="run each clique aggregator (and the root) as "
+                            "a real subprocess behind a socket; the count "
+                            "must match --cliques (0 = in-process, the "
+                            "default)")
     p_det.add_argument("--epoch-rounds", type=int, default=1,
                        help="reporting rounds per window (private mode): "
                             "extra rounds reuse the epoch's cached pad "

@@ -18,10 +18,9 @@ per-ad audit queries instantly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.backend.service import BackendService
-from repro.core.counters import UserDomainCounter
 from repro.core.detector import CountBasedDetector, DetectorConfig
 from repro.errors import RoundStateError
 from repro.types import Ad, ClassifiedAd, Impression, Label

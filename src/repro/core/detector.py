@@ -10,12 +10,12 @@ detector cannot tell the difference, which is the point of the design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.counters import UserDomainCounter
 from repro.core.thresholds import ThresholdRule
-from repro.errors import ConfigurationError, InsufficientDataError
+from repro.errors import ConfigurationError
 from repro.types import Ad, ClassifiedAd, Impression, Label
 
 

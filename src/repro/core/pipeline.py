@@ -24,7 +24,7 @@ of re-running the full DH enrollment per window.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.api import ProtocolSession
@@ -83,7 +83,9 @@ class DetectionPipeline:
                  num_cliques: int = 1,
                  topology: str = "fanout",
                  driver: str = "sync",
-                 rounds_per_window: int = 1) -> None:
+                 rounds_per_window: int = 1,
+                 transport: Optional[str] = None,
+                 aggregator_procs: int = 0) -> None:
         if num_cliques < 1:
             raise ConfigurationError(
                 f"num_cliques must be >= 1, got {num_cliques}")
@@ -94,6 +96,23 @@ class DetectionPipeline:
         if rounds_per_window < 1:
             raise ConfigurationError(
                 f"rounds_per_window must be >= 1, got {rounds_per_window}")
+        if aggregator_procs and aggregator_procs != num_cliques:
+            raise ConfigurationError(
+                f"aggregator_procs={aggregator_procs} but num_cliques="
+                f"{num_cliques}; one aggregator process serves exactly one "
+                f"blinding clique, so the counts must match (a window whose "
+                f"population cannot support the clique count scales both "
+                f"down together)")
+        if aggregator_procs and transport_factory is not None:
+            raise ConfigurationError(
+                "aggregator_procs needs the persistent epoch session; it "
+                "cannot be combined with transport_factory (which rebuilds "
+                "a fresh per-window enrollment)")
+        if transport is not None and transport_factory is not None:
+            raise ConfigurationError(
+                "pass transport or transport_factory, not both: the "
+                "factory's per-window transports would silently override "
+                f"the named {transport!r} transport")
         self.detector_config = detector_config or DetectorConfig()
         self.private = private
         self.round_config = round_config
@@ -117,6 +136,18 @@ class DetectionPipeline:
         #: driver that pumps clique aggregators concurrently.
         self.topology = topology
         self.driver = driver
+        #: Named transport for the persistent session (``"memory"``,
+        #: ``"wire"``, ``"socket"`` — see :data:`repro.api.TRANSPORTS`);
+        #: None keeps the in-memory default. Each fresh session builds
+        #: (and owns) its own instance, so a socket transport's TCP pair
+        #: is closed whenever the session is replaced or the pipeline
+        #: closed.
+        self.transport = transport
+        #: Run the per-clique aggregators (and the root) as real
+        #: subprocesses behind sockets. Tracks the window's effective
+        #: clique count: a window whose population forces the clique
+        #: clamp down spawns correspondingly fewer processes.
+        self.aggregator_procs = aggregator_procs
         #: Reporting rounds run per window (CLI ``--epoch-rounds``). The
         #: aggregate is identical every round (same observations, fresh
         #: pads); extra rounds model a deployment reporting more than
@@ -214,11 +245,13 @@ class DetectionPipeline:
                                   use_oprf=self.use_oprf,
                                   num_cliques=cliques)
         transport = (self.transport_factory()
-                     if self.transport_factory is not None else None)
+                     if self.transport_factory is not None
+                     else self.transport)
         return ProtocolSession.from_enrollment(
             enrollment, transport=transport,
             threshold_rule=self.detector_config.users_rule.compute,
-            topology=self.topology, driver=self.driver)
+            topology=self.topology, driver=self.driver,
+            aggregator_procs=cliques if self.aggregator_procs else 0)
 
     def _session_for(self, user_ids, config: RoundConfig,
                      cliques: int) -> ProtocolSession:
@@ -266,9 +299,20 @@ class DetectionPipeline:
                 # Roster delta the clique layout cannot absorb (e.g. the
                 # window shrank below 2 members/clique): re-enroll.
                 self.last_transition = None
+        if self._session is not None:
+            # The replaced session may own subprocesses / sockets.
+            self._session.close()
         self._session = self._fresh_session(user_ids, config, cliques)
         self._session_key = key
         return self._session
+
+    def close(self) -> None:
+        """Release the persistent session's out-of-process resources
+        (aggregator subprocesses, socket transports). Idempotent."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+            self._session_key = None
 
     def _global_from_protocol(self, impressions: Sequence[Impression],
                               week: int):

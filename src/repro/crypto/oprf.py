@@ -24,7 +24,7 @@ import hashlib
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import OPRFError
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey

@@ -22,7 +22,7 @@ in the ablation bench.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import ConfigurationError
 from repro.crypto.oprf import OPRFClient, OPRFServer

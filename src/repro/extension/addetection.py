@@ -14,7 +14,7 @@ returns the matched subtree rather than removing it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.extension.adnetworks import AdNetworkRegistry

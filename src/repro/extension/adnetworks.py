@@ -15,7 +15,7 @@ Two questions are answered here (paper §5):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Optional, Set
 from urllib.parse import urlparse
 
 #: Ad-network domains bundled by default; a realistic cross-section of the

@@ -67,6 +67,50 @@ Drivers (:class:`~repro.protocol.runner.ProtocolRunner` synchronously,
 concurrency) move messages until the round quiesces; they raise on
 unknown message types and drain every mailbox before returning.
 
+Transports — a fidelity ladder
+------------------------------
+Endpoints never touch bytes; a transport does. The three rungs trade
+realism for speed, and a session selects one by name
+(``ProtocolSession(transport="memory" | "wire" | "socket")``):
+
+* :class:`~repro.protocol.transport.InMemoryTransport` — mailboxes of
+  Python objects; byte accounting uses each message's ``size_bytes()``
+  model. What simulations and most tests run on.
+* :class:`~repro.protocol.transport.WireTransport` — every send
+  round-trips the byte-exact codec in :mod:`repro.protocol.wire`
+  (16-byte header, 4-byte big-endian cells) and bills the *actual*
+  encoded size. All byte-exact transports share this one
+  ``_transcode`` accounting path and customize only the ``_ship``
+  byte-moving hook, so transcript byte counts cannot drift between
+  them.
+* :class:`~repro.protocol.net.SocketTransport` — the same wire bytes
+  pushed through a real localhost TCP connection as length-prefixed
+  frames; truncation, oversize and framing bugs fail here, not in
+  production.
+
+Above the ladder, :mod:`repro.protocol.net` makes the parties real OS
+processes: :class:`~repro.protocol.net.ProcessAggregatorPool` runs each
+clique aggregator — and the root — as a subprocess behind an asyncio
+frame server, driven through :class:`~repro.protocol.net.
+ProcessEndpointProxy` endpoints by the unchanged drivers
+(``ProtocolSession(transport="socket", aggregator_procs=k)``;
+``examples/distributed_round.py`` is the runnable recipe, and
+``cli detect --transport socket --aggregator-procs N`` the demo).
+Epoch advances RECONFIGURE the live processes in place — same PIDs, new
+clique map — and :meth:`repro.backend.service.BackendService.serve_root`
+puts a live session's root behind a listening port for remote summary
+queries.
+
+**Transport-independent guarantees.** Pad one-time-ness is enforced on
+the *clients* (streams keyed by ``(pair, round)``, reuse refused), so no
+transport choice can weaken it; and the aggregate cells, #Users
+distribution and threshold decisions are bit-identical on every rung —
+in-process, over the wire codec, across sockets, and with aggregators in
+separate processes — including dropout-recovery rounds and post-churn
+epochs (``tests/test_protocol_net.py`` pins this down for k in {1, 4}).
+What *does* change per transport is only cost: latency and the bytes
+actually on the wire, which the §7.1 accounting measures.
+
 **Entry point**: :mod:`repro.api` (:class:`~repro.api.ProtocolSession`)
 is the supported facade over all of this — including
 ``advance_epoch(joins=..., leaves=...)`` on a live session. The

@@ -1,0 +1,57 @@
+"""Networked protocol transport: real sockets, real processes.
+
+This package is the deployment-shaped layer of the protocol stack. The
+transports below it are a fidelity ladder —
+
+* :class:`~repro.protocol.transport.InMemoryTransport` moves Python
+  objects between mailboxes (fast, what simulations use);
+* :class:`~repro.protocol.transport.WireTransport` round-trips every
+  message through the byte-exact codec in :mod:`repro.protocol.wire`;
+* :class:`SocketTransport` (here) pushes those same bytes through a real
+  localhost TCP connection as length-prefixed frames —
+
+and :class:`ProcessAggregatorPool` takes the remaining step: each
+:class:`~repro.protocol.aggregator.CliqueAggregator` and the
+:class:`~repro.protocol.aggregator.RootAggregator` run as separate OS
+processes behind asyncio TCP servers, driven through
+:class:`ProcessEndpointProxy` endpoints by the unchanged round drivers.
+``ProtocolSession(transport="socket", aggregator_procs=k)`` wires all of
+it from the facade, and ``advance_epoch`` reconfigures the live
+processes without restarting them.
+
+The guarantees the rest of the stack proves are transport-independent:
+pad one-time-ness is keyed by ``(pair, round)`` on the clients, and the
+aggregate / #Users distribution / threshold are bit-identical across
+every rung of the ladder — the equivalence tests pin that down for
+``k in {1, 4}``, dropout-recovery rounds and post-churn epochs.
+"""
+
+from repro.protocol.net import frames
+from repro.protocol.net.pool import ProcessAggregatorPool
+from repro.protocol.net.proxy import ProcessEndpointProxy
+from repro.protocol.net.server import EndpointServer
+from repro.protocol.net.spec import (
+    build_endpoint,
+    clique_spec,
+    resolve_rule,
+    root_spec,
+    rule_spec,
+    summary_from_spec,
+    summary_to_spec,
+)
+from repro.protocol.net.transport import SocketTransport
+
+__all__ = [
+    "EndpointServer",
+    "ProcessAggregatorPool",
+    "ProcessEndpointProxy",
+    "SocketTransport",
+    "build_endpoint",
+    "clique_spec",
+    "frames",
+    "resolve_rule",
+    "root_spec",
+    "rule_spec",
+    "summary_from_spec",
+    "summary_to_spec",
+]

@@ -1,0 +1,333 @@
+"""Subprocess pool: one OS process per aggregation endpoint.
+
+:class:`ProcessAggregatorPool` launches each
+:class:`~repro.protocol.aggregator.CliqueAggregator` — and the
+:class:`~repro.protocol.aggregator.RootAggregator` — as a real
+subprocess (``python -m repro.protocol.net.worker``) serving the frame
+protocol on a loopback TCP port, and hands back
+:class:`~repro.protocol.net.proxy.ProcessEndpointProxy` endpoints the
+existing drivers can run unmodified. The paper's deployment picture —
+clients and aggregation servers as separate network parties — becomes
+literal: reports, recovery notices, adjustments and partial aggregates
+all cross process boundaries as wire-encoded bytes.
+
+:meth:`ensure` is diff-based, which is what makes
+``ProtocolSession.advance_epoch`` cheap over live processes: surviving
+cliques get a RECONFIGURE frame with their new membership (same PID, no
+restart), vanished cliques are shut down, new cliques spawn, and the
+root learns the new clique/client rosters the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.aggregator import clique_endpoint_id
+from repro.protocol.client import ProtocolClient, RoundConfig
+from repro.protocol.endpoint import SERVER_ENDPOINT, ProtocolEndpoint
+from repro.protocol.net import frames
+from repro.protocol.net.proxy import ProcessEndpointProxy
+from repro.protocol.net.spec import clique_spec, root_spec, rule_spec
+
+
+class _Worker:
+    """One launched aggregator process and its attached proxy."""
+
+    __slots__ = ("process", "proxy", "spec")
+
+    def __init__(
+        self,
+        process: subprocess.Popen,
+        proxy: ProcessEndpointProxy,
+        spec: Dict[str, Any],
+    ) -> None:
+        self.process = process
+        self.proxy = proxy
+        self.spec = spec
+
+
+def _src_path() -> str:
+    """The import root of this package, for the child's PYTHONPATH."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+class ProcessAggregatorPool:
+    """Launches and re-wires per-clique aggregator subprocesses.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`~repro.protocol.client.RoundConfig` every
+        hosted aggregator is built with.
+    root_id:
+        Transport name of the root endpoint (default: the canonical
+        backend-server name).
+    chaos_delay_s:
+        Failure injection for tests: clique id -> seconds each frame
+        dispatch is delayed in that clique's process, modelling a slow
+        aggregation server (the net-layer analogue of
+        ``InMemoryTransport.fail_sender``).
+    """
+
+    def __init__(
+        self,
+        config: RoundConfig,
+        root_id: str = SERVER_ENDPOINT,
+        max_frame: int = frames.DEFAULT_MAX_FRAME,
+        timeout: float = 60.0,
+        chaos_delay_s: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.config = config
+        self.root_id = root_id
+        self.max_frame = max_frame
+        self.timeout = timeout
+        self.chaos_delay_s = dict(chaos_delay_s or {})
+        self._workers: Dict[str, _Worker] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Wiring (what ProtocolSession._wire consumes)
+    # ------------------------------------------------------------------
+    def wire(
+        self,
+        clients: Sequence[ProtocolClient],
+        threshold_rule: Callable,
+    ) -> Tuple[List[ProtocolEndpoint], ProcessEndpointProxy]:
+        """Endpoints for a round over this pool: clients stay local,
+        aggregation runs in the subprocesses. Mirrors
+        :func:`~repro.protocol.runner.build_fanout_endpoints`."""
+        from repro.protocol.runner import validate_clients
+
+        validate_clients(clients)
+        members: Dict[int, Dict[str, int]] = {}
+        for client in clients:
+            members.setdefault(client.clique_id, {})[client.user_id] = (
+                client.blinding.user_index
+            )
+        proxies, root = self.ensure(
+            members,
+            [c.user_id for c in clients],
+            rule_spec(threshold_rule),
+        )
+        for client in clients:
+            client.uplink = clique_endpoint_id(client.clique_id)
+        return [*clients, *proxies, root], root
+
+    def ensure(
+        self,
+        members: Dict[int, Dict[str, int]],
+        client_ids: Sequence[str],
+        rule: str = "mean",
+    ) -> Tuple[List[ProcessEndpointProxy], ProcessEndpointProxy]:
+        """Converge the process set onto the given clique map.
+
+        Surviving endpoints are RECONFIGUREd in place (PID preserved),
+        missing ones are spawned, stale ones shut down. Returns the
+        clique proxies (sorted by clique id) and the root proxy.
+        """
+        if self._closed:
+            raise ProtocolError("aggregator pool is closed")
+        if not members:
+            raise ConfigurationError("aggregator pool needs at least one clique")
+        desired: Dict[str, Dict[str, Any]] = {}
+        for clique_id, index_of in members.items():
+            desired[clique_endpoint_id(clique_id)] = clique_spec(
+                clique_id,
+                self.config,
+                index_of,
+                root_id=self.root_id,
+                max_frame=self.max_frame,
+                delay_s=self.chaos_delay_s.get(clique_id, 0.0),
+            )
+        desired[self.root_id] = root_spec(
+            self.config,
+            sorted(members),
+            list(client_ids),
+            rule=rule,
+            endpoint_id=self.root_id,
+            max_frame=self.max_frame,
+        )
+
+        for endpoint_id in sorted(set(self._workers) - set(desired)):
+            self._workers.pop(endpoint_id).proxy.shutdown()
+
+        # Spawn all missing processes first (imports dominate startup;
+        # launching concurrently overlaps them), then attach in order.
+        # A failure mid-convergence must not strand the processes this
+        # call already launched: the caller never got a handle to close.
+        launched: Dict[str, subprocess.Popen] = {}
+        try:
+            for endpoint_id in desired:
+                if endpoint_id not in self._workers:
+                    launched[endpoint_id] = self._launch(desired[endpoint_id])
+            for endpoint_id, process in launched.items():
+                self._workers[endpoint_id] = self._attach(
+                    endpoint_id, process, desired[endpoint_id]
+                )
+            for endpoint_id, spec in desired.items():
+                worker = self._workers[endpoint_id]
+                if endpoint_id not in launched and worker.spec != spec:
+                    worker.proxy.reconfigure(spec)
+                    worker.spec = spec
+        except BaseException:
+            for endpoint_id, process in launched.items():
+                worker = self._workers.pop(endpoint_id, None)
+                if worker is not None:
+                    worker.proxy.close()
+                process.kill()
+                process.wait(timeout=5)
+            raise
+
+        proxies = [
+            self._workers[clique_endpoint_id(clique_id)].proxy
+            for clique_id in sorted(members)
+        ]
+        return proxies, self._workers[self.root_id].proxy
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def _launch(self, spec: Dict[str, Any]) -> subprocess.Popen:
+        env = dict(os.environ)
+        src = _src_path()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.protocol.net.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        assert process.stdin is not None
+        process.stdin.write(json.dumps(spec).encode("utf-8") + b"\n")
+        process.stdin.flush()
+        # stdin stays open: it is the child's parent-liveness leash
+        # (EOF there makes the worker exit even if we die uncleanly).
+        return process
+
+    def _read_announcement(self, endpoint_id: str, worker: subprocess.Popen) -> bytes:
+        """One line from the worker's stdout, bounded by the pool timeout.
+
+        ``readline()`` on the pipe would block forever on a worker that
+        wedges before announcing; every other wait in the net layer is
+        bounded, so this first handshake must be too.
+        """
+        import select
+
+        assert worker.stdout is not None
+        deadline = time.monotonic() + self.timeout
+        line = bytearray()
+        fd = worker.stdout.fileno()
+        while not line.endswith(b"\n"):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ProtocolError(
+                    f"aggregator process for {endpoint_id!r} (pid "
+                    f"{worker.pid}) did not announce its port within "
+                    f"{self.timeout}s"
+                )
+            readable, _, _ = select.select([fd], [], [], remaining)
+            if not readable:
+                continue
+            chunk = os.read(fd, 4096)
+            if not chunk:
+                raise ProtocolError(
+                    f"aggregator process for {endpoint_id!r} exited before "
+                    f"announcing its port (exit code {worker.poll()})"
+                )
+            line += chunk
+        return bytes(line)
+
+    def _attach(
+        self,
+        endpoint_id: str,
+        process: subprocess.Popen,
+        spec: Dict[str, Any],
+    ) -> _Worker:
+        line = self._read_announcement(endpoint_id, process)
+        try:
+            announcement = json.loads(line)
+            host, port = announcement["host"], int(announcement["port"])
+        except (ValueError, KeyError, TypeError):
+            raise ProtocolError(
+                f"aggregator process for {endpoint_id!r} announced garbage: "
+                f"{line[:200]!r}"
+            ) from None
+        proxy = ProcessEndpointProxy.connect(
+            host,
+            port,
+            endpoint_id,
+            config=self.config,
+            max_frame=self.max_frame,
+            timeout=self.timeout,
+            pid=process.pid,
+            rule=spec.get("threshold_rule"),
+        )
+        return _Worker(process, proxy, spec)
+
+    # ------------------------------------------------------------------
+    # Introspection & chaos
+    # ------------------------------------------------------------------
+    @property
+    def pids(self) -> Dict[str, int]:
+        """endpoint id -> OS pid of its hosting process."""
+        return {
+            endpoint_id: worker.process.pid
+            for endpoint_id, worker in sorted(self._workers.items())
+        }
+
+    @property
+    def endpoint_ids(self) -> List[str]:
+        return sorted(self._workers)
+
+    def kill(self, endpoint_id: str) -> None:
+        """Hard-kill one hosted endpoint's process (crash injection)."""
+        try:
+            worker = self._workers[endpoint_id]
+        except KeyError:
+            raise ProtocolError(f"no aggregator process for {endpoint_id!r}") from None
+        worker.process.kill()
+        worker.process.wait(timeout=10)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down; hard-kill stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            worker.proxy.shutdown()
+        for worker in self._workers.values():
+            try:
+                worker.process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                worker.process.kill()
+                worker.process.wait(timeout=5)
+            if worker.process.stdin is not None:
+                worker.process.stdin.close()
+            if worker.process.stdout is not None:
+                worker.process.stdout.close()
+        self._workers.clear()
+
+    def __enter__(self) -> "ProcessAggregatorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

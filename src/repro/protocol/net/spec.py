@@ -1,0 +1,227 @@
+"""JSON specs for process-hosted endpoints and their round summaries.
+
+A subprocess cannot be handed live Python objects, so every aggregation
+endpoint the pool hosts is described by a small JSON **spec**: the shared
+:class:`~repro.protocol.client.RoundConfig`, the endpoint's role
+(``"clique"`` or ``"root"``) and its role-specific wiring (clique
+membership map, or the root's clique/client rosters and threshold rule).
+:func:`build_endpoint` turns a spec back into the *same*
+:class:`~repro.protocol.aggregator.CliqueAggregator` /
+:class:`~repro.protocol.aggregator.RootAggregator` classes the in-process
+fan-out uses — the worker runs the identical aggregation code, which is
+what makes the distributed round bit-identical by construction.
+
+Threshold rules cross the boundary by *name* (the
+:class:`~repro.core.thresholds.ThresholdRule` values, with the default
+:func:`~repro.protocol.endpoint.mean_threshold` mapping to ``"mean"``); a
+bespoke callable cannot be shipped to another process and is refused with
+guidance rather than silently replaced.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import SERVER_ENDPOINT, RoundSummary, mean_threshold
+from repro.sketch.countmin import CountMinSketch
+from repro.statsutil.distributions import EmpiricalDistribution
+
+from repro.protocol.net.frames import DEFAULT_MAX_FRAME
+
+#: Spec keys shared by both roles.
+ROLE_CLIQUE = "clique"
+ROLE_ROOT = "root"
+
+
+# ---------------------------------------------------------------------------
+# Round config
+# ---------------------------------------------------------------------------
+
+
+def config_to_spec(config: RoundConfig) -> Dict[str, int]:
+    return {
+        "cms_depth": config.cms_depth,
+        "cms_width": config.cms_width,
+        "cms_seed": config.cms_seed,
+        "id_space": config.id_space,
+    }
+
+
+def config_from_spec(spec: Dict[str, Any]) -> RoundConfig:
+    try:
+        return RoundConfig(
+            cms_depth=int(spec["cms_depth"]),
+            cms_width=int(spec["cms_width"]),
+            cms_seed=int(spec["cms_seed"]),
+            id_space=int(spec["id_space"]),
+        )
+    except KeyError as exc:
+        raise ProtocolError(f"round-config spec missing field {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Threshold rules
+# ---------------------------------------------------------------------------
+
+
+def rule_spec(rule: Callable) -> str:
+    """The wire name of a threshold rule, or a refusal for bespoke ones."""
+    from repro.core.thresholds import ThresholdRule
+
+    if rule is mean_threshold:
+        return "mean"
+    if isinstance(rule, str):
+        ThresholdRule(rule)  # validates
+        return rule
+    owner = getattr(rule, "__self__", None)
+    if isinstance(owner, ThresholdRule):
+        return owner.value
+    raise ConfigurationError(
+        "a process-hosted root aggregator only supports the named threshold "
+        "rules (repro.core.thresholds.ThresholdRule / the default "
+        "mean_threshold); a bespoke callable cannot be shipped to another "
+        f"process, got {rule!r}"
+    )
+
+
+def resolve_rule(spec: str) -> Callable:
+    """The callable for a named threshold rule."""
+    from repro.core.thresholds import ThresholdRule
+
+    try:
+        return ThresholdRule(spec).compute
+    except ValueError:
+        raise ProtocolError(f"unknown threshold rule {spec!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Endpoint specs
+# ---------------------------------------------------------------------------
+
+
+def clique_spec(
+    clique_id: int,
+    config: RoundConfig,
+    index_of: Dict[str, int],
+    root_id: str = SERVER_ENDPOINT,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    delay_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Spec for one clique's aggregator process."""
+    return {
+        "role": ROLE_CLIQUE,
+        "clique_id": int(clique_id),
+        "config": config_to_spec(config),
+        "index_of": {uid: int(idx) for uid, idx in sorted(index_of.items())},
+        "root_id": root_id,
+        "max_frame": int(max_frame),
+        "delay_s": float(delay_s),
+    }
+
+
+def root_spec(
+    config: RoundConfig,
+    clique_ids: Sequence[int],
+    client_ids: Sequence[str],
+    rule: str = "mean",
+    endpoint_id: str = SERVER_ENDPOINT,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    delay_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Spec for the root aggregator process."""
+    return {
+        "role": ROLE_ROOT,
+        "config": config_to_spec(config),
+        "clique_ids": sorted(int(c) for c in clique_ids),
+        "client_ids": list(client_ids),
+        "threshold_rule": rule_spec(rule),
+        "endpoint_id": endpoint_id,
+        "max_frame": int(max_frame),
+        "delay_s": float(delay_s),
+    }
+
+
+def build_endpoint(spec: Dict[str, Any]):
+    """Materialize the endpoint a spec describes (worker side).
+
+    Reused verbatim for RECONFIGURE frames: an epoch advance sends the
+    new spec and the live process swaps its endpoint object in place.
+    """
+    from repro.protocol.aggregator import CliqueAggregator, RootAggregator
+
+    role = spec.get("role")
+    config = config_from_spec(spec.get("config", {}))
+    if role == ROLE_CLIQUE:
+        return CliqueAggregator(
+            int(spec["clique_id"]),
+            config,
+            {uid: int(idx) for uid, idx in spec["index_of"].items()},
+            root_id=spec.get("root_id", SERVER_ENDPOINT),
+        )
+    if role == ROLE_ROOT:
+        return RootAggregator(
+            config,
+            [int(c) for c in spec["clique_ids"]],
+            list(spec["client_ids"]),
+            threshold_rule=resolve_rule(spec.get("threshold_rule", "mean")),
+            endpoint_id=spec.get("endpoint_id", SERVER_ENDPOINT),
+        )
+    raise ProtocolError(f"unknown endpoint role {role!r} in spec")
+
+
+# ---------------------------------------------------------------------------
+# Round summaries
+# ---------------------------------------------------------------------------
+
+
+def summary_to_spec(summary: RoundSummary) -> Dict[str, Any]:
+    """JSON-serializable form of a finalized round summary.
+
+    Aggregate cells travel as base64 of big-endian ``uint64`` words —
+    exact, so the proxy-side reconstruction is bit-identical. Floats
+    survive JSON round-trips exactly (shortest-repr encoding).
+    """
+    cells = summary.aggregate.cells_array.astype(">u8").tobytes()
+    return {
+        "round_id": summary.round_id,
+        "cells": base64.b64encode(cells).decode("ascii"),
+        "distribution": list(summary.distribution.values),
+        "users_threshold": summary.users_threshold,
+        "reported_users": list(summary.reported_users),
+        "missing_users": list(summary.missing_users),
+        "recovery_round_used": bool(summary.recovery_round_used),
+    }
+
+
+def summary_from_spec(
+    spec: Dict[str, Any], config: Optional[RoundConfig] = None
+) -> RoundSummary:
+    """Rebuild a :class:`RoundSummary`; needs the shared round config to
+    re-wrap the aggregate cells as a :class:`CountMinSketch`."""
+    if config is None:
+        raise ProtocolError(
+            "reconstructing a round summary needs the shared RoundConfig "
+            "(construct the proxy with config=...)"
+        )
+    try:
+        raw = base64.b64decode(spec["cells"])
+        cells = np.frombuffer(raw, dtype=">u8").astype(np.uint64)
+        aggregate = CountMinSketch(
+            config.cms_depth, config.cms_width, config.cms_seed, cells=cells
+        )
+        return RoundSummary(
+            round_id=int(spec["round_id"]),
+            aggregate=aggregate,
+            distribution=EmpiricalDistribution(spec["distribution"]),
+            users_threshold=float(spec["users_threshold"]),
+            reported_users=list(spec["reported_users"]),
+            missing_users=list(spec["missing_users"]),
+            recovery_round_used=bool(spec["recovery_round_used"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed round-summary spec: {exc}") from None

@@ -1,0 +1,138 @@
+"""A transport that ships every message through a real TCP connection.
+
+:class:`SocketTransport` is the byte-exact
+:class:`~repro.protocol.transport.WireTransport` with the loopback made
+physical: each :meth:`~repro.protocol.transport.InMemoryTransport.send`
+wire-encodes the message, wraps it in a length-prefixed frame, writes it
+into a connected localhost TCP socket and reads it back out of the peer
+end before delivery. Every byte of every protocol message therefore
+crosses the kernel's TCP stack — framing bugs, partial reads and
+oversized frames fail here, not in production.
+
+Accounting is the shared :meth:`WireTransport._transcode` path: the
+counters bill ``len(wire.encode(message))`` exactly as the in-memory
+wire transport does (frame overhead is transport plumbing, not §7.1
+message bytes), so byte counts cannot drift between transports — the
+equivalence tests assert equality.
+
+The write-then-read of one frame happens on one thread, so the pump
+interleaves non-blocking writes and reads under ``select``; a frame
+larger than the socket buffers cannot deadlock it.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import threading
+import time
+
+from repro.errors import ProtocolError, TransportError
+from repro.protocol.net import frames
+from repro.protocol.transport import WireTransport
+
+_CHUNK = 256 * 1024
+
+
+class SocketTransport(WireTransport):
+    """Wire transport whose bytes round-trip a localhost TCP connection."""
+
+    def __init__(
+        self,
+        record_transcript: bool = False,
+        max_frame: int = frames.DEFAULT_MAX_FRAME,
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__(record_transcript=record_transcript)
+        self.max_frame = max_frame
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            self.port = listener.getsockname()[1]
+            self._out = socket.create_connection(("127.0.0.1", self.port))
+            self._in, _ = listener.accept()
+        finally:
+            listener.close()
+        for sock in (self._out, self._in):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # The byte-shipping hook (single accounting path stays in the base)
+    # ------------------------------------------------------------------
+    def _ship(self, encoded: bytes) -> bytes:
+        if self._closed:
+            raise TransportError("socket transport is closed")
+        with self._lock:
+            body = self._pump(frames.pack_frame(frames.SHIP, encoded))
+        kind, payload = body[0], body[1:]
+        if kind != frames.SHIP:
+            raise ProtocolError(
+                f"socket transport echoed frame kind {kind}, expected SHIP"
+            )
+        return payload
+
+    def _pump(self, frame: bytes) -> bytes:
+        """Write one frame and read it back, interleaved under select."""
+        out = memoryview(frame)
+        buf = bytearray()
+        need = None  # total frame size once the length prefix is in
+        deadline = time.monotonic() + self.timeout
+        while out or need is None or len(buf) < 4 + need:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"socket transport stalled for {self.timeout}s "
+                    f"mid-frame ({len(buf)} bytes echoed)"
+                )
+            readable, writable, _ = select.select(
+                [self._in], [self._out] if out else [], [], remaining
+            )
+            if writable:
+                try:
+                    sent = self._out.send(out[:_CHUNK])
+                except BlockingIOError:
+                    sent = 0
+                out = out[sent:]
+            if readable:
+                chunk = self._in.recv(_CHUNK)
+                if not chunk:
+                    raise TransportError("socket transport connection closed mid-frame")
+                buf += chunk
+            if need is None and len(buf) >= 4:
+                (length,) = struct.unpack_from(">I", buf, 0)
+                frames.check_frame_length(length, self.max_frame)
+                need = length
+        if len(buf) != 4 + need:
+            raise ProtocolError(
+                f"socket transport echoed {len(buf) - 4} frame bytes, "
+                f"expected {need}"
+            )
+        return bytes(buf[4:])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for sock in (self._out, self._in):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -10,7 +10,7 @@ went offline before reporting.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import TransportError
 
@@ -128,6 +128,17 @@ class WireTransport(InMemoryTransport):
     """
 
     def _transcode(self, message: Any) -> Tuple[Any, int]:
+        """The single codec-and-accounting path for every byte-exact
+        transport: encode once, ship the bytes via :meth:`_ship`, decode
+        what came back, and bill ``len(encoded)``. Subclasses that move
+        the bytes somewhere real (see :class:`repro.protocol.net.
+        SocketTransport`) override only :meth:`_ship`, so the byte
+        counters cannot drift between transports."""
         from repro.protocol import wire
         encoded = wire.encode(message)
-        return wire.decode(encoded), len(encoded)
+        return wire.decode(self._ship(encoded)), len(encoded)
+
+    def _ship(self, encoded: bytes) -> bytes:
+        """Byte-shipping hook: returns the bytes as the recipient sees
+        them. The in-memory wire transport hands them straight back."""
+        return encoded

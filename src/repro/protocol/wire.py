@@ -22,7 +22,7 @@ byte accounting) is unchanged and old frames decode as clique 0.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, Tuple, Type, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from repro.simulation.campaigns import BrowsingHistory, Campaign
 from repro.simulation.config import SimulationConfig
 from repro.simulation.population import Population
 from repro.statsutil.sampling import make_rng
-from repro.types import Ad, AdKind, Impression
+from repro.types import AdKind, Impression
 
 
 class AdServer:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import List
 
 from repro.errors import ConfigurationError
 from repro.simulation.population import Population, UserProfile

@@ -22,8 +22,8 @@ targeting rule. The kinds map to the paper's taxonomy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.simulation.config import SimulationConfig

@@ -8,8 +8,8 @@ Table 2's levels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.simulation.config import DEFAULT_CATEGORIES

@@ -7,8 +7,8 @@ evaluation scores against. Everything derives from ``config.seed``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
 from repro.simulation.adserver import AdServer
 from repro.simulation.browsing import BrowsingModel, Visit

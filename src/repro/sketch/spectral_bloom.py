@@ -10,7 +10,7 @@ delta) error bounds; the ablation bench compares the two at equal memory.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SketchDimensionMismatch
 from repro.sketch.hashing import HashFamily, Item

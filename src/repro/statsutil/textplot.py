@@ -7,7 +7,7 @@ curve comparisons so "the same shape" is visible, not just asserted.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 

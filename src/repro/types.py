@@ -10,8 +10,7 @@ so the library never touches the wall clock.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 #: Number of ticks in one simulated day.
 TICKS_PER_DAY = 24

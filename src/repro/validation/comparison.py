@@ -8,8 +8,7 @@ checkable against this codebase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 #: Cell symbols, as in the paper's legend.
 NEGATIVE = "†"

@@ -12,7 +12,7 @@ show sensitivity to annotator quality.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.errors import ConfigurationError
 from repro.statsutil.sampling import make_rng

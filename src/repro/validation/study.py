@@ -24,7 +24,7 @@ from repro.backend.crawler import CleanProfileCrawler
 from repro.core.detector import DetectorConfig
 from repro.core.pipeline import DetectionPipeline
 from repro.simulation.config import SimulationConfig
-from repro.simulation.simulator import SimulationResult, Simulator
+from repro.simulation.simulator import Simulator
 from repro.validation.content_based import ContentBasedHeuristic
 from repro.validation.f8 import CrowdLabeler
 from repro.validation.tree import EvaluationTree, TreeOutcome, TreeRates

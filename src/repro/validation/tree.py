@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.backend.crawler import CleanProfileCrawler
 from repro.validation.content_based import ContentBasedHeuristic

@@ -21,9 +21,8 @@ a likely TN, a match a likely FN.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from scipy import stats
 

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.anova import likelihood_ratio_test
@@ -10,7 +9,6 @@ from repro.analysis.biasstudy import (
     PAPER_TABLE2_ODDS_RATIOS,
     fit_bias_study,
     generate_bias_study,
-    table2_model,
     true_probability,
 )
 from repro.analysis.effects import predicted_effects

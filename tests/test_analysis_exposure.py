@@ -10,7 +10,6 @@ from repro.analysis.logistic import CategoricalSpec, LogisticModel
 from repro.errors import ConfigurationError
 from repro.simulation import SimulationConfig, Simulator
 from repro.simulation.population import GENDERS, INCOME_BRACKETS
-from repro.types import AdKind
 
 
 @pytest.fixture(scope="module")

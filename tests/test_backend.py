@@ -10,7 +10,6 @@ from repro.errors import ConfigurationError, RoundStateError
 from repro.protocol.client import RoundConfig
 from repro.protocol.enrollment import enroll_users
 from repro.simulation import SimulationConfig, Simulator
-from repro.types import AdKind
 
 
 class TestMetadataStore:
@@ -155,3 +154,105 @@ class TestBackendService:
             service.run_week(week)
         assert service.weeks_run == [0, 1, 2]
         assert service.store.recorded_weeks() == [0, 1, 2]
+
+    def test_serve_root_answers_remote_summary_queries(self):
+        from repro.protocol.net import ProcessEndpointProxy
+
+        service, enrollment = self.make_service()
+        for client in enrollment.clients:
+            client.observe_ad("http://shared.example/ad")
+        with service:
+            snapshot = service.run_week(0)
+            host, port = service.serve_root()
+            assert service.root_address == (host, port)
+            proxy = ProcessEndpointProxy.connect(
+                host, port, service.session.root.endpoint_id,
+                config=self.CONFIG)
+            summary = proxy.round_summary()
+            proxy.close()
+        assert summary.users_threshold == snapshot.users_threshold
+        assert summary.aggregate.cells == \
+            snapshot.round_result.aggregate.cells
+        assert summary.distribution.values == \
+            snapshot.distribution.values
+
+    def test_serve_root_tracks_epoch_advances(self):
+        """Regression: the served root must be resolved live — an epoch
+        advance rebinds session.root, and a server holding the old
+        object would answer from the stale pre-epoch root forever."""
+        from repro.protocol.net import ProcessEndpointProxy
+
+        enrollment = enroll_users([f"u{i}" for i in range(6)], self.CONFIG,
+                                  seed=5, use_oprf=False)
+        with BackendService.from_enrollment(enrollment) as service:
+            host, port = service.serve_root()
+            for client in service.clients:
+                client.observe_ad("http://week0.example/ad")
+            service.run_week(0)
+            service.advance_epoch(joins=["u-new"], leaves=["u0"])
+            for client in service.clients:
+                client.observe_ad("http://week1.example/ad")
+                client.observe_ad("http://week1.example/other")
+            snapshot = service.run_week(1)
+            proxy = ProcessEndpointProxy.connect(
+                host, port, service.session.root.endpoint_id,
+                config=self.CONFIG)
+            summary = proxy.round_summary()
+            proxy.close()
+        assert summary.round_id == 1
+        assert summary.aggregate.cells == \
+            snapshot.round_result.aggregate.cells
+        assert "u-new" in summary.reported_users
+
+    def test_serve_root_is_query_only(self):
+        """A remote peer must not be able to mutate the live round
+        state, swap the threshold rule, or stop the served port."""
+        from repro.errors import ProtocolError
+        from repro.protocol.net import ProcessEndpointProxy, frames
+
+        service, enrollment = self.make_service()
+        for client in enrollment.clients:
+            client.observe_ad("http://shared.example/ad")
+        with service:
+            snapshot = service.run_week(0)
+            host, port = service.serve_root()
+            proxy = ProcessEndpointProxy.connect(
+                host, port, service.session.root.endpoint_id,
+                config=self.CONFIG)
+            with pytest.raises(ProtocolError, match="not permitted"):
+                proxy.on_round_start(5)
+            with pytest.raises(ProtocolError, match="not permitted"):
+                proxy.threshold_rule = ThresholdRule.MEDIAN.compute
+            with pytest.raises(ProtocolError, match="not permitted"):
+                proxy._call(frames.SHUTDOWN)
+            # The port is still alive and still answers queries.
+            summary = proxy.round_summary()
+            assert summary.users_threshold == snapshot.users_threshold
+            proxy.close()
+
+    def test_serve_root_twice_is_refused(self):
+        service, _ = self.make_service()
+        with service:
+            service.serve_root()
+            with pytest.raises(RoundStateError, match="already"):
+                service.serve_root()
+
+    def test_service_with_subprocess_aggregators(self):
+        enrollment = enroll_users([f"u{i}" for i in range(8)], self.CONFIG,
+                                  seed=5, use_oprf=False, num_cliques=2)
+        baseline = enroll_users([f"u{i}" for i in range(8)], self.CONFIG,
+                                seed=5, use_oprf=False, num_cliques=2)
+        for enr in (enrollment, baseline):
+            for client in enr.clients:
+                client.observe_ad("http://shared.example/ad")
+        reference = BackendService.from_enrollment(baseline)
+        expected = reference.run_week(0)
+        with BackendService.from_enrollment(
+                enrollment, transport="socket",
+                aggregator_procs=2) as service:
+            snapshot = service.run_week(0)
+            assert service.session.aggregator_pool is not None
+            assert len(service.session.aggregator_pool.pids) == 3
+        assert snapshot.users_threshold == expected.users_threshold
+        assert snapshot.round_result.aggregate.cells == \
+            expected.round_result.aggregate.cells

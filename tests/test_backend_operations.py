@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.backend.operations import DeploymentLog, LongitudinalDeployment
+from repro.backend.operations import LongitudinalDeployment
 from repro.errors import ConfigurationError
 from repro.simulation.config import SimulationConfig
 

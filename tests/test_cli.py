@@ -66,6 +66,36 @@ class TestDetect:
         assert code == 0
         assert "mean+median" in out
 
+    def test_distributed_round_over_socket_procs(self, capsys):
+        code, out = run_cli(capsys, "detect", "--users", "16",
+                            "--websites", "40", "--visits", "20",
+                            "--private", "--seed", "7",
+                            "--transport", "socket",
+                            "--aggregator-procs", "2")
+        assert code == 0
+        assert "distributed round: 2 clique aggregator" in out
+        assert "clique-aggregator-0" in out
+        assert "backend-server" in out
+        assert "bytes on the wire" in out
+        assert "private (blinded CMS)" in out
+
+    def test_transport_requires_private(self, capsys):
+        code = main(["detect", "--users", "16", "--transport", "socket"])
+        assert code == 2
+
+    def test_aggregator_procs_requires_private(self, capsys):
+        code = main(["detect", "--users", "16", "--aggregator-procs", "2"])
+        assert code == 2
+
+    def test_aggregator_procs_conflicting_cliques(self, capsys):
+        code = main(["detect", "--users", "16", "--private",
+                     "--cliques", "3", "--aggregator-procs", "2"])
+        assert code == 2
+
+    def test_transport_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--transport", "quic"])
+
 
 class TestBias:
     def test_prints_table2(self, capsys):

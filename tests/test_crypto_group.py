@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.crypto.group import DHGroup, KeyPair
+from repro.crypto.group import DHGroup
 from repro.crypto.primes import is_probable_prime
 
 

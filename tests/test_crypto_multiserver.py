@@ -7,7 +7,6 @@ import pytest
 from repro.crypto.group import DHGroup
 from repro.crypto.oprf import MultiServerOPRF, OPRFClient, OPRFServer
 from repro.crypto.prf import ObliviousAdMapper
-from repro.errors import ConfigurationError
 
 
 class TestMultiServerComposition:

@@ -14,7 +14,6 @@ import repro.errors as errors_module
 from repro.errors import (
     AnalysisError,
     BlindingError,
-    ConfigurationError,
     CryptoError,
     DetectorError,
     InsufficientDataError,

@@ -1,6 +1,5 @@
 """Unit tests for the ad-network registry and URL domain parsing."""
 
-import pytest
 
 from repro.extension.adnetworks import AdNetworkRegistry, domain_of
 

@@ -1,8 +1,7 @@
 """Unit tests for ad detection, landing-page extraction and ad identity."""
 
-import pytest
 
-from repro.extension.addetection import AdDetector, FilterRule, default_rules
+from repro.extension.addetection import AdDetector, FilterRule
 from repro.extension.adnetworks import AdNetworkRegistry
 from repro.extension.extension import BrowserExtension
 from repro.extension.identity import ad_identity, content_hash

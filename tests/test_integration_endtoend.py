@@ -8,7 +8,6 @@ privacy protocol aggregates #Users, and the count-based rule issues the
 verdicts.
 """
 
-import pytest
 
 from repro.core.detector import CountBasedDetector, DetectorConfig
 from repro.core.pipeline import DetectionPipeline

@@ -271,6 +271,35 @@ class TestMultiRoundWireSession:
         assert async_r.aggregate.cells == sync_r.aggregate.cells
         assert async_r.total_bytes == sync_r.total_bytes
 
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_byte_accounting_identical_across_byte_transports(
+            self, num_cliques):
+        """Wire and socket transports share one counter path
+        (``WireTransport._transcode``), so transcript byte counts cannot
+        drift between them — per sender, with and without dropouts."""
+        from repro.protocol.net import SocketTransport
+
+        for failed in ((), ("user-05",)):
+            per_transport = {}
+            for transport_cls in (WireTransport, SocketTransport):
+                enrollment = enrolled(num_cliques=num_cliques)
+                session, result = run_session(
+                    enrollment, "fanout", failed=failed,
+                    transport_cls=transport_cls)
+                transport = session.transport
+                per_transport[transport_cls] = (
+                    dict(transport.bytes_sent),
+                    dict(transport.messages_sent),
+                    result.total_bytes,
+                )
+                close = getattr(transport, "close", None)
+                if close is not None:
+                    close()
+            wire_acct = per_transport[WireTransport]
+            socket_acct = per_transport[SocketTransport]
+            assert wire_acct == socket_acct
+            assert wire_acct[2] > 0
+
 
 class TestMailboxHygiene:
     def test_round_drains_every_mailbox(self):

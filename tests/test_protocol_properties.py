@@ -14,14 +14,12 @@ Two invariants must hold for *any* assignment of ads to users:
 
 from collections import defaultdict
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.protocol.client import RoundConfig
 from repro.api import ProtocolSession
 from repro.protocol.enrollment import enroll_users
-from repro.sketch.countmin import CountMinSketch
 
 CONFIG = RoundConfig(cms_depth=4, cms_width=64, cms_seed=5, id_space=300)
 

@@ -16,7 +16,6 @@ Each class pins one bug that existed before the hardening PR:
 
 import inspect
 
-import numpy as np
 import pytest
 
 from repro.errors import MissingReportError, RoundStateError

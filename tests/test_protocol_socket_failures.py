@@ -1,0 +1,296 @@
+"""Failure modes of the networked transport layer.
+
+The satellite contract: an aggregator process crashing mid-round
+surfaces :class:`~repro.errors.ProtocolError` (never a hang), truncated
+and oversized frames are rejected at the framing layer, remote
+exceptions re-raise as their original classes, and a round with an
+injected slow endpoint still quiesces with a bit-identical result.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.api import ProtocolSession, run_private_round
+from repro.errors import ProtocolError, RoundStateError
+from repro.protocol.aggregator import CliqueAggregator, clique_endpoint_id
+from repro.protocol.client import RoundConfig
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.messages import BlindedReport, CellVector
+from repro.protocol.net import (
+    EndpointServer,
+    ProcessAggregatorPool,
+    ProcessEndpointProxy,
+    SocketTransport,
+    frames,
+)
+
+CONFIG = RoundConfig(cms_depth=2, cms_width=64, cms_seed=7, id_space=200)
+USER_IDS = [f"user-{i:02d}" for i in range(8)]
+
+
+def enrolled(num_cliques=2, seed=5):
+    enrollment = enroll_users(USER_IDS, CONFIG, seed=seed, use_oprf=False,
+                              num_cliques=num_cliques)
+    for i, client in enumerate(enrollment.clients):
+        client.observe_ad(f"ad-{i % 5}")
+        client.observe_ad(f"ad-{(i + 2) % 5}")
+    return enrollment
+
+
+# ---------------------------------------------------------------------------
+# Process crashes surface as errors, not hangs
+# ---------------------------------------------------------------------------
+
+def test_clique_process_crash_mid_round_raises():
+    session = ProtocolSession.enroll(USER_IDS, CONFIG, seed=5,
+                                     use_oprf=False, num_cliques=2,
+                                     aggregator_procs=2)
+    try:
+        for i, client in enumerate(session.clients):
+            client.observe_ad(f"ad-{i % 5}")
+        session.aggregator_pool.kill(clique_endpoint_id(0))
+        started = time.monotonic()
+        with pytest.raises(ProtocolError, match="died|closed|unreachable"):
+            session.run_round(0)
+        # "not a hang": the crash surfaces immediately (EOF on the
+        # connection), nowhere near the 60s exchange timeout.
+        assert time.monotonic() - started < 30
+    finally:
+        session.close()
+
+
+def test_root_process_crash_mid_round_raises():
+    session = ProtocolSession.enroll(USER_IDS, CONFIG, seed=5,
+                                     use_oprf=False, num_cliques=2,
+                                     aggregator_procs=2)
+    try:
+        for i, client in enumerate(session.clients):
+            client.observe_ad(f"ad-{i % 5}")
+        session.run_round(0)  # a healthy round first
+        from repro.protocol.endpoint import SERVER_ENDPOINT
+        session.aggregator_pool.kill(SERVER_ENDPOINT)
+        with pytest.raises(ProtocolError, match="died|closed|unreachable"):
+            session.run_round(1)
+    finally:
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# Framing: truncation and oversize are rejected
+# ---------------------------------------------------------------------------
+
+def test_truncated_frame_is_rejected():
+    left, right = socket.socketpair()
+    try:
+        frame = frames.pack_frame(frames.MSG, b"x" * 100)
+        left.sendall(frame[:20])
+        left.close()
+        with pytest.raises(ProtocolError, match="truncated|closed"):
+            frames.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_oversized_frame_is_rejected_before_allocation():
+    left, right = socket.socketpair()
+    try:
+        # A length prefix claiming 1 GiB: rejected from the prefix alone.
+        left.sendall(struct.pack(">I", 1 << 30))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            frames.recv_frame(right, max_frame=1 << 20)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_zero_length_frame_is_rejected():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(struct.pack(">I", 0))
+        with pytest.raises(ProtocolError, match="below the 1-byte minimum"):
+            frames.recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_socket_transport_enforces_its_frame_ceiling():
+    enrollment = enrolled(num_cliques=1)
+    transport = SocketTransport(max_frame=64)
+    try:
+        with pytest.raises(ProtocolError, match="exceeds"):
+            run_private_round(CONFIG, enrollment.clients, round_id=0,
+                              transport=transport)
+    finally:
+        transport.close()
+
+
+def test_worker_connection_drops_after_oversized_frame():
+    """A framing violation desyncs the stream; the server must drop the
+    connection (and the proxy must raise), not limp along."""
+    pool = ProcessAggregatorPool(CONFIG, max_frame=1 << 16)
+    try:
+        proxies, root = pool.ensure({0: {"u1": 0, "u2": 1}}, ["u1", "u2"])
+        proxy = proxies[0]
+        # Bypass the proxy API to ship a frame above the worker's limit.
+        frames.send_frame(proxy._sock, frames.MSG,
+                          b"z" * (1 << 17))
+        with pytest.raises(ProtocolError):
+            proxy.on_idle(0)
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Remote exceptions keep their class
+# ---------------------------------------------------------------------------
+
+def test_remote_exception_reraises_original_class():
+    aggregator = CliqueAggregator(0, CONFIG, {"u1": 0, "u2": 1})
+    server = EndpointServer(aggregator)
+    host, port = server.start()
+    try:
+        proxy = ProcessEndpointProxy.connect(
+            host, port, aggregator.endpoint_id, config=CONFIG)
+        proxy.on_round_start(1)
+        rogue = BlindedReport(user_id="intruder", round_id=1,
+                              cells=CellVector([0] * CONFIG.num_cells),
+                              clique_id=0)
+        with pytest.raises(RoundStateError, match="intruder|not enrolled"):
+            proxy.on_message("intruder", rogue)
+        # The connection survives an ERR exchange: the endpoint keeps
+        # serving the round afterwards (an all-missing clique releases
+        # its zero partial to the root on idle).
+        outbox = proxy.on_idle(1)
+        assert len(outbox) == 1
+        proxy.close()
+    finally:
+        server.stop()
+
+
+def test_remote_error_mentioning_truncation_is_not_misread_as_crash():
+    """Regression: a relayed remote error whose message happens to
+    contain 'truncated' (e.g. the wire codec's 'cell payload truncated')
+    must re-raise as the remote error — not be rewrapped by the proxy's
+    EOF heuristic as 'process died mid-round' when the process is alive."""
+    import struct
+
+    aggregator = CliqueAggregator(0, CONFIG, {"u1": 0, "u2": 1})
+    server = EndpointServer(aggregator)
+    host, port = server.start()
+    try:
+        proxy = ProcessEndpointProxy.connect(
+            host, port, aggregator.endpoint_id, config=CONFIG)
+        proxy.on_round_start(1)
+        # A BlindedReport frame whose header is consistent but whose
+        # cell vector claims more cells than the payload carries: the
+        # hosted endpoint's wire.decode raises 'cell payload truncated'.
+        payload = struct.pack(">H", 2) + b"u1" + struct.pack(">I", 1000)
+        header = struct.pack(">2sBBIIH2x", b"eW", 1, 2, 1, len(payload), 0)
+        with pytest.raises(ProtocolError) as excinfo:
+            proxy._call(frames.MSG,
+                        frames.pack_name("u1") + header + payload)
+        assert "cell payload truncated" in str(excinfo.value)
+        assert "died mid-round" not in str(excinfo.value)
+        # The connection survived: the endpoint still serves the round.
+        assert len(proxy.on_idle(1)) == 1
+        proxy.close()
+    finally:
+        server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Slow endpoints: the round still quiesces
+# ---------------------------------------------------------------------------
+
+def test_slow_aggregator_process_round_still_quiesces():
+    reference = run_private_round(CONFIG, enrolled(2).clients, round_id=0,
+                                  topology="monolithic")
+    enrollment = enrolled(2)
+    pool = ProcessAggregatorPool(CONFIG, chaos_delay_s={0: 0.15})
+    transport = SocketTransport()
+    try:
+        from repro.protocol.endpoint import mean_threshold
+        from repro.protocol.runner import ProtocolRunner
+
+        endpoints, root = pool.wire(enrollment.clients, mean_threshold)
+        runner = ProtocolRunner(endpoints, root, transport=transport)
+        started = time.monotonic()
+        result = runner.run_round(0)
+        elapsed = time.monotonic() - started
+        # The injected latency really happened and the round still
+        # finished with the exact reference result.
+        assert elapsed >= 0.15
+        assert result.aggregate.cells == reference.aggregate.cells
+        assert result.users_threshold == reference.users_threshold
+    finally:
+        pool.close()
+        transport.close()
+
+
+def test_slow_client_endpoint_over_sockets_still_quiesces(monkeypatch):
+    import types
+
+    session = ProtocolSession.enroll(USER_IDS, CONFIG, seed=5,
+                                     use_oprf=False, num_cliques=2,
+                                     transport="socket")
+    try:
+        for i, client in enumerate(session.clients):
+            client.observe_ad(f"ad-{i % 5}")
+        laggard = session.clients[0]
+        original = laggard.on_message
+
+        def slow_on_message(self, sender, message):
+            time.sleep(0.05)
+            return original(sender, message)
+
+        laggard.on_message = types.MethodType(slow_on_message, laggard)
+        session.transport.fail_sender(session.clients[1].user_id)
+        result = session.run_round(0)
+        assert result.recovery_round_used
+        assert session.clients[1].user_id in result.missing_users
+    finally:
+        session.close()
+
+
+def test_socket_transport_pump_survives_frames_larger_than_buffers():
+    """A frame bigger than typical kernel socket buffers must round-trip
+    (the pump interleaves reads and writes; a naive write-then-read
+    would deadlock)."""
+    big = RoundConfig(cms_depth=8, cms_width=65536, cms_seed=7,
+                      id_space=200)  # 2 MiB of cells on the wire
+    with SocketTransport() as transport:
+        transport.register("a")
+        transport.register("b")
+        report = BlindedReport(user_id="a", round_id=0,
+                               cells=CellVector(list(range(big.num_cells))))
+        assert transport.send("a", "b", report)
+        _, delivered = transport.receive("b")
+        assert delivered == report
+
+
+def test_proxy_timeout_surfaces_as_protocol_error():
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    accepted = []
+
+    def accept_and_stall():
+        conn, _ = listener.accept()
+        accepted.append(conn)  # never replies
+
+    thread = threading.Thread(target=accept_and_stall, daemon=True)
+    thread.start()
+    try:
+        proxy = ProcessEndpointProxy.connect("127.0.0.1", port, "stalled",
+                                             config=CONFIG, timeout=0.3)
+        with pytest.raises(ProtocolError, match="timed out"):
+            proxy.on_idle(0)
+        proxy.close()
+    finally:
+        listener.close()
+        for conn in accepted:
+            conn.close()

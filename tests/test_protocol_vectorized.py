@@ -14,7 +14,6 @@ invariants that make that safe:
 """
 
 import numpy as np
-import pytest
 
 from repro.crypto.blinding import BLINDING_MODULUS
 from repro.protocol import wire

@@ -13,7 +13,7 @@ from repro.protocol.messages import (
     PublicKeyAnnouncement,
     ThresholdBroadcast,
 )
-from repro.protocol.wire import MAGIC, decode, encode
+from repro.protocol.wire import decode, encode
 
 
 SAMPLES = [

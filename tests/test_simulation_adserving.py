@@ -13,7 +13,7 @@ from repro.simulation.campaigns import (
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import evaluate_classifications, per_kind_rates
 from repro.simulation.population import Population, UserProfile
-from repro.simulation.simulator import SimulationResult, Simulator
+from repro.simulation.simulator import Simulator
 from repro.simulation.websites import WebsiteCatalog
 from repro.types import Ad, AdKind, ClassifiedAd, Demographics, Label
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.simulation.browsing import BrowsingModel, Visit
+from repro.simulation.browsing import BrowsingModel
 from repro.simulation.config import DEFAULT_CATEGORIES, SimulationConfig
 from repro.simulation.population import (
     AGE_BRACKETS,

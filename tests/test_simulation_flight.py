@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.simulation.adserver import AdServer
 from repro.simulation.browsing import Visit

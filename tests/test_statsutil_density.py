@@ -1,6 +1,5 @@
 """Tests for KDE (Silverman bandwidth) and the text-plot helpers."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Unit tests for repro.statsutil.distributions."""
 
-import math
 
 import pytest
 from hypothesis import given

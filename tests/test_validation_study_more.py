@@ -4,7 +4,7 @@ import pytest
 
 from repro.statsutil.distributions import EmpiricalDistribution
 from repro.validation.tree import TreeOutcome, TreeRates
-from repro.types import Ad, ClassifiedAd, Label
+from repro.types import Ad, ClassifiedAd
 
 
 def classified(user, identity, label):
