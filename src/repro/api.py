@@ -96,8 +96,24 @@ DRIVERS = ("sync", "async")
 TRANSPORTS = ("memory", "wire", "socket")
 
 
-def _resolve_transport(spec):
-    """Transport spec -> (instance-or-None, session_owns_it)."""
+def _resolve_transport(spec, fault_plan=None):
+    """Transport spec -> (instance-or-None, session_owns_it).
+
+    A ``fault_plan`` turns the ``"socket"`` transport into a
+    :class:`~repro.protocol.net.ChaosSocketTransport` injecting the
+    plan's per-link WAN faults; a plan with link faults is rejected for
+    transports that have no real byte path to disturb (a crash-only
+    plan — ``worker_crashes`` and nothing else — is consumed by the
+    supervisor and works over any transport).
+    """
+    has_link_faults = fault_plan is not None and (
+        not fault_plan.default.is_noop or fault_plan.links)
+    if has_link_faults and spec != "socket":
+        raise ConfigurationError(
+            f"fault_plan injects WAN faults into the real socket byte "
+            f"path and needs transport='socket', got {spec!r} (pass a "
+            f"ChaosSocketTransport instance yourself to combine a plan "
+            f"with a custom transport)")
     if spec is None or isinstance(spec, InMemoryTransport):
         return spec, False
     if spec == "memory":
@@ -106,6 +122,9 @@ def _resolve_transport(spec):
         from repro.protocol.transport import WireTransport
         return WireTransport(), True
     if spec == "socket":
+        if fault_plan is not None:
+            from repro.protocol.net import ChaosSocketTransport
+            return ChaosSocketTransport(fault_plan), True
         from repro.protocol.net import SocketTransport
         return SocketTransport(), True
     raise ConfigurationError(
@@ -150,6 +169,20 @@ class ProtocolSession:
         Optional :class:`~repro.protocol.membership.MembershipManager`
         enabling :meth:`advance_epoch`; built automatically by
         :meth:`enroll` and :meth:`from_enrollment`.
+    fault_plan:
+        Optional :class:`~repro.protocol.net.FaultPlan` of seeded WAN
+        faults. Requires ``transport="socket"``; its link faults are
+        injected by a :class:`~repro.protocol.net.ChaosSocketTransport`
+        and its ``worker_crashes`` by the supervised aggregator pool
+        (which additionally requires ``aggregator_procs``).
+    retry_policy:
+        Optional :class:`~repro.protocol.net.RetryPolicy`. Turns the
+        aggregator pool into a
+        :class:`~repro.protocol.net.SupervisedAggregatorPool` that
+        respawns crashed/hung workers and replays the round's exchanges
+        within the policy's restart budget. Requires
+        ``aggregator_procs``. Without it, worker death keeps today's
+        fail-fast semantics (a :class:`ProtocolError` surfaces).
     """
 
     def __init__(self, config: RoundConfig,
@@ -159,7 +192,9 @@ class ProtocolSession:
                  topology: str = "fanout",
                  driver: str = "sync",
                  membership: Optional[MembershipManager] = None,
-                 aggregator_procs: int = 0) -> None:
+                 aggregator_procs: int = 0,
+                 fault_plan=None,
+                 retry_policy=None) -> None:
         if topology not in TOPOLOGIES:
             raise ConfigurationError(
                 f"unknown topology {topology!r}; expected one of "
@@ -171,8 +206,20 @@ class ProtocolSession:
         self.topology = topology
         self.driver = driver
         self.membership = membership
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self._closed = False
         self._pool = None
+        if retry_policy is not None and not aggregator_procs:
+            raise ConfigurationError(
+                "retry_policy supervises aggregator subprocesses; pass "
+                "aggregator_procs=k to run them (in-process aggregators "
+                "have nothing to respawn)")
+        if fault_plan is not None and getattr(fault_plan, "worker_crashes",
+                                              None) and not aggregator_procs:
+            raise ConfigurationError(
+                "fault_plan.worker_crashes kills aggregator subprocesses; "
+                "pass aggregator_procs=k to run them")
         if aggregator_procs:
             if topology != "fanout":
                 raise ConfigurationError(
@@ -187,13 +234,23 @@ class ProtocolSession:
                     f"one aggregator process serves exactly one clique "
                     f"(enroll with num_cliques={aggregator_procs}, or pass "
                     f"aggregator_procs={cliques_present})")
-            from repro.protocol.net import ProcessAggregatorPool
-            self._pool = ProcessAggregatorPool(config)
+            supervised = retry_policy is not None or (
+                fault_plan is not None
+                and getattr(fault_plan, "worker_crashes", None))
+            if supervised:
+                from repro.protocol.net import SupervisedAggregatorPool
+                self._pool = SupervisedAggregatorPool(
+                    config, retry_policy=retry_policy,
+                    fault_plan=fault_plan)
+            else:
+                from repro.protocol.net import ProcessAggregatorPool
+                self._pool = ProcessAggregatorPool(config)
         # A membership mid-lifecycle (e.g. handed to from_membership
         # after rounds or epoch advances elsewhere) dictates the first
         # usable round id; pads from its earlier rounds are spent.
         self._next_round = membership.next_round if membership else 0
-        transport, self._owns_transport = _resolve_transport(transport)
+        transport, self._owns_transport = _resolve_transport(
+            transport, fault_plan=fault_plan)
         try:
             self._wire(clients, transport, threshold_rule)
         except BaseException:
@@ -239,6 +296,7 @@ class ProtocolSession:
                transport=None,
                threshold_rule: ThresholdRuleFn = mean_threshold,
                aggregator_procs: int = 0,
+               fault_plan=None, retry_policy=None,
                **enroll_kwargs) -> "ProtocolSession":
         """Epoch-0 enrollment and session wiring in one step.
 
@@ -250,7 +308,9 @@ class ProtocolSession:
         return cls.from_enrollment(enrollment, topology=topology,
                                    driver=driver, transport=transport,
                                    threshold_rule=threshold_rule,
-                                   aggregator_procs=aggregator_procs)
+                                   aggregator_procs=aggregator_procs,
+                                   fault_plan=fault_plan,
+                                   retry_policy=retry_policy)
 
     @classmethod
     def from_enrollment(cls, enrollment: Enrollment,
@@ -258,6 +318,7 @@ class ProtocolSession:
                         transport=None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
                         aggregator_procs: int = 0,
+                        fault_plan=None, retry_policy=None,
                         ) -> "ProtocolSession":
         """Wrap an :class:`~repro.protocol.enrollment.Enrollment` —
         membership-aware whenever the enrollment carries key material."""
@@ -266,7 +327,8 @@ class ProtocolSession:
         return cls(enrollment.config, enrollment.clients,
                    transport=transport, threshold_rule=threshold_rule,
                    topology=topology, driver=driver, membership=membership,
-                   aggregator_procs=aggregator_procs)
+                   aggregator_procs=aggregator_procs,
+                   fault_plan=fault_plan, retry_policy=retry_policy)
 
     @classmethod
     def from_membership(cls, membership: MembershipManager,
@@ -274,11 +336,13 @@ class ProtocolSession:
                         transport=None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
                         aggregator_procs: int = 0,
+                        fault_plan=None, retry_policy=None,
                         ) -> "ProtocolSession":
         return cls(membership.config, membership.clients,
                    transport=transport, threshold_rule=threshold_rule,
                    topology=topology, driver=driver, membership=membership,
-                   aggregator_procs=aggregator_procs)
+                   aggregator_procs=aggregator_procs,
+                   fault_plan=fault_plan, retry_policy=retry_policy)
 
     @property
     def transport(self) -> InMemoryTransport:
@@ -424,7 +488,8 @@ def run_private_round(config: RoundConfig,
                       threshold_rule: ThresholdRuleFn = mean_threshold,
                       topology: str = "fanout",
                       driver: str = "sync",
-                      aggregator_procs: int = 0) -> RoundResult:
+                      aggregator_procs: int = 0,
+                      fault_plan=None, retry_policy=None) -> RoundResult:
     """One-shot §6 round: wire a session, run it, return the result.
 
     The session (and any subprocesses / sockets it owns) is closed
@@ -434,7 +499,9 @@ def run_private_round(config: RoundConfig,
     with ProtocolSession(config, clients, transport=transport,
                          threshold_rule=threshold_rule,
                          topology=topology, driver=driver,
-                         aggregator_procs=aggregator_procs) as session:
+                         aggregator_procs=aggregator_procs,
+                         fault_plan=fault_plan,
+                         retry_policy=retry_policy) as session:
         return session.run_round(round_id)
 
 
@@ -445,7 +512,8 @@ def run_detection(impressions, week: int = 0, private: bool = True,
                   topology: str = "fanout", driver: str = "sync",
                   rounds_per_window: int = 1,
                   transport: Optional[str] = None,
-                  aggregator_procs: int = 0):
+                  aggregator_procs: int = 0,
+                  fault_plan=None, retry_policy=None):
     """Classify one week of impressions, optionally through the private
     protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
 
@@ -465,7 +533,9 @@ def run_detection(impressions, week: int = 0, private: bool = True,
                                  topology=topology, driver=driver,
                                  rounds_per_window=rounds_per_window,
                                  transport=transport,
-                                 aggregator_procs=aggregator_procs)
+                                 aggregator_procs=aggregator_procs,
+                                 fault_plan=fault_plan,
+                                 retry_policy=retry_policy)
     try:
         return pipeline.run_week(impressions, week=week)
     finally:

@@ -79,6 +79,37 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_from(args: argparse.Namespace):
+    """``--chaos`` / ``--retry-budget`` -> (fault_plan, retry_policy)."""
+    fault_plan = retry_policy = None
+    if args.chaos != "none":
+        from repro.protocol.net import FaultPlan
+        seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        fault_plan = getattr(FaultPlan, args.chaos)(seed=seed)
+    if args.retry_budget is not None:
+        from repro.protocol.net import RetryPolicy
+        retry_policy = RetryPolicy(max_restarts=args.retry_budget)
+    return fault_plan, retry_policy
+
+
+def _print_chaos_telemetry(args: argparse.Namespace, session) -> None:
+    """What the fault plan actually did to the finished run."""
+    if args.chaos == "none" or session is None:
+        return
+    transport = session.transport
+    events = ", ".join(f"{kind}={count}" for kind, count
+                       in sorted(transport.events.items())) or "none"
+    print(f"chaos profile {args.chaos!r} "
+          f"(seed {transport.plan.seed}): {events}; "
+          f"injected delay {transport.injected_delay_s:.3f}s")
+    pool = session.aggregator_pool
+    restarts = getattr(pool, "restarts", None)
+    if restarts:
+        respawned = ", ".join(f"{eid} x{n}"
+                              for eid, n in sorted(restarts.items()))
+        print(f"  supervised respawns: {respawned}")
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     """``detect``: simulate, classify and print the verdicts.
 
@@ -118,6 +149,20 @@ def cmd_detect(args: argparse.Namespace) -> int:
                   f"serves exactly one blinding clique", file=sys.stderr)
             return 2
         args.cliques = args.aggregator_procs
+    if args.chaos != "none" \
+            and not (args.private and args.transport == "socket"):
+        print("--chaos injects seeded WAN faults into the private round's "
+              "real socket links; add --private --transport socket",
+              file=sys.stderr)
+        return 2
+    if args.retry_budget is not None and args.retry_budget < 0:
+        print(f"--retry-budget must be >= 0, got {args.retry_budget}",
+              file=sys.stderr)
+        return 2
+    if args.retry_budget is not None and not args.aggregator_procs:
+        print("--retry-budget supervises aggregator subprocesses; add "
+              "--aggregator-procs", file=sys.stderr)
+        return 2
     if args.churn and round(args.churn * args.users) < 1:
         print(f"--churn {args.churn} replaces round({args.churn} * "
               f"{args.users}) = 0 users per epoch; raise --churn or "
@@ -128,6 +173,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     config = _config_from(args)
     result = Simulator(config).run()
     rule = ThresholdRule(args.threshold_rule)
+    fault_plan, retry_policy = _chaos_from(args)
     from repro.core.pipeline import DetectionPipeline
     pipeline = DetectionPipeline(
         detector_config=DetectorConfig(domains_rule=rule, users_rule=rule),
@@ -135,7 +181,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         num_cliques=args.cliques, driver=args.driver,
         rounds_per_window=args.epoch_rounds,
         transport=args.transport if args.private else None,
-        aggregator_procs=args.aggregator_procs)
+        aggregator_procs=args.aggregator_procs,
+        fault_plan=fault_plan, retry_policy=retry_policy)
     try:
         out = pipeline.run_week(result.impressions, week=0)
         session = pipeline.session
@@ -150,6 +197,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         if args.private and args.transport != "memory":
             print(f"bytes on the wire this window: "
                   f"{out.round_result.total_bytes}")
+        _print_chaos_telemetry(args, session)
     finally:
         pipeline.close()
     mode = "private (blinded CMS)" if args.private else "cleartext oracle"
@@ -200,6 +248,7 @@ def _detect_with_churn(args: argparse.Namespace) -> int:
 
     rule = ThresholdRule(args.threshold_rule)
     unique_ads = {imp.ad.identity for imp in result.impressions}
+    fault_plan, retry_policy = _chaos_from(args)
     pipeline = DetectionPipeline(
         detector_config=DetectorConfig(domains_rule=rule, users_rule=rule),
         private=True,
@@ -207,7 +256,8 @@ def _detect_with_churn(args: argparse.Namespace) -> int:
         num_cliques=args.cliques, driver=args.driver,
         rounds_per_window=args.epoch_rounds,
         transport=args.transport,
-        aggregator_procs=args.aggregator_procs)
+        aggregator_procs=args.aggregator_procs,
+        fault_plan=fault_plan, retry_policy=retry_policy)
 
     print(f"mode: private (blinded CMS), churned population "
           f"({args.churn:.0%}/epoch, {args.epoch_rounds} round(s)/window)")
@@ -260,6 +310,7 @@ def _run_churn_windows(args, pipeline, rosters, result) -> int:
                   "was not servable as an epoch transition)")
         elif week > 0:
             print("  (no membership change this window)")
+    _print_chaos_telemetry(args, pipeline.session)
     return 0
 
 
@@ -369,6 +420,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "weekly windows (private mode): runs both "
                             "windows through one session, rotating the "
                             "roster with advance_epoch (default 0)")
+    p_det.add_argument("--chaos", default="none",
+                       choices=["none", "wan", "lossy", "hostile"],
+                       help="inject seeded WAN faults (latency, jitter, "
+                            "loss) into every socket link of the private "
+                            "round; requires --private --transport socket "
+                            "(default none)")
+    p_det.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed for the fault plan's per-link RNGs "
+                            "(default: --seed), so a chaos run replays "
+                            "fault-for-fault")
+    p_det.add_argument("--retry-budget", type=int, default=None,
+                       help="supervise aggregator subprocesses: respawn a "
+                            "crashed or hung worker up to N times per "
+                            "round, replaying the round's exchanges; "
+                            "requires --aggregator-procs (default: "
+                            "unsupervised, crashes fail the round)")
     p_det.set_defaults(func=cmd_detect)
 
     p_val = sub.add_parser("validate",

@@ -85,7 +85,9 @@ class DetectionPipeline:
                  driver: str = "sync",
                  rounds_per_window: int = 1,
                  transport: Optional[str] = None,
-                 aggregator_procs: int = 0) -> None:
+                 aggregator_procs: int = 0,
+                 fault_plan=None,
+                 retry_policy=None) -> None:
         if num_cliques < 1:
             raise ConfigurationError(
                 f"num_cliques must be >= 1, got {num_cliques}")
@@ -148,6 +150,13 @@ class DetectionPipeline:
         #: clique count: a window whose population forces the clique
         #: clamp down spawns correspondingly fewer processes.
         self.aggregator_procs = aggregator_procs
+        #: Hostile-network knobs forwarded to every private session (see
+        #: :class:`repro.api.ProtocolSession`): a
+        #: :class:`~repro.protocol.net.FaultPlan` of seeded WAN faults
+        #: and a :class:`~repro.protocol.net.RetryPolicy` that respawns
+        #: crashed aggregator workers within a restart budget.
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         #: Reporting rounds run per window (CLI ``--epoch-rounds``). The
         #: aggregate is identical every round (same observations, fresh
         #: pads); extra rounds model a deployment reporting more than
@@ -251,7 +260,8 @@ class DetectionPipeline:
             enrollment, transport=transport,
             threshold_rule=self.detector_config.users_rule.compute,
             topology=self.topology, driver=self.driver,
-            aggregator_procs=cliques if self.aggregator_procs else 0)
+            aggregator_procs=cliques if self.aggregator_procs else 0,
+            fault_plan=self.fault_plan, retry_policy=self.retry_policy)
 
     def _session_for(self, user_ids, config: RoundConfig,
                      cliques: int) -> ProtocolSession:

@@ -87,6 +87,15 @@ realism for speed, and a session selects one by name
   pushed through a real localhost TCP connection as length-prefixed
   frames; truncation, oversize and framing bugs fail here, not in
   production.
+* :class:`~repro.protocol.net.ChaosSocketTransport` — the socket rung
+  under seeded hostile-WAN conditions: a
+  :class:`~repro.protocol.net.FaultPlan` assigns each directed link a
+  :class:`~repro.protocol.net.LinkFault` (latency, jitter, loss modelled
+  as retransmit delay, connection drops, truncated frames, slow-loris
+  trickle), injected inside the ``_ship`` hook so byte accounting is
+  untouched and every run replays fault-for-fault from its seed
+  (``ProtocolSession(transport="socket", fault_plan=...)``, or
+  ``cli detect --chaos wan|lossy|hostile``).
 
 Above the ladder, :mod:`repro.protocol.net` makes the parties real OS
 processes: :class:`~repro.protocol.net.ProcessAggregatorPool` runs each
@@ -100,6 +109,50 @@ Epoch advances RECONFIGURE the live processes in place — same PIDs, new
 clique map — and :meth:`repro.backend.service.BackendService.serve_root`
 puts a live session's root behind a listening port for remote summary
 queries.
+
+**Supervision.** By default a crashed worker process fails the round
+fast (a :class:`~repro.errors.ProtocolError` naming the dead endpoint).
+Passing a :class:`~repro.protocol.net.RetryPolicy` upgrades the pool to
+a :class:`~repro.protocol.net.SupervisedAggregatorPool`: every exchange
+runs under a per-exchange deadline (hangs cannot outlive it), a worker
+that dies or wedges is respawned from its spec with exponential backoff
+(``backoff_base_s * backoff_factor**(n-1)``, capped at
+``backoff_max_s``), the current round's exchanges are replayed into the
+replacement — sound because aggregators are deterministic and the
+protocol's messages are idempotent under identical resends — and the
+round completes **bit-identically**. The budget is
+``max_restarts`` per worker per round; a crash-loop past it raises a
+``ProtocolError`` describing the loop. :data:`~repro.protocol.net.
+NO_RETRY` keeps supervision off explicitly.
+
+**What survives which fault** (with ``transport="socket"``,
+``aggregator_procs=k``):
+
+====================================  =================================
+Fault                                 Outcome
+====================================  =================================
+Client dropout (any transport)        Survives — clique-local recovery
+                                      round; anonymity set shrinks to
+                                      the clique's reporting members.
+WAN latency / jitter / loss           Survives, bit-identical — loss is
+                                      retransmit delay; only time and
+                                      byte-timing change.
+Truncated frame / severed link        Fails fast — codec-level
+                                      ``ProtocolError`` / transport
+                                      ``TransportError``; nothing
+                                      silently wrong.
+Clique worker crash (supervised)      Survives, bit-identical — respawn
+                                      + replay within ``max_restarts``.
+Root crash (supervised)               Survives, bit-identical — same
+                                      respawn/replay path.
+Worker hang (supervised)              Survives — per-exchange deadline
+                                      converts the hang into a crash,
+                                      then respawn + replay.
+Crash past the restart budget         Fails fast — ``ProtocolError``
+                                      naming the crash loop.
+Any crash (unsupervised default)      Fails fast — today's semantics,
+                                      unchanged.
+====================================  =================================
 
 **Transport-independent guarantees.** Pad one-time-ness is enforced on
 the *clients* (streams keyed by ``(pair, round)``, reuse refused), so no

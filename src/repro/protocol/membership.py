@@ -50,6 +50,7 @@ advance_epoch` to make that structurally impossible.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -127,6 +128,51 @@ class EpochTransition:
     secrets_reused: int
     #: Generator-end pair secrets dropped (departed or re-sharded pairs).
     secrets_dropped: int
+
+
+def suggest_num_cliques(roster: Sequence[str],
+                        churn_forecast: float = 0.0,
+                        k_min: int = 2,
+                        max_cliques: Optional[int] = None) -> int:
+    """Anonymity-aware clique count for an enrollment.
+
+    A report hides among its clique's *reporting* members, so the clique
+    count must keep every clique at ``k_min`` members or more even after
+    the forecast fraction of users churns away mid-epoch. The suggestion
+    is the largest clique count (most parallelism, cheapest enrollment —
+    modexps scale with U·(U/k−1)) that still guarantees the floor for
+    the post-churn population::
+
+        survivors = |roster| - ceil(|roster| * churn_forecast)
+        suggestion = survivors // k_min        (capped by max_cliques)
+
+    Raises :class:`~repro.errors.ConfigurationError` when no clique
+    count can hold the floor (fewer forecast survivors than ``k_min``) —
+    the caller must enroll more users or accept a smaller floor, not
+    silently run with a collapsed anonymity set.
+    """
+    size = len(roster)
+    if len(set(roster)) != size:
+        raise ConfigurationError("duplicate user ids in roster")
+    if not 0.0 <= churn_forecast < 1.0:
+        raise ConfigurationError(
+            f"churn_forecast must be a fraction in [0, 1), got "
+            f"{churn_forecast!r}")
+    if k_min < 2:
+        raise ConfigurationError(
+            f"k_min must be >= 2 (a 1-member clique reports its raw "
+            f"sketch), got {k_min}")
+    survivors = size - math.ceil(size * churn_forecast)
+    if survivors < k_min:
+        raise ConfigurationError(
+            f"no clique count can hold the anonymity floor: {size} users "
+            f"with churn forecast {churn_forecast:.0%} leaves "
+            f"{survivors} expected survivors, below k_min={k_min}; enroll "
+            f"more users or lower the floor")
+    suggestion = max(1, survivors // k_min)
+    if max_cliques is not None:
+        suggestion = min(suggestion, int(max_cliques))
+    return suggestion
 
 
 def _reshard(clique_of: Dict[str, int], num_cliques: int,
@@ -306,13 +352,23 @@ class MembershipManager:
 
     def advance_epoch(self, joins: Sequence[str] = (),
                       leaves: Sequence[str] = (),
-                      first_round: Optional[int] = None) -> EpochTransition:
+                      first_round: Optional[int] = None,
+                      min_clique_floor: Optional[int] = None,
+                      ) -> EpochTransition:
         """Produce the next epoch from a join/leave delta.
 
         ``first_round`` is the first round id the new epoch will run
         (callers that drive rounds — sessions — pass their counter so
         round ids, and therefore pads, never repeat across epochs);
         omitted, the rounds recorded via :meth:`note_round` decide.
+
+        ``min_clique_floor`` enforces an anonymity floor *above* the
+        structural minimum of two: if the new epoch's smallest clique
+        would drop below it, the advance is refused with
+        :class:`~repro.errors.ConfigurationError` **before any state
+        changes** — ``Epoch.min_clique_size`` never silently collapses.
+        Size the enrollment with :func:`suggest_num_cliques` to keep the
+        floor holdable under forecast churn.
 
         Only users whose clique changed are re-keyed; everyone else
         keeps their generator, and survivors of an affected clique keep
@@ -327,6 +383,20 @@ class MembershipManager:
         continuing = {u: c for u, c in old_clique.items()
                       if u not in set(leaves)}
         new_clique, moved = _reshard(continuing, self.num_cliques, joins)
+        if min_clique_floor is not None:
+            sizes: Dict[int, int] = {c: 0 for c in range(self.num_cliques)}
+            for clique in new_clique.values():
+                sizes[clique] += 1
+            small = sorted(c for c, n in sizes.items()
+                           if n < min_clique_floor)
+            if small:
+                raise ConfigurationError(
+                    f"advance_epoch would drop clique(s) {small} below the "
+                    f"anonymity floor k_min={min_clique_floor} (sizes: "
+                    f"{ {c: sizes[c] for c in small} }); a report would "
+                    f"hide among fewer than {min_clique_floor} users. "
+                    f"Enroll more users, or size the population with "
+                    f"suggest_num_cliques(roster, churn_forecast, k_min)")
 
         # Drop leavers' clients (key material is retained for rejoins);
         # invalidate their — and moved users' — cached pad streams in

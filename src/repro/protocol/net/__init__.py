@@ -8,7 +8,10 @@ transports below it are a fidelity ladder —
 * :class:`~repro.protocol.transport.WireTransport` round-trips every
   message through the byte-exact codec in :mod:`repro.protocol.wire`;
 * :class:`SocketTransport` (here) pushes those same bytes through a real
-  localhost TCP connection as length-prefixed frames —
+  localhost TCP connection as length-prefixed frames;
+* :class:`ChaosSocketTransport` makes those frames suffer — seeded,
+  per-link WAN faults (latency, jitter, loss, drops, truncation,
+  slow-loris trickle) described by a :class:`FaultPlan` —
 
 and :class:`ProcessAggregatorPool` takes the remaining step: each
 :class:`~repro.protocol.aggregator.CliqueAggregator` and the
@@ -18,6 +21,12 @@ processes behind asyncio TCP servers, driven through
 ``ProtocolSession(transport="socket", aggregator_procs=k)`` wires all of
 it from the facade, and ``advance_epoch`` reconfigures the live
 processes without restarting them.
+
+:class:`SupervisedAggregatorPool` adds the production failure story on
+top: workers that crash, crash-loop or hang mid-round are respawned from
+their specs under a bounded :class:`RetryPolicy` and the round's
+exchanges are replayed, so the round completes bit-identically instead
+of raising (``ProtocolSession(fault_plan=..., retry_policy=...)``).
 
 The guarantees the rest of the stack proves are transport-independent:
 pad one-time-ness is keyed by ``(pair, round)`` on the clients, and the
@@ -40,12 +49,32 @@ from repro.protocol.net.spec import (
     summary_to_spec,
 )
 from repro.protocol.net.transport import SocketTransport
+from repro.protocol.net.chaos import (
+    ChaosSocketTransport,
+    FaultPlan,
+    FaultyTransport,
+    LinkFault,
+)
+from repro.protocol.net.supervisor import (
+    NO_RETRY,
+    RetryPolicy,
+    SupervisedAggregatorPool,
+    SupervisedEndpointProxy,
+)
 
 __all__ = [
+    "ChaosSocketTransport",
     "EndpointServer",
+    "FaultPlan",
+    "FaultyTransport",
+    "LinkFault",
+    "NO_RETRY",
     "ProcessAggregatorPool",
     "ProcessEndpointProxy",
+    "RetryPolicy",
     "SocketTransport",
+    "SupervisedAggregatorPool",
+    "SupervisedEndpointProxy",
     "build_endpoint",
     "clique_spec",
     "frames",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -148,11 +149,30 @@ def check_frame_length(length: int, max_frame: int) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _recv_exact(sock: socket.socket, count: int, context: str) -> Optional[bytes]:
-    """Read exactly ``count`` bytes; None on clean EOF before any byte."""
+def _recv_exact(
+    sock: socket.socket,
+    count: int,
+    context: str,
+    deadline: Optional[float] = None,
+) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF before any byte.
+
+    ``deadline`` (a ``time.monotonic()`` instant) hard-bounds the whole
+    read: without it, a peer trickling one byte per socket-timeout
+    interval could stretch a single frame forever — each ``recv``
+    individually beats the timeout while the exchange never ends.
+    """
     chunks: List[bytes] = []
     received = 0
     while received < count:
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ProtocolError(
+                    f"timed out waiting for {context} "
+                    f"({received}/{count} bytes)"
+                )
+            sock.settimeout(min(sock.gettimeout() or remaining, remaining))
         try:
             chunk = sock.recv(count - received)
         except socket.timeout:
@@ -179,16 +199,21 @@ def recv_frame(
     sock: socket.socket,
     max_frame: int = DEFAULT_MAX_FRAME,
     eof_ok: bool = False,
+    deadline: Optional[float] = None,
 ) -> Optional[Tuple[int, bytes]]:
-    """Read one frame; ``(kind, body)``, or None on clean EOF if allowed."""
-    header = _recv_exact(sock, _LEN.size, "frame length prefix")
+    """Read one frame; ``(kind, body)``, or None on clean EOF if allowed.
+
+    ``deadline`` bounds the *whole* frame (header and payload together)
+    against byte-trickling peers; see :func:`_recv_exact`.
+    """
+    header = _recv_exact(sock, _LEN.size, "frame length prefix", deadline)
     if header is None:
         if eof_ok:
             return None
         raise ProtocolError("connection closed while waiting for a frame")
     (length,) = _LEN.unpack(header)
     check_frame_length(length, max_frame)
-    payload = _recv_exact(sock, length, "frame payload")
+    payload = _recv_exact(sock, length, "frame payload", deadline)
     if payload is None:
         raise ProtocolError("connection closed between frame header and payload")
     return payload[0], payload[1:]

@@ -21,6 +21,7 @@ root learns the new clique/client rosters the same way.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import subprocess
 import sys
@@ -35,6 +36,8 @@ from repro.protocol.endpoint import SERVER_ENDPOINT, ProtocolEndpoint
 from repro.protocol.net import frames
 from repro.protocol.net.proxy import ProcessEndpointProxy
 from repro.protocol.net.spec import clique_spec, root_spec, rule_spec
+
+logger = logging.getLogger(__name__)
 
 
 class _Worker:
@@ -76,6 +79,11 @@ class ProcessAggregatorPool:
         dispatch is delayed in that clique's process, modelling a slow
         aggregation server (the net-layer analogue of
         ``InMemoryTransport.fail_sender``).
+    chaos_hang_after:
+        Failure injection for tests: clique id -> number of dispatched
+        frames after which that clique's process *hangs* (stops replying
+        without dying) — the failure mode EOF detection cannot see; only
+        the proxy's per-exchange deadline catches it.
     """
 
     def __init__(
@@ -85,12 +93,14 @@ class ProcessAggregatorPool:
         max_frame: int = frames.DEFAULT_MAX_FRAME,
         timeout: float = 60.0,
         chaos_delay_s: Optional[Dict[int, float]] = None,
+        chaos_hang_after: Optional[Dict[int, int]] = None,
     ) -> None:
         self.config = config
         self.root_id = root_id
         self.max_frame = max_frame
         self.timeout = timeout
         self.chaos_delay_s = dict(chaos_delay_s or {})
+        self.chaos_hang_after = dict(chaos_hang_after or {})
         self._workers: Dict[str, _Worker] = {}
         self._closed = False
 
@@ -147,6 +157,7 @@ class ProcessAggregatorPool:
                 root_id=self.root_id,
                 max_frame=self.max_frame,
                 delay_s=self.chaos_delay_s.get(clique_id, 0.0),
+                hang_after=self.chaos_hang_after.get(clique_id),
             )
         desired[self.root_id] = root_spec(
             self.config,
@@ -183,8 +194,7 @@ class ProcessAggregatorPool:
                 worker = self._workers.pop(endpoint_id, None)
                 if worker is not None:
                     worker.proxy.close()
-                process.kill()
-                process.wait(timeout=5)
+                self._terminate(process, hard=True)
             raise
 
         proxies = [
@@ -247,22 +257,31 @@ class ProcessAggregatorPool:
             line += chunk
         return bytes(line)
 
-    def _attach(
-        self,
-        endpoint_id: str,
-        process: subprocess.Popen,
-        spec: Dict[str, Any],
-    ) -> _Worker:
+    def _handshake(
+        self, endpoint_id: str, process: subprocess.Popen
+    ) -> Tuple[str, int]:
+        """Parse the worker's one-line port announcement."""
         line = self._read_announcement(endpoint_id, process)
         try:
             announcement = json.loads(line)
-            host, port = announcement["host"], int(announcement["port"])
+            return announcement["host"], int(announcement["port"])
         except (ValueError, KeyError, TypeError):
             raise ProtocolError(
                 f"aggregator process for {endpoint_id!r} announced garbage: "
                 f"{line[:200]!r}"
             ) from None
-        proxy = ProcessEndpointProxy.connect(
+
+    def _make_proxy(
+        self,
+        endpoint_id: str,
+        host: str,
+        port: int,
+        process: subprocess.Popen,
+        spec: Dict[str, Any],
+    ) -> ProcessEndpointProxy:
+        """Proxy factory — the supervisor subclass overrides this to hand
+        out supervised proxies over the same handshake."""
+        return ProcessEndpointProxy.connect(
             host,
             port,
             endpoint_id,
@@ -272,7 +291,54 @@ class ProcessAggregatorPool:
             pid=process.pid,
             rule=spec.get("threshold_rule"),
         )
+
+    def _attach(
+        self,
+        endpoint_id: str,
+        process: subprocess.Popen,
+        spec: Dict[str, Any],
+    ) -> _Worker:
+        host, port = self._handshake(endpoint_id, process)
+        proxy = self._make_proxy(endpoint_id, host, port, process, spec)
         return _Worker(process, proxy, spec)
+
+    def _terminate(
+        self,
+        process: subprocess.Popen,
+        grace: float = 5.0,
+        hard: bool = False,
+    ) -> None:
+        """The one worker-shutdown escalation path: signal, bounded wait,
+        escalate to SIGKILL (logged), bounded wait again.
+
+        ``hard=True`` skips SIGTERM and goes straight to SIGKILL (crash
+        injection, hung workers). Already-exited processes just reap.
+        """
+        if process.poll() is None:
+            if hard:
+                process.kill()
+            else:
+                process.terminate()
+        try:
+            process.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            logger.warning(
+                "aggregator pid %s ignored %s for %.1fs; escalating to "
+                "SIGKILL",
+                process.pid,
+                "SIGKILL" if hard else "SIGTERM",
+                grace,
+            )
+            process.kill()
+            try:
+                process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                logger.error(
+                    "aggregator pid %s survived SIGKILL for %.1fs; "
+                    "abandoning the wait",
+                    process.pid,
+                    grace,
+                )
 
     # ------------------------------------------------------------------
     # Introspection & chaos
@@ -295,8 +361,7 @@ class ProcessAggregatorPool:
             worker = self._workers[endpoint_id]
         except KeyError:
             raise ProtocolError(f"no aggregator process for {endpoint_id!r}") from None
-        worker.process.kill()
-        worker.process.wait(timeout=10)
+        self._terminate(worker.process, grace=10.0, hard=True)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -309,11 +374,7 @@ class ProcessAggregatorPool:
         for worker in self._workers.values():
             worker.proxy.shutdown()
         for worker in self._workers.values():
-            try:
-                worker.process.wait(timeout=5)
-            except subprocess.TimeoutExpired:
-                worker.process.kill()
-                worker.process.wait(timeout=5)
+            self._terminate(worker.process)
             if worker.process.stdin is not None:
                 worker.process.stdin.close()
             if worker.process.stdout is not None:

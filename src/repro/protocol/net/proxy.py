@@ -23,6 +23,7 @@ Failure semantics (the satellite contract):
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import (
@@ -68,9 +69,9 @@ class ProcessEndpointProxy(ProtocolEndpoint):
         self.endpoint_id = endpoint_id
         self.config = config
         self.max_frame = max_frame
+        self.timeout = timeout
         self.pid = pid
-        self._sock = sock
-        self._sock.settimeout(timeout)
+        self._adopt_socket(sock)
         # The local mirror of the hosted root's threshold rule MUST
         # start in sync with what the process was spawned with: epoch
         # advances read it back (session.root.threshold_rule) to carry
@@ -106,21 +107,62 @@ class ProcessEndpointProxy(ProtocolEndpoint):
     # ------------------------------------------------------------------
     # Frame exchange
     # ------------------------------------------------------------------
-    def _died(self, why: str) -> ProtocolError:
+    def _adopt_socket(self, sock: socket.socket) -> None:
+        """Take ownership of a (possibly replacement) connection.
+
+        The supervisor calls this after respawning a crashed worker: the
+        proxy keeps its identity and journal, only the plumbing changes.
+        """
+        self._sock = sock
+        self._sock.settimeout(self.timeout)
+        try:
+            self._peer = "%s:%s" % self._sock.getpeername()[:2]
+        except OSError:
+            self._peer = "<unconnected>"
+        self._closed = False
+
+    def _died(self, why: str, dead: bool = True) -> ProtocolError:
+        """A ProtocolError naming the endpoint; ``dead=True`` (actual
+        peer-process death / hang, as opposed to local misuse like
+        calling a closed proxy) tags it ``peer_dead`` so the supervisor
+        can tell a respawnable crash from an unretriable condition
+        without string matching."""
         who = f"endpoint process {self.endpoint_id!r}"
         if self.pid is not None:
             who += f" (pid {self.pid})"
-        return ProtocolError(f"{who} {why}")
+        exc = ProtocolError(f"{who} {why}")
+        exc.peer_dead = dead
+        return exc
+
+    def _timeout_error(self, started: float) -> ProtocolError:
+        elapsed = time.monotonic() - started
+        exc = self._died(
+            f"timed out mid-exchange after {elapsed:.2f}s "
+            f"(timeout {self.timeout}s, peer {self._peer})"
+        )
+        exc.timed_out = True
+        return exc
 
     def _call(self, kind: int, body: bytes = b"") -> Outbox:
-        """One request/reply exchange; returns the hosted outbox."""
+        """One request/reply exchange; returns the hosted outbox.
+
+        The exchange as a whole is bounded by ``timeout``: the deadline
+        is threaded into every frame read, so a peer trickling bytes
+        cannot stretch one exchange past it (satellite contract: the
+        error names the elapsed time and the peer address).
+        """
         if self._closed:
-            raise self._died("is closed")
+            raise self._died("is closed", dead=False)
+        started = time.monotonic()
+        deadline = started + self.timeout
         try:
+            self._sock.settimeout(self.timeout)
             frames.send_frame(self._sock, kind, body)
             outbox: Outbox = []
             while True:
-                frame = frames.recv_frame(self._sock, self.max_frame)
+                frame = frames.recv_frame(
+                    self._sock, self.max_frame, deadline=deadline
+                )
                 assert frame is not None  # eof_ok=False raises instead
                 reply_kind, reply_body = frame
                 if reply_kind == frames.DONE:
@@ -139,7 +181,7 @@ class ProcessEndpointProxy(ProtocolEndpoint):
                     f"{self.endpoint_id!r}"
                 )
         except socket.timeout:
-            raise self._died("timed out mid-round") from None
+            raise self._timeout_error(started) from None
         except (ConnectionError, BrokenPipeError, OSError) as exc:
             raise self._died(f"died mid-round ({exc})") from None
         except ProtocolError as exc:
@@ -150,6 +192,8 @@ class ProcessEndpointProxy(ProtocolEndpoint):
             # whatever its message contains.
             if getattr(exc, "remote", False):
                 raise
+            if "timed out" in str(exc):
+                raise self._timeout_error(started) from None
             if "closed" in str(exc) or "truncated" in str(exc):
                 raise self._died(f"died mid-round ({exc})") from None
             raise

@@ -53,6 +53,12 @@ class EndpointServer:
         Chaos knob: sleep this long before dispatching each frame,
         modelling a slow aggregation server. The drivers' quiescence
         logic must tolerate it (see the failure-mode tests).
+    hang_after:
+        Chaos knob: after this many dispatched frames the server stops
+        replying (sleeps ~forever per request) *without* exiting — the
+        wedged-worker failure mode. EOF-based crash detection cannot see
+        it; the proxy's per-exchange deadline (and the supervisor's
+        kill-and-respawn) must.
     lock:
         Optional externally owned lock serializing dispatch. When the
         hosted endpoint is *also* driven by another thread (a
@@ -78,6 +84,7 @@ class EndpointServer:
         max_frame: int = frames.DEFAULT_MAX_FRAME,
         rebuild: Optional[Callable] = None,
         delay_s: float = 0.0,
+        hang_after: Optional[int] = None,
         lock: Optional[threading.Lock] = None,
         allowed_kinds: Optional[frozenset] = None,
     ) -> None:
@@ -87,6 +94,8 @@ class EndpointServer:
         self.max_frame = max_frame
         self.rebuild = rebuild
         self.delay_s = delay_s
+        self.hang_after = hang_after
+        self._dispatched = 0
         self.allowed_kinds = (
             frozenset(allowed_kinds) if allowed_kinds is not None else None
         )
@@ -113,6 +122,12 @@ class EndpointServer:
         """Turn one request frame into its reply frames (thread-safe)."""
         if self.delay_s:
             time.sleep(self.delay_s)
+        self._dispatched += 1
+        if self.hang_after is not None and self._dispatched > self.hang_after:
+            # Wedge, don't die: no reply ever comes, the connection stays
+            # open, the process stays alive. An hour outlasts any test's
+            # deadline while keeping the hang recoverable by SIGKILL.
+            time.sleep(3600.0)
         with self._lock:
             try:
                 return self._dispatch_locked(kind, body)

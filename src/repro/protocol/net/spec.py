@@ -111,9 +111,15 @@ def clique_spec(
     root_id: str = SERVER_ENDPOINT,
     max_frame: int = DEFAULT_MAX_FRAME,
     delay_s: float = 0.0,
+    hang_after: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Spec for one clique's aggregator process."""
-    return {
+    """Spec for one clique's aggregator process.
+
+    ``hang_after`` is chaos plumbing: the hosted server stops replying
+    (without exiting) after that many dispatched frames — the supervisor
+    tests' stand-in for a wedged aggregation server.
+    """
+    spec = {
         "role": ROLE_CLIQUE,
         "clique_id": int(clique_id),
         "config": config_to_spec(config),
@@ -122,6 +128,9 @@ def clique_spec(
         "max_frame": int(max_frame),
         "delay_s": float(delay_s),
     }
+    if hang_after is not None:
+        spec["hang_after"] = int(hang_after)
+    return spec
 
 
 def root_spec(

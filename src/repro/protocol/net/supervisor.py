@@ -1,0 +1,354 @@
+"""Supervised aggregator workers: crash detection, respawn, replay.
+
+:class:`~repro.protocol.net.pool.ProcessAggregatorPool` turns a worker
+crash into an immediate :class:`~repro.errors.ProtocolError` — correct
+for proving "never a hang", useless for a deployment where aggregation
+servers do die mid-round. This module adds the production behaviour as a
+layer, leaving the unsupervised semantics as the default:
+
+* :class:`RetryPolicy` — bounded retry with exponential backoff, and the
+  per-round restart budget.
+* :class:`SupervisedEndpointProxy` — a
+  :class:`~repro.protocol.net.proxy.ProcessEndpointProxy` that journals
+  the current round's exchanges; on peer death (EOF, reset, *or* a hung
+  worker caught by the per-exchange deadline) it asks its supervisor for
+  a fresh process, replays the journal to rebuild the round's partial
+  state, and retries the failed exchange.
+* :class:`SupervisedAggregatorPool` — the pool subclass that does the
+  respawning (same spec, same endpoint id, new PID) and keeps restart
+  telemetry.
+
+Why replay is sound: the hosted aggregators are deterministic functions
+of the exchange sequence, and the protocol's messages are idempotent
+under identical resends (a clique aggregator accepts a bit-identical
+report twice; the root accepts a duplicate partial). Replaying the
+journal therefore reconstructs exactly the state the dead process held,
+and the driver — which never learns about the crash — completes the
+round **bit-identically** to an undisturbed run. Outboxes produced
+during replay are discarded: the driver already delivered them.
+
+Crash injection (``FaultPlan.worker_crashes``) happens here rather than
+in the transport because what dies is a *process*, not a link: the
+supervised proxy consults the plan's schedule before each exchange and
+kills its own worker — after any pending respawn, so consecutive
+ordinals crash the *replacement* process and produce a genuine crash
+loop against the restart budget.
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.net import frames
+from repro.protocol.net.chaos import FaultPlan
+from repro.protocol.net.pool import ProcessAggregatorPool
+from repro.protocol.net.pool import logger as pool_logger
+from repro.protocol.net.proxy import ProcessEndpointProxy
+from repro.protocol.net.spec import rule_spec
+
+logger = pool_logger.getChild("supervisor")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for supervised endpoint exchanges.
+
+    ``max_restarts`` is the per-endpoint, per-round budget: a worker may
+    be respawned that many times within one round before the crash loop
+    is declared unrecoverable and the round fails with the underlying
+    :class:`~repro.errors.ProtocolError`. Backoff between restarts is
+    exponential: ``backoff_base_s * backoff_factor**(n-1)``, capped at
+    ``backoff_max_s``.
+    """
+
+    max_restarts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"RetryPolicy.max_restarts must be >= 0, got "
+                f"{self.max_restarts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("RetryPolicy backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"RetryPolicy.backoff_factor must be >= 1, got "
+                f"{self.backoff_factor}"
+            )
+
+    def backoff_s(self, restart_no: int) -> float:
+        """Backoff before restart number ``restart_no`` (1-based)."""
+        raw = self.backoff_base_s * self.backoff_factor ** max(
+            0, restart_no - 1
+        )
+        return min(self.backoff_max_s, raw)
+
+
+#: Supervision that injects scheduled crashes but never recovers from
+#: them: the first death raises exactly like the unsupervised pool.
+#: What "the same plan with retries disabled" runs against.
+NO_RETRY = RetryPolicy(max_restarts=0, backoff_base_s=0.0)
+
+
+#: Exchange kinds that rebuild round state and are therefore journaled
+#: for replay. SUMMARY / SET_RULE / RECONFIGURE / SHUTDOWN are not: they
+#: either carry no state, are re-pushed from the spec on respawn, or
+#: must not be retried against a fresh process.
+_REPLAYED_KINDS = frozenset(
+    (frames.ROUND_START, frames.MSG, frames.IDLE, frames.ROUND_END)
+)
+
+
+class SupervisedEndpointProxy(ProcessEndpointProxy):
+    """A process proxy that survives its worker dying.
+
+    Construction is pool-internal (see
+    :meth:`SupervisedAggregatorPool._make_proxy`): the proxy needs a
+    supervisor capable of respawning its process.
+    """
+
+    def __init__(
+        self,
+        endpoint_id: str,
+        sock: socket.socket,
+        supervisor: "SupervisedAggregatorPool",
+        retry_policy: RetryPolicy,
+        fault_plan: Optional[FaultPlan] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(endpoint_id, sock, **kwargs)
+        self._supervisor = supervisor
+        self._policy = retry_policy
+        self._plan = fault_plan
+        #: The current round's (kind, body) exchange journal.
+        self._journal: List[Tuple[int, bytes]] = []
+        self._exchanges = 0
+        self._restarts_this_round = 0
+        self._needs_respawn = False
+        self._replaying = False
+        #: Lifetime restarts (telemetry; the pool aggregates these).
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # The supervised exchange loop
+    # ------------------------------------------------------------------
+    def _call(self, kind: int, body: bytes = b"") -> Any:
+        if self._replaying or kind == frames.SHUTDOWN:
+            # Replay exchanges go straight through (the outer loop is
+            # already handling a failure); SHUTDOWN must never respawn a
+            # dead worker just to kill it again.
+            return super()._call(kind, body)
+        if kind == frames.ROUND_START:
+            self._journal.clear()
+            self._restarts_this_round = 0
+        while True:
+            try:
+                if self._needs_respawn:
+                    self._respawn_and_replay()
+                self._exchanges += 1
+                if self._plan is not None and self._plan.take_crash(
+                    self.endpoint_id, self._exchanges
+                ):
+                    self._supervisor.inject_crash(self.endpoint_id)
+                outbox = super()._call(kind, body)
+            except ProtocolError as exc:
+                if getattr(exc, "remote", False) or not getattr(
+                    exc, "peer_dead", False
+                ):
+                    raise  # a protocol bug, not a dead worker
+                self._note_death(exc)  # raises when the budget is spent
+                continue
+            if kind in _REPLAYED_KINDS:
+                self._journal.append((kind, body))
+            return outbox
+
+    def _note_death(self, exc: ProtocolError) -> None:
+        """Account one worker death; schedule a respawn or give up."""
+        if self._restarts_this_round >= self._policy.max_restarts:
+            if self._policy.max_restarts == 0:
+                raise  # noqa: PLE0704 - re-raise the original death
+            raise ProtocolError(
+                f"endpoint process {self.endpoint_id!r} crash-looped: died "
+                f"{self._restarts_this_round + 1} time(s) this round, "
+                f"restart budget {self._policy.max_restarts} exhausted "
+                f"({exc})"
+            ) from exc
+        self._restarts_this_round += 1
+        self.restarts += 1
+        self._needs_respawn = True
+        hung = getattr(exc, "timed_out", False)
+        logger.warning(
+            "supervisor: %s %s (%s); restart %d/%d",
+            self.endpoint_id,
+            "hung" if hung else "died",
+            exc,
+            self._restarts_this_round,
+            self._policy.max_restarts,
+        )
+        self._supervisor.note_crash(self.endpoint_id, exc)
+        backoff = self._policy.backoff_s(self._restarts_this_round)
+        if backoff:
+            time.sleep(backoff)
+
+    def _respawn_and_replay(self) -> None:
+        """Fresh process, same identity: adopt its socket, replay the
+        round journal to rebuild the partial state the dead worker held.
+
+        Raises the usual death errors if the *replacement* dies during
+        replay — the outer loop catches them, so consecutive scheduled
+        crashes burn restart budget as a genuine crash loop.
+        """
+        sock, pid = self._supervisor.respawn(self.endpoint_id)
+        self.pid = pid
+        self._adopt_socket(sock)
+        self._replaying = True
+        try:
+            for kind, body in self._journal:
+                # Outboxes were already delivered by the driver before
+                # the crash; replay only rebuilds endpoint state.
+                super()._call(kind, body)
+        finally:
+            self._replaying = False
+        self._needs_respawn = False
+
+
+class SupervisedAggregatorPool(ProcessAggregatorPool):
+    """A :class:`ProcessAggregatorPool` whose workers are supervised.
+
+    Hands out :class:`SupervisedEndpointProxy` endpoints wired back to
+    this pool, respawns crashed/hung workers from their stored spec
+    (same endpoint id and port-announcement handshake, new PID), and
+    executes any ``FaultPlan.worker_crashes`` schedule.
+
+    Parameters (beyond the base pool's):
+
+    retry_policy:
+        The :class:`RetryPolicy` every proxy enforces. ``None`` means
+        :data:`NO_RETRY`: scheduled crashes still fire, but the first
+        death raises — today's unsupervised semantics, kept available so
+        a chaos scenario can prove the supervisor (not luck) saved the
+        round.
+    fault_plan:
+        The :class:`~repro.protocol.net.chaos.FaultPlan` whose
+        ``worker_crashes`` schedule this pool executes.
+    """
+
+    def __init__(
+        self,
+        config,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(config, **kwargs)
+        self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
+        self.fault_plan = fault_plan
+        #: endpoint id -> lifetime respawn count (telemetry).
+        self.restarts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Proxy factory (the hook the base pool's _attach calls)
+    # ------------------------------------------------------------------
+    def _make_proxy(
+        self,
+        endpoint_id: str,
+        host: str,
+        port: int,
+        process: subprocess.Popen,
+        spec: Dict[str, Any],
+    ) -> SupervisedEndpointProxy:
+        return SupervisedEndpointProxy(
+            endpoint_id,
+            self._connect(host, port),
+            supervisor=self,
+            retry_policy=self.retry_policy,
+            fault_plan=self.fault_plan,
+            config=self.config,
+            max_frame=self.max_frame,
+            timeout=self.timeout,
+            pid=process.pid,
+            rule=spec.get("threshold_rule"),
+        )
+
+    def _connect(self, host: str, port: int) -> socket.socket:
+        sock = socket.create_connection((host, port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    # ------------------------------------------------------------------
+    # Supervision callbacks (what the proxies invoke)
+    # ------------------------------------------------------------------
+    def inject_crash(self, endpoint_id: str) -> None:
+        """Execute one scheduled kill from the fault plan."""
+        worker = self._workers[endpoint_id]
+        logger.info(
+            "chaos: killing %s (pid %s) per fault plan",
+            endpoint_id,
+            worker.process.pid,
+        )
+        self._terminate(worker.process, grace=10.0, hard=True)
+
+    def note_crash(self, endpoint_id: str, exc: ProtocolError) -> None:
+        self.restarts[endpoint_id] += 1
+
+    def respawn(self, endpoint_id: str) -> Tuple[socket.socket, int]:
+        """Replace one worker's process in place; returns the proxy's
+        new connection and the new PID.
+
+        The replacement is built from the worker's stored spec — with
+        the threshold rule refreshed from the proxy's live mirror (a
+        SET_RULE pushed mid-epoch must survive the respawn) and any
+        ``hang_after`` chaos knob stripped (the injected wedge is a
+        one-shot fault; respawning it wedged would make every hang an
+        unrecoverable crash loop by construction).
+        """
+        if self._closed:
+            raise ProtocolError("aggregator pool is closed")
+        try:
+            worker = self._workers[endpoint_id]
+        except KeyError:
+            raise ProtocolError(
+                f"no aggregator process for {endpoint_id!r}"
+            ) from None
+        # The old process may be a hung-but-alive worker: take it down
+        # hard before spawning its replacement, and release its pipes.
+        self._terminate(worker.process, grace=10.0, hard=True)
+        for pipe in (worker.process.stdin, worker.process.stdout):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+        spec = {
+            key: value
+            for key, value in worker.spec.items()
+            if key != "hang_after"
+        }
+        if "threshold_rule" in spec:
+            spec["threshold_rule"] = rule_spec(worker.proxy.threshold_rule)
+        worker.spec = spec
+        process = self._launch(spec)
+        host, port = self._handshake(endpoint_id, process)
+        worker.process = process
+        logger.info(
+            "supervisor: respawned %s as pid %s", endpoint_id, process.pid
+        )
+        return self._connect(host, port), process.pid
+
+
+__all__ = [
+    "NO_RETRY",
+    "RetryPolicy",
+    "SupervisedAggregatorPool",
+    "SupervisedEndpointProxy",
+]

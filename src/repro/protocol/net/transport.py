@@ -45,8 +45,15 @@ class SocketTransport(WireTransport):
         timeout: float = 30.0,
     ) -> None:
         super().__init__(record_transcript=record_transcript)
+        # _closed first: __del__ runs even when __init__ died before the
+        # sockets existed, and close() must find a coherent state.
+        self._closed = True
         self.max_frame = max_frame
         self.timeout = timeout
+        # Write pacing knobs, overridden per-send by the chaos transport
+        # (slow-loris trickle). The defaults reproduce the plain pump.
+        self._chunk = _CHUNK
+        self._write_pause = 0.0
         self._lock = threading.Lock()
         listener = socket.create_server(("127.0.0.1", 0))
         try:
@@ -93,10 +100,15 @@ class SocketTransport(WireTransport):
             )
             if writable:
                 try:
-                    sent = self._out.send(out[:_CHUNK])
+                    sent = self._out.send(out[: self._chunk])
                 except BlockingIOError:
                     sent = 0
                 out = out[sent:]
+                if sent and out and self._write_pause:
+                    # Trickle pacing: the deadline above still bounds the
+                    # whole frame, so a too-slow sender stalls out.
+                    left = deadline - time.monotonic()
+                    time.sleep(min(self._write_pause, max(0.0, left)))
             if readable:
                 chunk = self._in.recv(_CHUNK)
                 if not chunk:
@@ -117,13 +129,20 @@ class SocketTransport(WireTransport):
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
-            for sock in (self._out, self._in):
-                try:
-                    sock.close()
-                except OSError:
-                    pass
+        """Close both socket ends; idempotent, and safe on an instance
+        whose ``__init__`` never finished (``__del__`` calls this during
+        interpreter shutdown, when attributes may be missing and module
+        globals already torn down)."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for sock in (getattr(self, "_out", None), getattr(self, "_in", None)):
+            if sock is None:
+                continue
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "SocketTransport":
         return self
@@ -131,8 +150,8 @@ class SocketTransport(WireTransport):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def __del__(self) -> None:  # best-effort cleanup
+    def __del__(self) -> None:  # best-effort cleanup, must never raise
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass

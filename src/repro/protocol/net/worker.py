@@ -46,11 +46,13 @@ def main() -> int:
         return 2
     spec = json.loads(line)
     endpoint = build_endpoint(spec)
+    hang_after = spec.get("hang_after")
     server = EndpointServer(
         endpoint,
         max_frame=int(spec.get("max_frame", DEFAULT_MAX_FRAME)),
         rebuild=build_endpoint,
         delay_s=float(spec.get("delay_s", 0.0)),
+        hang_after=int(hang_after) if hang_after is not None else None,
     )
     threading.Thread(target=_stdin_leash, daemon=True).start()
 

@@ -294,3 +294,68 @@ def test_proxy_timeout_surfaces_as_protocol_error():
         listener.close()
         for conn in accepted:
             conn.close()
+
+
+def test_proxy_deadline_fires_mid_frame_with_elapsed_and_peer():
+    """The per-exchange deadline must cover a *partial* reply: header
+    received, body stalled. The proxy raises ProtocolError naming the
+    elapsed time and the peer address — never hangs past the timeout."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    accepted = []
+
+    def accept_header_then_stall():
+        conn, _ = listener.accept()
+        accepted.append(conn)
+        frames.recv_frame(conn)  # consume the request
+        # A reply frame claiming 64 bytes, delivering only the kind
+        # byte: the proxy is now blocked mid-payload.
+        conn.sendall(struct.pack(">I", 64) + bytes([frames.DONE]))
+
+    thread = threading.Thread(target=accept_header_then_stall, daemon=True)
+    thread.start()
+    try:
+        proxy = ProcessEndpointProxy.connect("127.0.0.1", port, "stalled",
+                                             config=CONFIG, timeout=0.4)
+        started = time.monotonic()
+        with pytest.raises(ProtocolError) as excinfo:
+            proxy.on_idle(0)
+        elapsed = time.monotonic() - started
+        # Bounded by the timeout (generous margin for slow CI), and the
+        # error names both the measured elapsed time and the peer.
+        assert elapsed < 5
+        message = str(excinfo.value)
+        assert "timed out" in message
+        assert "after" in message and "s" in message
+        assert f"127.0.0.1:{port}" in message
+        assert getattr(excinfo.value, "timed_out", False)
+        proxy.close()
+    finally:
+        listener.close()
+        for conn in accepted:
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Transport teardown is unconditionally safe
+# ---------------------------------------------------------------------------
+
+def test_socket_transport_close_is_idempotent():
+    transport = SocketTransport()
+    transport.register("a")
+    transport.close()
+    transport.close()  # double-close must be a no-op, not an OSError
+
+
+def test_socket_transport_del_survives_partial_init():
+    # __del__ on an instance whose __init__ never ran (the interpreter-
+    # shutdown / failed-construction shape): no attributes exist, and
+    # teardown still must not raise.
+    transport = SocketTransport.__new__(SocketTransport)
+    transport.__del__()
+
+
+def test_socket_transport_del_after_close_is_silent():
+    transport = SocketTransport()
+    transport.close()
+    transport.__del__()  # already closed: nothing left to do
