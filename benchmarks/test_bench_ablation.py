@@ -62,7 +62,7 @@ def test_threshold_rule_ablation(benchmark):
                 "  (paper settled on the mean as the best trade-off)",
                 rows)
     # Every rule keeps FPs tiny; the mean detects at this cap.
-    for rule, (tp, fn, fp, tn) in results.items():
+    for rule, (_tp, _fn, fp, tn) in results.items():
         assert fp / max(fp + tn, 1) < 0.02, rule
     mean_tp = results[ThresholdRule.MEAN][0]
     assert mean_tp > 0

@@ -175,6 +175,7 @@ class LogisticModel:
         n, k = X.shape
         beta = np.zeros(k)
         ll_old = -np.inf
+        iterations_run = max_iter
         for iteration in range(1, max_iter + 1):
             eta = X @ beta
             mu = 1.0 / (1.0 + np.exp(-eta))
@@ -187,15 +188,16 @@ class LogisticModel:
             gradient = X.T @ (y - mu)
             try:
                 step = np.linalg.solve(hessian, gradient)
-            except np.linalg.LinAlgError:
-                raise ConvergenceError("singular Hessian during IRLS")
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    "singular Hessian during IRLS") from exc
             beta = beta + step
             ll = float(np.sum(y * np.log(mu) + (1 - y) * np.log(1 - mu)))
             if abs(ll - ll_old) < tol:
+                iterations_run = iteration
                 break
             ll_old = ll
         else:
-            iteration = max_iter
             ll = ll_old
             if not np.isfinite(ll):
                 raise ConvergenceError(
@@ -213,7 +215,7 @@ class LogisticModel:
         self._result = LogisticRegressionResult(
             column_names=self.column_names(), beta=beta,
             covariance=covariance, log_likelihood=ll,
-            null_log_likelihood=null_ll, iterations=iteration,
+            null_log_likelihood=null_ll, iterations=iterations_run,
             num_observations=n)
         return self._result
 

@@ -50,7 +50,16 @@ Sessions that own subprocesses or sockets are context managers; call
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError, RoundStateError
 from repro.protocol.client import ProtocolClient, RoundConfig
@@ -74,6 +83,19 @@ from repro.protocol.runner import (
 )
 from repro.protocol.transport import InMemoryTransport
 
+if TYPE_CHECKING:
+    from repro.protocol.net.chaos import FaultPlan
+    from repro.protocol.net.pool import ProcessAggregatorPool
+    from repro.core.detector import DetectorConfig
+    from repro.core.pipeline import PipelineResult
+    from repro.types import Impression
+    from repro.protocol.net.supervisor import RetryPolicy
+
+#: What ``transport=`` accepts: a named transport or a live instance.
+TransportSpec = Union[str, InMemoryTransport, None]
+#: Zero-argument factory producing a fresh per-window transport.
+TransportFactory = Callable[[], InMemoryTransport]
+
 __all__ = [
     "ProtocolSession",
     "run_private_round",
@@ -96,7 +118,9 @@ DRIVERS = ("sync", "async")
 TRANSPORTS = ("memory", "wire", "socket")
 
 
-def _resolve_transport(spec, fault_plan=None):
+def _resolve_transport(
+    spec: TransportSpec, fault_plan: "Optional[FaultPlan]" = None
+) -> Tuple[Optional[InMemoryTransport], bool]:
     """Transport spec -> (instance-or-None, session_owns_it).
 
     A ``fault_plan`` turns the ``"socket"`` transport into a
@@ -187,14 +211,14 @@ class ProtocolSession:
 
     def __init__(self, config: RoundConfig,
                  clients: Sequence[ProtocolClient],
-                 transport=None,
+                 transport: TransportSpec = None,
                  threshold_rule: ThresholdRuleFn = mean_threshold,
                  topology: str = "fanout",
                  driver: str = "sync",
                  membership: Optional[MembershipManager] = None,
                  aggregator_procs: int = 0,
-                 fault_plan=None,
-                 retry_policy=None) -> None:
+                 fault_plan: "Optional[FaultPlan]" = None,
+                 retry_policy: "Optional[RetryPolicy]" = None) -> None:
         if topology not in TOPOLOGIES:
             raise ConfigurationError(
                 f"unknown topology {topology!r}; expected one of "
@@ -293,11 +317,12 @@ class ProtocolSession:
     @classmethod
     def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
                topology: str = "fanout", driver: str = "sync",
-               transport=None,
+               transport: TransportSpec = None,
                threshold_rule: ThresholdRuleFn = mean_threshold,
                aggregator_procs: int = 0,
-               fault_plan=None, retry_policy=None,
-               **enroll_kwargs) -> "ProtocolSession":
+               fault_plan: "Optional[FaultPlan]" = None,
+               retry_policy: "Optional[RetryPolicy]" = None,
+               **enroll_kwargs: Any) -> "ProtocolSession":
         """Epoch-0 enrollment and session wiring in one step.
 
         ``enroll_kwargs`` are forwarded to
@@ -315,10 +340,11 @@ class ProtocolSession:
     @classmethod
     def from_enrollment(cls, enrollment: Enrollment,
                         topology: str = "fanout", driver: str = "sync",
-                        transport=None,
+                        transport: TransportSpec = None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
                         aggregator_procs: int = 0,
-                        fault_plan=None, retry_policy=None,
+                        fault_plan: "Optional[FaultPlan]" = None,
+                        retry_policy: "Optional[RetryPolicy]" = None,
                         ) -> "ProtocolSession":
         """Wrap an :class:`~repro.protocol.enrollment.Enrollment` —
         membership-aware whenever the enrollment carries key material."""
@@ -333,10 +359,11 @@ class ProtocolSession:
     @classmethod
     def from_membership(cls, membership: MembershipManager,
                         topology: str = "fanout", driver: str = "sync",
-                        transport=None,
+                        transport: TransportSpec = None,
                         threshold_rule: ThresholdRuleFn = mean_threshold,
                         aggregator_procs: int = 0,
-                        fault_plan=None, retry_policy=None,
+                        fault_plan: "Optional[FaultPlan]" = None,
+                        retry_policy: "Optional[RetryPolicy]" = None,
                         ) -> "ProtocolSession":
         return cls(membership.config, membership.clients,
                    transport=transport, threshold_rule=threshold_rule,
@@ -349,7 +376,7 @@ class ProtocolSession:
         return self._runner.transport
 
     @property
-    def aggregator_pool(self):
+    def aggregator_pool(self) -> "Optional[ProcessAggregatorPool]":
         """The live :class:`~repro.protocol.net.ProcessAggregatorPool`
         (None when aggregation runs in-process)."""
         return self._pool
@@ -477,19 +504,21 @@ class ProtocolSession:
     def __enter__(self) -> "ProtocolSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
 def run_private_round(config: RoundConfig,
                       clients: Sequence[ProtocolClient],
                       round_id: int = 0,
-                      transport=None,
+                      transport: TransportSpec = None,
                       threshold_rule: ThresholdRuleFn = mean_threshold,
                       topology: str = "fanout",
                       driver: str = "sync",
                       aggregator_procs: int = 0,
-                      fault_plan=None, retry_policy=None) -> RoundResult:
+                      fault_plan: "Optional[FaultPlan]" = None,
+                      retry_policy: "Optional[RetryPolicy]" = None,
+                      ) -> RoundResult:
     """One-shot §6 round: wire a session, run it, return the result.
 
     The session (and any subprocesses / sockets it owns) is closed
@@ -505,15 +534,20 @@ def run_private_round(config: RoundConfig,
         return session.run_round(round_id)
 
 
-def run_detection(impressions, week: int = 0, private: bool = True,
-                  detector_config=None, round_config=None,
+def run_detection(impressions: "Sequence[Impression]",
+                  week: int = 0, private: bool = True,
+                  detector_config: "Optional[DetectorConfig]" = None,
+                  round_config: Optional[RoundConfig] = None,
                   use_oprf: bool = False, enrollment_seed: int = 0,
-                  transport_factory=None, num_cliques: int = 1,
+                  transport_factory: Optional[TransportFactory] = None,
+                  num_cliques: int = 1,
                   topology: str = "fanout", driver: str = "sync",
                   rounds_per_window: int = 1,
                   transport: Optional[str] = None,
                   aggregator_procs: int = 0,
-                  fault_plan=None, retry_policy=None):
+                  fault_plan: "Optional[FaultPlan]" = None,
+                  retry_policy: "Optional[RetryPolicy]" = None,
+                  ) -> "PipelineResult":
     """Classify one week of impressions, optionally through the private
     protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
 

@@ -63,7 +63,7 @@ class MetadataStore:
     def __enter__(self) -> "MetadataStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

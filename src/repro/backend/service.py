@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.api import ProtocolSession
+from repro.api import ProtocolSession, TransportSpec
 from repro.backend.database import MetadataStore
 from repro.core.thresholds import ThresholdRule
 from repro.errors import ConfigurationError, RoundStateError
@@ -36,7 +36,7 @@ class _LiveRootHandle:
     def __init__(self, session: ProtocolSession) -> None:
         self._session = session
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._session.root, name)
 
 
@@ -63,7 +63,7 @@ class BackendService:
                  clients: Optional[Sequence[ProtocolClient]] = None,
                  store: Optional[MetadataStore] = None,
                  users_rule: ThresholdRule = ThresholdRule.MEAN,
-                 transport=None,
+                 transport: "TransportSpec" = None,
                  topology: str = "fanout",
                  driver: str = "sync",
                  enrollment: Optional[Enrollment] = None,
@@ -115,7 +115,7 @@ class BackendService:
 
     @classmethod
     def from_enrollment(cls, enrollment: Enrollment,
-                        **kwargs) -> "BackendService":
+                        **kwargs: Any) -> "BackendService":
         """Epoch-capable service over an enrollment's population."""
         return cls(enrollment.config, enrollment=enrollment, **kwargs)
 
@@ -265,5 +265,5 @@ class BackendService:
     def __enter__(self) -> "BackendService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -82,8 +82,7 @@ def _absorb(secret_bytes: bytes) -> "hashlib._Hash":
     return xof
 
 
-def _squeeze(absorbed: "hashlib._Hash", round_id: int,
-             num_cells: int) -> np.ndarray:
+def _squeeze(absorbed: "hashlib._Hash", round_id: int, num_cells: int) -> np.ndarray:
     """Fork an absorbed XOF state with the round id and squeeze cells.
 
     The byte stream is viewed as big-endian 32-bit cells and returned as
@@ -128,8 +127,7 @@ class PadStreamProvider:
 
     def __init__(self, max_streams: int = DEFAULT_MAX_STREAMS) -> None:
         if max_streams < 1:
-            raise ConfigurationError(
-                f"max_streams must be >= 1, got {max_streams}")
+            raise ConfigurationError(f"max_streams must be >= 1, got {max_streams}")
         self.max_streams = max_streams
         self._absorbed: Dict[PairKey, "hashlib._Hash"] = {}
         #: (pair, round, cells) -> the derived uint32 stream, waiting
@@ -138,14 +136,16 @@ class PadStreamProvider:
         #: recovery re-derivation) would otherwise linger forever —
         #: round ids are monotonic, so the first request of a *newer*
         #: round evicts every older round's leftovers.
-        self._streams: "OrderedDict[Tuple[PairKey, int, int], np.ndarray]" \
-            = OrderedDict()
+        self._streams: "OrderedDict[Tuple[PairKey, int, int], np.ndarray]" = (
+            OrderedDict()
+        )
         self._latest_round: Optional[int] = None
         self.hits = 0
         self.misses = 0
 
-    def stream(self, pair: PairKey, secret_bytes: bytes, round_id: int,
-               num_cells: int) -> np.ndarray:
+    def stream(
+        self, pair: PairKey, secret_bytes: bytes, round_id: int, num_cells: int
+    ) -> np.ndarray:
         """The pair's unsigned keystream for one round.
 
         A read-only native ``uint32`` array of values in ``[0, 2^32)``
@@ -188,10 +188,12 @@ class PadStreamProvider:
         drop = set(user_indexes)
         if not drop:
             return
-        self._absorbed = {pair: xof for pair, xof in self._absorbed.items()
-                          if not (pair[0] in drop or pair[1] in drop)}
-        for key in [k for k in self._streams
-                    if k[0][0] in drop or k[0][1] in drop]:
+        self._absorbed = {
+            pair: xof
+            for pair, xof in self._absorbed.items()
+            if not (pair[0] in drop or pair[1] in drop)
+        }
+        for key in [k for k in self._streams if k[0][0] in drop or k[0][1] in drop]:
             del self._streams[key]
 
     def forget_user(self, user_index: int) -> None:
@@ -235,13 +237,18 @@ class BlindingGenerator:
         deployment-faithful default) derives every stream locally.
     """
 
-    def __init__(self, group: DHGroup, user_index: int, keypair: KeyPair,
-                 peer_publics: Dict[int, int],
-                 pad_streams: Optional[PadStreamProvider] = None) -> None:
+    def __init__(
+        self,
+        group: DHGroup,
+        user_index: int,
+        keypair: KeyPair,
+        peer_publics: Dict[int, int],
+        pad_streams: Optional[PadStreamProvider] = None,
+    ) -> None:
         if user_index in peer_publics:
             raise ConfigurationError(
-                f"peer_publics must not contain the user's own index "
-                f"({user_index})")
+                f"peer_publics must not contain the user's own index " f"({user_index})"
+            )
         self.group = group
         self.user_index = user_index
         self.keypair = keypair
@@ -269,12 +276,12 @@ class BlindingGenerator:
         makes epoch re-sharding cheap for unchanged pairs.
         """
         if peer_index == self.user_index:
-            raise ConfigurationError(
-                f"user {self.user_index} cannot peer with itself")
+            raise ConfigurationError(f"user {self.user_index} cannot peer with itself")
         if peer_index in self._secret_bytes:
             return False
         self._secret_bytes[peer_index] = self.group.element_to_bytes(
-            self.group.shared_secret(self.keypair, public_key))
+            self.group.shared_secret(self.keypair, public_key)
+        )
         return True
 
     def remove_peer(self, peer_index: int) -> None:
@@ -294,7 +301,8 @@ class BlindingGenerator:
         if self.user_index in peer_publics:
             raise ConfigurationError(
                 f"peer_publics must not contain the user's own index "
-                f"({self.user_index})")
+                f"({self.user_index})"
+            )
         removed = [j for j in self._secret_bytes if j not in peer_publics]
         for j in removed:
             del self._secret_bytes[j]
@@ -304,18 +312,17 @@ class BlindingGenerator:
                 added += 1
         return len(self._secret_bytes) - added, added, len(removed)
 
-    def _unsigned_stream(self, peer: int, round_id: int,
-                         num_cells: int) -> np.ndarray:
+    def _unsigned_stream(self, peer: int, round_id: int, num_cells: int) -> np.ndarray:
         """The raw (sign-free) pair keystream, cached or derived."""
         secret = self._secret_bytes[peer]
         if self.pad_streams is not None:
             pair = (min(self.user_index, peer), max(self.user_index, peer))
-            return self.pad_streams.stream(pair, secret, round_id,
-                                           num_cells)
+            return self.pad_streams.stream(pair, secret, round_id, num_cells)
         return _squeeze(_absorb(secret), round_id, num_cells)
 
-    def _accumulate(self, peers: Sequence[int], round_id: int,
-                    num_cells: int, negate: bool) -> np.ndarray:
+    def _accumulate(
+        self, peers: Sequence[int], round_id: int, num_cells: int, negate: bool
+    ) -> np.ndarray:
         # Positive and negative stream sums accumulate separately (each
         # stream value is < 2^32, so fewer than 2^32 peers cannot wrap
         # uint64), then one wrapping subtraction: uint64 arithmetic is
@@ -333,8 +340,9 @@ class BlindingGenerator:
                 neg += stream
         return (pos - neg) % BLINDING_MODULUS
 
-    def blinding_vector_array(self, num_cells: int, round_id: int,
-                              peers: Iterable[int] = None) -> np.ndarray:
+    def blinding_vector_array(
+        self, num_cells: int, round_id: int, peers: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
         """Blinding factors for ``num_cells`` cells as a ``uint64`` array.
 
         Values lie in ``[0, 2^32)``. ``peers`` restricts the sum to a
@@ -342,23 +350,25 @@ class BlindingGenerator:
         all known peers.
         """
         if num_cells <= 0:
-            raise ConfigurationError(
-                f"num_cells must be positive, got {num_cells}")
+            raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
         peer_list = self.peer_indexes if peers is None else sorted(peers)
         unknown = [p for p in peer_list if p not in self._secret_bytes]
         if unknown:
             raise BlindingError(f"no shared secret with peers {unknown}")
-        return self._accumulate(peer_list, round_id, num_cells,
-                                negate=False)
+        return self._accumulate(peer_list, round_id, num_cells, negate=False)
 
-    def blinding_vector(self, num_cells: int, round_id: int,
-                        peers: Iterable[int] = None) -> List[int]:
+    def blinding_vector(
+        self, num_cells: int, round_id: int, peers: Optional[Iterable[int]] = None
+    ) -> List[int]:
         """List-of-int view of :meth:`blinding_vector_array`."""
         return self.blinding_vector_array(num_cells, round_id, peers).tolist()
 
-    def blind_array(self, cells: Union[Sequence[int], np.ndarray],
-                    round_id: int,
-                    peers: Iterable[int] = None) -> np.ndarray:
+    def blind_array(
+        self,
+        cells: Union[Sequence[int], np.ndarray],
+        round_id: int,
+        peers: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
         """Blind a cell vector: ``(cells + blinding) mod 2^32``.
 
         Accepts any integer sequence (a sketch's ``cells_array`` view makes
@@ -369,14 +379,15 @@ class BlindingGenerator:
         blinding = self.blinding_vector_array(len(cell_arr), round_id, peers)
         return (cell_arr + blinding) % BLINDING_MODULUS
 
-    def blind(self, cells: Sequence[int], round_id: int,
-              peers: Iterable[int] = None) -> List[int]:
+    def blind(
+        self, cells: Sequence[int], round_id: int, peers: Optional[Iterable[int]] = None
+    ) -> List[int]:
         """List-of-int view of :meth:`blind_array`."""
         return self.blind_array(cells, round_id, peers).tolist()
 
-    def adjustment_for_missing_array(self, missing: Iterable[int],
-                                     num_cells: int,
-                                     round_id: int) -> np.ndarray:
+    def adjustment_for_missing_array(
+        self, missing: Iterable[int], num_cells: int, round_id: int
+    ) -> np.ndarray:
         """Correction vector for the §6 fault-tolerance round (``uint64``).
 
         If peers in ``missing`` never reported, their blinding terms do not
@@ -394,11 +405,13 @@ class BlindingGenerator:
             raise BlindingError(f"no shared secret with peers {unknown}")
         return self._accumulate(missing, round_id, num_cells, negate=True)
 
-    def adjustment_for_missing(self, missing: Iterable[int], num_cells: int,
-                               round_id: int) -> List[int]:
+    def adjustment_for_missing(
+        self, missing: Iterable[int], num_cells: int, round_id: int
+    ) -> List[int]:
         """List-of-int view of :meth:`adjustment_for_missing_array`."""
-        return self.adjustment_for_missing_array(missing, num_cells,
-                                                 round_id).tolist()
+        return self.adjustment_for_missing_array(
+            missing, num_cells, round_id
+        ).tolist()
 
     def exchange_bytes(self) -> int:
         """Bytes this user downloads for the key exchange (one public key

@@ -29,7 +29,8 @@ _PRECOMPUTED_SAFE_PRIMES: Dict[int, int] = {
         "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
         "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
         "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
-        16),
+        16,
+    ),
 }
 
 
@@ -49,15 +50,15 @@ class DHGroup:
             raise ConfigurationError(f"not a valid safe prime: {p}")
         q = (p - 1) // 2
         if not is_probable_prime(q):
-            raise ConfigurationError(
-                "p is not a safe prime: (p-1)/2 is composite")
+            raise ConfigurationError("p is not a safe prime: (p-1)/2 is composite")
         self.p = p
         self.q = q
         if generator is None:
             generator = self._find_generator()
         if not self.contains(generator) or generator == 1:
             raise ConfigurationError(
-                f"{generator} does not generate the order-q subgroup")
+                f"{generator} does not generate the order-q subgroup"
+            )
         self.g = generator
 
     @classmethod
@@ -74,7 +75,8 @@ class DHGroup:
         except KeyError:
             raise ConfigurationError(
                 f"no precomputed {bits}-bit group; available: "
-                f"{sorted(_PRECOMPUTED_SAFE_PRIMES)}") from None
+                f"{sorted(_PRECOMPUTED_SAFE_PRIMES)}"
+            ) from None
 
     def _find_generator(self) -> int:
         for h in range(2, 1000):

@@ -71,8 +71,9 @@ class OPRFServer:
         self.evaluations = 0  # served request counter (ops metric)
 
     @classmethod
-    def generate(cls, bits: int = 512,
-                 rng: Optional[random.Random] = None) -> "OPRFServer":
+    def generate(
+        cls, bits: int = 512, rng: Optional[random.Random] = None
+    ) -> "OPRFServer":
         rng = rng or random.Random(0x09F)
         return cls(RSAKeyPair.generate(bits, rng))
 
@@ -101,9 +102,12 @@ class OPRFServer:
 class OPRFClient:
     """Client side of the blind-RSA OPRF."""
 
-    def __init__(self, public_key: RSAPublicKey,
-                 rng: Optional[random.Random] = None,
-                 output_length: int = 16) -> None:
+    def __init__(
+        self,
+        public_key: RSAPublicKey,
+        rng: Optional[random.Random] = None,
+        output_length: int = 16,
+    ) -> None:
         self.public_key = public_key
         self._rng = rng or random.Random(0xC11E)
         self.output_length = output_length
@@ -154,15 +158,19 @@ class MultiServerOPRF:
     key private, removing the single point of failure.
     """
 
-    def __init__(self, servers: Sequence[OPRFServer],
-                 rng: Optional[random.Random] = None,
-                 output_length: int = 16) -> None:
+    def __init__(
+        self,
+        servers: Sequence[OPRFServer],
+        rng: Optional[random.Random] = None,
+        output_length: int = 16,
+    ) -> None:
         if not servers:
             raise OPRFError("MultiServerOPRF needs at least one server")
         self._servers = list(servers)
-        self._clients = [OPRFClient(s.public_key, rng=rng,
-                                    output_length=output_length)
-                         for s in self._servers]
+        self._clients = [
+            OPRFClient(s.public_key, rng=rng, output_length=output_length)
+            for s in self._servers
+        ]
         self.output_length = output_length
 
     def evaluate(self, x: str) -> bytes:

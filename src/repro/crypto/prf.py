@@ -35,14 +35,14 @@ class KeyedPRF:
         if not key:
             raise ConfigurationError("PRF key must be non-empty")
         if id_space <= 0:
-            raise ConfigurationError(
-                f"id_space must be positive, got {id_space}")
+            raise ConfigurationError(f"id_space must be positive, got {id_space}")
         self._key = key
         self.id_space = id_space
 
     def ad_id(self, url: str) -> int:
-        digest = hashlib.blake2b(url.encode("utf-8"), digest_size=16,
-                                 key=self._key[:64]).digest()
+        digest = hashlib.blake2b(
+            url.encode("utf-8"), digest_size=16, key=self._key[:64]
+        ).digest()
         return int.from_bytes(digest, "big") % self.id_space
 
 
@@ -55,11 +55,9 @@ class ObliviousAdMapper:
     expose the §7.1 cost accounting.
     """
 
-    def __init__(self, client: OPRFClient, server: OPRFServer,
-                 id_space: int) -> None:
+    def __init__(self, client: OPRFClient, server: OPRFServer, id_space: int) -> None:
         if id_space <= 0:
-            raise ConfigurationError(
-                f"id_space must be positive, got {id_space}")
+            raise ConfigurationError(f"id_space must be positive, got {id_space}")
         self._client = client
         self._server = server
         self.id_space = id_space
@@ -85,8 +83,9 @@ class ObliviousAdMapper:
         return len(self._cache)
 
 
-def recommended_id_space(expected_unique_ads: int,
-                         overestimate_factor: float = 10.0) -> int:
+def recommended_id_space(
+    expected_unique_ads: int, overestimate_factor: float = 10.0
+) -> int:
     """ID-space size per the paper's guidance to overestimate ``|A|``.
 
     With ``id_space = factor * ads`` the expected number of colliding pairs
@@ -95,8 +94,10 @@ def recommended_id_space(expected_unique_ads: int,
     """
     if expected_unique_ads <= 0:
         raise ConfigurationError(
-            f"expected_unique_ads must be positive, got {expected_unique_ads}")
+            f"expected_unique_ads must be positive, got {expected_unique_ads}"
+        )
     if overestimate_factor < 1.0:
         raise ConfigurationError(
-            f"overestimate_factor must be >= 1, got {overestimate_factor}")
+            f"overestimate_factor must be >= 1, got {overestimate_factor}"
+        )
     return int(expected_unique_ads * overestimate_factor)

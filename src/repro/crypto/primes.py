@@ -24,8 +24,9 @@ _SMALL_PRIMES = (
 _DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
 
 
-def is_probable_prime(n: int, rounds: int = 16,
-                      rng: Optional[random.Random] = None) -> bool:
+def is_probable_prime(
+    n: int, rounds: int = 16, rng: Optional[random.Random] = None
+) -> bool:
     """Miller–Rabin primality test.
 
     Uses the deterministic witness set (exact for n < 3.3e24) plus
@@ -72,8 +73,7 @@ def is_probable_prime(n: int, rounds: int = 16,
     return True
 
 
-def generate_prime(bits: int, rng: random.Random,
-                   max_attempts: int = 100_000) -> int:
+def generate_prime(bits: int, rng: random.Random, max_attempts: int = 100_000) -> int:
     """Random prime with exactly ``bits`` bits (top and bottom bits set)."""
     if bits < 8:
         raise KeyGenerationError(f"prime size too small: {bits} bits (min 8)")
@@ -81,12 +81,12 @@ def generate_prime(bits: int, rng: random.Random,
         candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
         if is_probable_prime(candidate, rng=rng):
             return candidate
-    raise KeyGenerationError(
-        f"no {bits}-bit prime found in {max_attempts} attempts")
+    raise KeyGenerationError(f"no {bits}-bit prime found in {max_attempts} attempts")
 
 
-def generate_safe_prime(bits: int, rng: random.Random,
-                        max_attempts: int = 200_000) -> int:
+def generate_safe_prime(
+    bits: int, rng: random.Random, max_attempts: int = 200_000
+) -> int:
     """Safe prime ``p = 2q + 1`` with ``p`` of exactly ``bits`` bits.
 
     Safe primes are sparse, so this is the slow path; tests use 128–256-bit
@@ -105,4 +105,5 @@ def generate_safe_prime(bits: int, rng: random.Random,
         if is_probable_prime(p, rng=rng):
             return p
     raise KeyGenerationError(
-        f"no {bits}-bit safe prime found in {max_attempts} attempts")
+        f"no {bits}-bit safe prime found in {max_attempts} attempts"
+    )

@@ -48,8 +48,9 @@ class RSAKeyPair:
         self._d = d
 
     @classmethod
-    def generate(cls, bits: int, rng: random.Random,
-                 e: int = DEFAULT_PUBLIC_EXPONENT) -> "RSAKeyPair":
+    def generate(
+        cls, bits: int, rng: random.Random, e: int = DEFAULT_PUBLIC_EXPONENT
+    ) -> "RSAKeyPair":
         """Generate a ``bits``-bit modulus from two ``bits/2``-bit primes."""
         if bits < 32:
             raise KeyGenerationError(f"RSA modulus too small: {bits} bits")
@@ -65,7 +66,8 @@ class RSAKeyPair:
             d = pow(e, -1, phi)
             return cls(n=p * q, e=e, d=d)
         raise KeyGenerationError(
-            f"could not generate an RSA key with e={e} after 100 attempts")
+            f"could not generate an RSA key with e={e} after 100 attempts"
+        )
 
     @property
     def public(self) -> RSAPublicKey:

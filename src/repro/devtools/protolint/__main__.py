@@ -1,0 +1,87 @@
+"""CLI entry point: ``python -m repro.devtools.protolint [paths...]``.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage error or unparseable
+input files. ``--format json`` emits one machine-readable object for CI
+annotation tooling; ``--list-rules`` prints the catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.devtools.protolint import REGISTRY, active_rules, lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.protolint",
+        description="AST-based protocol-invariant linter",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(REGISTRY):
+            rule = REGISTRY[rule_id]
+            print(f"{rule_id}  {rule.title}")
+            print(f"       fix: {rule.hint}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    selected = None
+    if args.select:
+        selected = [part.strip().upper() for part in args.select.split(",")]
+        unknown = [rule_id for rule_id in selected if rule_id not in REGISTRY]
+        if unknown:
+            print(f"error: unknown rule ids {unknown}", file=sys.stderr)
+            return 2
+
+    findings, errors = lint_paths(args.paths, rules=active_rules(selected))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.as_dict() for finding in findings],
+                    "errors": errors,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        if findings:
+            print(f"\nprotolint: {len(findings)} finding(s)")
+        else:
+            print("protolint: clean")
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

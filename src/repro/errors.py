@@ -42,7 +42,20 @@ class OPRFError(CryptoError):
 
 
 class ProtocolError(ReproError):
-    """Base class for aggregation-protocol errors."""
+    """Base class for aggregation-protocol errors.
+
+    The networked layer tags instances with diagnostic flags as they
+    cross process boundaries (see ``protocol/net/proxy.py``); they are
+    declared here so the tags are part of the type, not ad-hoc
+    attributes only the raising site knows about.
+    """
+
+    #: The peer process died (or the proxy was closed) — respawnable.
+    peer_dead: bool = False
+    #: The error was raised in the remote worker and re-raised locally.
+    remote: bool = False
+    #: The failure was a socket timeout, not a protocol violation.
+    timed_out: bool = False
 
 
 class RoundStateError(ProtocolError):

@@ -172,6 +172,8 @@ pre-epoch ``RoundCoordinator`` shim has been removed;
 drop-in replacement.
 """
 
+from typing import NoReturn
+
 from repro.protocol.messages import (
     BlindedReport,
     BlindingAdjustment,
@@ -239,7 +241,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> NoReturn:
     if name == "RoundCoordinator":
         # AttributeError keeps hasattr()/getattr(default) feature
         # detection working (an ImportError here would crash probing

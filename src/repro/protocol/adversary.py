@@ -33,7 +33,7 @@ robust to outliers) rather than cryptographic.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
@@ -66,7 +66,9 @@ class PoisoningClient(ProtocolClient):
     the *aggregate*, which is what the damage bound above is for.
     """
 
-    def __init__(self, *args, poison: Mapping[str, int], **kwargs) -> None:
+    def __init__(
+        self, *args: Any, poison: Mapping[str, int], **kwargs: Any
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.poison: Dict[str, int] = {
             url: int(delta) for url, delta in poison.items()

@@ -29,7 +29,7 @@ release checks — applies unchanged to the fan-out path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,7 +100,7 @@ class CliqueAggregator(ProtocolEndpoint):
         self._released = False
         return []
 
-    def on_message(self, sender: str, message) -> Outbox:
+    def on_message(self, sender: str, message: Any) -> Outbox:
         if isinstance(message, BlindedReport):
             self.server.submit_report(message)
             return []
@@ -181,7 +181,7 @@ class RootAggregator(ProtocolEndpoint):
         self._summary = None
         return []
 
-    def on_message(self, sender: str, message) -> Outbox:
+    def on_message(self, sender: str, message: Any) -> Outbox:
         if not isinstance(message, PartialAggregate):
             return super().on_message(sender, message)
         if self._round_id is None:

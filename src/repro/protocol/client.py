@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set
+from typing import Any, Dict, Iterable, Optional, Protocol, Set
 
 from repro.errors import ConfigurationError, RoundStateError
 from repro.crypto.blinding import BlindingGenerator
@@ -67,6 +67,16 @@ class RoundConfig:
         return CountMinSketch(self.cms_depth, self.cms_width, self.cms_seed)
 
 
+class AdMapper(Protocol):
+    """What a client needs from its URL-to-ad-id mapper: one total map.
+
+    Satisfied structurally by :class:`~repro.crypto.prf.KeyedPRF` and
+    :class:`~repro.crypto.prf.ObliviousAdMapper`.
+    """
+
+    def ad_id(self, url: str) -> int: ...
+
+
 class ProtocolClient(ProtocolEndpoint):
     """One user's protocol endpoint.
 
@@ -91,7 +101,7 @@ class ProtocolClient(ProtocolEndpoint):
 
     def __init__(self, user_id: str, config: RoundConfig,
                  blinding: BlindingGenerator,
-                 ad_mapper, clique_id: int = 0) -> None:
+                 ad_mapper: AdMapper, clique_id: int = 0) -> None:
         self.user_id = user_id
         self.config = config
         self.blinding = blinding
@@ -232,7 +242,7 @@ class ProtocolClient(ProtocolEndpoint):
         """The round opened: upload this window's blinded report."""
         return [(self.uplink, self.build_report(round_id))]
 
-    def on_message(self, sender: str, message) -> Outbox:
+    def on_message(self, sender: str, message: Any) -> Outbox:
         """React to server traffic: notices beget adjustments, the
         threshold broadcast is recorded; anything else is a protocol
         violation and raises."""

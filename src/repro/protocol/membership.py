@@ -53,12 +53,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.crypto.blinding import BlindingGenerator
 from repro.crypto.oprf import OPRFClient
-from repro.crypto.prf import ObliviousAdMapper
+from repro.crypto.prf import KeyedPRF, ObliviousAdMapper
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.enrollment import Enrollment, keypair_seed
 from repro.statsutil.sampling import make_rng
@@ -258,7 +258,7 @@ class MembershipManager:
     # ------------------------------------------------------------------
     @classmethod
     def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
-               **enroll_kwargs) -> "MembershipManager":
+               **enroll_kwargs: Any) -> "MembershipManager":
         """Epoch-0 enrollment and manager construction in one step."""
         from repro.protocol.enrollment import enroll_users
         return cls(enroll_users(user_ids, config, **enroll_kwargs))
@@ -342,7 +342,9 @@ class MembershipManager:
             self._index_of[user_id] = index
         return index, keypair
 
-    def _mapper_for(self, index: int):
+    def _mapper_for(
+        self, index: int
+    ) -> Optional[Union[KeyedPRF, ObliviousAdMapper]]:
         if not self.use_oprf:
             return self.shared_prf
         return ObliviousAdMapper(

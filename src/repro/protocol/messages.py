@@ -17,7 +17,7 @@ form, so the two are interchangeable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Any, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,7 +46,9 @@ class CellVector(Sequence):
         self._array = arr
         self._hash = None
 
-    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+    def __array__(
+        self, dtype: Any = None, copy: Optional[bool] = None
+    ) -> np.ndarray:
         if dtype is None or dtype == self._array.dtype:
             return self._array.copy() if copy else self._array
         if copy is False:
@@ -63,12 +65,14 @@ class CellVector(Sequence):
     def __len__(self) -> int:
         return len(self._array)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[int, Tuple[int, ...]]:
         if isinstance(index, slice):
             return tuple(self._array[index].tolist())
         return int(self._array[index])
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self._array.tolist())
 
     def __eq__(self, other: object) -> bool:

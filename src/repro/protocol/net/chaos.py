@@ -50,7 +50,7 @@ import random
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, TransportError
 from repro.protocol.net.transport import _CHUNK, SocketTransport
@@ -218,7 +218,7 @@ class FaultPlan:
     # Canned profiles (what the CLI's --chaos flag names)
     # ------------------------------------------------------------------
     @classmethod
-    def wan(cls, seed: int = 0, **overrides) -> "FaultPlan":
+    def wan(cls, seed: int = 0, **overrides: Any) -> "FaultPlan":
         """A plausible continental WAN: a few ms of latency and jitter,
         1% loss. Rounds complete bit-identically, just slower."""
         fault = LinkFault(
@@ -230,7 +230,7 @@ class FaultPlan:
         return cls(seed=seed, default=fault, **overrides)
 
     @classmethod
-    def lossy(cls, seed: int = 0, **overrides) -> "FaultPlan":
+    def lossy(cls, seed: int = 0, **overrides: Any) -> "FaultPlan":
         """A congested path: heavy (20%) loss with longer retransmit
         delays. Still survivable — loss is delay, not data loss."""
         fault = LinkFault(
@@ -242,7 +242,7 @@ class FaultPlan:
         return cls(seed=seed, default=fault, **overrides)
 
     @classmethod
-    def hostile(cls, seed: int = 0, **overrides) -> "FaultPlan":
+    def hostile(cls, seed: int = 0, **overrides: Any) -> "FaultPlan":
         """An actively bad network: WAN latency, heavy loss *and* a
         scheduled aggregator crash-loop (supply ``worker_crashes`` to
         place the kills; pair with a
@@ -272,14 +272,16 @@ class ChaosSocketTransport(SocketTransport):
     the CLI prints after a ``--chaos`` run.
     """
 
-    def __init__(self, plan: Optional[FaultPlan] = None, **kwargs) -> None:
+    def __init__(
+        self, plan: Optional[FaultPlan] = None, **kwargs: Any
+    ) -> None:
         super().__init__(**kwargs)
         self.plan = plan if plan is not None else FaultPlan()
         self.events: Counter = Counter()
         self.injected_delay_s = 0.0
         self._link: LinkKey = ("?", "?")
 
-    def send(self, sender: str, recipient: str, message) -> bool:
+    def send(self, sender: str, recipient: str, message: Any) -> bool:
         # The base send path doesn't thread routing into the codec hook;
         # stash the link so _ship can resolve its fault. Single-threaded
         # per the driver contract (one send in flight at a time).

@@ -31,7 +31,10 @@ import socket
 import struct
 import time
 import traceback
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    import asyncio
 
 from repro.errors import ProtocolError
 
@@ -149,6 +152,21 @@ def check_frame_length(length: int, max_frame: int) -> None:
 # ---------------------------------------------------------------------------
 
 
+def connect_stream(
+    host: str, port: int, timeout: Optional[float] = None
+) -> socket.socket:
+    """Open the frame layer's canonical TCP connection to a peer.
+
+    The single place the parent side of the protocol dials out from
+    (protolint PL001 keeps raw socket creation confined to this module
+    and the transport): TCP_NODELAY on, because every exchange is a
+    small request/reply frame pair that must not sit in Nagle buffers.
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
 def _recv_exact(
     sock: socket.socket,
     count: int,
@@ -225,7 +243,7 @@ def recv_frame(
 
 
 async def aio_recv_frame(
-    reader,
+    reader: "asyncio.StreamReader",
     max_frame: int = DEFAULT_MAX_FRAME,
     eof_ok: bool = True,
 ) -> Optional[Tuple[int, bytes]]:

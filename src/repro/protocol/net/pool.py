@@ -384,11 +384,16 @@ class ProcessAggregatorPool:
     def __enter__(self) -> "ProcessAggregatorPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # best-effort cleanup
         try:
             self.close()
-        except Exception:
+        except (ProtocolError, OSError, ValueError, RuntimeError):
+            # Expected teardown noise: workers already dead, pipes and
+            # sockets half-closed, interpreter shutting down. Anything
+            # else is a real bug in close() and must surface (as an
+            # unraisable warning from GC, or an exception when close is
+            # called directly) instead of vanishing.
             pass

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import socket
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict, Optional
+
+from repro.protocol.endpoint import ThresholdRuleFn
 
 from repro.errors import (
     ConfigurationError,
@@ -76,7 +78,7 @@ class ProcessEndpointProxy(ProtocolEndpoint):
         # start in sync with what the process was spawned with: epoch
         # advances read it back (session.root.threshold_rule) to carry
         # the rule into the re-wire.
-        self._rule: Callable = resolve_rule(rule or "mean")
+        self._rule: ThresholdRuleFn = resolve_rule(rule or "mean")
         self._summary_spec: Optional[Dict[str, Any]] = None
         self._closed = False
 
@@ -92,8 +94,7 @@ class ProcessEndpointProxy(ProtocolEndpoint):
         pid: Optional[int] = None,
         rule: Optional[str] = None,
     ) -> "ProcessEndpointProxy":
-        sock = socket.create_connection((host, port), timeout=timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock = frames.connect_stream(host, port, timeout=timeout)
         return cls(
             endpoint_id,
             sock,
@@ -233,13 +234,13 @@ class ProcessEndpointProxy(ProtocolEndpoint):
         return summary_from_spec(self._summary_spec, self.config)
 
     @property
-    def threshold_rule(self) -> Callable:
+    def threshold_rule(self) -> ThresholdRuleFn:
         """Local mirror of the hosted root's threshold rule; assigning
         pushes the (named) rule to the process."""
         return self._rule
 
     @threshold_rule.setter
-    def threshold_rule(self, rule: Callable) -> None:
+    def threshold_rule(self, rule: ThresholdRuleFn) -> None:
         spec = rule_spec(rule)
         self._call(frames.SET_RULE, frames.pack_json({"rule": spec}))
         self._rule = resolve_rule(spec)

@@ -27,9 +27,10 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.protocol.endpoint import Outbox, ProtocolEndpoint
 from repro.protocol import wire
 from repro.protocol.net import frames
 from repro.protocol.net.spec import resolve_rule, summary_to_spec
@@ -78,15 +79,15 @@ class EndpointServer:
 
     def __init__(
         self,
-        endpoint,
+        endpoint: ProtocolEndpoint,
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame: int = frames.DEFAULT_MAX_FRAME,
-        rebuild: Optional[Callable] = None,
+        rebuild: Optional[Callable[[Dict[str, Any]], ProtocolEndpoint]] = None,
         delay_s: float = 0.0,
         hang_after: Optional[int] = None,
         lock: Optional[threading.Lock] = None,
-        allowed_kinds: Optional[frozenset] = None,
+        allowed_kinds: Optional[frozenset[int]] = None,
     ) -> None:
         self.endpoint = endpoint
         self.host = host
@@ -110,7 +111,7 @@ class EndpointServer:
     # ------------------------------------------------------------------
     # Frame dispatch
     # ------------------------------------------------------------------
-    def _outbox_replies(self, outbox) -> List[Reply]:
+    def _outbox_replies(self, outbox: Optional[Outbox]) -> List[Reply]:
         replies: List[Reply] = []
         for recipient, message in outbox or []:
             body = frames.pack_name(recipient) + wire.encode(message)
@@ -174,7 +175,11 @@ class EndpointServer:
     # ------------------------------------------------------------------
     # Asyncio serving
     # ------------------------------------------------------------------
-    async def _handle(self, reader, writer) -> None:
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         try:
             while True:
                 frame = await frames.aio_recv_frame(
@@ -204,7 +209,9 @@ class EndpointServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def serve(self, announce: Optional[Callable] = None) -> None:
+    async def serve(
+        self, announce: Optional[Callable[[Tuple[str, int]], None]] = None
+    ) -> None:
         """Run until :meth:`request_stop`; ``announce`` gets the port."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()

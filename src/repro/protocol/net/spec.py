@@ -21,13 +21,21 @@ guidance rather than silently replaced.
 from __future__ import annotations
 
 import base64
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.protocol.aggregator import CliqueAggregator, RootAggregator
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.protocol.client import RoundConfig
-from repro.protocol.endpoint import SERVER_ENDPOINT, RoundSummary, mean_threshold
+from repro.protocol.endpoint import (
+    SERVER_ENDPOINT,
+    RoundSummary,
+    ThresholdRuleFn,
+    mean_threshold,
+)
 from repro.sketch.countmin import CountMinSketch
 from repro.statsutil.distributions import EmpiricalDistribution
 
@@ -69,7 +77,7 @@ def config_from_spec(spec: Dict[str, Any]) -> RoundConfig:
 # ---------------------------------------------------------------------------
 
 
-def rule_spec(rule: Callable) -> str:
+def rule_spec(rule: Union[ThresholdRuleFn, str]) -> str:
     """The wire name of a threshold rule, or a refusal for bespoke ones."""
     from repro.core.thresholds import ThresholdRule
 
@@ -89,7 +97,7 @@ def rule_spec(rule: Callable) -> str:
     )
 
 
-def resolve_rule(spec: str) -> Callable:
+def resolve_rule(spec: str) -> ThresholdRuleFn:
     """The callable for a named threshold rule."""
     from repro.core.thresholds import ThresholdRule
 
@@ -155,7 +163,9 @@ def root_spec(
     }
 
 
-def build_endpoint(spec: Dict[str, Any]):
+def build_endpoint(
+    spec: Dict[str, Any],
+) -> Union["CliqueAggregator", "RootAggregator"]:
     """Materialize the endpoint a spec describes (worker side).
 
     Reused verbatim for RECONFIGURE frames: an epoch advance sends the

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.client import RoundConfig
 from repro.protocol.net import frames
 from repro.protocol.net.chaos import FaultPlan
 from repro.protocol.net.pool import ProcessAggregatorPool
@@ -124,7 +125,7 @@ class SupervisedEndpointProxy(ProcessEndpointProxy):
         supervisor: "SupervisedAggregatorPool",
         retry_policy: RetryPolicy,
         fault_plan: Optional[FaultPlan] = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(endpoint_id, sock, **kwargs)
         self._supervisor = supervisor
@@ -245,10 +246,10 @@ class SupervisedAggregatorPool(ProcessAggregatorPool):
 
     def __init__(
         self,
-        config,
+        config: RoundConfig,
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(config, **kwargs)
         self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
@@ -281,9 +282,7 @@ class SupervisedAggregatorPool(ProcessAggregatorPool):
         )
 
     def _connect(self, host: str, port: int) -> socket.socket:
-        sock = socket.create_connection((host, port), timeout=self.timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+        return frames.connect_stream(host, port, timeout=self.timeout)
 
     # ------------------------------------------------------------------
     # Supervision callbacks (what the proxies invoke)

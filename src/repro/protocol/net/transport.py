@@ -147,11 +147,11 @@ class SocketTransport(WireTransport):
     def __enter__(self) -> "SocketTransport":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # best-effort cleanup, must never raise
         try:
             self.close()
-        except BaseException:
+        except BaseException:  # protolint: disable=PL004 (close() is shutdown-safe by construction; __del__ during interpreter teardown may still see torn-down modules and must never raise)
             pass

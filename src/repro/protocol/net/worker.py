@@ -19,6 +19,7 @@ import json
 import os
 import sys
 import threading
+from typing import Tuple
 
 from repro.protocol.net.frames import DEFAULT_MAX_FRAME
 from repro.protocol.net.server import EndpointServer
@@ -56,7 +57,7 @@ def main() -> int:
     )
     threading.Thread(target=_stdin_leash, daemon=True).start()
 
-    def announce(address) -> None:
+    def announce(address: Tuple[str, int]) -> None:
         host, port = address
         sys.stdout.write(json.dumps({"host": host, "port": port}) + "\n")
         sys.stdout.flush()

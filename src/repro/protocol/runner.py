@@ -127,7 +127,8 @@ class _RunnerBase:
     _MAX_CYCLES = 10_000
 
     def __init__(self, endpoints: Sequence[ProtocolEndpoint],
-                 root, transport: Optional[InMemoryTransport] = None) -> None:
+                 root: ProtocolEndpoint,
+                 transport: Optional[InMemoryTransport] = None) -> None:
         self.endpoints = list(endpoints)
         if not self.endpoints:
             raise ProtocolError("a runner needs at least one endpoint")

@@ -41,7 +41,7 @@ clique-restricted instance so every validation applies per clique too.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -402,7 +402,7 @@ class ServerEndpoint(ProtocolEndpoint):
         self._summary = None
         return []
 
-    def on_message(self, sender: str, message) -> Outbox:
+    def on_message(self, sender: str, message: Any) -> Outbox:
         if isinstance(message, BlindedReport):
             self.server.submit_report(message)
             return []

@@ -22,7 +22,7 @@ byte accounting) is unchanged and old frames decode as clique 0.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Tuple, Union
+from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.protocol.messages import (
     BlindedReport,
     BlindingAdjustment,
     CellVector,
+    Cells,
     CleartextReport,
     MissingClientsNotice,
     PartialAggregate,
@@ -72,7 +73,7 @@ def _unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
     return buf[start:start + length].decode("utf-8"), start + length
 
 
-def _pack_str_seq(strings) -> bytes:
+def _pack_str_seq(strings: Sequence[str]) -> bytes:
     return struct.pack(">I", len(strings)) \
         + b"".join(_pack_str(s) for s in strings)
 
@@ -87,7 +88,7 @@ def _unpack_str_seq(buf: bytes, offset: int) -> Tuple[Tuple[str, ...], int]:
     return tuple(out), offset
 
 
-def _pack_cells(cells) -> bytes:
+def _pack_cells(cells: Cells) -> bytes:
     """Big-endian 4-byte cells via a single NumPy ``tobytes`` call.
 
     Accepts tuples or :class:`~repro.protocol.messages.CellVector`; falls

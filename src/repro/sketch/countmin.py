@@ -47,18 +47,24 @@ def _as_cell_array(cells: Union[Sequence[int], np.ndarray]) -> np.ndarray:
         return np.array(cells, dtype=np.uint64)
     except (OverflowError, ValueError, TypeError) as exc:
         raise ConfigurationError(
-            f"cell values must be integers in [0, 2^64): {exc}") from None
+            f"cell values must be integers in [0, 2^64): {exc}"
+        ) from None
 
 
 class CountMinSketch:
     """A ``d x w`` count-min sketch with mergeable, blindable cells."""
 
-    def __init__(self, depth: int, width: int, seed: int = 0,
-                 cells: Optional[Union[Sequence[int], np.ndarray]] = None
-                 ) -> None:
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        seed: int = 0,
+        cells: Optional[Union[Sequence[int], np.ndarray]] = None,
+    ) -> None:
         if depth <= 0 or width <= 0:
             raise ConfigurationError(
-                f"CMS dimensions must be positive, got depth={depth} width={width}")
+                f"CMS dimensions must be positive, got depth={depth} width={width}"
+            )
         self.depth = depth
         self.width = width
         self.seed = seed
@@ -68,7 +74,8 @@ class CountMinSketch:
         else:
             if len(cells) != depth * width:
                 raise SketchDimensionMismatch(
-                    f"cell vector has {len(cells)} entries, expected {depth * width}")
+                    f"cell vector has {len(cells)} entries, expected {depth * width}"
+                )
             self._cells = _as_cell_array(cells)
         self._total = int(self._cells.sum(dtype=np.uint64)) // max(depth, 1)
 
@@ -76,8 +83,9 @@ class CountMinSketch:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_error_bounds(cls, epsilon: float, delta: float,
-                          expected_items: int, seed: int = 0) -> "CountMinSketch":
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, expected_items: int, seed: int = 0
+    ) -> "CountMinSketch":
         """Size a sketch from (epsilon, delta, T) per the paper's formula."""
         if not 0 < epsilon < 1:
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
@@ -85,7 +93,8 @@ class CountMinSketch:
             raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
         if expected_items <= 0:
             raise ConfigurationError(
-                f"expected_items must be positive, got {expected_items}")
+                f"expected_items must be positive, got {expected_items}"
+            )
         depth = max(1, math.ceil(math.log(expected_items / delta)))
         width = max(1, math.ceil(_E / epsilon))
         return cls(depth=depth, width=width, seed=seed)
@@ -116,8 +125,10 @@ class CountMinSketch:
         """
         if count < 0:
             raise ConfigurationError(f"negative update ({count}) not allowed")
-        flats = [row * self.width + col
-                 for row, col in enumerate(self._hashes.indexes(item))]
+        flats = [
+            row * self.width + col
+            for row, col in enumerate(self._hashes.indexes(item))
+        ]
         new_estimate = min(int(self._cells[flat]) for flat in flats) + count
         estimate64 = np.uint64(new_estimate)
         for flat in flats:
@@ -127,8 +138,12 @@ class CountMinSketch:
 
     def query(self, item: Item) -> int:
         """Point estimate of the count of ``item`` (never an undercount)."""
-        return int(min(self._cells[row * self.width + col]
-                       for row, col in enumerate(self._hashes.indexes(item))))
+        return int(
+            min(
+                self._cells[row * self.width + col]
+                for row, col in enumerate(self._hashes.indexes(item))
+            )
+        )
 
     def __contains__(self, item: Item) -> bool:
         return self.query(item) > 0
@@ -149,26 +164,25 @@ class CountMinSketch:
         return rows * np.uint64(self.width) + matrix
 
     @staticmethod
-    def _count_array(counts: Union[int, Sequence[int], None],
-                     n: int) -> np.ndarray:
+    def _count_array(counts: Union[int, Sequence[int], None], n: int) -> np.ndarray:
         if counts is None:
             return np.ones(n, dtype=np.uint64)
         if isinstance(counts, int):
             if counts < 0:
-                raise ConfigurationError(
-                    f"negative update ({counts}) not allowed")
+                raise ConfigurationError(f"negative update ({counts}) not allowed")
             return np.full(n, counts, dtype=np.uint64)
         arr = np.asarray(counts)
         if arr.shape != (n,):
-            raise ConfigurationError(
-                f"counts has shape {arr.shape}, expected ({n},)")
+            raise ConfigurationError(f"counts has shape {arr.shape}, expected ({n},)")
         if arr.size and int(arr.min()) < 0:
             raise ConfigurationError(
-                f"negative update ({int(arr.min())}) not allowed")
+                f"negative update ({int(arr.min())}) not allowed"
+            )
         return arr.astype(np.uint64)
 
-    def update_many(self, items: Sequence[Item],
-                    counts: Union[int, Sequence[int], None] = None) -> None:
+    def update_many(
+        self, items: Sequence[Item], counts: Union[int, Sequence[int], None] = None
+    ) -> None:
         """Batch :meth:`update`: add ``counts[i]`` of ``items[i]`` for all i.
 
         Hashes every item once, computes all ``d x n`` indexes with array
@@ -181,13 +195,14 @@ class CountMinSketch:
             return
         count_arr = self._count_array(counts, len(items))
         flat = self.flat_indexes(items)
-        np.add.at(self._cells, flat.ravel(),
-                  np.broadcast_to(count_arr, flat.shape).ravel())
+        np.add.at(
+            self._cells, flat.ravel(), np.broadcast_to(count_arr, flat.shape).ravel()
+        )
         self._total += int(count_arr.sum(dtype=np.uint64))
 
-    def update_many_conservative(self, items: Sequence[Item],
-                                 counts: Union[int, Sequence[int], None] = None
-                                 ) -> None:
+    def update_many_conservative(
+        self, items: Sequence[Item], counts: Union[int, Sequence[int], None] = None
+    ) -> None:
         """Batch :meth:`update_conservative` with batched hashing.
 
         Conservative updates are order-dependent (each item's estimate reads
@@ -259,11 +274,13 @@ class CountMinSketch:
     # Merging / arithmetic (cell-wise; dimensions and seeds must agree)
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "CountMinSketch") -> None:
-        if (self.depth, self.width, self.seed) != (other.depth, other.width,
-                                                   other.seed):
+        if (self.depth, self.width, self.seed) != (
+            other.depth, other.width, other.seed
+        ):
             raise SketchDimensionMismatch(
                 f"incompatible sketches: ({self.depth}x{self.width}, seed "
-                f"{self.seed}) vs ({other.depth}x{other.width}, seed {other.seed})")
+                f"{self.seed}) vs ({other.depth}x{other.width}, seed {other.seed})"
+            )
 
     def merge(self, other: "CountMinSketch") -> None:
         """In-place cell-wise sum; equivalent to counting both streams."""
@@ -273,8 +290,9 @@ class CountMinSketch:
 
     def __add__(self, other: "CountMinSketch") -> "CountMinSketch":
         self._check_compatible(other)
-        return CountMinSketch(self.depth, self.width, self.seed,
-                              cells=self._cells + other._cells)
+        return CountMinSketch(
+            self.depth, self.width, self.seed, cells=self._cells + other._cells
+        )
 
     @classmethod
     def aggregate(cls, sketches: Iterable["CountMinSketch"]) -> "CountMinSketch":
@@ -303,5 +321,7 @@ class CountMinSketch:
         return self.num_cells * cell_size
 
     def __repr__(self) -> str:
-        return (f"CountMinSketch(depth={self.depth}, width={self.width}, "
-                f"seed={self.seed}, total={self._total})")
+        return (
+            f"CountMinSketch(depth={self.depth}, width={self.width}, "
+            f"seed={self.seed}, total={self._total})"
+        )

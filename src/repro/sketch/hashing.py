@@ -47,8 +47,7 @@ _ZERO_SALT = b"\0" * 16
 def _item_bytes(item: Item) -> bytes:
     """Canonical byte encoding of an item (shared by both hash paths)."""
     if isinstance(item, int):
-        return item.to_bytes((item.bit_length() + 8) // 8 or 1, "big",
-                             signed=item < 0)
+        return item.to_bytes((item.bit_length() + 8) // 8 or 1, "big", signed=item < 0)
     if isinstance(item, str):
         return item.encode("utf-8")
     if isinstance(item, bytes):
@@ -59,8 +58,9 @@ def _item_bytes(item: Item) -> bytes:
 def stable_hash(item: Item, salt: bytes = b"") -> int:
     """Deterministic 64-bit digest of an item, independent of PYTHONHASHSEED."""
     data = _item_bytes(item)
-    digest = hashlib.blake2b(data, digest_size=8, salt=salt[:16].ljust(16, b"\0")
-                             if salt else _ZERO_SALT).digest()
+    digest = hashlib.blake2b(
+        data, digest_size=8, salt=salt[:16].ljust(16, b"\0") if salt else _ZERO_SALT
+    ).digest()
     return int.from_bytes(digest, "big")
 
 
@@ -78,8 +78,8 @@ def stable_hash_many(items: Sequence[Item], salt: bytes = b"") -> np.ndarray:
     out = np.empty(len(items), dtype=np.uint64)
     for i, item in enumerate(items):
         out[i] = from_bytes(
-            blake2b(item_bytes(item), digest_size=8, salt=saltb).digest(),
-            "big")
+            blake2b(item_bytes(item), digest_size=8, salt=saltb).digest(), "big"
+        )
     return out
 
 
@@ -103,12 +103,12 @@ def _mulmod61(a: np.ndarray, x: np.ndarray) -> np.ndarray:
     """
     ah, al = a >> _U32, a & _MASK32
     xh, xl = x >> _U32, x & _MASK32
-    hh = _fold61((ah * xh) << _U3)            # ah*xh < 2^58, so << 3 fits
-    mid = _fold61(ah * xl + al * xh)          # each term < 2^61, sum < 2^62
+    hh = _fold61((ah * xh) << _U3)  # ah*xh < 2^58, so << 3 fits
+    mid = _fold61(ah * xl + al * xh)  # each term < 2^61, sum < 2^62
     mid_h, mid_l = mid >> _U32, mid & _MASK32
     # mid * 2^32 = mid_h * 2^64 + mid_l * 2^32 ≡ 8*mid_h + mid_l*2^32 (mod p)
     total = hh + (mid_h << _U3) + _fold61(mid_l << _U32) + _fold61(al * xl)
-    return _fold61(total)                     # total < 2^63: one fold suffices
+    return _fold61(total)  # total < 2^63: one fold suffices
 
 
 class HashFamily:
@@ -133,10 +133,12 @@ class HashFamily:
             for _ in range(d)
         ]
         # Column vectors (d, 1) so index_matrix broadcasts against (n,) digests.
-        self._a = np.array([a for a, _ in self._coeffs],
-                           dtype=np.uint64).reshape(-1, 1)
-        self._b = np.array([b for _, b in self._coeffs],
-                           dtype=np.uint64).reshape(-1, 1)
+        self._a = np.array([a for a, _ in self._coeffs], dtype=np.uint64).reshape(
+            -1, 1
+        )
+        self._b = np.array([b for _, b in self._coeffs], dtype=np.uint64).reshape(
+            -1, 1
+        )
         self._width64 = np.uint64(width)
 
     def index(self, row: int, item: Item) -> int:
@@ -158,7 +160,7 @@ class HashFamily:
         the Carter–Wegman multiply does not change ``(a*x + b) mod p``.
         """
         x = _fold61(np.asarray(digests, dtype=np.uint64))
-        ax = _mulmod61(self._a, x)            # broadcast (d,1) x (n,) -> (d,n)
+        ax = _mulmod61(self._a, x)  # broadcast (d,1) x (n,) -> (d,n)
         return _fold61(ax + self._b) % self._width64
 
     def indexes_many(self, items: Sequence[Item]) -> np.ndarray:

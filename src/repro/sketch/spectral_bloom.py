@@ -19,13 +19,17 @@ from repro.sketch.hashing import HashFamily, Item
 class SpectralBloomFilter:
     """Counting bloom filter with minimum-selection frequency estimates."""
 
-    def __init__(self, size: int, num_hashes: int, seed: int = 0,
-                 cells: Optional[Sequence[int]] = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        num_hashes: int,
+        seed: int = 0,
+        cells: Optional[Sequence[int]] = None,
+    ) -> None:
         if size <= 0:
             raise ConfigurationError(f"size must be positive, got {size}")
         if num_hashes <= 0:
-            raise ConfigurationError(
-                f"num_hashes must be positive, got {num_hashes}")
+            raise ConfigurationError(f"num_hashes must be positive, got {num_hashes}")
         self.size = size
         self.num_hashes = num_hashes
         self.seed = seed
@@ -36,22 +40,30 @@ class SpectralBloomFilter:
         else:
             if len(cells) != size:
                 raise SketchDimensionMismatch(
-                    f"cell vector has {len(cells)} entries, expected {size}")
+                    f"cell vector has {len(cells)} entries, expected {size}"
+                )
             self._cells = [int(c) for c in cells]
         self._total = 0
 
     @classmethod
-    def with_capacity(cls, expected_items: int, false_positive_rate: float = 0.01,
-                      seed: int = 0) -> "SpectralBloomFilter":
+    def with_capacity(
+        cls, expected_items: int, false_positive_rate: float = 0.01, seed: int = 0
+    ) -> "SpectralBloomFilter":
         """Classic bloom sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2."""
         if expected_items <= 0:
             raise ConfigurationError(
-                f"expected_items must be positive, got {expected_items}")
+                f"expected_items must be positive, got {expected_items}"
+            )
         if not 0 < false_positive_rate < 1:
             raise ConfigurationError(
-                f"false_positive_rate must be in (0, 1), got {false_positive_rate}")
-        m = max(1, math.ceil(-expected_items * math.log(false_positive_rate)
-                             / (math.log(2) ** 2)))
+                f"false_positive_rate must be in (0, 1), got {false_positive_rate}"
+            )
+        m = max(
+            1,
+            math.ceil(
+                -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+            ),
+        )
         k = max(1, round((m / expected_items) * math.log(2)))
         return cls(size=m, num_hashes=k, seed=seed)
 
@@ -81,10 +93,12 @@ class SpectralBloomFilter:
 
     def _check_compatible(self, other: "SpectralBloomFilter") -> None:
         if (self.size, self.num_hashes, self.seed) != (
-                other.size, other.num_hashes, other.seed):
+            other.size, other.num_hashes, other.seed
+        ):
             raise SketchDimensionMismatch(
                 f"incompatible filters: ({self.size}, {self.num_hashes}, "
-                f"{self.seed}) vs ({other.size}, {other.num_hashes}, {other.seed})")
+                f"{self.seed}) vs ({other.size}, {other.num_hashes}, {other.seed})"
+            )
 
     def merge(self, other: "SpectralBloomFilter") -> None:
         self._check_compatible(other)
@@ -95,8 +109,9 @@ class SpectralBloomFilter:
     def __add__(self, other: "SpectralBloomFilter") -> "SpectralBloomFilter":
         self._check_compatible(other)
         summed = [a + b for a, b in zip(self._cells, other._cells)]
-        result = SpectralBloomFilter(self.size, self.num_hashes, self.seed,
-                                     cells=summed)
+        result = SpectralBloomFilter(
+            self.size, self.num_hashes, self.seed, cells=summed
+        )
         result._total = self._total + other._total
         return result
 
@@ -106,5 +121,7 @@ class SpectralBloomFilter:
         return self.size * cell_size
 
     def __repr__(self) -> str:
-        return (f"SpectralBloomFilter(size={self.size}, "
-                f"num_hashes={self.num_hashes}, seed={self.seed})")
+        return (
+            f"SpectralBloomFilter(size={self.size}, "
+            f"num_hashes={self.num_hashes}, seed={self.seed})"
+        )

@@ -26,7 +26,7 @@ from typing import Dict, List, Sequence
 
 from scipy import stats
 
-from repro.errors import ValidationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.simulation.adserver import AdServer
 from repro.simulation.browsing import Visit
 from repro.simulation.campaigns import Campaign
@@ -99,7 +99,13 @@ class UnknownResolver:
         try:
             advertiser_site = self.catalog.by_domain(
                 campaign.advertiser_domain)
-        except Exception:
+        except ConfigurationError:
+            # The advertiser's domain is outside the simulated catalog:
+            # the probe cannot visit it, so the repeatability experiment
+            # is inconclusive (not "retargeting confirmed"). Any other
+            # exception is a bug and must propagate — the old blanket
+            # `except Exception` silently converted crashes into
+            # "does not retarget" verdicts.
             return False
         # The probe runs in a later week: the campaign's audience budget
         # has rolled over since the panel's browsing.
@@ -195,7 +201,10 @@ class UnknownResolver:
             user = None
             try:
                 user = self.population.by_id(item.user_id)
-            except Exception:
+            except ConfigurationError:
+                # A receiver outside the panel population cannot be
+                # profile-matched; the sampled call is counted likely-TN
+                # below. Real bugs (not an unknown user id) propagate.
                 pass
             # "Manual inspection": does the ad plausibly target this
             # user's profile? If not, the non-targeted call looks right.

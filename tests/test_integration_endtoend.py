@@ -25,7 +25,7 @@ def build_browsing_world():
     """
     extensions = {f"u{i}": BrowserExtension(f"u{i}") for i in range(6)}
     tick = 0
-    for uid, ext in extensions.items():
+    for ext in extensions.values():
         for s in range(4):
             domain = f"site-{s}.example"
             ads = [

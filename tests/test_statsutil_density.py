@@ -75,7 +75,7 @@ class TestGaussianKDE:
                     max_size=40))
     def test_density_nonnegative_everywhere(self, values):
         kde = GaussianKDE(values)
-        for x, d in kde.series(points=20):
+        for _x, d in kde.series(points=20):
             assert d >= 0.0
 
 

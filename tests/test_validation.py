@@ -272,6 +272,51 @@ class TestUnknownResolver:
                             sim_result.catalog, sim_result.campaigns,
                             significance=1.5)
 
+    # -- pinning regressions for the protolint PL004 sweep: the blanket
+    # -- `except Exception` handlers used to convert *any* crash into a
+    # -- quiet verdict. Only the documented "not in the simulated world"
+    # -- lookup failure may be swallowed.
+    def test_probe_unknown_advertiser_domain_is_inconclusive(
+            self, sim_result, resolver, monkeypatch):
+        campaign = next(c for c in sim_result.campaigns
+                        if c.advertiser_domain)
+
+        def missing_domain(domain):
+            raise ConfigurationError(f"unknown domain {domain!r}")
+
+        monkeypatch.setattr(resolver.catalog, "by_domain", missing_domain)
+        assert not resolver.retargeting_probe(campaign.ad.identity)
+
+    def test_probe_crash_propagates_instead_of_false_verdict(
+            self, sim_result, resolver, monkeypatch):
+        campaign = next(c for c in sim_result.campaigns
+                        if c.advertiser_domain)
+
+        def broken(domain):
+            raise TypeError("catalog wired up wrong")
+
+        monkeypatch.setattr(resolver.catalog, "by_domain", broken)
+        with pytest.raises(TypeError):
+            resolver.retargeting_probe(campaign.ad.identity)
+
+    def test_resolve_unknown_receiver_counts_tn(self, resolver):
+        resolved = resolver.resolve(
+            [], [classified("not-a-panel-user", "ad-x", Label.NON_TARGETED)],
+            receivers_of={})
+        assert resolved.likely_tn == 1
+        assert resolved.likely_fn == 0
+
+    def test_resolve_crash_propagates_instead_of_tn_verdict(
+            self, resolver, monkeypatch):
+        def broken(user_id):
+            raise RuntimeError("population index corrupted")
+
+        monkeypatch.setattr(resolver.population, "by_id", broken)
+        with pytest.raises(RuntimeError):
+            resolver.resolve(
+                [], [classified("u1", "ad-x", Label.NON_TARGETED)],
+                receivers_of={})
+
 
 class TestComparisonTable:
     def test_all_rows_have_all_systems(self):
