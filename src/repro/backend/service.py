@@ -49,6 +49,20 @@ class WeeklySnapshot:
     distribution: EmpiricalDistribution
     round_result: RoundResult
 
+    def to_spec(self) -> Dict[str, Any]:
+        """JSON-serializable form (see :mod:`repro.protocol.net.spec`):
+        the HTTP plane's snapshot-query payload."""
+        from repro.protocol.net.spec import snapshot_to_spec
+        return snapshot_to_spec(self)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  config: RoundConfig) -> "WeeklySnapshot":
+        """Inverse of :meth:`to_spec`; the embedded round result's
+        aggregate is reconstructed bit-identically."""
+        from repro.protocol.net.spec import snapshot_from_spec
+        return snapshot_from_spec(spec, config)
+
 
 class BackendService:
     """Operates weekly aggregation rounds and serves their outputs.

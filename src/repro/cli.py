@@ -10,10 +10,13 @@ Subcommands:
 * ``bias``     — the §8 logistic-regression bias audit (Table 2 /
   Figure 5);
 * ``compare``  — render the Table-3 capability matrix;
-* ``overhead`` — the §7.1 protocol-overhead numbers.
+* ``overhead`` — the §7.1 protocol-overhead numbers;
+* ``serve``    — boot the HTTP service plane (enrollment, rounds, job
+  queue) and block until shutdown.
 
 Every command is seeded and deterministic: re-running with the same
-arguments reproduces the same output.
+arguments reproduces the same output (``serve`` is deterministic in its
+protocol outputs; tokens are random by design).
 """
 
 from __future__ import annotations
@@ -148,7 +151,18 @@ def cmd_detect(args: argparse.Namespace) -> int:
                   f"with --cliques {args.cliques}: one aggregator process "
                   f"serves exactly one blinding clique", file=sys.stderr)
             return 2
+        if args.transport == "memory":
+            print("--aggregator-procs runs real subprocesses behind "
+                  "sockets; their frames' bytes are only accounted by a "
+                  "byte-exact transport — add --transport wire or "
+                  "--transport socket", file=sys.stderr)
+            return 2
         args.cliques = args.aggregator_procs
+    if args.chaos_seed is not None and args.chaos == "none":
+        print("--chaos-seed seeds the fault plan's per-link RNGs and does "
+              "nothing without a plan; add --chaos wan|lossy|hostile",
+              file=sys.stderr)
+        return 2
     if args.chaos != "none" \
             and not (args.private and args.transport == "socket"):
         print("--chaos injects seeded WAN faults into the private round's "
@@ -358,6 +372,56 @@ def cmd_compare(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: boot the HTTP service plane and block until shutdown.
+
+    The full stack comes up — HTTP routes, root aggregator wiring, the
+    detection job queue — and serves until a ``POST /v1/shutdown`` from
+    the operator (or Ctrl-C). The operator token and the bound address
+    are printed first, flushed, so a parent process can scrape them.
+    """
+    if args.cms_depth <= 0 or args.cms_width <= 0 or args.id_space <= 0:
+        print(f"--cms-depth/--cms-width/--id-space must be positive, got "
+              f"{args.cms_depth}/{args.cms_width}/{args.id_space}",
+              file=sys.stderr)
+        return 2
+    if args.job_workers < 1:
+        print(f"--job-workers must be >= 1, got {args.job_workers}",
+              file=sys.stderr)
+        return 2
+    if args.job_retries < 0:
+        print(f"--job-retries must be >= 0, got {args.job_retries}",
+              file=sys.stderr)
+        return 2
+    from repro.protocol.client import RoundConfig
+    from repro.protocol.net.supervisor import RetryPolicy
+    from repro.service import ReproService
+
+    config = RoundConfig(cms_depth=args.cms_depth, cms_width=args.cms_width,
+                         cms_seed=args.seed, id_space=args.id_space)
+    service = ReproService(
+        config, seed=args.seed, num_cliques=args.cliques,
+        use_oprf=args.use_oprf, threshold_rule=args.threshold_rule,
+        transport=args.transport, host=args.host, port=args.port,
+        operator_token=args.operator_token,
+        job_workers=args.job_workers,
+        retry_policy=RetryPolicy(max_restarts=args.job_retries),
+        job_timeout_s=args.job_timeout)
+    try:
+        host, port = service.start()
+        print(f"operator token: {service.operator_token}", flush=True)
+        print(f"serving on http://{host}:{port}", flush=True)
+        try:
+            service.wait_for_shutdown()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+        else:
+            print("shutdown requested; stopping", flush=True)
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_overhead(_args: argparse.Namespace) -> int:
     """``overhead``: print the §7.1 protocol cost numbers."""
     print("CMS sizes (delta = epsilon = 0.001, 4-byte cells):")
@@ -458,6 +522,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ovh = sub.add_parser("overhead", help="print the §7.1 cost numbers")
     p_ovh.set_defaults(func=cmd_overhead)
+
+    p_srv = sub.add_parser("serve",
+                           help="boot the HTTP service plane (enrollment, "
+                                "rounds, job queue) and block")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = ephemeral, printed "
+                            "at startup)")
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="deterministic enrollment seed (default 0)")
+    p_srv.add_argument("--cliques", type=int, default=1,
+                       help="blinding cliques per epoch (default 1)")
+    p_srv.add_argument("--use-oprf", action="store_true",
+                       help="map ad URLs through the OPRF instead of the "
+                            "shared PRF")
+    p_srv.add_argument("--transport", default="wire",
+                       choices=["wire", "socket"],
+                       help="protocol transport under the HTTP plane: "
+                            "byte-exact wire codec or real sockets "
+                            "(memory is refused — byte parity would be "
+                            "vacuous; default wire)")
+    p_srv.add_argument("--threshold-rule", default="mean",
+                       choices=[r.value for r in ThresholdRule])
+    p_srv.add_argument("--cms-depth", type=int, default=4,
+                       help="CMS rows (default 4)")
+    p_srv.add_argument("--cms-width", type=int, default=2048,
+                       help="CMS columns (default 2048)")
+    p_srv.add_argument("--id-space", type=int, default=100_000,
+                       help="public ad-ID space size (default 100000)")
+    p_srv.add_argument("--operator-token", default=None,
+                       help="use this secret for the operator bearer token "
+                            "instead of minting one; the full token "
+                            "(principal + secret) is printed at startup "
+                            "either way")
+    p_srv.add_argument("--job-workers", type=int, default=2,
+                       help="detection job-queue worker threads "
+                            "(default 2)")
+    p_srv.add_argument("--job-retries", type=int, default=2,
+                       help="retry budget per job after its first attempt "
+                            "(default 2; exhausted jobs go to the "
+                            "dead-letter state)")
+    p_srv.add_argument("--job-timeout", type=float, default=120.0,
+                       help="default per-job timeout in seconds "
+                            "(default 120)")
+    p_srv.set_defaults(func=cmd_serve)
     return parser
 
 

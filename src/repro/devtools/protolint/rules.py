@@ -159,6 +159,10 @@ def _in_strict_protocol_paths(path: str) -> bool:
 
 #: The only protocol modules allowed to touch raw sockets: the framing
 #: layer and the transport whose ``_ship`` hook does the byte accounting.
+#: The HTTP service plane (``repro/service/``) is deliberately NOT
+#: allowlisted: all of its protocol bytes must cross the same seam
+#: (asyncio streams and http.client carry the control plane; a raw
+#: ``socket.socket()`` there would be an unaccounted byte path).
 PL001_ALLOWED = (
     "src/repro/protocol/net/transport.py",
     "src/repro/protocol/net/frames.py",
@@ -177,7 +181,8 @@ class RawSocketRule(Rule):
 
     def scope(self, path: str) -> bool:
         return (
-            path.startswith("src/repro/protocol/") and path not in PL001_ALLOWED
+            path.startswith(("src/repro/protocol/", "src/repro/service/"))
+            and path not in PL001_ALLOWED
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -96,6 +96,18 @@ realism for speed, and a session selects one by name
   untouched and every run replays fault-for-fault from its seed
   (``ProtocolSession(transport="socket", fault_plan=...)``, or
   ``cli detect --chaos wan|lossy|hostile``).
+* :mod:`repro.service` — the HTTP rung: the whole protocol exposed as a
+  deployable service (``repro serve``). Remote processes drive real
+  :class:`~repro.protocol.client.ProtocolClient` objects through a
+  JSON-over-HTTP API with per-enrollment bearer tokens; every protocol
+  message still crosses a byte-exact transport's
+  ``_transcode``/``_ship`` seam *under* the HTTP plane (the HTTP body
+  carries the wire encoding; the service refuses ``transport="memory"``
+  so parity never goes vacuous), which keeps HTTP-vs-socket byte parity
+  assertable and lets a chaos :class:`~repro.protocol.net.FaultPlan`
+  inject unchanged beneath the service
+  (``ReproService(..., transport="socket", fault_plan=...)``). See
+  ``docs/service.md`` for routes, auth and the job queue.
 
 Above the ladder, :mod:`repro.protocol.net` makes the parties real OS
 processes: :class:`~repro.protocol.net.ProcessAggregatorPool` runs each
@@ -152,6 +164,28 @@ Crash past the restart budget         Fails fast — ``ProtocolError``
                                       naming the crash loop.
 Any crash (unsupervised default)      Fails fast — today's semantics,
                                       unchanged.
+HTTP client vanishes mid-round        Survives — the service's idle
+(service plane)                       phase declares it missing; the
+                                      clique recovery round runs; its
+                                      threshold broadcast is accounted
+                                      as undelivered, picked up at the
+                                      next poll.
+HTTP request with a bad/stale token   Survives, state untouched — 401
+(service plane)                       before any parsing or protocol
+                                      mutation; revoked (post-leave)
+                                      tokens rejected the same way.
+Oversized / trickled HTTP request     Fails that request fast — length
+(service plane)                       refused before allocation (413/
+                                      431), per-request deadline kills
+                                      slow-loris; the round is
+                                      unaffected.
+Detection worker killed (job queue)   Survives — retry with exponential
+                                      backoff re-runs the deterministic
+                                      job; same answer, attempts
+                                      recorded.
+Job past its retry budget             Fails visibly — queryable
+                                      dead-letter state with the full
+                                      failure history; never hangs.
 ====================================  =================================
 
 **Transport-independent guarantees.** Pad one-time-ness is enforced on

@@ -24,7 +24,9 @@ import base64
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Union
 
 if TYPE_CHECKING:
+    from repro.backend.service import WeeklySnapshot
     from repro.protocol.aggregator import CliqueAggregator, RootAggregator
+    from repro.protocol.runner import RoundResult
 
 import numpy as np
 
@@ -230,6 +232,10 @@ def summary_from_spec(
     try:
         raw = base64.b64decode(spec["cells"])
         cells = np.frombuffer(raw, dtype=">u8").astype(np.uint64)
+        if cells.size != config.num_cells:
+            raise ProtocolError(
+                f"aggregate spec carries {cells.size} cells, config "
+                f"expects {config.num_cells}")
         aggregate = CountMinSketch(
             config.cms_depth, config.cms_width, config.cms_seed, cells=cells
         )
@@ -244,3 +250,74 @@ def summary_from_spec(
         )
     except (KeyError, ValueError) as exc:
         raise ProtocolError(f"malformed round-summary spec: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Round results and weekly snapshots (the HTTP plane's query payloads)
+# ---------------------------------------------------------------------------
+
+
+def result_to_spec(result: "RoundResult") -> Dict[str, Any]:
+    """JSON form of a :class:`~repro.protocol.runner.RoundResult`: the
+    round-summary fields (a result duck-types one) plus the transport's
+    §7.1 byte accounting."""
+    spec = summary_to_spec(result)
+    spec["total_bytes"] = int(result.total_bytes)
+    spec["total_messages"] = int(result.total_messages)
+    return spec
+
+
+def result_from_spec(
+    spec: Dict[str, Any], config: Optional[RoundConfig] = None
+) -> "RoundResult":
+    """Rebuild a :class:`~repro.protocol.runner.RoundResult` exactly —
+    the aggregate cells are bit-identical to what was serialized."""
+    from repro.protocol.runner import RoundResult
+
+    summary = summary_from_spec(spec, config)
+    try:
+        return RoundResult(
+            round_id=summary.round_id,
+            aggregate=summary.aggregate,
+            distribution=summary.distribution,
+            users_threshold=summary.users_threshold,
+            reported_users=summary.reported_users,
+            missing_users=summary.missing_users,
+            recovery_round_used=summary.recovery_round_used,
+            total_bytes=int(spec["total_bytes"]),
+            total_messages=int(spec["total_messages"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed round-result spec: {exc}") from None
+
+
+def snapshot_to_spec(snapshot: "WeeklySnapshot") -> Dict[str, Any]:
+    """JSON form of a :class:`~repro.backend.service.WeeklySnapshot`."""
+    return {
+        "week": int(snapshot.week),
+        "users_threshold": snapshot.users_threshold,
+        "distribution": list(snapshot.distribution.values),
+        "round_result": result_to_spec(snapshot.round_result),
+    }
+
+
+def snapshot_from_spec(
+    spec: Dict[str, Any], config: Optional[RoundConfig] = None
+) -> "WeeklySnapshot":
+    """Rebuild a :class:`~repro.backend.service.WeeklySnapshot`."""
+    from repro.backend.service import WeeklySnapshot
+
+    if config is None:
+        raise ProtocolError(
+            "reconstructing a weekly snapshot needs the shared RoundConfig"
+        )
+    try:
+        return WeeklySnapshot(
+            week=int(spec["week"]),
+            users_threshold=float(spec["users_threshold"]),
+            distribution=EmpiricalDistribution(spec["distribution"]),
+            round_result=result_from_spec(spec["round_result"], config),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed weekly-snapshot spec: {exc}") from None

@@ -1,0 +1,143 @@
+"""Detection-run job worker: the subprocess side and its parent handler.
+
+A detection job simulates one week of browsing and runs the (optionally
+private) detection pipeline over it — CPU-bound work that belongs in a
+worker *process*, not the service's threads. This module is both ends of
+that boundary:
+
+* ``python -m repro.service.jobworker`` is the worker entry: job params
+  as JSON on stdin, result as JSON on stdout, any failure a nonzero
+  exit. The process is stateless and idempotent — exactly what the
+  :class:`~repro.service.jobs.JobQueue`'s retry-with-backoff assumes,
+  and deterministic in its ``seed``, so a retried attempt reproduces the
+  killed attempt's answer.
+* :func:`detection_handler` builds the parent-side
+  :class:`~repro.service.jobs.JobHandler` that spawns that worker,
+  enforces the job's ``timeout_s`` (kill, then fail the attempt), and
+  records the worker PID on the job record so operators — and the
+  retry tests — can target the live attempt.
+
+Job params (all optional): ``users``, ``websites``, ``visits``,
+``seed``, ``private``, ``cliques``, ``weeks`` control the simulation and
+pipeline; ``delay_s`` sleeps before running (lets tests widen the
+kill window); ``fail`` makes the worker exit nonzero after the delay —
+the dead-letter knob.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.service.jobs import JobError, JobRecord
+
+#: Parent-side test hook: called with (record, process) right after
+#: spawn, before waiting — the retry tests kill the first attempt here.
+SpawnHook = Callable[[JobRecord, "subprocess.Popen[str]"], None]
+
+JOB_KIND_DETECTION = "detection"
+
+
+def run_detection_job(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One detection run, worker side; deterministic in ``seed``."""
+    from repro.api import run_detection
+    from repro.simulation.config import SimulationConfig
+    from repro.simulation.simulator import Simulator
+
+    delay_s = float(params.get("delay_s", 0.0))
+    if delay_s > 0:
+        time.sleep(delay_s)
+    if params.get("fail"):
+        raise JobError("job asked to fail (fail=true)")
+    config = SimulationConfig(
+        num_users=int(params.get("users", 40)),
+        num_websites=int(params.get("websites", 30)),
+        average_user_visits=int(params.get("visits", 12)),
+        num_weeks=int(params.get("weeks", 1)),
+        seed=int(params.get("seed", 0)),
+    )
+    sim = Simulator(config).run()
+    impressions = sim.impressions_in_week(0)
+    result = run_detection(
+        impressions,
+        private=bool(params.get("private", True)),
+        num_cliques=int(params.get("cliques", 1)),
+        enrollment_seed=config.seed,
+    )
+    flagged = {c.ad.identity for c in result.targeted}
+    return {
+        "users_threshold": result.users_threshold,
+        "classified": len(result.classified),
+        "flagged": sorted(flagged),
+        "impressions": len(impressions),
+        "private": result.private,
+        "seed": config.seed,
+    }
+
+
+def main() -> int:
+    try:
+        params = json.loads(sys.stdin.read() or "{}")
+        result = run_detection_job(params)
+    except Exception as exc:  # noqa: BLE001 - becomes the attempt error
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    json.dump(result, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+def detection_handler(hook: Optional[SpawnHook] = None) -> Any:
+    """Build the queue handler that runs detection jobs in a subprocess.
+
+    The worker inherits the parent's ``sys.path`` (via PYTHONPATH), so
+    ``repro`` resolves identically however the service itself was
+    launched. A worker that outlives ``record.timeout_s`` is killed and
+    the attempt fails — the queue's retry policy decides what happens
+    next.
+    """
+
+    def handle(record: JobRecord) -> Dict[str, Any]:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.jobworker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=env)
+        record.pid = proc.pid
+        if hook is not None:
+            hook(record, proc)
+        try:
+            stdout, stderr = proc.communicate(
+                json.dumps(record.params), timeout=record.timeout_s)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            raise JobError(
+                f"worker pid {proc.pid} exceeded the "
+                f"{record.timeout_s}s timeout and was killed") from None
+        if proc.returncode != 0:
+            detail = (stderr or "").strip().splitlines()
+            raise JobError(
+                f"worker pid {proc.pid} exited {proc.returncode}"
+                + (f": {detail[-1]}" if detail else ""))
+        try:
+            result = json.loads(stdout)
+        except ValueError:
+            raise JobError(
+                f"worker pid {proc.pid} produced unparseable output "
+                f"{stdout[:80]!r}") from None
+        if not isinstance(result, dict):
+            raise JobError(
+                f"worker pid {proc.pid} produced a non-object result")
+        return result
+
+    return handle
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,487 @@
+"""Server-side protocol state behind the HTTP plane.
+
+The HTTP routes are a thin skin; this module is the operator: it owns
+the enrollment (an epoch-aware
+:class:`~repro.protocol.membership.MembershipManager`), the aggregation
+endpoints (per-clique :class:`~repro.protocol.aggregator.CliqueAggregator`
+fan-out plus the :class:`~repro.protocol.aggregator.RootAggregator`),
+and one byte-exact transport every protocol message crosses.
+
+Two design decisions carry the whole subsystem:
+
+**Every protocol byte still crosses the accounting seam.** The service
+refuses ``transport="memory"`` and runs the
+:class:`~repro.protocol.transport.WireTransport` family only: a report
+POSTed over HTTP is decoded from its wire bytes, then *re-sent* through
+``transport.send(user, clique-aggregator, message)`` — the single
+``_transcode``/``_ship`` path every other transport uses. Byte counts
+are therefore directly comparable between an HTTP-driven round and an
+in-process socket round (the equivalence tests assert equality), and a
+:class:`~repro.protocol.net.ChaosSocketTransport` fault plan injects its
+WAN faults *under* the HTTP plane unchanged
+(``transport="socket"`` + ``fault_plan``).
+
+**Remote clients rebuild themselves from the enrollment spec.**
+:func:`~repro.protocol.enrollment.enroll_users` is deterministic in
+``(roster, config, seed, ...)`` and epoch advances are deterministic in
+the join/leave sequence, so the service hands a client everything needed
+to reconstruct its own :class:`~repro.protocol.client.ProtocolClient` —
+key material included — in another process (see
+:meth:`ServiceState.enrollment_spec` and
+:class:`repro.service.client.RemoteClient`). The privacy consequence
+(the operator knows the shared seed and could derive client secrets) is
+a fidelity limit of the reproduction, documented in ``docs/service.md``;
+the paper's deployment runs real per-client key exchange instead.
+
+The round lifecycle mirrors the in-process driver's quiescence loop,
+split at the HTTP boundary: ``open`` starts the round on the server
+endpoints, ``submit`` feeds one client message through the transport and
+pumps the aggregators, ``advance`` fires the idle phase (the deployment
+phase-timeout: "whoever has not reported is missing"), and ``finalize``
+closes the round once the root has a summary. Client-bound traffic
+(notices, the threshold broadcast) waits in the clients' transport
+mailboxes until polled over HTTP.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import _resolve_transport
+from repro.backend.service import WeeklySnapshot
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol import wire
+from repro.protocol.aggregator import (
+    CliqueAggregator,
+    RootAggregator,
+    clique_endpoint_id,
+)
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import ProtocolEndpoint
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.membership import MembershipManager
+from repro.protocol.messages import BlindedReport, BlindingAdjustment
+from repro.protocol.net.spec import (
+    config_to_spec,
+    resolve_rule,
+    result_to_spec,
+    snapshot_to_spec,
+)
+from repro.protocol.runner import RoundResult
+
+if TYPE_CHECKING:
+    from repro.protocol.net.chaos import FaultPlan
+
+#: Transports the service plane accepts. "memory" is refused: its
+#: object mailboxes never produce wire bytes, so HTTP-vs-socket byte
+#: parity — the property this subsystem exists to keep assertable —
+#: would be vacuous.
+SERVICE_TRANSPORTS = ("wire", "socket")
+
+#: Message types a client may submit over HTTP. Everything else an
+#: endpoint emits is server-to-client traffic.
+_CLIENT_MESSAGE_TYPES = (BlindedReport, BlindingAdjustment)
+
+#: Safety valve for the server-side delivery pump (see runner._MAX_CYCLES).
+_MAX_PUMP_CYCLES = 10_000
+
+
+class ServiceState:
+    """The operator's protocol state: enrollment, epochs, rounds.
+
+    Not thread-safe by itself — the app layer serializes every call
+    under one ops lock (:attr:`lock`), the same discipline
+    :class:`~repro.backend.service.BackendService` uses.
+    """
+
+    def __init__(self, config: RoundConfig, seed: int = 0,
+                 num_cliques: int = 1, use_oprf: bool = False,
+                 share_pad_streams: bool = True,
+                 threshold_rule: str = "mean",
+                 transport: str = "wire",
+                 fault_plan: "Optional[FaultPlan]" = None) -> None:
+        if transport not in SERVICE_TRANSPORTS:
+            raise ConfigurationError(
+                f"the service plane needs a byte-exact transport so HTTP "
+                f"rounds stay byte-comparable to socket rounds; expected "
+                f"one of {SERVICE_TRANSPORTS}, got {transport!r}")
+        resolve_rule(threshold_rule)  # validate the name early
+        self.config = config
+        self.seed = seed
+        self.num_cliques = num_cliques
+        self.use_oprf = use_oprf
+        self.share_pad_streams = share_pad_streams
+        self.threshold_rule = threshold_rule
+        self.transport_name = transport
+        self.lock = threading.RLock()
+        instance, self._owns_transport = _resolve_transport(
+            transport, fault_plan=fault_plan)
+        assert instance is not None
+        self.transport = instance
+        self.manager: Optional[MembershipManager] = None
+        self._pending_joins: List[str] = []
+        self._epoch0_roster: Optional[List[str]] = None
+        #: Replay log for remote reconstruction: one entry per epoch
+        #: advance after epoch 0.
+        self._transitions: List[Dict[str, Any]] = []
+        self._aggregators: List[CliqueAggregator] = []
+        self._root: Optional[RootAggregator] = None
+        self._uplink_of: Dict[str, str] = {}
+        self._open_round: Optional[int] = None
+        self._next_round = 0
+        self._reports_seen: Dict[str, int] = {}
+        self._snapshots: Dict[int, WeeklySnapshot] = {}
+        #: Telemetry: messages left in a mailbox nobody drained at
+        #: finalize time (broadcasts addressed to users that never
+        #: polled — e.g. the round's missing users).
+        self.undelivered: List[Tuple[int, str, str, str]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Enrollment and epochs
+    # ------------------------------------------------------------------
+    @property
+    def roster(self) -> List[str]:
+        """The active epoch's roster (empty before the first epoch)."""
+        if self.manager is None:
+            return []
+        return list(self.manager.epoch.user_ids)
+
+    @property
+    def pending_joins(self) -> List[str]:
+        return list(self._pending_joins)
+
+    def enroll(self, user_id: str) -> None:
+        """Stage ``user_id`` to join at the next epoch advance."""
+        if not user_id or len(user_id) > 256:
+            raise ConfigurationError(
+                f"user_id must be a non-empty string of at most 256 "
+                f"characters, got {user_id!r}")
+        if user_id in self._pending_joins or user_id in self.roster:
+            raise ConfigurationError(
+                f"{user_id!r} is already enrolled or pending")
+        self._pending_joins.append(user_id)
+
+    def advance_epoch(self, leaves: Sequence[str] = ()) -> Dict[str, Any]:
+        """Freeze pending joins (and apply ``leaves``) into a new epoch.
+
+        The first call performs the epoch-0 enrollment; later calls
+        advance the membership manager, recording the transition for
+        remote replay. Refused while a round is open.
+        """
+        if self._open_round is not None:
+            raise ProtocolError(
+                f"round {self._open_round} is open; finalize it before "
+                f"advancing the epoch")
+        if self.manager is None:
+            if leaves:
+                raise ConfigurationError(
+                    "no epoch exists yet; there is nobody to remove")
+            if not self._pending_joins:
+                raise ConfigurationError(
+                    "enroll at least one client before the first epoch")
+            roster = sorted(self._pending_joins)
+            enrollment = enroll_users(
+                roster, self.config, seed=self.seed,
+                use_oprf=self.use_oprf, num_cliques=self.num_cliques,
+                share_pad_streams=self.share_pad_streams)
+            self.manager = MembershipManager(enrollment)
+            self._epoch0_roster = roster
+            left: List[str] = []
+        else:
+            unknown = sorted(set(leaves) - set(self.roster))
+            if unknown:
+                raise ConfigurationError(
+                    f"cannot remove users not in the epoch: {unknown[:5]}")
+            joins = sorted(self._pending_joins)
+            transition = self.manager.advance_epoch(
+                joins=joins, leaves=leaves, first_round=self._next_round)
+            self._transitions.append({
+                "joins": joins,
+                "leaves": sorted(leaves),
+                "first_round": transition.epoch.first_round,
+            })
+            left = list(transition.left)
+        self._pending_joins.clear()
+        self._next_round = max(self._next_round,
+                               self.manager.epoch.first_round)
+        self._rebuild_endpoints()
+        epoch = self.manager.epoch
+        return {
+            "epoch": epoch.epoch_id,
+            "size": epoch.size,
+            "num_cliques": epoch.num_cliques,
+            "min_clique_size": epoch.min_clique_size,
+            "first_round": epoch.first_round,
+            "left": left,
+        }
+
+    def _rebuild_endpoints(self) -> None:
+        """(Re-)wire the aggregation fan-out over the same transport."""
+        assert self.manager is not None
+        members: Dict[int, Dict[str, int]] = {}
+        self._uplink_of = {}
+        for client in self.manager.clients:
+            members.setdefault(client.clique_id, {})[client.user_id] = \
+                client.blinding.user_index
+            self._uplink_of[client.user_id] = \
+                clique_endpoint_id(client.clique_id)
+        self._aggregators = [CliqueAggregator(cid, self.config, index_of)
+                             for cid, index_of in sorted(members.items())]
+        self._root = RootAggregator(
+            self.config, sorted(members),
+            sorted(self._uplink_of),
+            threshold_rule=resolve_rule(self.threshold_rule))
+        for endpoint in self._server_endpoints():
+            self.transport.register(endpoint.endpoint_id)
+        for user_id in self._uplink_of:
+            self.transport.register(user_id)
+
+    def _server_endpoints(self) -> List[ProtocolEndpoint]:
+        endpoints: List[ProtocolEndpoint] = list(self._aggregators)
+        if self._root is not None:
+            endpoints.append(self._root)
+        return endpoints
+
+    def enrollment_spec(self, user_id: str) -> Dict[str, Any]:
+        """Everything a remote process needs to rebuild ``user_id``'s
+        :class:`~repro.protocol.client.ProtocolClient` deterministically."""
+        if self.manager is None or self._epoch0_roster is None:
+            raise ProtocolError(
+                "no epoch exists yet; advance the epoch first")
+        if user_id not in self._uplink_of:
+            raise ProtocolError(
+                f"{user_id!r} is not a member of the current epoch")
+        epoch = self.manager.epoch
+        return {
+            "config": config_to_spec(self.config),
+            "seed": self.seed,
+            "use_oprf": self.use_oprf,
+            "num_cliques": self.num_cliques,
+            "share_pad_streams": self.share_pad_streams,
+            "epoch0_roster": list(self._epoch0_roster),
+            "transitions": [dict(t) for t in self._transitions],
+            "user": {
+                "user_id": user_id,
+                "clique_id": epoch.clique_of[user_id],
+                "uplink": self._uplink_of[user_id],
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # The round lifecycle over HTTP
+    # ------------------------------------------------------------------
+    @property
+    def open_round(self) -> Optional[int]:
+        return self._open_round
+
+    def start_round(self) -> int:
+        """Open the next round on the server endpoints."""
+        if self.manager is None:
+            raise ProtocolError("no epoch exists yet; advance the epoch "
+                                "before opening a round")
+        if self._open_round is not None:
+            raise ProtocolError(
+                f"round {self._open_round} is already open")
+        round_id = self._next_round
+        for endpoint in self._server_endpoints():
+            self._dispatch(endpoint.endpoint_id,
+                           endpoint.on_round_start(round_id))
+        self._open_round = round_id
+        self._reports_seen = {}
+        self._pump()
+        return round_id
+
+    def _dispatch(self, sender_id: str,
+                  outbox: Sequence[Tuple[str, Any]]) -> None:
+        for recipient, message in outbox:
+            self.transport.send(sender_id, recipient, message)
+
+    def _pump(self) -> None:
+        """Deliver server-bound mail until the server side is quiet."""
+        for _ in range(_MAX_PUMP_CYCLES):
+            progressed = False
+            for endpoint in self._server_endpoints():
+                while True:
+                    item = self.transport.receive(endpoint.endpoint_id)
+                    if item is None:
+                        break
+                    sender, message = item
+                    self._dispatch(endpoint.endpoint_id,
+                                   endpoint.on_message(sender, message))
+                    progressed = True
+            if not progressed:
+                return
+        raise ProtocolError("server-side delivery did not quiesce")
+
+    def _require_round(self, round_id: int) -> None:
+        if self._open_round is None:
+            raise ProtocolError("no round is open")
+        if round_id != self._open_round:
+            raise ProtocolError(
+                f"round {round_id} is not the open round "
+                f"({self._open_round})")
+
+    def submit(self, user_id: str, payload: bytes) -> Dict[str, Any]:
+        """One client message, from wire bytes, through the seam.
+
+        Decodes the payload with the byte-exact codec, validates that it
+        is a client-side message of the open round actually sent by the
+        authenticated ``user_id``, then sends it through
+        ``transport.send`` — the accounting path — to the user's clique
+        aggregator and pumps the server side.
+        """
+        if self._open_round is None:
+            raise ProtocolError("no round is open")
+        uplink = self._uplink_of.get(user_id)
+        if uplink is None:
+            raise ProtocolError(
+                f"{user_id!r} is not a member of the current epoch")
+        message = wire.decode(payload)
+        if not isinstance(message, _CLIENT_MESSAGE_TYPES):
+            raise ProtocolError(
+                f"clients submit BlindedReport or BlindingAdjustment "
+                f"messages only, got {type(message).__name__}")
+        if message.user_id != user_id:
+            raise ProtocolError(
+                f"message user_id {message.user_id!r} does not match the "
+                f"authenticated principal {user_id!r}")
+        if message.round_id != self._open_round:
+            raise ProtocolError(
+                f"message is for round {message.round_id}, but round "
+                f"{self._open_round} is open")
+        self.transport.send(user_id, uplink, message)
+        if isinstance(message, BlindedReport):
+            self._reports_seen[user_id] = message.round_id
+        self._pump()
+        return {"round_id": self._open_round, "accepted": True}
+
+    def drain_mailbox(self, user_id: str,
+                      round_id: int) -> List[Dict[str, Any]]:
+        """Pop ``user_id``'s pending server-to-client messages as wire
+        bytes (the HTTP layer base64-encodes them)."""
+        self._require_round(round_id)
+        if user_id not in self._uplink_of:
+            raise ProtocolError(
+                f"{user_id!r} is not a member of the current epoch")
+        out = []
+        for sender, message in self.transport.drain(user_id):
+            out.append({"from": sender, "payload": wire.encode(message)})
+        return out
+
+    def advance(self, round_id: int) -> Dict[str, Any]:
+        """Fire the idle phase: the deployment's phase timeout.
+
+        This is where a clique aggregator decides "whoever has not
+        reported by now is missing" and starts the recovery round, and
+        later where it releases its partial aggregate — exactly the
+        driver's ``_idle_phase``, triggered by the operator instead of
+        transport quiescence.
+        """
+        self._require_round(round_id)
+        self._pump()
+        emitted = False
+        for endpoint in self._server_endpoints():
+            outbox = endpoint.on_idle(round_id)
+            if outbox:
+                self._dispatch(endpoint.endpoint_id, outbox)
+                emitted = True
+        self._pump()
+        return {
+            "round_id": round_id,
+            "emitted": emitted,
+            "pending": self.pending_by_user(),
+        }
+
+    def pending_by_user(self) -> Dict[str, int]:
+        """Undrained client-mailbox depths (polling telemetry)."""
+        return {uid: n for uid in sorted(self._uplink_of)
+                if (n := self.transport.pending(uid))}
+
+    def finalize(self, round_id: int) -> RoundResult:
+        """Close the round once the root holds a finalized summary.
+
+        Raises :class:`~repro.errors.ProtocolError` (HTTP 409 upstream)
+        while partials are still outstanding. Leftover client-mailbox
+        messages — broadcasts to users that never polled, e.g. this
+        round's missing users — are drained into :attr:`undelivered`
+        rather than poisoning the next round's mailboxes.
+        """
+        self._require_round(round_id)
+        assert self._root is not None
+        self._pump()
+        summary = self._root.round_summary()  # raises until finalized
+        for endpoint in self._server_endpoints():
+            endpoint.on_round_end(round_id)
+            if self.transport.pending(endpoint.endpoint_id):
+                raise ProtocolError(
+                    f"mailbox {endpoint.endpoint_id!r} not drained at "
+                    f"round end")
+        for user_id in sorted(self._uplink_of):
+            for sender, message in self.transport.drain(user_id):
+                self.undelivered.append(
+                    (round_id, user_id, sender, type(message).__name__))
+        result = RoundResult(
+            round_id=summary.round_id,
+            aggregate=summary.aggregate,
+            distribution=summary.distribution,
+            users_threshold=summary.users_threshold,
+            reported_users=summary.reported_users,
+            missing_users=summary.missing_users,
+            recovery_round_used=summary.recovery_round_used,
+            total_bytes=self.transport.total_bytes,
+            total_messages=self.transport.total_messages,
+        )
+        snapshot = WeeklySnapshot(
+            week=round_id, users_threshold=result.users_threshold,
+            distribution=result.distribution, round_result=result)
+        self._snapshots[round_id] = snapshot
+        self._open_round = None
+        self._next_round = round_id + 1
+        assert self.manager is not None
+        self.manager.note_round(round_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        epoch = self.manager.epoch if self.manager is not None else None
+        return {
+            "epoch": epoch.epoch_id if epoch else None,
+            "roster_size": epoch.size if epoch else 0,
+            "pending_joins": len(self._pending_joins),
+            "open_round": self._open_round,
+            "next_round": self._next_round,
+            "reports_received": len(self._reports_seen),
+            "rounds_finalized": sorted(self._snapshots),
+            "transport": self.transport_name,
+            "total_bytes": self.transport.total_bytes,
+            "total_messages": self.transport.total_messages,
+            "undelivered": len(self.undelivered),
+        }
+
+    def summary_spec(self, round_id: int) -> Dict[str, Any]:
+        snapshot = self._snapshots.get(round_id)
+        if snapshot is None:
+            raise ProtocolError(f"round {round_id} has not been finalized")
+        return result_to_spec(snapshot.round_result)
+
+    def snapshot_spec(self, week: int) -> Dict[str, Any]:
+        snapshot = self._snapshots.get(week)
+        if snapshot is None:
+            raise ProtocolError(f"no snapshot exists for week {week}")
+        return snapshot_to_spec(snapshot)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_transport:
+            close = getattr(self.transport, "close", None)
+            if callable(close):
+                close()

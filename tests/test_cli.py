@@ -92,6 +92,23 @@ class TestDetect:
                      "--cliques", "3", "--aggregator-procs", "2"])
         assert code == 2
 
+    def test_aggregator_procs_refused_on_memory_transport(self, capsys):
+        """Subprocess aggregators speak frames over sockets; an
+        in-memory transport would not account their bytes."""
+        code = main(["detect", "--users", "16", "--private",
+                     "--aggregator-procs", "2", "--transport", "memory"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "byte-exact transport" in err
+        assert "--transport wire" in err
+
+    def test_chaos_seed_without_chaos_is_refused(self, capsys):
+        code = main(["detect", "--users", "16", "--private",
+                     "--transport", "socket", "--chaos-seed", "9"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--chaos wan|lossy|hostile" in err
+
     def test_transport_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["detect", "--transport", "quic"])
@@ -119,3 +136,27 @@ class TestCompareAndOverhead:
         assert code == 0
         assert "184.9 KB" in out
         assert "OPRF" in out
+
+
+class TestServe:
+    """Argument validation for the service plane (the serving path
+    itself is covered end to end in test_service_e2e.py)."""
+
+    def test_memory_transport_is_not_a_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--transport", "memory"])
+
+    def test_nonpositive_sketch_dims_refused(self, capsys):
+        code = main(["serve", "--cms-depth", "0"])
+        assert code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_zero_job_workers_refused(self, capsys):
+        code = main(["serve", "--job-workers", "0"])
+        assert code == 2
+        assert "--job-workers" in capsys.readouterr().err
+
+    def test_negative_job_retries_refused(self, capsys):
+        code = main(["serve", "--job-retries", "-1"])
+        assert code == 2
+        assert "--job-retries" in capsys.readouterr().err

@@ -75,6 +75,27 @@ class TestPL001:
         assert lint_source(self.flagged, allowed) == []
         assert lint_source(self.flagged, "tests/test_sockets.py") == []
 
+    def test_service_package_is_in_scope(self):
+        """The HTTP service plane gets no raw sockets either: its only
+        byte paths are asyncio streams and http.client, and protocol
+        bytes move through the transport seam underneath."""
+        source = (
+            "import socket\n"
+            "def leak():\n"
+            "    return socket.socket()\n"
+        )
+        findings = lint_source(source, "src/repro/service/fake.py")
+        assert ids(findings) == ["PL001"]
+
+    def test_no_service_file_is_allowlisted(self):
+        """Unlike protocol/net/, nothing under service/ may hold a raw
+        socket — not even the HTTP server module itself."""
+        for path in ("src/repro/service/http.py",
+                     "src/repro/service/client.py",
+                     "src/repro/service/state.py"):
+            assert ids(lint_source(self.flagged, path)) == \
+                ["PL001", "PL001"], path
+
     def test_escape_hatch_roundtrip(self):
         source = (
             "import socket\n"

@@ -1,0 +1,327 @@
+"""ServiceState: lifecycle guards, spec round-trips, and the parity
+properties the HTTP plane exists to keep.
+
+The headline assertions:
+
+* a round driven through :class:`~repro.service.state.ServiceState` —
+  every message crossing HTTP-shaped ``submit``/``drain_mailbox`` calls
+  as wire bytes — produces a **bit-identical** aggregate, distribution
+  and threshold to the in-process driver over the same enrollment, and
+  the **same §7.1 byte totals** (the service re-sends every payload
+  through the transport's ``_transcode``/``_ship`` seam);
+* ``RoundSummary`` / ``RoundResult`` / ``WeeklySnapshot`` survive their
+  JSON specs exactly (satellite: ``net/spec.py`` round-trips).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import run_private_round
+from repro.backend.service import WeeklySnapshot
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol import wire
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import RoundSummary
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.messages import MissingClientsNotice
+from repro.protocol.net.spec import (
+    result_from_spec,
+    result_to_spec,
+    snapshot_from_spec,
+    snapshot_to_spec,
+    summary_from_spec,
+    summary_to_spec,
+)
+from repro.protocol.transport import WireTransport
+from repro.service.state import ServiceState
+
+CONFIG = RoundConfig(cms_depth=3, cms_width=64, cms_seed=7, id_space=512)
+ROSTER = [f"u{i}" for i in range(6)]
+URLS = {uid: [f"http://ads.example/{i % 3}", f"http://ads.example/{i}"]
+        for i, uid in enumerate(ROSTER)}
+
+
+def enrolled_clients(seed=11, num_cliques=2):
+    enrollment = enroll_users(sorted(ROSTER), CONFIG, seed=seed,
+                              use_oprf=False, num_cliques=num_cliques)
+    for client in enrollment.clients:
+        for url in URLS[client.user_id]:
+            client.observe_ad(url)
+    return enrollment.clients
+
+
+def fresh_state(seed=11, num_cliques=2, transport="wire"):
+    state = ServiceState(CONFIG, seed=seed, num_cliques=num_cliques,
+                         transport=transport)
+    for uid in ROSTER:
+        state.enroll(uid)
+    state.advance_epoch()
+    return state
+
+
+def drive_round(state, clients, participants=None):
+    """The RemoteClient pump loop, minus HTTP: submit reports, poll
+    mailboxes, advance on quiescence, finalize."""
+    participants = {c.user_id for c in (participants or clients)}
+    rid = state.start_round()
+    by_id = {c.user_id: c for c in clients}
+    for uid in sorted(participants):
+        for _recipient, message in by_id[uid].on_round_start(rid):
+            state.submit(uid, wire.encode(message))
+    for _ in range(100):
+        delivered = 0
+        for uid in sorted(participants):
+            for item in state.drain_mailbox(uid, rid):
+                delivered += 1
+                message = wire.decode(item["payload"])
+                for _r, reply in by_id[uid].on_message(item["from"],
+                                                       message):
+                    state.submit(uid, wire.encode(reply))
+        if delivered:
+            continue
+        if not state.advance(rid)["emitted"]:
+            return state.finalize(rid)
+    raise AssertionError("round did not quiesce")
+
+
+@pytest.fixture(scope="module")
+def finalized():
+    """One fully-driven service round, shared by the read-only tests."""
+    state = fresh_state()
+    result = drive_round(state, enrolled_clients())
+    yield state, result
+    state.close()
+
+
+class TestConstruction:
+    def test_memory_transport_is_refused(self):
+        with pytest.raises(ConfigurationError, match="byte-exact"):
+            ServiceState(CONFIG, transport="memory")
+
+    def test_unknown_threshold_rule_is_refused_early(self):
+        with pytest.raises(ProtocolError, match="unknown threshold rule"):
+            ServiceState(CONFIG, threshold_rule="p99-vibes")
+
+
+class TestLifecycleGuards:
+    def test_round_needs_an_epoch(self):
+        state = ServiceState(CONFIG)
+        with pytest.raises(ProtocolError, match="advance the epoch"):
+            state.start_round()
+        state.close()
+
+    def test_first_epoch_needs_enrollment(self):
+        state = ServiceState(CONFIG)
+        with pytest.raises(ConfigurationError, match="at least one"):
+            state.advance_epoch()
+        state.close()
+
+    def test_duplicate_enroll_refused(self):
+        state = ServiceState(CONFIG)
+        state.enroll("u1")
+        with pytest.raises(ConfigurationError, match="already"):
+            state.enroll("u1")
+        state.close()
+
+    def test_epoch_advance_refused_while_round_open(self):
+        state = fresh_state()
+        state.start_round()
+        state.enroll("u9")
+        with pytest.raises(ProtocolError, match="finalize it"):
+            state.advance_epoch()
+        state.close()
+
+    def test_leaving_unknown_user_refused(self):
+        state = fresh_state()
+        with pytest.raises(ConfigurationError, match="not in the epoch"):
+            state.advance_epoch(leaves=["nobody"])
+        state.close()
+
+    def test_submit_needs_an_open_round(self):
+        state = fresh_state()
+        with pytest.raises(ProtocolError, match="no round is open"):
+            state.submit("u1", b"\x00")
+        state.close()
+
+    def test_submit_rejects_non_members(self):
+        state = fresh_state()
+        clients = enrolled_clients()
+        rid = state.start_round()
+        report = clients[0].build_report(rid)
+        with pytest.raises(ProtocolError, match="not a member"):
+            state.submit("stranger", wire.encode(report))
+        state.close()
+
+    def test_submit_rejects_spoofed_user_id(self):
+        """u1's report cannot be submitted as u2 — the wire message's
+        user_id must match the authenticated principal."""
+        state = fresh_state()
+        by_id = {c.user_id: c for c in enrolled_clients()}
+        rid = state.start_round()
+        report = by_id["u1"].build_report(rid)
+        with pytest.raises(ProtocolError, match="does not match"):
+            state.submit("u2", wire.encode(report))
+        state.close()
+
+    def test_submit_rejects_wrong_round(self):
+        state = fresh_state()
+        by_id = {c.user_id: c for c in enrolled_clients()}
+        state.start_round()
+        stale = by_id["u1"].build_report(99)
+        with pytest.raises(ProtocolError, match="round 99"):
+            state.submit("u1", wire.encode(stale))
+        state.close()
+
+    def test_submit_rejects_server_side_message_types(self):
+        state = fresh_state()
+        state.start_round()
+        notice = MissingClientsNotice(round_id=0, missing_indexes=(0,),
+                                      clique_id=0)
+        with pytest.raises(ProtocolError, match="BlindedReport"):
+            state.submit("u1", wire.encode(notice))
+        state.close()
+
+    def test_finalize_before_reports_is_a_conflict(self):
+        state = fresh_state()
+        rid = state.start_round()
+        with pytest.raises(ProtocolError):
+            state.finalize(rid)
+        state.close()
+
+    def test_summary_of_unfinalized_round_is_a_conflict(self):
+        state = fresh_state()
+        with pytest.raises(ProtocolError, match="not been finalized"):
+            state.summary_spec(0)
+        with pytest.raises(ProtocolError, match="no snapshot"):
+            state.snapshot_spec(0)
+        state.close()
+
+
+class TestEquivalence:
+    """The tentpole property: HTTP-shaped rounds match the in-process
+    driver bit for bit — and byte for byte."""
+
+    def test_round_matches_in_memory_driver_bitwise(self, finalized):
+        _state, via_service = finalized
+        reference = run_private_round(CONFIG, enrolled_clients(),
+                                      round_id=0, transport="wire")
+        assert np.array_equal(via_service.aggregate.cells_array,
+                              reference.aggregate.cells_array)
+        assert list(via_service.distribution.values) == \
+            list(reference.distribution.values)
+        assert via_service.users_threshold == reference.users_threshold
+        assert list(via_service.reported_users) == \
+            list(reference.reported_users)
+        assert list(via_service.missing_users) == []
+        assert via_service.recovery_round_used is False
+
+    def test_byte_totals_match_the_wire_driver(self, finalized):
+        """Same messages, same codec, same accounting seam -> the
+        service's §7.1 totals equal the in-process wire driver's."""
+        _state, via_service = finalized
+        transport = WireTransport()
+        reference = run_private_round(CONFIG, enrolled_clients(),
+                                      round_id=0, transport=transport)
+        assert via_service.total_bytes == reference.total_bytes
+        assert via_service.total_messages == reference.total_messages
+        assert via_service.total_bytes == transport.total_bytes
+
+    def test_full_participation_leaves_nothing_undelivered(self, finalized):
+        state, _result = finalized
+        assert state.undelivered == []
+        assert state.status()["rounds_finalized"] == [0]
+
+    def test_dropout_recovers_and_strands_the_broadcast(self):
+        """A never-polling user goes missing, the recovery round runs,
+        and finalize strands exactly that user's threshold broadcast in
+        the undelivered telemetry."""
+        state = fresh_state()
+        clients = enrolled_clients()
+        present = [c for c in clients if c.user_id != "u3"]
+        result = drive_round(state, clients, participants=present)
+        assert list(result.missing_users) == ["u3"]
+        assert result.recovery_round_used is True
+        assert [(u, t) for (_r, u, _s, t) in state.undelivered] == \
+            [("u3", "ThresholdBroadcast")]
+        state.close()
+
+
+class TestSpecRoundTrips:
+    """Satellite: WeeklySnapshot and RoundSummary JSON specs."""
+
+    def test_round_result_survives_json_exactly(self, finalized):
+        _state, result = finalized
+        spec = json.loads(json.dumps(result_to_spec(result)))
+        rebuilt = result_from_spec(spec, CONFIG)
+        assert np.array_equal(rebuilt.aggregate.cells_array,
+                              result.aggregate.cells_array)
+        assert rebuilt.users_threshold == result.users_threshold
+        assert list(rebuilt.distribution.values) == \
+            list(result.distribution.values)
+        assert rebuilt.total_bytes == result.total_bytes
+        assert rebuilt.total_messages == result.total_messages
+
+    def test_round_summary_methods_round_trip(self, finalized):
+        _state, result = finalized
+        summary = RoundSummary(
+            round_id=result.round_id, aggregate=result.aggregate,
+            distribution=result.distribution,
+            users_threshold=result.users_threshold,
+            reported_users=result.reported_users,
+            missing_users=result.missing_users,
+            recovery_round_used=result.recovery_round_used)
+        rebuilt = RoundSummary.from_spec(
+            json.loads(json.dumps(summary.to_spec())), CONFIG)
+        assert np.array_equal(rebuilt.aggregate.cells_array,
+                              summary.aggregate.cells_array)
+        assert rebuilt.users_threshold == summary.users_threshold
+        assert tuple(rebuilt.reported_users) == \
+            tuple(summary.reported_users)
+
+    def test_weekly_snapshot_methods_round_trip(self, finalized):
+        _state, result = finalized
+        snapshot = WeeklySnapshot(
+            week=0, users_threshold=result.users_threshold,
+            distribution=result.distribution, round_result=result)
+        rebuilt = WeeklySnapshot.from_spec(
+            json.loads(json.dumps(snapshot.to_spec())), CONFIG)
+        assert rebuilt.week == 0
+        assert rebuilt.users_threshold == snapshot.users_threshold
+        assert np.array_equal(rebuilt.round_result.aggregate.cells_array,
+                              result.aggregate.cells_array)
+
+    def test_service_specs_match_module_functions(self, finalized):
+        state, result = finalized
+        assert state.summary_spec(0) == result_to_spec(result)
+        assert state.snapshot_spec(0)["round_result"] == \
+            result_to_spec(result)
+
+    def test_missing_field_is_a_malformed_spec(self, finalized):
+        _state, result = finalized
+        spec = result_to_spec(result)
+        del spec["total_bytes"]
+        with pytest.raises(ProtocolError, match="malformed round-result"):
+            result_from_spec(spec, CONFIG)
+        summary_spec = summary_to_spec(result)
+        del summary_spec["cells"]
+        with pytest.raises(ProtocolError, match="malformed round-summary"):
+            summary_from_spec(summary_spec, CONFIG)
+        with pytest.raises(ProtocolError, match="malformed weekly-snapshot"):
+            snapshot_from_spec({"week": 0}, CONFIG)
+
+    def test_from_spec_requires_the_shared_config(self, finalized):
+        _state, result = finalized
+        with pytest.raises(ProtocolError, match="RoundConfig"):
+            summary_from_spec(summary_to_spec(result))
+        with pytest.raises(ProtocolError, match="RoundConfig"):
+            snapshot_from_spec({"week": 0})
+
+    def test_cell_count_mismatch_is_refused(self, finalized):
+        _state, result = finalized
+        spec = summary_to_spec(result)
+        wrong = RoundConfig(cms_depth=2, cms_width=8, cms_seed=7,
+                            id_space=512)
+        with pytest.raises(ProtocolError, match="cells"):
+            summary_from_spec(spec, wrong)
