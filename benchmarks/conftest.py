@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import json
 import os
+import resource
+import sys
 from pathlib import Path
 
 import pytest
@@ -43,6 +45,22 @@ def append_trajectory(record: dict, path: Path = TRAJECTORY_FILE) -> None:
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     tmp.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
     os.replace(tmp, path)
+
+
+def peak_rss_mb() -> float:
+    """This process's lifetime peak resident set size, in MiB.
+
+    ``resource.getrusage`` only — no extra dependency — so this is a
+    *high-watermark*, not a point-in-time reading: it never decreases.
+    Benches that chart memory against a growing parameter (the scale
+    sweep) must therefore run their scales in ascending order, where a
+    new high-watermark is attributable to the scale that set it.
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 def pytest_collection_modifyitems(config, items):

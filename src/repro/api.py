@@ -62,6 +62,7 @@ from typing import (
 )
 
 from repro.errors import ConfigurationError, RoundStateError
+from repro.protocol.army import ClientArmy
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.endpoint import (
     ProtocolEndpoint,
@@ -78,6 +79,8 @@ from repro.protocol.runner import (
     AsyncProtocolRunner,
     ProtocolRunner,
     RoundResult,
+    build_army_endpoints,
+    build_army_monolithic,
     build_fanout_endpoints,
     build_monolithic_endpoints,
 )
@@ -109,6 +112,11 @@ TOPOLOGIES = ("fanout", "monolithic")
 
 #: Supported round drivers.
 DRIVERS = ("sync", "async")
+
+#: Supported client backends: per-user objects, or the struct-of-arrays
+#: :class:`~repro.protocol.army.ClientArmy` (bit-identical reports, one
+#: endpoint for the whole population — the 100k+-user path).
+CLIENT_BACKENDS = ("objects", "batched")
 
 #: Named transports ``ProtocolSession(transport=...)`` resolves; an
 #: :class:`~repro.protocol.transport.InMemoryTransport` instance is
@@ -210,7 +218,7 @@ class ProtocolSession:
     """
 
     def __init__(self, config: RoundConfig,
-                 clients: Sequence[ProtocolClient],
+                 clients: Union[Sequence[ProtocolClient], ClientArmy],
                  transport: TransportSpec = None,
                  threshold_rule: ThresholdRuleFn = mean_threshold,
                  topology: str = "fanout",
@@ -218,7 +226,8 @@ class ProtocolSession:
                  membership: Optional[MembershipManager] = None,
                  aggregator_procs: int = 0,
                  fault_plan: "Optional[FaultPlan]" = None,
-                 retry_policy: "Optional[RetryPolicy]" = None) -> None:
+                 retry_policy: "Optional[RetryPolicy]" = None,
+                 fan_in: Optional[int] = None) -> None:
         if topology not in TOPOLOGIES:
             raise ConfigurationError(
                 f"unknown topology {topology!r}; expected one of "
@@ -226,10 +235,25 @@ class ProtocolSession:
         if driver not in DRIVERS:
             raise ConfigurationError(
                 f"unknown driver {driver!r}; expected one of {DRIVERS}")
+        if fan_in is not None and topology != "fanout":
+            raise ConfigurationError(
+                "fan_in bounds the partial-aggregate fan-in of the "
+                "aggregation tree and needs topology='fanout', got "
+                f"{topology!r}")
         self.config = config
         self.topology = topology
         self.driver = driver
+        self.fan_in = fan_in
         self.membership = membership
+        #: The batched client backend, when this session hosts one (the
+        #: army then owns the roster/epoch lifecycle instead of a
+        #: MembershipManager).
+        self.army: Optional[ClientArmy] = (
+            clients if isinstance(clients, ClientArmy) else None)
+        if self.army is not None and membership is not None:
+            raise ConfigurationError(
+                "a batched-backend session's roster lives in the army; "
+                "don't pass a MembershipManager as well")
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self._closed = False
@@ -250,7 +274,10 @@ class ProtocolSession:
                     "aggregator_procs runs the per-clique fan-out in "
                     "subprocesses and needs topology='fanout', got "
                     f"{topology!r}")
-            cliques_present = len({c.clique_id for c in clients})
+            if self.army is not None:
+                cliques_present = len(self.army.members())
+            else:
+                cliques_present = len({c.clique_id for c in clients})
             if aggregator_procs != cliques_present:
                 raise ConfigurationError(
                     f"aggregator_procs={aggregator_procs} but the enrolled "
@@ -265,14 +292,18 @@ class ProtocolSession:
                 from repro.protocol.net import SupervisedAggregatorPool
                 self._pool = SupervisedAggregatorPool(
                     config, retry_policy=retry_policy,
-                    fault_plan=fault_plan)
+                    fault_plan=fault_plan, fan_in=fan_in)
             else:
                 from repro.protocol.net import ProcessAggregatorPool
-                self._pool = ProcessAggregatorPool(config)
+                self._pool = ProcessAggregatorPool(config, fan_in=fan_in)
         # A membership mid-lifecycle (e.g. handed to from_membership
         # after rounds or epoch advances elsewhere) dictates the first
-        # usable round id; pads from its earlier rounds are spent.
-        self._next_round = membership.next_round if membership else 0
+        # usable round id; pads from its earlier rounds are spent. An
+        # army owns its own round accounting the same way.
+        if self.army is not None:
+            self._next_round = self.army.next_round
+        else:
+            self._next_round = membership.next_round if membership else 0
         transport, self._owns_transport = _resolve_transport(
             transport, fault_plan=fault_plan)
         try:
@@ -289,7 +320,7 @@ class ProtocolSession:
                     close()
             raise
 
-    def _wire(self, clients: Sequence[ProtocolClient],
+    def _wire(self, clients: Union[Sequence[ProtocolClient], ClientArmy],
               transport: Optional[InMemoryTransport],
               threshold_rule: ThresholdRuleFn) -> None:
         """(Re-)build endpoints and runner; shared by construction and
@@ -299,20 +330,40 @@ class ProtocolSession:
         live subprocesses: the pool converges its process set onto the
         current clique map (reconfiguring survivors in place) and the
         runner drives the proxies through the unchanged endpoint
-        lifecycle.
+        lifecycle. With the batched backend, ``self.clients`` stays
+        empty (there are no per-user objects) and every hosted user id
+        is aliased to the army's mailbox after the transport exists.
         """
-        self.clients = list(clients)
-        if self._pool is not None:
-            endpoints, root = self._pool.wire(self.clients, threshold_rule)
+        if self.army is not None:
+            self.clients = []
+            if self._pool is not None:
+                endpoints, root = self._pool.wire_army(
+                    self.army, threshold_rule)
+            elif self.topology == "fanout":
+                endpoints, root = build_army_endpoints(
+                    self.config, self.army, threshold_rule=threshold_rule,
+                    fan_in=self.fan_in)
+            else:
+                endpoints, root = build_army_monolithic(
+                    self.config, self.army, threshold_rule=threshold_rule)
         else:
-            build = (build_fanout_endpoints if self.topology == "fanout"
-                     else build_monolithic_endpoints)
-            endpoints, root = build(self.config, self.clients,
-                                    threshold_rule=threshold_rule)
+            self.clients = list(clients)
+            if self._pool is not None:
+                endpoints, root = self._pool.wire(self.clients,
+                                                  threshold_rule)
+            elif self.topology == "fanout":
+                endpoints, root = build_fanout_endpoints(
+                    self.config, self.clients, threshold_rule=threshold_rule,
+                    fan_in=self.fan_in)
+            else:
+                endpoints, root = build_monolithic_endpoints(
+                    self.config, self.clients, threshold_rule=threshold_rule)
         runner_cls = ProtocolRunner if self.driver == "sync" \
             else AsyncProtocolRunner
         self._runner = runner_cls(endpoints, root, transport=transport)
         self.root = root
+        if self.army is not None:
+            self.army.register_aliases(self._runner.transport)
 
     @classmethod
     def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
@@ -322,20 +373,45 @@ class ProtocolSession:
                aggregator_procs: int = 0,
                fault_plan: "Optional[FaultPlan]" = None,
                retry_policy: "Optional[RetryPolicy]" = None,
+               client_backend: str = "objects",
+               fan_in: Optional[int] = None,
                **enroll_kwargs: Any) -> "ProtocolSession":
         """Epoch-0 enrollment and session wiring in one step.
 
         ``enroll_kwargs`` are forwarded to
         :func:`~repro.protocol.enrollment.enroll_users` (``seed``,
         ``use_oprf``, ``num_cliques``, ``share_pad_streams``, ...).
+
+        ``client_backend="batched"`` enrolls a
+        :class:`~repro.protocol.army.ClientArmy` instead of per-user
+        client objects — the same key-material derivation, so reports
+        are byte-identical — and ``fan_in`` bounds the aggregation
+        tree's fan-in (a regional merge tier appears whenever more
+        cliques than that report).
         """
+        if client_backend not in CLIENT_BACKENDS:
+            raise ConfigurationError(
+                f"unknown client_backend {client_backend!r}; expected one "
+                f"of {CLIENT_BACKENDS}")
+        if client_backend == "batched":
+            # The army always shares one pad-stream provider internally;
+            # the object-path knob is accepted (and irrelevant) so the
+            # two backends stay call-compatible.
+            enroll_kwargs.pop("share_pad_streams", None)
+            army = ClientArmy.enroll(user_ids, config, **enroll_kwargs)
+            return cls(config, army, transport=transport,
+                       threshold_rule=threshold_rule, topology=topology,
+                       driver=driver, aggregator_procs=aggregator_procs,
+                       fault_plan=fault_plan, retry_policy=retry_policy,
+                       fan_in=fan_in)
         enrollment = enroll_users(user_ids, config, **enroll_kwargs)
         return cls.from_enrollment(enrollment, topology=topology,
                                    driver=driver, transport=transport,
                                    threshold_rule=threshold_rule,
                                    aggregator_procs=aggregator_procs,
                                    fault_plan=fault_plan,
-                                   retry_policy=retry_policy)
+                                   retry_policy=retry_policy,
+                                   fan_in=fan_in)
 
     @classmethod
     def from_enrollment(cls, enrollment: Enrollment,
@@ -345,6 +421,7 @@ class ProtocolSession:
                         aggregator_procs: int = 0,
                         fault_plan: "Optional[FaultPlan]" = None,
                         retry_policy: "Optional[RetryPolicy]" = None,
+                        fan_in: Optional[int] = None,
                         ) -> "ProtocolSession":
         """Wrap an :class:`~repro.protocol.enrollment.Enrollment` —
         membership-aware whenever the enrollment carries key material."""
@@ -354,7 +431,8 @@ class ProtocolSession:
                    transport=transport, threshold_rule=threshold_rule,
                    topology=topology, driver=driver, membership=membership,
                    aggregator_procs=aggregator_procs,
-                   fault_plan=fault_plan, retry_policy=retry_policy)
+                   fault_plan=fault_plan, retry_policy=retry_policy,
+                   fan_in=fan_in)
 
     @classmethod
     def from_membership(cls, membership: MembershipManager,
@@ -364,12 +442,14 @@ class ProtocolSession:
                         aggregator_procs: int = 0,
                         fault_plan: "Optional[FaultPlan]" = None,
                         retry_policy: "Optional[RetryPolicy]" = None,
+                        fan_in: Optional[int] = None,
                         ) -> "ProtocolSession":
         return cls(membership.config, membership.clients,
                    transport=transport, threshold_rule=threshold_rule,
                    topology=topology, driver=driver, membership=membership,
                    aggregator_procs=aggregator_procs,
-                   fault_plan=fault_plan, retry_policy=retry_policy)
+                   fault_plan=fault_plan, retry_policy=retry_policy,
+                   fan_in=fan_in)
 
     @property
     def transport(self) -> InMemoryTransport:
@@ -388,6 +468,8 @@ class ProtocolSession:
     @property
     def epoch(self) -> Optional[Epoch]:
         """The current epoch (None for sessions without membership)."""
+        if self.army is not None:
+            return self.army.epoch
         return self.membership.epoch if self.membership else None
 
     @property
@@ -428,6 +510,8 @@ class ProtocolSession:
 
     def _note_round(self, round_id: int) -> None:
         self._next_round = max(self._next_round, round_id + 1)
+        if self.army is not None:
+            self.army.note_round(round_id)
         if self.membership is not None:
             self.membership.note_round(round_id)
 
@@ -461,7 +545,20 @@ class ProtocolSession:
         across the transition. The new epoch's ``first_round`` is this
         session's next round id: rounds never reuse an id across
         epochs, keeping every pairwise pad one-time.
+
+        Batched-backend sessions delegate to
+        :meth:`~repro.protocol.army.ClientArmy.advance_epoch` instead —
+        same churn validation and counters, applied to the
+        struct-of-arrays roster in place.
         """
+        if self.army is not None:
+            transition = self.army.advance_epoch(
+                joins=joins, leaves=leaves, first_round=self._next_round)
+            rule = self.root.threshold_rule
+            for uid in transition.left:
+                self.transport.unregister_alias(uid)
+            self._wire(self.army, self.transport, rule)
+            return transition
         if self.membership is None:
             raise ConfigurationError(
                 "this session has no membership manager; construct it via "
@@ -477,6 +574,9 @@ class ProtocolSession:
 
     def reset_windows(self) -> None:
         """Clear every client's observation window (new weekly window)."""
+        if self.army is not None:
+            self.army.reset_window()
+            return
         for client in self.clients:
             client.reset_window()
 
@@ -509,7 +609,7 @@ class ProtocolSession:
 
 
 def run_private_round(config: RoundConfig,
-                      clients: Sequence[ProtocolClient],
+                      clients: "Union[Sequence[ProtocolClient], ClientArmy]",
                       round_id: int = 0,
                       transport: TransportSpec = None,
                       threshold_rule: ThresholdRuleFn = mean_threshold,
@@ -518,19 +618,22 @@ def run_private_round(config: RoundConfig,
                       aggregator_procs: int = 0,
                       fault_plan: "Optional[FaultPlan]" = None,
                       retry_policy: "Optional[RetryPolicy]" = None,
+                      fan_in: Optional[int] = None,
                       ) -> RoundResult:
     """One-shot §6 round: wire a session, run it, return the result.
 
     The session (and any subprocesses / sockets it owns) is closed
     before returning; pass a transport *instance* to inspect byte
-    accounting afterwards.
+    accounting afterwards. ``clients`` may be per-user client objects
+    or a :class:`~repro.protocol.army.ClientArmy`.
     """
     with ProtocolSession(config, clients, transport=transport,
                          threshold_rule=threshold_rule,
                          topology=topology, driver=driver,
                          aggregator_procs=aggregator_procs,
                          fault_plan=fault_plan,
-                         retry_policy=retry_policy) as session:
+                         retry_policy=retry_policy,
+                         fan_in=fan_in) as session:
         return session.run_round(round_id)
 
 
@@ -547,6 +650,8 @@ def run_detection(impressions: "Sequence[Impression]",
                   aggregator_procs: int = 0,
                   fault_plan: "Optional[FaultPlan]" = None,
                   retry_policy: "Optional[RetryPolicy]" = None,
+                  client_backend: str = "objects",
+                  fan_in: Optional[int] = None,
                   ) -> "PipelineResult":
     """Classify one week of impressions, optionally through the private
     protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
@@ -569,7 +674,9 @@ def run_detection(impressions: "Sequence[Impression]",
                                  transport=transport,
                                  aggregator_procs=aggregator_procs,
                                  fault_plan=fault_plan,
-                                 retry_policy=retry_policy)
+                                 retry_policy=retry_policy,
+                                 client_backend=client_backend,
+                                 fan_in=fan_in)
     try:
         return pipeline.run_week(impressions, week=week)
     finally:

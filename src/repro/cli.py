@@ -145,6 +145,15 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print("--transport and --aggregator-procs configure the private "
               "counting protocol session; add --private", file=sys.stderr)
         return 2
+    if (args.clients != "objects" or args.fan_in is not None) \
+            and not args.private:
+        print("--clients and --fan-in configure the private counting "
+              "protocol session; add --private", file=sys.stderr)
+        return 2
+    if args.fan_in is not None and args.fan_in < 2:
+        print(f"--fan-in must be >= 2 (a tree tier needs to merge "
+              f"something), got {args.fan_in}", file=sys.stderr)
+        return 2
     if args.aggregator_procs:
         if args.cliques not in (1, args.aggregator_procs):
             print(f"--aggregator-procs {args.aggregator_procs} conflicts "
@@ -196,7 +205,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         rounds_per_window=args.epoch_rounds,
         transport=args.transport if args.private else None,
         aggregator_procs=args.aggregator_procs,
-        fault_plan=fault_plan, retry_policy=retry_policy)
+        fault_plan=fault_plan, retry_policy=retry_policy,
+        client_backend=args.clients, fan_in=args.fan_in)
     try:
         out = pipeline.run_week(result.impressions, week=0)
         session = pipeline.session
@@ -271,7 +281,8 @@ def _detect_with_churn(args: argparse.Namespace) -> int:
         rounds_per_window=args.epoch_rounds,
         transport=args.transport,
         aggregator_procs=args.aggregator_procs,
-        fault_plan=fault_plan, retry_policy=retry_policy)
+        fault_plan=fault_plan, retry_policy=retry_policy,
+        client_backend=args.clients, fan_in=args.fan_in)
 
     print(f"mode: private (blinded CMS), churned population "
           f"({args.churn:.0%}/epoch, {args.epoch_rounds} round(s)/window)")
@@ -500,6 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "round, replaying the round's exchanges; "
                             "requires --aggregator-procs (default: "
                             "unsupervised, crashes fail the round)")
+    p_det.add_argument("--clients", default="objects",
+                       choices=["objects", "batched"],
+                       help="private-round client backend: one object per "
+                            "user, or the struct-of-arrays army that "
+                            "blinds whole cliques in vectorized NumPy "
+                            "passes — bit-identical reports, built for "
+                            "100k+ users (default objects)")
+    p_det.add_argument("--fan-in", type=int, default=None,
+                       help="bound the aggregation tree's fan-in: regional "
+                            "aggregator tiers appear whenever more cliques "
+                            "than this report, so the root only merges "
+                            "<= fan-in partials (default: flat, every "
+                            "clique reports straight to the root)")
     p_det.set_defaults(func=cmd_detect)
 
     p_val = sub.add_parser("validate",

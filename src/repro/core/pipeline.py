@@ -27,7 +27,7 @@ from collections import defaultdict
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.api import ProtocolSession
+from repro.api import CLIENT_BACKENDS, ProtocolSession
 from repro.core.counters import GlobalUserCounter
 from repro.core.detector import CountBasedDetector, DetectorConfig
 from repro.errors import ConfigurationError
@@ -87,7 +87,9 @@ class DetectionPipeline:
                  transport: Optional[str] = None,
                  aggregator_procs: int = 0,
                  fault_plan=None,
-                 retry_policy=None) -> None:
+                 retry_policy=None,
+                 client_backend: str = "objects",
+                 fan_in: Optional[int] = None) -> None:
         if num_cliques < 1:
             raise ConfigurationError(
                 f"num_cliques must be >= 1, got {num_cliques}")
@@ -110,6 +112,10 @@ class DetectionPipeline:
                 "aggregator_procs needs the persistent epoch session; it "
                 "cannot be combined with transport_factory (which rebuilds "
                 "a fresh per-window enrollment)")
+        if client_backend not in CLIENT_BACKENDS:
+            raise ConfigurationError(
+                f"unknown client_backend {client_backend!r}; expected one "
+                f"of {CLIENT_BACKENDS}")
         if transport is not None and transport_factory is not None:
             raise ConfigurationError(
                 "pass transport or transport_factory, not both: the "
@@ -157,6 +163,16 @@ class DetectionPipeline:
         #: crashed aggregator workers within a restart budget.
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        #: ``"objects"`` builds one :class:`ProtocolClient` per user;
+        #: ``"batched"`` enrolls the window's whole population into one
+        #: struct-of-arrays :class:`~repro.protocol.army.ClientArmy`
+        #: (bit-identical reports, vectorized blinding — the 100k-user
+        #: backend; see docs/scaling.md).
+        self.client_backend = client_backend
+        #: Fan-in bound for the aggregation tree (fan-out topology):
+        #: regional aggregators appear whenever more cliques than this
+        #: report, so the root only ever merges ``<= fan_in`` partials.
+        self.fan_in = fan_in
         #: Reporting rounds run per window (CLI ``--epoch-rounds``). The
         #: aggregate is identical every round (same observations, fresh
         #: pads); extra rounds model a deployment reporting more than
@@ -249,19 +265,30 @@ class DetectionPipeline:
     def _fresh_session(self, user_ids, config: RoundConfig,
                        cliques: int) -> ProtocolSession:
         """Epoch-0 enrollment of one window's population."""
+        transport = (self.transport_factory()
+                     if self.transport_factory is not None
+                     else self.transport)
+        if self.client_backend == "batched":
+            return ProtocolSession.enroll(
+                user_ids, config, transport=transport,
+                threshold_rule=self.detector_config.users_rule.compute,
+                topology=self.topology, driver=self.driver,
+                aggregator_procs=cliques if self.aggregator_procs else 0,
+                fault_plan=self.fault_plan, retry_policy=self.retry_policy,
+                client_backend="batched", fan_in=self.fan_in,
+                seed=self.enrollment_seed, use_oprf=self.use_oprf,
+                num_cliques=cliques)
         enrollment = enroll_users(user_ids, config,
                                   seed=self.enrollment_seed,
                                   use_oprf=self.use_oprf,
                                   num_cliques=cliques)
-        transport = (self.transport_factory()
-                     if self.transport_factory is not None
-                     else self.transport)
         return ProtocolSession.from_enrollment(
             enrollment, transport=transport,
             threshold_rule=self.detector_config.users_rule.compute,
             topology=self.topology, driver=self.driver,
             aggregator_procs=cliques if self.aggregator_procs else 0,
-            fault_plan=self.fault_plan, retry_policy=self.retry_policy)
+            fault_plan=self.fault_plan, retry_policy=self.retry_policy,
+            fan_in=self.fan_in)
 
     def _session_for(self, user_ids, config: RoundConfig,
                      cliques: int) -> ProtocolSession:
@@ -296,7 +323,9 @@ class DetectionPipeline:
         key = (config, cliques)
         session = self._session
         if session is not None and self._session_key == key:
-            roster = set(session.membership.roster)
+            roster = (set(session.army.user_ids)
+                      if session.army is not None
+                      else set(session.membership.roster))
             joins = sorted(set(user_ids) - roster)
             leaves = sorted(roster - set(user_ids))
             if not joins and not leaves:
@@ -336,11 +365,16 @@ class DetectionPipeline:
         cliques = max(1, min(self.num_cliques, len(user_ids) // 2))
         session = self._session_for(user_ids, config, cliques)
         session.reset_windows()
-        clients_by_id = {c.user_id: c for c in session.clients}
-        for user_id, per_user in ads_by_user.items():
-            client = clients_by_id[user_id]
-            for identity in per_user:
-                client.observe_ad(identity)
+        if session.army is not None:
+            for user_id, per_user in ads_by_user.items():
+                for identity in per_user:
+                    session.army.observe_ad(user_id, identity)
+        else:
+            clients_by_id = {c.user_id: c for c in session.clients}
+            for user_id, per_user in ads_by_user.items():
+                client = clients_by_id[user_id]
+                for identity in per_user:
+                    client.observe_ad(identity)
         # Round ids are session-monotonic (never reused across epochs —
         # the pads are one-time). Extra rounds per window re-report the
         # same observations under fresh pads: bit-identical aggregates,
@@ -369,8 +403,10 @@ class DetectionPipeline:
                             - messages_before))
 
         # With per-client OPRF mappers any client's cache computes the
-        # same (shared-key) function; use the first client's.
-        mapper = session.clients[0].ad_mapper
+        # same (shared-key) function; use the first client's (or the
+        # army's single shared mapper).
+        mapper = (session.army.ad_mapper if session.army is not None
+                  else session.clients[0].ad_mapper)
 
         # Batch the aggregate lookups: one query_many over every identity
         # seen this window instead of id-space scalar queries per ad.

@@ -139,9 +139,34 @@ class PadStreamProvider:
         self._streams: "OrderedDict[Tuple[PairKey, int, int], np.ndarray]" = (
             OrderedDict()
         )
+        #: user index -> every cached pair touching that user. The
+        #: departure index: :meth:`forget_users` must not scan the whole
+        #: cache per departed user (100k-user churn makes that O(U·pairs)),
+        #: so membership is tracked per user as pairs are absorbed.
+        self._pairs_of: Dict[int, Set[PairKey]] = {}
+        #: pair -> the stream-cache keys currently holding that pair's
+        #: derived streams; the second half of the departure index.
+        self._stream_keys: Dict[PairKey, Set[Tuple[PairKey, int, int]]] = {}
         self._latest_round: Optional[int] = None
         self.hits = 0
         self.misses = 0
+
+    def _ensure_absorbed(self, pair: PairKey, secret_bytes: bytes) -> "hashlib._Hash":
+        """The pair's absorbed XOF state, creating (and indexing) it."""
+        absorbed = self._absorbed.get(pair)
+        if absorbed is None:
+            absorbed = self._absorbed[pair] = _absorb(secret_bytes)
+            self._pairs_of.setdefault(pair[0], set()).add(pair)
+            self._pairs_of.setdefault(pair[1], set()).add(pair)
+        return absorbed
+
+    def _drop_stream_key(self, key: Tuple[PairKey, int, int]) -> None:
+        """Unindex one evicted/consumed stream-cache entry."""
+        keys = self._stream_keys.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._stream_keys[key[0]]
 
     def stream(
         self, pair: PairKey, secret_bytes: bytes, round_id: int, num_cells: int
@@ -161,6 +186,7 @@ class PadStreamProvider:
             # entry — both ends consume each stream exactly once per
             # round (a rare third fetch, e.g. recovery adjustments,
             # simply re-derives below).
+            self._drop_stream_key(key)
             self.hits += 1
             return stream
         self.misses += 1
@@ -170,31 +196,67 @@ class PadStreamProvider:
             # again — round ids only move forward.
             for stale in [k for k in self._streams if k[1] < round_id]:
                 del self._streams[stale]
+                self._drop_stream_key(stale)
             self._latest_round = round_id
-        absorbed = self._absorbed.get(pair)
-        if absorbed is None:
-            absorbed = self._absorbed[pair] = _absorb(secret_bytes)
+        absorbed = self._ensure_absorbed(pair, secret_bytes)
         stream = _squeeze(absorbed, round_id, num_cells)
         stream.setflags(write=False)
         self._streams[key] = stream
+        self._stream_keys.setdefault(pair, set()).add(key)
         while len(self._streams) > self.max_streams:
-            self._streams.popitem(last=False)
+            evicted, _ = self._streams.popitem(last=False)
+            self._drop_stream_key(evicted)
         return stream
+
+    def clique_matrix(
+        self,
+        pairs: Sequence[PairKey],
+        secrets: Sequence[bytes],
+        round_id: int,
+        num_cells: int,
+    ) -> np.ndarray:
+        """One clique's whole pad matrix for one round: row ``p`` is the
+        unsigned keystream of ``pairs[p]``.
+
+        Returns a read-only ``(len(pairs), num_cells)`` ``uint32`` array.
+        Each row is derived exactly as :meth:`stream` derives it (the
+        same ``_squeeze(_absorb(secret), round, cells)``), so a batched
+        caller's blinding — and therefore its reports — stays
+        byte-identical to the per-pair path. Absorbed XOF states are
+        cached per pair across rounds like the per-pair path; the derived
+        rows are *not* entered into the stream cache, because a batched
+        caller hosts both ends of every pair and consumes the matrix
+        exactly once (caching would only double peak memory).
+        """
+        if len(pairs) != len(secrets):
+            raise ConfigurationError(
+                f"{len(pairs)} pairs but {len(secrets)} secrets"
+            )
+        if num_cells <= 0:
+            raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
+        matrix = np.empty((len(pairs), num_cells), dtype=np.uint32)
+        for row, (pair, secret) in enumerate(zip(pairs, secrets)):
+            absorbed = self._ensure_absorbed(pair, secret)
+            matrix[row] = _squeeze(absorbed, round_id, num_cells)
+        matrix.setflags(write=False)
+        return matrix
 
     def forget_users(self, user_indexes: Iterable[int]) -> None:
         """Drop cached state for every pair touching any of the given
-        users (membership changes remove or re-key them) — one pass
-        over the caches regardless of how many users depart."""
-        drop = set(user_indexes)
-        if not drop:
-            return
-        self._absorbed = {
-            pair: xof
-            for pair, xof in self._absorbed.items()
-            if not (pair[0] in drop or pair[1] in drop)
-        }
-        for key in [k for k in self._streams if k[0][0] in drop or k[0][1] in drop]:
-            del self._streams[key]
+        users (membership changes remove or re-key them). Indexed per
+        user: the cost is proportional to the departing users' own
+        cached pairs, never a scan of the whole cache."""
+        for user in set(user_indexes):
+            for pair in self._pairs_of.pop(user, ()):
+                self._absorbed.pop(pair, None)
+                other = pair[1] if pair[0] == user else pair[0]
+                peers = self._pairs_of.get(other)
+                if peers is not None:
+                    peers.discard(pair)
+                    if not peers:
+                        del self._pairs_of[other]
+                for key in self._stream_keys.pop(pair, ()):
+                    self._streams.pop(key, None)
 
     def forget_user(self, user_index: int) -> None:
         """Single-user convenience over :meth:`forget_users`."""
@@ -204,6 +266,8 @@ class PadStreamProvider:
         """Drop every cached stream and absorbed state."""
         self._absorbed.clear()
         self._streams.clear()
+        self._pairs_of.clear()
+        self._stream_keys.clear()
 
     @property
     def cached_streams(self) -> int:
@@ -338,6 +402,55 @@ class BlindingGenerator:
                 pos += stream
             else:
                 neg += stream
+        return (pos - neg) % BLINDING_MODULUS
+
+    @staticmethod
+    def accumulate_clique_matrix(
+        pad_matrix: np.ndarray,
+        lo_rows: np.ndarray,
+        hi_rows: np.ndarray,
+        num_members: int,
+        negate: bool = False,
+    ) -> np.ndarray:
+        """Every member's pos/neg pad accumulation from one pad matrix.
+
+        ``pad_matrix`` is a clique's ``(P, C)`` unsigned keystream matrix
+        (one row per pair, e.g. :meth:`PadStreamProvider.clique_matrix`);
+        ``lo_rows[p]`` / ``hi_rows[p]`` give the output row (member
+        position) of pair ``p``'s low- and high-index end. Returns the
+        ``(num_members, C)`` ``uint64`` blinding matrix: row ``m`` equals
+        ``_accumulate(peers_of_m, ...)`` bit-for-bit, because both paths
+        take exact ``uint64`` sums of the same ``uint32`` streams (fewer
+        than ``2^32`` peers cannot wrap 64 bits) and reduce mod ``2^32``
+        once at the end — the grouping of the additions cannot matter.
+
+        The sign convention is ``_accumulate``'s: for a pair
+        ``(lo, hi)``, the high end sees ``hi > lo`` so its stream lands
+        in ``pos`` (``neg`` under ``negate=True``, the recovery
+        adjustment), and the low end the opposite. A row index of ``-1``
+        discards that end — used when a pair's other end lies outside
+        the output population (a dropout-recovery pad whose missing
+        member produces no adjustment).
+        """
+        pad = np.asarray(pad_matrix, dtype=np.uint64)
+        if pad.ndim != 2:
+            raise ConfigurationError(
+                f"pad_matrix must be 2-D (pairs x cells), got shape {pad.shape}"
+            )
+        lo = np.asarray(lo_rows, dtype=np.intp)
+        hi = np.asarray(hi_rows, dtype=np.intp)
+        if lo.shape != (pad.shape[0],) or hi.shape != (pad.shape[0],):
+            raise ConfigurationError(
+                f"need one lo/hi row per pair: pad has {pad.shape[0]} "
+                f"pairs, got {lo.shape} / {hi.shape}"
+            )
+        pos = np.zeros((num_members, pad.shape[1]), dtype=np.uint64)
+        neg = np.zeros_like(pos)
+        hi_acc, lo_acc = (neg, pos) if negate else (pos, neg)
+        hi_keep = hi >= 0
+        lo_keep = lo >= 0
+        np.add.at(hi_acc, hi[hi_keep], pad[hi_keep])
+        np.add.at(lo_acc, lo[lo_keep], pad[lo_keep])
         return (pos - neg) % BLINDING_MODULUS
 
     def blinding_vector_array(

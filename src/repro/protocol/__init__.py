@@ -122,6 +122,21 @@ clique map — and :meth:`repro.backend.service.BackendService.serve_root`
 puts a live session's root behind a listening port for remote summary
 queries.
 
+**Scale.** Two orthogonal levers take the same round to 100k+ users
+with bit-identical results (``docs/scaling.md`` has the cost model and
+the sweep methodology): the *batched client backend*
+(:class:`~repro.protocol.army.ClientArmy`,
+``ProtocolSession.enroll(..., client_backend="batched")``, ``cli detect
+--clients batched``) replaces per-user client objects with one
+struct-of-arrays endpoint that builds a whole clique's reports in a few
+NumPy passes, and the *fan-in-bounded aggregation tree*
+(:func:`~repro.protocol.aggregator.plan_aggregation_tree`,
+``fan_in=...``) inserts :class:`~repro.protocol.aggregator.
+RegionalAggregator` merge tiers so no endpoint — root included — ever
+collects more than ``fan_in`` partials. Both reuse the existing wire
+messages unchanged, and ``benchmarks/test_bench_scale_sweep.py`` charts
+users/second and peak RSS from 1k to 100k users.
+
 **Supervision.** By default a crashed worker process fails the round
 fast (a :class:`~repro.errors.ProtocolError` naming the dead endpoint).
 Passing a :class:`~repro.protocol.net.RetryPolicy` upgrades the pool to

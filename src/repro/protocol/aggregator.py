@@ -29,7 +29,8 @@ release checks — applies unchanged to the fan-out path.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +60,116 @@ from repro.sketch.countmin import CountMinSketch
 def clique_endpoint_id(clique_id: int) -> str:
     """Canonical transport name of one clique's aggregator."""
     return f"clique-aggregator-{clique_id}"
+
+
+def regional_endpoint_id(level: int, region_id: int) -> str:
+    """Canonical transport name of one regional (mid-tier) aggregator."""
+    return f"regional-aggregator-{level}-{region_id}"
+
+
+@dataclass(frozen=True)
+class RegionalNode:
+    """One planned mid-tier aggregator: which child partials it merges
+    (clique ids at level 1, lower-region ids above) and where the merged
+    partial goes next."""
+
+    level: int
+    region_id: int
+    child_ids: Tuple[int, ...]
+    endpoint_id: str
+    parent_id: str
+
+
+@dataclass(frozen=True)
+class AggregationTreePlan:
+    """A fan-in-bounded aggregation topology over a set of cliques.
+
+    With ``fan_in=None`` (or few enough cliques) the plan is the flat
+    PR-2 fan-out: every clique feeds the root directly. Otherwise sorted
+    clique ids are grouped into consecutive chunks of ``fan_in``,
+    each chunk merged by a :class:`RegionalAggregator`, and the grouping
+    repeats level by level until at most ``fan_in`` feeds survive for
+    the root — so no endpoint, root included, ever collects more than
+    ``fan_in`` partials. The tree only re-associates the root's modular
+    sum, so the global aggregate is bit-identical at every depth.
+    """
+
+    fan_in: Optional[int]
+    #: clique id -> endpoint id its partial is sent to.
+    clique_parent: Dict[int, str]
+    #: Regional tiers bottom-up; empty for the flat topology.
+    levels: Tuple[Tuple[RegionalNode, ...], ...]
+    #: The ids whose partials the root expects (clique ids when flat,
+    #: top-tier region ids otherwise).
+    root_children: Tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of regional tiers between cliques and root."""
+        return len(self.levels)
+
+    def nodes(self) -> List[RegionalNode]:
+        return [node for tier in self.levels for node in tier]
+
+
+def _same_partial(a: PartialAggregate, b: PartialAggregate) -> bool:
+    """Value equality for partials regardless of the cells container
+    (``CellVector`` vs raw ndarray — dataclass ``==`` on the latter
+    yields an ambiguous element-wise array instead of a bool)."""
+    return (a.clique_id == b.clique_id and a.round_id == b.round_id
+            and a.reported == b.reported and a.missing == b.missing
+            and np.array_equal(a.cells_as_array(), b.cells_as_array()))
+
+
+def plan_aggregation_tree(clique_ids: Sequence[int],
+                          fan_in: Optional[int] = None,
+                          root_id: str = SERVER_ENDPOINT,
+                          ) -> AggregationTreePlan:
+    """Plan the (possibly multi-level) aggregation topology.
+
+    Deterministic: sorted clique ids, consecutive chunks, region ids
+    numbered 0.. per level — two sessions over the same population plan
+    the same tree, which keeps subprocess pools reconfigurable by spec
+    diffing.
+    """
+    ids = sorted(clique_ids)
+    if not ids:
+        raise ProtocolError("an aggregation tree needs at least one clique")
+    if len(set(ids)) != len(ids):
+        raise ProtocolError("duplicate clique ids")
+    if fan_in is not None and fan_in < 2:
+        raise ProtocolError(
+            f"fan_in must be >= 2 (a 1-child tier merges nothing), got "
+            f"{fan_in}")
+    if fan_in is None or len(ids) <= fan_in:
+        return AggregationTreePlan(fan_in=fan_in,
+                                   clique_parent={c: root_id for c in ids},
+                                   levels=(),
+                                   root_children=tuple(ids))
+    tiers: List[List[Tuple[int, ...]]] = []
+    current: List[int] = list(ids)
+    while len(current) > fan_in:
+        groups = [tuple(current[i:i + fan_in])
+                  for i in range(0, len(current), fan_in)]
+        tiers.append(groups)
+        current = list(range(len(groups)))
+    levels: List[Tuple[RegionalNode, ...]] = []
+    for tier_index, groups in enumerate(tiers):
+        level = tier_index + 1
+        top = tier_index == len(tiers) - 1
+        levels.append(tuple(
+            RegionalNode(
+                level=level, region_id=region_id, child_ids=group,
+                endpoint_id=regional_endpoint_id(level, region_id),
+                parent_id=(root_id if top else regional_endpoint_id(
+                    level + 1, region_id // fan_in)))
+            for region_id, group in enumerate(groups)))
+    clique_parent = {cid: regional_endpoint_id(1, region_id)
+                     for region_id, group in enumerate(tiers[0])
+                     for cid in group}
+    return AggregationTreePlan(fan_in=fan_in, clique_parent=clique_parent,
+                               levels=tuple(levels),
+                               root_children=tuple(current))
 
 
 class CliqueAggregator(ProtocolEndpoint):
@@ -146,6 +257,99 @@ class CliqueAggregator(ProtocolEndpoint):
                                 missing=missing)
 
 
+class RegionalAggregator(ProtocolEndpoint):
+    """Mid-tier fan-in: merges child partials into one bigger partial.
+
+    Purely message-driven like the root, but it finalizes nothing: once
+    every expected child's :class:`~repro.protocol.messages.
+    PartialAggregate` arrived it emits a single merged partial — cells
+    summed modulo the blinding modulus, participation rosters
+    concatenated — upward and goes quiet. Reusing ``PartialAggregate``
+    for the merged result means the regional tier introduces no new
+    wire message: a regional feed is indistinguishable from a very
+    large clique's feed, which is exactly why the root needs no
+    tree awareness beyond its child-id list.
+
+    Validation mirrors the root: wrong-round or unexpected-child
+    partials raise, identical retransmissions are idempotent, differing
+    duplicates are rejected.
+    """
+
+    def __init__(self, region_id: int, level: int, config: RoundConfig,
+                 child_ids: Sequence[int], parent_id: str) -> None:
+        if not child_ids:
+            raise ProtocolError(
+                f"regional aggregator {region_id} has no children")
+        if len(set(child_ids)) != len(child_ids):
+            raise ProtocolError("duplicate child ids")
+        self.region_id = region_id
+        self.level = level
+        self.config = config
+        self.child_ids = sorted(child_ids)
+        self.parent_id = parent_id
+        self.endpoint_id = regional_endpoint_id(level, region_id)
+        self._round_id: Optional[int] = None
+        self._partials: Dict[int, PartialAggregate] = {}
+        self._released = False
+
+    def on_round_start(self, round_id: int) -> Outbox:
+        self._round_id = round_id
+        self._partials.clear()
+        self._released = False
+        return []
+
+    def on_message(self, sender: str, message: Any) -> Outbox:
+        if not isinstance(message, PartialAggregate):
+            return super().on_message(sender, message)
+        if self._round_id is None:
+            raise RoundStateError(
+                f"no round in progress at region {self.endpoint_id}")
+        if message.round_id != self._round_id:
+            raise RoundStateError(
+                f"partial for round {message.round_id}, current is "
+                f"{self._round_id}")
+        if message.clique_id not in set(self.child_ids):
+            raise RoundStateError(
+                f"partial from unexpected child {message.clique_id} at "
+                f"{self.endpoint_id}")
+        if len(message.cells) != self.config.num_cells:
+            raise RoundStateError(
+                f"partial has {len(message.cells)} cells, expected "
+                f"{self.config.num_cells}")
+        existing = self._partials.get(message.clique_id)
+        if existing is not None:
+            if _same_partial(existing, message):
+                return []  # idempotent retransmission
+            raise RoundStateError(
+                f"duplicate partial from child {message.clique_id} with "
+                f"differing content")
+        self._partials[message.clique_id] = message
+        if len(self._partials) == len(self.child_ids) and not self._released:
+            self._released = True
+            return [(self.parent_id, self._merge(self._round_id))]
+        return []
+
+    def _merge(self, round_id: int) -> PartialAggregate:
+        """One merged partial: the region's cell-wise sum (reduced once,
+        like every tier — modular addition is associative, so the root's
+        final aggregate is bit-identical to the flat topology's) plus
+        the concatenated participation rosters."""
+        cells = np.zeros(self.config.num_cells, dtype=np.uint64)
+        reported: List[str] = []
+        missing: List[str] = []
+        for child in self.child_ids:
+            partial = self._partials[child]
+            cells += partial.cells_as_array()
+            reported.extend(partial.reported)
+            missing.extend(partial.missing)
+        cells %= BLINDING_MODULUS
+        return PartialAggregate(clique_id=self.region_id,
+                                round_id=round_id,
+                                cells=CellVector(cells),
+                                reported=tuple(reported),
+                                missing=tuple(missing))
+
+
 class RootAggregator(ProtocolEndpoint):
     """Combines every clique's partial into the round's global result.
 
@@ -199,7 +403,7 @@ class RootAggregator(ProtocolEndpoint):
                 f"{self.config.num_cells}")
         existing = self._partials.get(message.clique_id)
         if existing is not None:
-            if existing == message:
+            if _same_partial(existing, message):
                 return []  # idempotent retransmission
             raise RoundStateError(
                 f"duplicate partial from clique {message.clique_id} with "

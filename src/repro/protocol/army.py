@@ -1,0 +1,593 @@
+"""Struct-of-arrays client backend: one endpoint hosts the whole army.
+
+The object-backed client path (:class:`~repro.protocol.client.
+ProtocolClient` + one :class:`~repro.crypto.blinding.BlindingGenerator`
+each) tops out long before the crypto does: at 100k users a round pays
+for 100k Python objects, 100k per-object sketch builds and 2·(pairs)
+keystream squeezes routed through per-instance caches. This module keeps
+the *protocol* — every message, every byte — and deletes the objects:
+
+* a :class:`ClientArmy` is **one**
+  :class:`~repro.protocol.endpoint.ProtocolEndpoint` hosting N users as
+  rows of struct-of-arrays state (stable blinding indexes, DH pair
+  secrets, per-user URL multisets);
+* a clique's sketches are built in one :meth:`~repro.sketch.countmin.
+  CountMinSketch.flat_indexes` + ``bincount`` pass and blinded with one
+  pad matrix (:meth:`~repro.crypto.blinding.PadStreamProvider.
+  clique_matrix`) and one scatter-add
+  (:meth:`~repro.crypto.blinding.BlindingGenerator.
+  accumulate_clique_matrix`);
+* because both backends consume the same
+  :func:`~repro.protocol.enrollment.derive_key_material` derivation and
+  the blinding sum is an exact integer sum under ``uint64`` (reduced
+  once mod 2^32), every :class:`~repro.protocol.messages.BlindedReport`
+  is **byte-identical** to what the per-object path emits for the same
+  ``(user_ids, seed)`` — the equivalence suite in
+  ``tests/test_protocol_army.py`` holds that line.
+
+Transport-wise the army registers every hosted user id as an *alias* of
+its single mailbox (:meth:`~repro.protocol.transport.InMemoryTransport.
+register_alias`), so aggregators keep addressing users by id — missing
+-client notices and threshold broadcasts route unchanged, and the
+aggregation tier cannot tell which backend it is serving.
+
+Membership churn reuses the same pure helpers as
+:class:`~repro.protocol.membership.MembershipManager`
+(:func:`~repro.protocol.membership.validate_churn`,
+:func:`~repro.protocol.membership.reshard`), so both backends accept and
+refuse exactly the same transitions and deal joiners to exactly the
+same cliques. See ``docs/scaling.md`` for the cost model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import (
+    BlindingError,
+    ConfigurationError,
+    RoundStateError,
+)
+from repro.crypto.blinding import (
+    BLINDING_MODULUS,
+    BlindingGenerator,
+    PadStreamProvider,
+    PairKey,
+)
+from repro.crypto.group import DHGroup, KeyPair
+from repro.crypto.oprf import OPRFClient
+from repro.crypto.prf import KeyedPRF, ObliviousAdMapper
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import SERVER_ENDPOINT, Outbox, ProtocolEndpoint
+from repro.protocol.enrollment import derive_key_material, keypair_seed
+from repro.protocol.membership import (
+    Epoch,
+    EpochTransition,
+    enforce_clique_floor,
+    reshard,
+    validate_churn,
+)
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    CellVector,
+    MissingClientsNotice,
+    ThresholdBroadcast,
+)
+from repro.protocol.transport import InMemoryTransport
+from repro.statsutil.sampling import make_rng
+
+#: Default transport mailbox name of the batched backend.
+ARMY_ENDPOINT = "client-army"
+
+#: A clique's pairwise wiring: the (lo, hi) index pairs in derivation
+#: order plus, per pair, the member-row of each end (rows index the
+#: clique's sorted member list).
+CliqueWiring = Tuple[List[PairKey], np.ndarray, np.ndarray]
+
+
+class ClientArmy(ProtocolEndpoint):
+    """N protocol clients as one struct-of-arrays endpoint.
+
+    Build one with :meth:`enroll` (epoch 0). The army then plays every
+    hosted user's part of the round: :meth:`on_round_start` uploads one
+    :class:`~repro.protocol.messages.BlindedReport` per active user
+    (whole cliques at a time), :meth:`on_message` answers missing-client
+    notices with every survivor's adjustment in one batch and records
+    the threshold broadcast.
+
+    Dropouts are injected with :meth:`drop_users` — the batched
+    analogue of failing a client's transport sender: the user's report
+    is simply never sent, and because adjustments are only built for
+    users that *reported*, the dropped user stays silent through
+    recovery exactly like a crashed object client.
+    """
+
+    def __init__(self, config: RoundConfig, group: DHGroup,
+                 clique_of: Dict[str, int],
+                 keypairs: Dict[str, KeyPair],
+                 index_of: Dict[str, int],
+                 ad_mapper: Union[KeyedPRF, ObliviousAdMapper],
+                 seed: int = 0,
+                 use_oprf: bool = True,
+                 num_cliques: int = 1,
+                 endpoint_id: str = ARMY_ENDPOINT) -> None:
+        missing = [u for u in clique_of
+                   if u not in keypairs or u not in index_of]
+        if missing:
+            raise ConfigurationError(
+                f"army lacks key material for {missing[:5]}; derive it "
+                f"with derive_key_material() or ClientArmy.enroll()")
+        self.config = config
+        self.group = group
+        self.seed = seed
+        self.use_oprf = use_oprf
+        self.num_cliques = num_cliques
+        self.ad_mapper = ad_mapper
+        self.endpoint_id = endpoint_id
+        self.pad_streams = PadStreamProvider()
+        #: Key material is retained even for departed users (stable
+        #: indexes, rejoin-friendly) — mirrors MembershipManager.
+        self._keypairs: Dict[str, KeyPair] = dict(keypairs)
+        self._index_of: Dict[str, int] = dict(index_of)
+        self._next_index = max(self._index_of.values()) + 1
+        self._clique_of: Dict[str, int] = dict(clique_of)
+        #: Per-user URL multiset-as-set (client semantics: a URL seen
+        #: twice in a window still counts once — sets deduplicate).
+        self._seen: Dict[str, Set[str]] = {u: set() for u in clique_of}
+        #: Shared ad-id cache: the mapping is user-independent for both
+        #: mapper kinds, so one cache serves the whole army.
+        self._ad_ids: Dict[str, int] = {}
+        self._inactive: Set[str] = set()
+        self._uplink_of: Dict[int, str] = {}
+        self.default_uplink: str = SERVER_ENDPOINT
+        self.last_threshold: Optional[float] = None
+        self.last_threshold_round: Optional[int] = None
+        #: round id -> sha256 over the round's cleartext sketch matrices
+        #: (the batched analogue of ProtocolClient's pad-reuse guard: a
+        #: *differing* rebuild under an already-blinded round id would
+        #: reuse one-time pads on new cleartext).
+        self._round_digests: Dict[int, bytes] = {}
+        self._next_round = 0
+        self._epoch = Epoch(epoch_id=0,
+                            user_ids=tuple(sorted(clique_of)),
+                            clique_of=dict(clique_of),
+                            num_cliques=num_cliques,
+                            first_round=0)
+        self._scratch = config.make_sketch()
+        #: (lo index, hi index) -> shared-secret bytes. DH secrets are
+        #: symmetric, so the army pays ONE modexp per pair where the
+        #: object path's two generator ends pay one each.
+        self._pair_secret: Dict[PairKey, bytes] = {}
+        self._members_of: Dict[int, List[str]] = {}
+        self._wiring_of: Dict[int, CliqueWiring] = {}
+        self._refresh_members()
+        self._modexps = 0
+        for clique in sorted(self._members_of):
+            self._rewire_clique(clique)
+        # Per-round volatile state.
+        self._reported_by_clique: Dict[int, Tuple[str, ...]] = {}
+        self._adjusted_cliques: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
+               group: Optional[DHGroup] = None,
+               seed: int = 0,
+               use_oprf: bool = True,
+               oprf_bits: int = 256,
+               num_cliques: int = 1,
+               endpoint_id: str = ARMY_ENDPOINT) -> "ClientArmy":
+        """Epoch-0 enrollment of the batched backend.
+
+        Consumes the same :func:`~repro.protocol.enrollment.
+        derive_key_material` derivation as :func:`~repro.protocol.
+        enrollment.enroll_users`, so the army's clique map, key pairs
+        and blinding indexes — and therefore its pads and reports — are
+        bit-identical to an object-backed enrollment of the same
+        ``(user_ids, seed)``.
+        """
+        material = derive_key_material(user_ids, config, group=group,
+                                       seed=seed, use_oprf=use_oprf,
+                                       oprf_bits=oprf_bits,
+                                       num_cliques=num_cliques)
+        mapper: Union[KeyedPRF, ObliviousAdMapper]
+        if use_oprf:
+            assert material.oprf_server is not None
+            # One mapper serves everyone: the OPRF's blinding factor
+            # cancels, so ad ids are independent of the per-client rng
+            # stream the object path threads through each mapper.
+            mapper = ObliviousAdMapper(
+                OPRFClient(material.oprf_server.public_key,
+                           rng=random.Random(seed << 16)),
+                material.oprf_server, id_space=config.id_space)
+        else:
+            assert material.shared_prf is not None
+            mapper = material.shared_prf
+        return cls(config, material.group, material.clique_of,
+                   material.keypairs, material.index_of, mapper,
+                   seed=seed, use_oprf=use_oprf, num_cliques=num_cliques,
+                   endpoint_id=endpoint_id)
+
+    # ------------------------------------------------------------------
+    # Roster surface
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Epoch:
+        return self._epoch
+
+    @property
+    def user_ids(self) -> List[str]:
+        """The sorted active roster."""
+        return list(self._epoch.user_ids)
+
+    @property
+    def size(self) -> int:
+        return len(self._clique_of)
+
+    @property
+    def next_round(self) -> int:
+        """First round id not yet spent against this army's pads."""
+        return max(self._next_round, self._epoch.first_round)
+
+    def note_round(self, round_id: int) -> None:
+        """Record that ``round_id`` ran (its one-time pads are spent)."""
+        self._next_round = max(self._next_round, round_id + 1)
+
+    def members(self) -> Dict[int, Dict[str, int]]:
+        """clique id -> {user id -> blinding index}, for wiring the
+        aggregation tier (same shape the object path derives from its
+        client list)."""
+        return {clique: {uid: self._index_of[uid] for uid in member_list}
+                for clique, member_list in self._members_of.items()}
+
+    def clique_id_of(self, user_id: str) -> int:
+        try:
+            return self._clique_of[user_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"{user_id!r} is not in epoch {self._epoch.epoch_id}'s "
+                f"roster") from None
+
+    # ------------------------------------------------------------------
+    # Transport wiring
+    # ------------------------------------------------------------------
+    def set_uplinks(self, uplink_of: Dict[int, str]) -> None:
+        """Route each clique's reports to an aggregation endpoint (the
+        builders point clique ``c`` at its clique aggregator; the
+        monolithic topology points every clique at the server)."""
+        self._uplink_of = dict(uplink_of)
+
+    def register_aliases(self, transport: InMemoryTransport) -> None:
+        """Alias every hosted user id to the army's mailbox, so
+        aggregators address users exactly as they do object clients."""
+        for uid in self._clique_of:
+            transport.register_alias(uid, self.endpoint_id)
+
+    # ------------------------------------------------------------------
+    # Observation window
+    # ------------------------------------------------------------------
+    def observe_ad(self, user_id: str, url: str) -> int:
+        """Record that ``user_id`` saw an ad at ``url``; returns its id."""
+        seen = self._seen.get(user_id)
+        if seen is None:
+            raise ConfigurationError(
+                f"{user_id!r} is not in epoch {self._epoch.epoch_id}'s "
+                f"roster") from None
+        ad_id = self._ad_id(url)
+        seen.add(url)
+        return ad_id
+
+    def observe_ads(self, user_id: str, urls: Iterable[str]) -> None:
+        for url in urls:
+            self.observe_ad(user_id, url)
+
+    def reset_window(self) -> None:
+        """Clear every user's observation window (and the shared ad-id
+        cache, mirroring ``ProtocolClient.reset_window``). Round digests
+        are kept — pads are no fresher after a window reset."""
+        for seen in self._seen.values():
+            seen.clear()
+        self._ad_ids.clear()
+
+    def _ad_id(self, url: str) -> int:
+        ad_id = self._ad_ids.get(url)
+        if ad_id is None:
+            ad_id = self._ad_ids[url] = self.ad_mapper.ad_id(url)
+        return ad_id
+
+    # ------------------------------------------------------------------
+    # Dropout injection
+    # ------------------------------------------------------------------
+    def drop_users(self, user_ids: Iterable[str]) -> None:
+        """Make users silent for subsequent rounds (transport-failure
+        analogue: no report, no adjustments)."""
+        for uid in user_ids:
+            if uid not in self._clique_of:
+                raise ConfigurationError(
+                    f"cannot drop {uid!r}: not in the current roster")
+            self._inactive.add(uid)
+
+    def restore_users(self, user_ids: Iterable[str]) -> None:
+        for uid in user_ids:
+            self._inactive.discard(uid)
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays internals
+    # ------------------------------------------------------------------
+    def _refresh_members(self) -> None:
+        members: Dict[int, List[str]] = {}
+        for uid in sorted(self._clique_of):
+            members.setdefault(self._clique_of[uid], []).append(uid)
+        self._members_of = members
+
+    def _rewire_clique(self, clique: int) -> None:
+        """(Re)build one clique's pair list and row maps, deriving any
+        shared secrets not already held (one modexp per new pair)."""
+        member_list = self._members_of.get(clique)
+        if not member_list:
+            self._wiring_of.pop(clique, None)
+            return
+        indexes = [self._index_of[u] for u in member_list]
+        pairs: List[PairKey] = []
+        lo_rows: List[int] = []
+        hi_rows: List[int] = []
+        for a in range(len(member_list)):
+            for b in range(a + 1, len(member_list)):
+                i, j = indexes[a], indexes[b]
+                if i < j:
+                    pair = (i, j)
+                    lo_rows.append(a)
+                    hi_rows.append(b)
+                else:
+                    pair = (j, i)
+                    lo_rows.append(b)
+                    hi_rows.append(a)
+                pairs.append(pair)
+                if pair not in self._pair_secret:
+                    lo_uid = member_list[lo_rows[-1]]
+                    hi_uid = member_list[hi_rows[-1]]
+                    self._pair_secret[pair] = self.group.element_to_bytes(
+                        self.group.shared_secret(
+                            self._keypairs[lo_uid],
+                            self._keypairs[hi_uid].public))
+                    self._modexps += 1
+        self._wiring_of[clique] = (pairs,
+                                   np.asarray(lo_rows, dtype=np.intp),
+                                   np.asarray(hi_rows, dtype=np.intp))
+
+    def _sketch_matrix(self, member_list: Sequence[str]) -> np.ndarray:
+        """All members' cleartext CMS cells as one ``(m, cells)`` uint64
+        matrix — one hash pass and one ``bincount`` for the clique,
+        bit-identical to per-user ``CountMinSketch.update_many``."""
+        num_cells = self.config.num_cells
+        items: List[int] = []
+        lengths: List[int] = []
+        for uid in member_list:
+            ids = [self._ad_id(url) for url in self._seen[uid]]
+            items.extend(ids)
+            lengths.append(len(ids))
+        rows = len(member_list)
+        if not items:
+            return np.zeros((rows, num_cells), dtype=np.uint64)
+        flat = self._scratch.flat_indexes(items).astype(np.int64)
+        member_of = np.repeat(np.arange(rows, dtype=np.int64), lengths)
+        combined = flat + member_of[None, :] * num_cells
+        counts = np.bincount(combined.ravel(), minlength=rows * num_cells)
+        return counts.astype(np.uint64).reshape(rows, num_cells)
+
+    def _build_clique_reports(self, clique: int, round_id: int,
+                              digest: "hashlib._Hash") -> Outbox:
+        member_list = self._members_of[clique]
+        cells = self._sketch_matrix(member_list)
+        digest.update(cells.tobytes())
+        pairs, lo_rows, hi_rows = self._wiring_of[clique]
+        secrets = [self._pair_secret[p] for p in pairs]
+        pad = self.pad_streams.clique_matrix(pairs, secrets, round_id,
+                                             self.config.num_cells)
+        blinding = BlindingGenerator.accumulate_clique_matrix(
+            pad, lo_rows, hi_rows, len(member_list))
+        blinded = (cells + blinding) % BLINDING_MODULUS
+        uplink = self._uplink_of.get(clique, self.default_uplink)
+        outbox: Outbox = []
+        reported: List[str] = []
+        for row, uid in enumerate(member_list):
+            if uid in self._inactive:
+                continue
+            reported.append(uid)
+            outbox.append((uplink, BlindedReport(
+                user_id=uid, round_id=round_id,
+                cells=CellVector(blinded[row]), clique_id=clique)))
+        self._reported_by_clique[clique] = tuple(reported)
+        return outbox
+
+    def _build_adjustments(self, clique: int, round_id: int,
+                           missing_indexes: Sequence[int],
+                           recipient: str) -> Outbox:
+        survivors = self._reported_by_clique.get(clique, ())
+        if not survivors:
+            return []
+        missing = sorted(set(missing_indexes))
+        known = {self._index_of[u] for u in self._members_of[clique]}
+        unknown = [j for j in missing if j not in known]
+        if unknown:
+            raise BlindingError(
+                f"no shared secret for peers {unknown[:5]} in clique "
+                f"{clique}")
+        pairs: List[PairKey] = []
+        lo_rows: List[int] = []
+        hi_rows: List[int] = []
+        for row, uid in enumerate(survivors):
+            i = self._index_of[uid]
+            for j in missing:
+                pair = (i, j) if i < j else (j, i)
+                pairs.append(pair)
+                # The missing end of the pair produces no adjustment:
+                # row -1 discards it in the scatter-add.
+                if i < j:
+                    lo_rows.append(row)
+                    hi_rows.append(-1)
+                else:
+                    lo_rows.append(-1)
+                    hi_rows.append(row)
+        secrets = [self._pair_secret[p] for p in pairs]
+        pad = self.pad_streams.clique_matrix(pairs, secrets, round_id,
+                                             self.config.num_cells)
+        adjustments = BlindingGenerator.accumulate_clique_matrix(
+            pad, np.asarray(lo_rows, dtype=np.intp),
+            np.asarray(hi_rows, dtype=np.intp), len(survivors),
+            negate=True)
+        return [(recipient, BlindingAdjustment(
+            user_id=uid, round_id=round_id,
+            cells=CellVector(adjustments[row]), clique_id=clique))
+            for row, uid in enumerate(survivors)]
+
+    # ------------------------------------------------------------------
+    # Endpoint hooks
+    # ------------------------------------------------------------------
+    def on_round_start(self, round_id: int) -> Outbox:
+        self._reported_by_clique = {}
+        self._adjusted_cliques = set()
+        digest = hashlib.sha256()
+        outbox: Outbox = []
+        for clique in sorted(self._members_of):
+            outbox.extend(self._build_clique_reports(clique, round_id,
+                                                     digest))
+        fingerprint = digest.digest()
+        previous = self._round_digests.get(round_id)
+        if previous is not None and previous != fingerprint:
+            raise RoundStateError(
+                f"round {round_id} already blinded different sketches; "
+                f"reusing its one-time pads on new cleartext would leak "
+                f"pad differences")
+        self._round_digests[round_id] = fingerprint
+        return outbox
+
+    def on_message(self, sender: str, message: Any) -> Outbox:
+        if isinstance(message, MissingClientsNotice):
+            # The aggregator notifies every survivor individually; the
+            # first notice for a clique yields *all* survivors'
+            # adjustments in one batch, the rest are already answered.
+            if message.clique_id in self._adjusted_cliques:
+                return []
+            self._adjusted_cliques.add(message.clique_id)
+            return self._build_adjustments(message.clique_id,
+                                           message.round_id,
+                                           message.missing_indexes,
+                                           sender)
+        if isinstance(message, ThresholdBroadcast):
+            self.last_threshold = message.users_threshold
+            self.last_threshold_round = message.round_id
+            return []
+        return super().on_message(sender, message)
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def advance_epoch(self, joins: Sequence[str] = (),
+                      leaves: Sequence[str] = (),
+                      first_round: Optional[int] = None,
+                      min_clique_floor: Optional[int] = None,
+                      ) -> EpochTransition:
+        """Produce the next epoch from a join/leave delta.
+
+        Same contract — and same pure re-shard and validation helpers —
+        as :meth:`~repro.protocol.membership.MembershipManager.
+        advance_epoch`, so both backends land identical rosters and
+        clique maps from identical churn. The transition's pair-secret
+        counters are reported per *generator end* (×2 per pair) for
+        parity with the object path, even though the army holds each
+        symmetric secret once.
+        """
+        validate_churn(self._epoch.user_ids, joins, leaves,
+                       self.num_cliques)
+        old_clique = dict(self._epoch.clique_of)
+        leaving = set(leaves)
+        continuing = {u: c for u, c in old_clique.items()
+                      if u not in leaving}
+        new_clique, moved = reshard(continuing, self.num_cliques, joins)
+        if min_clique_floor is not None:
+            enforce_clique_floor(new_clique, self.num_cliques,
+                                 min_clique_floor)
+
+        affected = {old_clique[u] for u in leaves}
+        affected.update(old_clique[u] for u in moved)
+        affected.update(new_clique[u] for u in moved)
+        affected.update(new_clique[u] for u in joins)
+
+        # Invalidate leavers' and movers' cached pad material before the
+        # roster flips (their indexes are still resolvable here).
+        self.pad_streams.forget_users(
+            self._index_of[u] for u in (*leaves, *moved))
+
+        old_pairs: Set[PairKey] = set()
+        for clique in affected:
+            wiring = self._wiring_of.get(clique)
+            if wiring is not None:
+                old_pairs.update(wiring[0])
+
+        for uid in sorted(joins):
+            self._materialize(uid)
+            self._seen[uid] = set()
+        for uid in leaves:
+            self._seen.pop(uid, None)
+            self._inactive.discard(uid)
+
+        self._clique_of = dict(new_clique)
+        self._refresh_members()
+
+        new_pairs: Set[PairKey] = set()
+        modexps_before = self._modexps
+        for clique in sorted(affected):
+            self._rewire_clique(clique)
+            wiring = self._wiring_of.get(clique)
+            if wiring is not None:
+                new_pairs.update(wiring[0])
+        new_pair_count = self._modexps - modexps_before
+        dropped_pairs = old_pairs - new_pairs
+        for pair in dropped_pairs:
+            self._pair_secret.pop(pair, None)
+        kept_pairs = len(old_pairs & new_pairs)
+        untouched_pairs = sum(
+            len(member_list) * (len(member_list) - 1) // 2
+            for clique, member_list in self._members_of.items()
+            if clique not in affected)
+
+        epoch = Epoch(
+            epoch_id=self._epoch.epoch_id + 1,
+            user_ids=tuple(sorted(new_clique)),
+            clique_of=new_clique,
+            num_cliques=self.num_cliques,
+            first_round=(self.next_round if first_round is None
+                         else max(first_round, self.next_round)),
+        )
+        self._epoch = epoch
+        self._next_round = epoch.first_round
+        return EpochTransition(
+            epoch=epoch,
+            joined=tuple(sorted(joins)),
+            left=tuple(sorted(leaves)),
+            moved=tuple(moved),
+            rekeyed=tuple(sorted(set(joins) | set(moved))),
+            modexps=2 * new_pair_count,
+            secrets_reused=2 * (kept_pairs + untouched_pairs),
+            secrets_dropped=2 * len(dropped_pairs),
+        )
+
+    def _materialize(self, user_id: str) -> None:
+        """Stable index + key pair for a joiner (new or returning) —
+        the same :func:`~repro.protocol.enrollment.keypair_seed`
+        derivation the object path uses, so a user joining either
+        backend gets the same key material."""
+        if user_id not in self._keypairs:
+            self._keypairs[user_id] = self.group.keypair(
+                make_rng(keypair_seed(self.seed, user_id)))
+        if user_id not in self._index_of:
+            self._index_of[user_id] = self._next_index
+            self._next_index += 1

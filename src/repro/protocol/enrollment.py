@@ -137,6 +137,71 @@ def assign_cliques(user_ids: Sequence[str], num_cliques: int,
     return {uid: i % num_cliques for i, uid in enumerate(shuffled)}
 
 
+@dataclass(frozen=True)
+class KeyMaterial:
+    """The deterministic enrollment-phase outputs, backend-agnostic.
+
+    Everything epoch 0 derives *before* any client object exists: the
+    clique map, the per-user DH key pairs (generated sequentially from
+    ``make_rng(seed)`` in input order), the stable blinding indexes
+    (sorted user ids) and the shared ad-ID mapping infrastructure. Both
+    client backends — per-user :class:`~repro.protocol.client.
+    ProtocolClient` objects and the struct-of-arrays
+    :class:`~repro.protocol.army.ClientArmy` — consume this one
+    derivation, which is what makes their reports byte-identical for the
+    same ``(user_ids, seed)``.
+    """
+
+    group: DHGroup
+    clique_of: Dict[str, int]
+    keypairs: Dict[str, KeyPair]
+    index_of: Dict[str, int]
+    oprf_server: Optional[OPRFServer]
+    shared_prf: Optional[KeyedPRF]
+
+
+def derive_key_material(user_ids: Sequence[str], config: RoundConfig,
+                        group: Optional[DHGroup] = None,
+                        seed: int = 0,
+                        use_oprf: bool = True,
+                        oprf_bits: int = 256,
+                        num_cliques: int = 1) -> KeyMaterial:
+    """Derive the epoch-0 key material for a population.
+
+    The exact derivation sequence is load-bearing: clique assignment
+    first (its RNG stream is independent of the keypair stream), then
+    key pairs from ``make_rng(seed)`` sequentially in *input* order,
+    then stable indexes over the *sorted* ids. Any backend that replays
+    this sequence derives bit-identical pads and reports.
+    """
+    if not user_ids:
+        raise ConfigurationError("enrollment needs at least one user id")
+    if len(set(user_ids)) != len(user_ids):
+        raise ConfigurationError("duplicate user ids in enrollment")
+
+    clique_of = assign_cliques(user_ids, num_cliques, seed=seed)
+
+    rng = make_rng(seed)
+    group = group or DHGroup.standard(128)
+    keypairs = {uid: group.keypair(rng) for uid in user_ids}
+    # Canonical blinding order: sorted user ids. These indexes are stable
+    # for the lifetime of a membership manager; later joiners extend the
+    # range, they never renumber epoch-0 users.
+    index_of = {uid: i for i, uid in enumerate(sorted(user_ids))}
+
+    oprf_server: Optional[OPRFServer] = None
+    shared_prf: Optional[KeyedPRF] = None
+    if use_oprf:
+        oprf_server = OPRFServer.generate(bits=oprf_bits,
+                                          rng=random.Random(seed + 1))
+    else:
+        shared_prf = KeyedPRF(key=seed.to_bytes(8, "big", signed=True),
+                              id_space=config.id_space)
+    return KeyMaterial(group=group, clique_of=clique_of, keypairs=keypairs,
+                       index_of=index_of, oprf_server=oprf_server,
+                       shared_prf=shared_prf)
+
+
 def keypair_seed(seed: int, user_id: str) -> int:
     """The deterministic RNG seed for one user's DH key pair.
 
@@ -177,32 +242,18 @@ def enroll_users(user_ids: Sequence[str], config: RoundConfig,
     ``False`` to model deployment clients that each derive their own
     streams.
     """
-    if not user_ids:
-        raise ConfigurationError("enroll_users needs at least one user id")
-    if len(set(user_ids)) != len(user_ids):
-        raise ConfigurationError("duplicate user ids in enrollment")
-
-    clique_of = assign_cliques(user_ids, num_cliques, seed=seed)
-
-    rng = make_rng(seed)
-    group = group or DHGroup.standard(128)
-    keypairs = {uid: group.keypair(rng) for uid in user_ids}
-    # Canonical blinding order: sorted user ids. These indexes are stable
-    # for the lifetime of a membership manager; later joiners extend the
-    # range, they never renumber epoch-0 users.
-    index_of: Dict[str, int] = {uid: i for i, uid in enumerate(sorted(user_ids))}
+    material = derive_key_material(user_ids, config, group=group, seed=seed,
+                                   use_oprf=use_oprf, oprf_bits=oprf_bits,
+                                   num_cliques=num_cliques)
+    group = material.group
+    clique_of = material.clique_of
+    keypairs = material.keypairs
+    index_of = material.index_of
+    oprf_server = material.oprf_server
+    shared_prf = material.shared_prf
     publics = {index_of[uid]: kp.public for uid, kp in keypairs.items()}
     clique_of_index = {index_of[uid]: clique for uid, clique
                        in clique_of.items()}
-
-    oprf_server: Optional[OPRFServer] = None
-    shared_prf: Optional[KeyedPRF] = None
-    if use_oprf:
-        oprf_server = OPRFServer.generate(bits=oprf_bits,
-                                          rng=random.Random(seed + 1))
-    else:
-        shared_prf = KeyedPRF(key=seed.to_bytes(8, "big", signed=True),
-                              id_space=config.id_space)
 
     pad_streams = PadStreamProvider() if share_pad_streams else None
     clients: List[ProtocolClient] = []

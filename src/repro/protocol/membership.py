@@ -175,8 +175,69 @@ def suggest_num_cliques(roster: Sequence[str],
     return suggestion
 
 
-def _reshard(clique_of: Dict[str, int], num_cliques: int,
-             joins: Sequence[str]) -> Tuple[Dict[str, int], List[str]]:
+def validate_churn(roster: Sequence[str], joins: Sequence[str],
+                   leaves: Sequence[str], num_cliques: int) -> None:
+    """Validate one join/leave delta against the current roster.
+
+    Shared by both membership owners — :class:`MembershipManager` for
+    object-backed clients and :class:`~repro.protocol.army.ClientArmy`
+    for the struct-of-arrays backend — so the two backends refuse
+    exactly the same transitions with exactly the same errors.
+    """
+    current = set(roster)
+    if len(set(joins)) != len(joins):
+        raise ConfigurationError("duplicate user ids in joins")
+    if len(set(leaves)) != len(leaves):
+        raise ConfigurationError("duplicate user ids in leaves")
+    both = sorted(set(joins) & set(leaves))
+    if both:
+        raise ConfigurationError(
+            f"users cannot join and leave in the same transition: "
+            f"{both[:5]}")
+    already = sorted(set(joins) & current)
+    if already:
+        raise ConfigurationError(
+            f"joins already enrolled: {already[:5]}")
+    unknown = sorted(set(leaves) - current)
+    if unknown:
+        raise ConfigurationError(
+            f"leaves not currently enrolled: {unknown[:5]}")
+    new_size = len(current) - len(leaves) + len(joins)
+    # The privacy floor holds for every k, including k=1: a clique
+    # with a single member has no peers, so its user's "blinded"
+    # report would be the raw cleartext sketch.
+    if new_size < 2 * max(1, num_cliques):
+        raise ConfigurationError(
+            f"advance_epoch would leave {new_size} users across "
+            f"{num_cliques} clique(s); blinding needs >= 2 "
+            f"members per clique (>= {2 * num_cliques} users), "
+            f"or a lone survivor would report its raw sketch")
+
+
+def enforce_clique_floor(clique_of: Dict[str, int], num_cliques: int,
+                         min_clique_floor: int) -> None:
+    """Refuse an assignment whose smallest clique breaks the floor.
+
+    Raised **before any state changes** by both membership owners, so
+    ``Epoch.min_clique_size`` never silently collapses below the
+    caller's anonymity requirement.
+    """
+    sizes: Dict[int, int] = {c: 0 for c in range(num_cliques)}
+    for clique in clique_of.values():
+        sizes[clique] += 1
+    small = sorted(c for c, n in sizes.items() if n < min_clique_floor)
+    if small:
+        raise ConfigurationError(
+            f"advance_epoch would drop clique(s) {small} below the "
+            f"anonymity floor k_min={min_clique_floor} (sizes: "
+            f"{ {c: sizes[c] for c in small} }); a report would "
+            f"hide among fewer than {min_clique_floor} users. "
+            f"Enroll more users, or size the population with "
+            f"suggest_num_cliques(roster, churn_forecast, k_min)")
+
+
+def reshard(clique_of: Dict[str, int], num_cliques: int,
+            joins: Sequence[str]) -> Tuple[Dict[str, int], List[str]]:
     """Minimal-movement deterministic re-shard.
 
     ``clique_of`` holds the continuing users' current assignment (leavers
@@ -210,6 +271,10 @@ def _reshard(clique_of: Dict[str, int], num_cliques: int,
             sizes[target] += 1
             moved.append(mover)
     return assignment, sorted(moved)
+
+
+#: Backwards-compatible private alias (pre-army callers and tests).
+_reshard = reshard
 
 
 class MembershipManager:
@@ -299,34 +364,7 @@ class MembershipManager:
     # ------------------------------------------------------------------
     def _validate_churn(self, joins: Sequence[str],
                         leaves: Sequence[str]) -> None:
-        roster = set(self._epoch.user_ids)
-        if len(set(joins)) != len(joins):
-            raise ConfigurationError("duplicate user ids in joins")
-        if len(set(leaves)) != len(leaves):
-            raise ConfigurationError("duplicate user ids in leaves")
-        both = sorted(set(joins) & set(leaves))
-        if both:
-            raise ConfigurationError(
-                f"users cannot join and leave in the same transition: "
-                f"{both[:5]}")
-        already = sorted(set(joins) & roster)
-        if already:
-            raise ConfigurationError(
-                f"joins already enrolled: {already[:5]}")
-        unknown = sorted(set(leaves) - roster)
-        if unknown:
-            raise ConfigurationError(
-                f"leaves not currently enrolled: {unknown[:5]}")
-        new_size = len(roster) - len(leaves) + len(joins)
-        # The privacy floor holds for every k, including k=1: a clique
-        # with a single member has no peers, so its user's "blinded"
-        # report would be the raw cleartext sketch.
-        if new_size < 2 * max(1, self.num_cliques):
-            raise ConfigurationError(
-                f"advance_epoch would leave {new_size} users across "
-                f"{self.num_cliques} clique(s); blinding needs >= 2 "
-                f"members per clique (>= {2 * self.num_cliques} users), "
-                f"or a lone survivor would report its raw sketch")
+        validate_churn(self._epoch.user_ids, joins, leaves, self.num_cliques)
 
     def _materialize(self, user_id: str) -> Tuple[int, object]:
         """Stable index + key pair for a joiner (new or returning)."""
@@ -384,21 +422,10 @@ class MembershipManager:
 
         continuing = {u: c for u, c in old_clique.items()
                       if u not in set(leaves)}
-        new_clique, moved = _reshard(continuing, self.num_cliques, joins)
+        new_clique, moved = reshard(continuing, self.num_cliques, joins)
         if min_clique_floor is not None:
-            sizes: Dict[int, int] = {c: 0 for c in range(self.num_cliques)}
-            for clique in new_clique.values():
-                sizes[clique] += 1
-            small = sorted(c for c, n in sizes.items()
-                           if n < min_clique_floor)
-            if small:
-                raise ConfigurationError(
-                    f"advance_epoch would drop clique(s) {small} below the "
-                    f"anonymity floor k_min={min_clique_floor} (sizes: "
-                    f"{ {c: sizes[c] for c in small} }); a report would "
-                    f"hide among fewer than {min_clique_floor} users. "
-                    f"Enroll more users, or size the population with "
-                    f"suggest_num_cliques(roster, churn_forecast, k_min)")
+            enforce_clique_floor(new_clique, self.num_cliques,
+                                 min_clique_floor)
 
         # Drop leavers' clients (key material is retained for rejoins);
         # invalidate their — and moved users' — cached pad streams in

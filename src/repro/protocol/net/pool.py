@@ -27,15 +27,32 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError, ProtocolError
-from repro.protocol.aggregator import clique_endpoint_id
+from repro.protocol.aggregator import clique_endpoint_id, plan_aggregation_tree
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.endpoint import SERVER_ENDPOINT, ProtocolEndpoint
 from repro.protocol.net import frames
 from repro.protocol.net.proxy import ProcessEndpointProxy
-from repro.protocol.net.spec import clique_spec, root_spec, rule_spec
+from repro.protocol.net.spec import (
+    clique_spec,
+    regional_spec,
+    root_spec,
+    rule_spec,
+)
+
+if TYPE_CHECKING:
+    from repro.protocol.army import ClientArmy
 
 logger = logging.getLogger(__name__)
 
@@ -84,6 +101,13 @@ class ProcessAggregatorPool:
         frames after which that clique's process *hangs* (stops replying
         without dying) — the failure mode EOF detection cannot see; only
         the proxy's per-exchange deadline catches it.
+    fan_in:
+        Bound on how many partial-aggregate feeds any hosted endpoint
+        collects. With more cliques than ``fan_in`` the pool also hosts
+        the regional merge tier (see :func:`~repro.protocol.aggregator.
+        plan_aggregation_tree`) as subprocesses — the root then only
+        ever sees fan-in partials. ``None`` (default) keeps the flat
+        clique -> root topology.
     """
 
     def __init__(
@@ -94,11 +118,13 @@ class ProcessAggregatorPool:
         timeout: float = 60.0,
         chaos_delay_s: Optional[Dict[int, float]] = None,
         chaos_hang_after: Optional[Dict[int, int]] = None,
+        fan_in: Optional[int] = None,
     ) -> None:
         self.config = config
         self.root_id = root_id
         self.max_frame = max_frame
         self.timeout = timeout
+        self.fan_in = fan_in
         self.chaos_delay_s = dict(chaos_delay_s or {})
         self.chaos_hang_after = dict(chaos_hang_after or {})
         self._workers: Dict[str, _Worker] = {}
@@ -132,6 +158,27 @@ class ProcessAggregatorPool:
             client.uplink = clique_endpoint_id(client.clique_id)
         return [*clients, *proxies, root], root
 
+    def wire_army(
+        self,
+        army: "ClientArmy",
+        threshold_rule: Callable,
+    ) -> Tuple[List[ProtocolEndpoint], ProcessEndpointProxy]:
+        """Endpoints for a round over this pool with the batched client
+        backend: the army stays local (one endpoint for all users),
+        aggregation runs in the subprocesses. Mirrors
+        :func:`~repro.protocol.runner.build_army_endpoints`."""
+        members = army.members()
+        if not members:
+            raise ConfigurationError("a round needs at least one client")
+        proxies, root = self.ensure(
+            members,
+            army.user_ids,
+            rule_spec(threshold_rule),
+        )
+        army.set_uplinks({clique_id: clique_endpoint_id(clique_id)
+                          for clique_id in members})
+        return [army, *proxies, root], root
+
     def ensure(
         self,
         members: Dict[int, Dict[str, int]],
@@ -142,26 +189,39 @@ class ProcessAggregatorPool:
 
         Surviving endpoints are RECONFIGUREd in place (PID preserved),
         missing ones are spawned, stale ones shut down. Returns the
-        clique proxies (sorted by clique id) and the root proxy.
+        non-root proxies (cliques sorted by clique id, then any regional
+        tier bottom-up) and the root proxy.
         """
         if self._closed:
             raise ProtocolError("aggregator pool is closed")
         if not members:
             raise ConfigurationError("aggregator pool needs at least one clique")
+        plan = plan_aggregation_tree(
+            sorted(members), self.fan_in, root_id=self.root_id
+        )
         desired: Dict[str, Dict[str, Any]] = {}
         for clique_id, index_of in members.items():
             desired[clique_endpoint_id(clique_id)] = clique_spec(
                 clique_id,
                 self.config,
                 index_of,
-                root_id=self.root_id,
+                root_id=plan.clique_parent[clique_id],
                 max_frame=self.max_frame,
                 delay_s=self.chaos_delay_s.get(clique_id, 0.0),
                 hang_after=self.chaos_hang_after.get(clique_id),
             )
+        for node in plan.nodes():
+            desired[node.endpoint_id] = regional_spec(
+                node.region_id,
+                node.level,
+                self.config,
+                node.child_ids,
+                parent_id=node.parent_id,
+                max_frame=self.max_frame,
+            )
         desired[self.root_id] = root_spec(
             self.config,
-            sorted(members),
+            list(plan.root_children),
             list(client_ids),
             rule=rule,
             endpoint_id=self.root_id,
@@ -201,6 +261,9 @@ class ProcessAggregatorPool:
             self._workers[clique_endpoint_id(clique_id)].proxy
             for clique_id in sorted(members)
         ]
+        proxies.extend(
+            self._workers[node.endpoint_id].proxy for node in plan.nodes()
+        )
         return proxies, self._workers[self.root_id].proxy
 
     # ------------------------------------------------------------------

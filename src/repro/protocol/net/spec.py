@@ -25,7 +25,11 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Union
 
 if TYPE_CHECKING:
     from repro.backend.service import WeeklySnapshot
-    from repro.protocol.aggregator import CliqueAggregator, RootAggregator
+    from repro.protocol.aggregator import (
+        CliqueAggregator,
+        RegionalAggregator,
+        RootAggregator,
+    )
     from repro.protocol.runner import RoundResult
 
 import numpy as np
@@ -43,8 +47,9 @@ from repro.statsutil.distributions import EmpiricalDistribution
 
 from repro.protocol.net.frames import DEFAULT_MAX_FRAME
 
-#: Spec keys shared by both roles.
+#: Spec keys shared by all roles.
 ROLE_CLIQUE = "clique"
+ROLE_REGIONAL = "regional"
 ROLE_ROOT = "root"
 
 
@@ -143,6 +148,34 @@ def clique_spec(
     return spec
 
 
+def regional_spec(
+    region_id: int,
+    level: int,
+    config: RoundConfig,
+    child_ids: Sequence[int],
+    parent_id: str,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    delay_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Spec for one mid-tier (regional) aggregator process.
+
+    The regional tier merges child partials and forwards one merged
+    :class:`~repro.protocol.messages.PartialAggregate` to ``parent_id``
+    — no new wire message, so the existing frame codec carries a
+    process-hosted tree unchanged.
+    """
+    return {
+        "role": ROLE_REGIONAL,
+        "region_id": int(region_id),
+        "level": int(level),
+        "config": config_to_spec(config),
+        "child_ids": sorted(int(c) for c in child_ids),
+        "parent_id": parent_id,
+        "max_frame": int(max_frame),
+        "delay_s": float(delay_s),
+    }
+
+
 def root_spec(
     config: RoundConfig,
     clique_ids: Sequence[int],
@@ -167,13 +200,17 @@ def root_spec(
 
 def build_endpoint(
     spec: Dict[str, Any],
-) -> Union["CliqueAggregator", "RootAggregator"]:
+) -> Union["CliqueAggregator", "RegionalAggregator", "RootAggregator"]:
     """Materialize the endpoint a spec describes (worker side).
 
     Reused verbatim for RECONFIGURE frames: an epoch advance sends the
     new spec and the live process swaps its endpoint object in place.
     """
-    from repro.protocol.aggregator import CliqueAggregator, RootAggregator
+    from repro.protocol.aggregator import (
+        CliqueAggregator,
+        RegionalAggregator,
+        RootAggregator,
+    )
 
     role = spec.get("role")
     config = config_from_spec(spec.get("config", {}))
@@ -183,6 +220,14 @@ def build_endpoint(
             config,
             {uid: int(idx) for uid, idx in spec["index_of"].items()},
             root_id=spec.get("root_id", SERVER_ENDPOINT),
+        )
+    if role == ROLE_REGIONAL:
+        return RegionalAggregator(
+            int(spec["region_id"]),
+            int(spec["level"]),
+            config,
+            [int(c) for c in spec["child_ids"]],
+            parent_id=spec["parent_id"],
         )
     if role == ROLE_ROOT:
         return RootAggregator(

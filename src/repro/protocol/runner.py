@@ -27,13 +27,15 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError
 from repro.protocol.aggregator import (
     CliqueAggregator,
+    RegionalAggregator,
     RootAggregator,
     clique_endpoint_id,
+    plan_aggregation_tree,
 )
 from repro.protocol.client import ProtocolClient, RoundConfig
 from repro.protocol.endpoint import (
@@ -47,6 +49,9 @@ from repro.protocol.server import AggregationServer, ServerEndpoint
 from repro.protocol.transport import InMemoryTransport
 from repro.sketch.countmin import CountMinSketch
 from repro.statsutil.distributions import EmpiricalDistribution
+
+if TYPE_CHECKING:
+    from repro.protocol.army import ClientArmy
 
 
 @dataclass
@@ -92,9 +97,39 @@ def build_monolithic_endpoints(
     return [*clients, root], root
 
 
+def build_aggregation_tree(
+        config: RoundConfig, members: Dict[int, Dict[str, int]],
+        client_ids: Sequence[str],
+        threshold_rule: ThresholdRuleFn = mean_threshold,
+        fan_in: Optional[int] = None,
+) -> Tuple[List[ProtocolEndpoint], RootAggregator]:
+    """The aggregation tier shared by both client backends.
+
+    One :class:`~repro.protocol.aggregator.CliqueAggregator` per clique
+    in ``members``; with ``fan_in`` set and more cliques than that, a
+    regional tier (or several) merges partials on the way up so that no
+    endpoint — root included — ever collects more than ``fan_in`` feeds
+    (see :func:`~repro.protocol.aggregator.plan_aggregation_tree`).
+    Returns ``(aggregation endpoints, root)``.
+    """
+    plan = plan_aggregation_tree(sorted(members), fan_in)
+    cliques: List[ProtocolEndpoint] = [
+        CliqueAggregator(clique_id, config, index_of,
+                         root_id=plan.clique_parent[clique_id])
+        for clique_id, index_of in sorted(members.items())]
+    regionals: List[ProtocolEndpoint] = [
+        RegionalAggregator(node.region_id, node.level, config,
+                           node.child_ids, node.parent_id)
+        for node in plan.nodes()]
+    root = RootAggregator(config, list(plan.root_children),
+                          list(client_ids), threshold_rule=threshold_rule)
+    return [*cliques, *regionals, root], root
+
+
 def build_fanout_endpoints(
         config: RoundConfig, clients: Sequence[ProtocolClient],
         threshold_rule: ThresholdRuleFn = mean_threshold,
+        fan_in: Optional[int] = None,
 ) -> Tuple[List[ProtocolEndpoint], RootAggregator]:
     """Wire the per-clique fan-out topology.
 
@@ -102,21 +137,67 @@ def build_fanout_endpoints(
     clique present in ``clients`` (an unsharded population is one clique,
     hence one aggregator), all feeding a
     :class:`~repro.protocol.aggregator.RootAggregator` that owns the
-    distribution query and the broadcast. Returns ``(endpoints, root)``.
+    distribution query and the broadcast — through a regional merge tier
+    when ``fan_in`` bounds the fan-out. Returns ``(endpoints, root)``.
     """
     validate_clients(clients)
     members: Dict[int, Dict[str, int]] = {}
     for client in clients:
         members.setdefault(client.clique_id, {})[client.user_id] = \
             client.blinding.user_index
-    aggregators = [CliqueAggregator(clique_id, config, index_of)
-                   for clique_id, index_of in sorted(members.items())]
-    root = RootAggregator(config, sorted(members),
-                          [c.user_id for c in clients],
-                          threshold_rule=threshold_rule)
+    aggregation, root = build_aggregation_tree(
+        config, members, [c.user_id for c in clients],
+        threshold_rule=threshold_rule, fan_in=fan_in)
     for client in clients:
         client.uplink = clique_endpoint_id(client.clique_id)
-    return [*clients, *aggregators, root], root
+    return [*clients, *aggregation], root
+
+
+def build_army_endpoints(
+        config: RoundConfig, army: "ClientArmy",
+        threshold_rule: ThresholdRuleFn = mean_threshold,
+        fan_in: Optional[int] = None,
+) -> Tuple[List[ProtocolEndpoint], RootAggregator]:
+    """Wire the fan-out topology over the batched client backend.
+
+    The army is a single endpoint standing in for every client; the
+    aggregation tier is built from its ``members()`` map exactly as the
+    object path builds it from a client list, so the aggregators cannot
+    tell the backends apart. The caller (the session facade) must also
+    alias the hosted user ids to the army's mailbox on the transport
+    (:meth:`~repro.protocol.army.ClientArmy.register_aliases`).
+    """
+    members = army.members()
+    if not members:
+        raise ProtocolError("a round needs at least one client")
+    aggregation, root = build_aggregation_tree(
+        config, members, army.user_ids,
+        threshold_rule=threshold_rule, fan_in=fan_in)
+    army.set_uplinks({clique_id: clique_endpoint_id(clique_id)
+                      for clique_id in members})
+    return [army, *aggregation], root
+
+
+def build_army_monolithic(
+        config: RoundConfig, army: "ClientArmy",
+        threshold_rule: ThresholdRuleFn = mean_threshold,
+) -> Tuple[List[ProtocolEndpoint], ServerEndpoint]:
+    """Wire the original single-server topology over the batched
+    backend: every clique uplinks to one :class:`~repro.protocol.
+    server.ServerEndpoint`. Returns ``(endpoints, root)``."""
+    members = army.members()
+    if not members:
+        raise ProtocolError("a round needs at least one client")
+    index_of = {uid: idx for index_map in members.values()
+                for uid, idx in index_map.items()}
+    clique_of = {uid: clique_id for clique_id, index_map in members.items()
+                 for uid in index_map}
+    server = AggregationServer(config, index_of, clique_of=clique_of)
+    root = ServerEndpoint(server, army.user_ids,
+                          threshold_rule=threshold_rule)
+    army.set_uplinks({clique_id: root.endpoint_id
+                      for clique_id in members})
+    return [army, root], root
 
 
 class _RunnerBase:

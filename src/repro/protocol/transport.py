@@ -27,6 +27,12 @@ class InMemoryTransport:
     def __init__(self, record_transcript: bool = False) -> None:
         self._mailboxes: Dict[str, Deque[Tuple[str, Any]]] = {}
         self._failed_senders: Set[str] = set()
+        #: alias -> mailbox endpoint. Aliases let one endpoint receive
+        #: traffic addressed to many protocol-level names: the batched
+        #: client backend registers every hosted user id as an alias of
+        #: its single mailbox, so aggregators keep addressing users by
+        #: id (notices, threshold broadcasts) with no topology knowledge.
+        self._aliases: Dict[str, str] = {}
         self.bytes_sent: Dict[str, int] = defaultdict(int)
         self.messages_sent: Dict[str, int] = defaultdict(int)
         self.transcript: Optional[List[Tuple[str, str, Any]]] = \
@@ -35,6 +41,24 @@ class InMemoryTransport:
     def register(self, endpoint: str) -> None:
         """Create a mailbox; idempotent."""
         self._mailboxes.setdefault(endpoint, deque())
+
+    def register_alias(self, alias: str, endpoint: str) -> None:
+        """Route sends addressed to ``alias`` into ``endpoint``'s mailbox.
+
+        The target mailbox must already be registered; an alias may be
+        re-pointed (membership churn re-homes users) but must not shadow
+        a real mailbox — that would silently steal its traffic.
+        """
+        if endpoint not in self._mailboxes:
+            raise TransportError(f"unknown endpoint: {endpoint!r}")
+        if alias in self._mailboxes:
+            raise TransportError(
+                f"alias {alias!r} would shadow a registered endpoint")
+        self._aliases[alias] = endpoint
+
+    def unregister_alias(self, alias: str) -> None:
+        """Drop an alias; unknown aliases are a no-op."""
+        self._aliases.pop(alias, None)
 
     @property
     def endpoints(self) -> List[str]:
@@ -65,12 +89,14 @@ class InMemoryTransport:
         byte accounting cannot drift between transports. Dropped messages
         are not counted: a crashed client sends nothing.
         """
-        if recipient not in self._mailboxes:
+        mailbox = recipient if recipient in self._mailboxes \
+            else self._aliases.get(recipient)
+        if mailbox is None:
             raise TransportError(f"unknown endpoint: {recipient!r}")
         if sender in self._failed_senders:
             return False
         delivered, nbytes = self._transcode(message)
-        self._mailboxes[recipient].append((sender, delivered))
+        self._mailboxes[mailbox].append((sender, delivered))
         self.messages_sent[sender] += 1
         self.bytes_sent[sender] += nbytes
         if self.transcript is not None:

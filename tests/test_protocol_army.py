@@ -1,0 +1,364 @@
+"""The batched client backend and the hierarchical aggregation tree.
+
+The contracts this file pins:
+
+* **Byte-identical reports** — the same enrollment seed produces the
+  very same :class:`BlindedReport` bytes from a
+  :class:`~repro.protocol.army.ClientArmy` as from per-user
+  :class:`ProtocolClient` objects, at every clique count, with and
+  without OPRF mapping, and in rounds after an epoch transition. The
+  vectorized clique-matrix blinding is the object path's math, not an
+  approximation of it.
+* **Identical recovery** — a dropout produces the same
+  :class:`BlindingAdjustment` bytes and the same recovered aggregate
+  from both backends.
+* **Tree re-association** — inserting regional aggregator tiers between
+  cliques and the root (any ``fan_in``) never changes the aggregate,
+  distribution or threshold: modular addition is associative, and the
+  tree only re-parenthesizes the sum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ProtocolSession, run_private_round
+from repro.errors import (
+    BlindingError,
+    ConfigurationError,
+    ProtocolError,
+    RoundStateError,
+)
+from repro.protocol.aggregator import (
+    RegionalAggregator,
+    plan_aggregation_tree,
+    regional_endpoint_id,
+)
+from repro.protocol.army import ARMY_ENDPOINT, ClientArmy
+from repro.protocol.client import RoundConfig
+from repro.protocol.endpoint import SERVER_ENDPOINT
+from repro.protocol.messages import (
+    BlindedReport,
+    BlindingAdjustment,
+    PartialAggregate,
+)
+from repro.protocol.transport import InMemoryTransport
+
+CONFIG = RoundConfig(cms_depth=4, cms_width=64, cms_seed=7, id_space=400)
+USERS = [f"user-{i:03d}" for i in range(24)]
+
+
+def ads_for(user_ids):
+    """Deterministic, overlapping ad sets keyed by roster position."""
+    return {uid: [f"http://ads.example/{i % 7}", f"http://ads.example/x{i % 3}"]
+            for i, uid in enumerate(sorted(user_ids))}
+
+
+def object_session(user_ids=USERS, num_cliques=4, record=False, **kwargs):
+    transport = InMemoryTransport(record_transcript=True) if record else None
+    session = ProtocolSession.enroll(list(user_ids), CONFIG, seed=3,
+                                     use_oprf=False, num_cliques=num_cliques,
+                                     transport=transport, **kwargs)
+    for client in session.clients:
+        for url in ads_for(user_ids)[client.user_id]:
+            client.observe_ad(url)
+    return session
+
+
+def army_session(user_ids=USERS, num_cliques=4, record=False, **kwargs):
+    transport = InMemoryTransport(record_transcript=True) if record else None
+    session = ProtocolSession.enroll(list(user_ids), CONFIG, seed=3,
+                                     use_oprf=False, num_cliques=num_cliques,
+                                     transport=transport,
+                                     client_backend="batched", **kwargs)
+    for uid in session.army.user_ids:
+        for url in ads_for(user_ids)[uid]:
+            session.army.observe_ad(uid, url)
+    return session
+
+
+def payloads_of(session, kind):
+    """``{user_id: cell bytes}`` for every ``kind`` message sent.
+
+    The two backends emit the same message *multiset* in different
+    orders (objects iterate the enrollment roster, the army iterates
+    sorted cliques), so equivalence keys on the user, not the sequence.
+    """
+    out = {}
+    for _sender, _recipient, payload in session.transport.transcript:
+        if isinstance(payload, kind):
+            out[payload.user_id] = payload.cells_as_array().tobytes()
+    return out
+
+
+def cells_of(result):
+    return np.asarray(result.aggregate.cells_array)
+
+
+def results_match(a, b):
+    assert np.array_equal(cells_of(a), cells_of(b))
+    assert list(a.distribution.values) == list(b.distribution.values)
+    assert a.users_threshold == b.users_threshold
+    assert sorted(a.reported_users) == sorted(b.reported_users)
+    assert sorted(a.missing_users) == sorted(b.missing_users)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_reports_byte_identical(self, num_cliques):
+        s_obj = object_session(num_cliques=num_cliques, record=True)
+        s_army = army_session(num_cliques=num_cliques, record=True)
+        r_obj = s_obj.run_round(0)
+        r_army = s_army.run_round(0)
+        reports_obj = payloads_of(s_obj, BlindedReport)
+        reports_army = payloads_of(s_army, BlindedReport)
+        assert reports_obj.keys() == reports_army.keys()
+        assert reports_obj == reports_army
+        results_match(r_obj, r_army)
+
+    def test_oprf_mapping_equivalent(self):
+        users = USERS[:8]
+        s_obj = ProtocolSession.enroll(users, CONFIG, seed=5, use_oprf=True,
+                                       num_cliques=2)
+        s_army = ProtocolSession.enroll(users, CONFIG, seed=5, use_oprf=True,
+                                        num_cliques=2,
+                                        client_backend="batched")
+        for client in s_obj.clients:
+            client.observe_ad("http://with.oprf/ad")
+        for uid in s_army.army.user_ids:
+            s_army.army.observe_ad(uid, "http://with.oprf/ad")
+        results_match(s_obj.run_round(0), s_army.run_round(0))
+
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_dropout_recovery_identical(self, num_cliques):
+        dropped = [USERS[2], USERS[11]]
+        s_obj = object_session(num_cliques=num_cliques, record=True)
+        for uid in dropped:
+            s_obj.transport.fail_sender(uid)
+        s_army = army_session(num_cliques=num_cliques, record=True)
+        s_army.army.drop_users(dropped)
+        r_obj = s_obj.run_round(0)
+        r_army = s_army.run_round(0)
+        assert r_obj.recovery_round_used and r_army.recovery_round_used
+        assert sorted(r_obj.missing_users) == sorted(dropped)
+        adj_obj = payloads_of(s_obj, BlindingAdjustment)
+        adj_army = payloads_of(s_army, BlindingAdjustment)
+        assert adj_obj.keys() == adj_army.keys()
+        assert adj_obj == adj_army
+        results_match(r_obj, r_army)
+
+    def test_post_epoch_round_identical(self):
+        joins, leaves = ["user-900", "user-901"], [USERS[3], USERS[11]]
+        s_obj = object_session(record=True)
+        s_army = army_session(record=True)
+        results_match(s_obj.run_round(0), s_army.run_round(0))
+        t_obj = s_obj.advance_epoch(joins=joins, leaves=leaves)
+        t_army = s_army.advance_epoch(joins=joins, leaves=leaves)
+        assert s_obj.epoch == s_army.epoch
+        assert t_obj.modexps == t_army.modexps
+        assert t_obj.secrets_reused == t_army.secrets_reused
+        assert t_obj.secrets_dropped == t_army.secrets_dropped
+        roster = s_army.army.user_ids
+        assert roster == sorted(set(USERS) - set(leaves)) + sorted(joins) \
+            or set(roster) == (set(USERS) - set(leaves)) | set(joins)
+        ads = ads_for(roster)
+        s_obj.reset_windows()
+        for client in s_obj.clients:
+            for url in ads[client.user_id]:
+                client.observe_ad(url)
+        s_army.reset_windows()
+        for uid in roster:
+            for url in ads[uid]:
+                s_army.army.observe_ad(uid, url)
+        r_obj = s_obj.run_next_round()
+        r_army = s_army.run_next_round()
+        assert r_obj.round_id == r_army.round_id == 1
+        reports_obj = payloads_of(s_obj, BlindedReport)
+        reports_army = payloads_of(s_army, BlindedReport)
+        assert reports_obj == reports_army
+        results_match(r_obj, r_army)
+
+    def test_monolithic_topology_equivalent(self):
+        r_flat = object_session().run_round(0)
+        r_mono = army_session(topology="monolithic").run_round(0)
+        assert np.array_equal(cells_of(r_flat), cells_of(r_mono))
+
+
+class TestAggregationTreePlan:
+    def test_flat_when_fan_in_none_or_sufficient(self):
+        for fan_in in (None, 8, 100):
+            plan = plan_aggregation_tree(list(range(8)), fan_in)
+            assert plan.depth == 0
+            assert plan.root_children == tuple(range(8))
+            assert all(parent == SERVER_ENDPOINT
+                       for parent in plan.clique_parent.values())
+
+    def test_two_level_tree_shape(self):
+        plan = plan_aggregation_tree(list(range(9)), fan_in=3)
+        assert plan.depth == 1
+        (tier,) = plan.levels
+        assert [node.child_ids for node in tier] == \
+            [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+        assert all(node.parent_id == SERVER_ENDPOINT for node in tier)
+        assert plan.clique_parent[4] == regional_endpoint_id(1, 1)
+        assert plan.root_children == (0, 1, 2)
+
+    def test_deep_tree_caps_every_fan_in(self):
+        # 30 cliques -> 10 regions -> 4 -> 2 feeds for the root.
+        plan = plan_aggregation_tree(list(range(30)), fan_in=3)
+        assert plan.depth == 3
+        for node in plan.nodes():
+            assert len(node.child_ids) <= 3
+        assert len(plan.root_children) <= 3
+        # Every clique and every regional node has exactly one parent,
+        # and every parent referenced exists.
+        endpoints = {node.endpoint_id for node in plan.nodes()}
+        for parent in plan.clique_parent.values():
+            assert parent in endpoints
+        for node in plan.nodes():
+            assert node.parent_id in endpoints | {SERVER_ENDPOINT}
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            plan_aggregation_tree([], None)
+        with pytest.raises(ProtocolError):
+            plan_aggregation_tree([1, 1], None)
+        with pytest.raises(ProtocolError):
+            plan_aggregation_tree([1, 2], fan_in=1)
+
+    @pytest.mark.parametrize("fan_in", [2, 3, 5])
+    def test_tree_aggregate_matches_flat(self, fan_in):
+        r_flat = army_session(num_cliques=8).run_round(0)
+        r_tree = army_session(num_cliques=8, fan_in=fan_in).run_round(0)
+        results_match(r_flat, r_tree)
+
+    def test_fan_in_rejected_off_fanout(self):
+        with pytest.raises(ConfigurationError):
+            army_session(topology="monolithic", fan_in=2)
+
+
+class TestRegionalAggregator:
+    def make(self):
+        return RegionalAggregator(0, 0, CONFIG, child_ids=[0, 1],
+                                  parent_id=SERVER_ENDPOINT)
+
+    def partial(self, clique_id, round_id=1, value=1):
+        # Raw ndarray cells on purpose: the duplicate check must compare
+        # by value for every legal Cells container, not just CellVector.
+        cells = np.full(CONFIG.num_cells, value, dtype=np.uint64)
+        return PartialAggregate(clique_id=clique_id, round_id=round_id,
+                                cells=cells, reported=(f"u{clique_id}",),
+                                missing=())
+
+    def test_merges_once_when_complete(self):
+        agg = self.make()
+        agg.on_round_start(1)
+        assert agg.on_message("clique-aggregator-0", self.partial(0)) == []
+        out = agg.on_message("clique-aggregator-1", self.partial(1, value=2))
+        [(recipient, merged)] = out
+        assert recipient == SERVER_ENDPOINT
+        assert merged.clique_id == 0
+        assert set(merged.reported) == {"u0", "u1"}
+        assert np.asarray(merged.cells_as_array()).tolist() == \
+            [3] * CONFIG.num_cells
+
+    def test_rejects_wrong_round_and_stranger(self):
+        agg = self.make()
+        agg.on_round_start(1)
+        with pytest.raises(RoundStateError):
+            agg.on_message("x", self.partial(0, round_id=2))
+        with pytest.raises(RoundStateError):
+            agg.on_message("x", self.partial(7))
+
+    def test_duplicate_partial_idempotent_but_not_conflicting(self):
+        agg = self.make()
+        agg.on_round_start(1)
+        agg.on_message("x", self.partial(0))
+        assert agg.on_message("x", self.partial(0)) == []
+        with pytest.raises(RoundStateError):
+            agg.on_message("x", self.partial(0, value=9))
+
+
+class TestClientArmy:
+    def test_register_aliases_and_endpoint(self):
+        army = ClientArmy.enroll(USERS[:6], CONFIG, seed=1, use_oprf=False,
+                                 num_cliques=2)
+        assert army.endpoint_id == ARMY_ENDPOINT
+        transport = InMemoryTransport()
+        transport.register(ARMY_ENDPOINT)
+        army.register_aliases(transport)
+        transport.send("someone", USERS[0], "ping")
+        assert transport.receive(ARMY_ENDPOINT) == ("someone", "ping")
+
+    def test_observe_unknown_user(self):
+        army = ClientArmy.enroll(USERS[:4], CONFIG, seed=1, use_oprf=False)
+        with pytest.raises(ConfigurationError):
+            army.observe_ad("nobody", "http://x/1")
+
+    def test_rebuild_same_round_different_sketches_raises(self):
+        army = ClientArmy.enroll(USERS[:4], CONFIG, seed=1, use_oprf=False)
+        army.on_round_start(0)
+        army.observe_ad(USERS[0], "http://x/1")
+        with pytest.raises(RoundStateError):
+            army.on_round_start(0)
+
+    def test_drop_and_restore(self):
+        session = army_session(num_cliques=2)
+        session.army.drop_users([USERS[0]])
+        r1 = session.run_round(0)
+        assert r1.missing_users == [USERS[0]]
+        session.army.restore_users([USERS[0]])
+        r2 = session.run_round(1)
+        assert r2.missing_users == []
+
+    def test_adjustment_for_non_member_rejected(self):
+        army = ClientArmy.enroll(USERS[:4], CONFIG, seed=1, use_oprf=False)
+        army.on_round_start(0)
+        from repro.protocol.messages import MissingClientsNotice
+        with pytest.raises(BlindingError):
+            army.on_message(
+                "clique-aggregator-0",
+                MissingClientsNotice(round_id=0, missing_indexes=(99,),
+                                     clique_id=0))
+
+    def test_churn_validation_matches_membership(self):
+        army = ClientArmy.enroll(USERS[:6], CONFIG, seed=1, use_oprf=False,
+                                 num_cliques=2)
+        with pytest.raises(ConfigurationError):
+            army.advance_epoch(joins=[USERS[0]])  # already enrolled
+        with pytest.raises(ConfigurationError):
+            army.advance_epoch(leaves=["nobody"])
+        with pytest.raises(ConfigurationError):
+            army.advance_epoch(leaves=USERS[:4])  # below the clique floor
+
+    def test_army_session_rejects_membership(self):
+        army = ClientArmy.enroll(USERS[:4], CONFIG, seed=1, use_oprf=False)
+        from repro.protocol.enrollment import enroll_users
+        from repro.protocol.membership import MembershipManager
+        manager = MembershipManager(
+            enroll_users(USERS[:4], CONFIG, seed=1, use_oprf=False))
+        with pytest.raises(ConfigurationError):
+            ProtocolSession(CONFIG, army, membership=manager)
+
+    def test_run_private_round_facade(self):
+        army = ClientArmy.enroll(USERS[:8], CONFIG, seed=3, use_oprf=False,
+                                 num_cliques=2)
+        for uid in army.user_ids:
+            army.observe_ad(uid, "http://x/1")
+        result = run_private_round(CONFIG, army, round_id=0, fan_in=2)
+        ad_id = army.ad_mapper.ad_id("http://x/1")
+        assert result.aggregate.query(ad_id) >= 8
+
+
+class TestProcessPoolRegionalTier:
+    def test_army_round_through_subprocess_tree(self):
+        session = army_session(num_cliques=4, fan_in=2, aggregator_procs=4)
+        try:
+            r_pool = session.run_round(0)
+            pids = dict(session.aggregator_pool.pids)
+        finally:
+            session.close()
+        r_flat = army_session(num_cliques=4).run_round(0)
+        assert np.array_equal(cells_of(r_pool), cells_of(r_flat))
+        # The pool hosts the two regional merges as subprocesses too.
+        regional = [eid for eid in pids if eid.startswith("regional-")]
+        assert len(regional) == 2
