@@ -18,7 +18,7 @@ aggregation runs in-process, over the wire codec, or across real
 sockets and processes — this script checks that, end to end.
 """
 
-from repro.api import ProtocolSession
+from repro.api import ProtocolSession, SessionConfig
 from repro.protocol.client import RoundConfig
 
 CONFIG = RoundConfig(cms_depth=4, cms_width=256, cms_seed=7, id_space=1000)
@@ -34,14 +34,15 @@ def observe(session, salt=0):
 
 def main():
     # The in-process reference the distributed run must match, bit for bit.
-    reference = ProtocolSession.enroll(USERS, CONFIG, seed=9, use_oprf=False,
+    reference = ProtocolSession.create(USERS, CONFIG, seed=9, use_oprf=False,
                                        num_cliques=CLIQUES)
     observe(reference)
     expected = reference.run_next_round()
 
-    with ProtocolSession.enroll(USERS, CONFIG, seed=9, use_oprf=False,
-                                num_cliques=CLIQUES, transport="socket",
-                                aggregator_procs=CLIQUES) as session:
+    with ProtocolSession.create(
+            USERS, CONFIG,
+            SessionConfig(transport="socket", aggregator_procs=CLIQUES),
+            seed=9, use_oprf=False, num_cliques=CLIQUES) as session:
         print(f"aggregator processes ({CLIQUES} cliques + root):")
         for endpoint_id, pid in session.aggregator_pool.pids.items():
             print(f"  {endpoint_id:24s} pid {pid}")

@@ -18,11 +18,22 @@ names below will not.
 
 The session lifecycle mirrors a deployment's operational cadence::
 
-    session = ProtocolSession.enroll(users, config, num_cliques=8)
+    session = ProtocolSession.create(users, config, num_cliques=8)
     r0 = session.run_next_round()          # epoch 0
     r1 = session.run_next_round()
     session.advance_epoch(joins=["new-user"], leaves=["churned-user"])
     r2 = session.run_next_round()          # epoch 1, same key material
+
+:meth:`ProtocolSession.create` is the one documented constructor — it
+accepts user ids, an :class:`~repro.protocol.enrollment.Enrollment`, a
+:class:`~repro.protocol.membership.MembershipManager` or a
+:class:`~repro.protocol.army.ClientArmy`, wired per a validated
+:class:`SessionConfig`. Attach a :class:`~repro.store.HistoryStore`
+(``create(..., store="panel.db")``) and every round, epoch and verdict
+persists as it happens; :meth:`ProtocolSession.resume` then rebuilds a
+crashed session from that history, bit-identical to an uninterrupted
+run. (The older ``enroll`` / ``from_enrollment`` / ``from_membership``
+classmethods survive as deprecation shims over ``create``.)
 
 ``advance_epoch`` re-shards minimally (see
 :mod:`repro.protocol.membership`): users keep their DH key pairs and
@@ -50,6 +61,8 @@ Sessions that own subprocesses or sockets are context managers; call
 from __future__ import annotations
 
 import asyncio
+import warnings
+from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -91,6 +104,8 @@ if TYPE_CHECKING:
     from repro.protocol.net.pool import ProcessAggregatorPool
     from repro.core.detector import DetectorConfig
     from repro.core.pipeline import PipelineResult
+    from repro.store.history import HistoryStore
+    from repro.store.recorder import SessionRecorder
     from repro.types import Impression
     from repro.protocol.net.supervisor import RetryPolicy
 
@@ -101,6 +116,7 @@ TransportFactory = Callable[[], InMemoryTransport]
 
 __all__ = [
     "ProtocolSession",
+    "SessionConfig",
     "run_private_round",
     "run_detection",
     "RoundConfig",
@@ -162,6 +178,77 @@ def _resolve_transport(
     raise ConfigurationError(
         f"unknown transport {spec!r}; expected one of {TRANSPORTS} or an "
         f"InMemoryTransport instance")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Validated wiring options for :meth:`ProtocolSession.create`.
+
+    Collects every knob that shapes *how* a session runs — topology,
+    driver, transport, client backend, subprocess fan-out, fault
+    injection — as one immutable, validated value, separate from *what*
+    population runs (the source argument of
+    :meth:`~ProtocolSession.create`) and from the protocol parameters
+    themselves (:class:`~repro.protocol.client.RoundConfig`).
+    Invalid combinations fail here, at construction, with the same
+    errors the session itself would raise — but before any enrollment
+    work is spent.
+
+    Use :func:`dataclasses.replace` to derive variants::
+
+        base = SessionConfig(topology="fanout", driver="async")
+        wired = replace(base, transport="wire")
+    """
+
+    topology: str = "fanout"
+    driver: str = "sync"
+    transport: TransportSpec = None
+    threshold_rule: ThresholdRuleFn = mean_threshold
+    client_backend: str = "objects"
+    aggregator_procs: int = 0
+    fault_plan: "Optional[FaultPlan]" = None
+    retry_policy: "Optional[RetryPolicy]" = None
+    fan_in: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; expected one of "
+                f"{TOPOLOGIES}")
+        if self.driver not in DRIVERS:
+            raise ConfigurationError(
+                f"unknown driver {self.driver!r}; expected one of "
+                f"{DRIVERS}")
+        if self.client_backend not in CLIENT_BACKENDS:
+            raise ConfigurationError(
+                f"unknown client_backend {self.client_backend!r}; "
+                f"expected one of {CLIENT_BACKENDS}")
+        if self.aggregator_procs < 0:
+            raise ConfigurationError(
+                f"aggregator_procs must be >= 0, got "
+                f"{self.aggregator_procs}")
+        if self.fan_in is not None and self.topology != "fanout":
+            raise ConfigurationError(
+                "fan_in bounds the partial-aggregate fan-in of the "
+                "aggregation tree and needs topology='fanout', got "
+                f"{self.topology!r}")
+        if self.retry_policy is not None and not self.aggregator_procs:
+            raise ConfigurationError(
+                "retry_policy supervises aggregator subprocesses; pass "
+                "aggregator_procs=k to run them (in-process aggregators "
+                "have nothing to respawn)")
+
+    def _session_kwargs(self) -> dict:
+        """The keyword arguments ``ProtocolSession(...)`` takes (i.e.
+        everything here except ``client_backend``, which selects the
+        population representation before the session is built)."""
+        return dict(transport=self.transport,
+                    threshold_rule=self.threshold_rule,
+                    topology=self.topology, driver=self.driver,
+                    aggregator_procs=self.aggregator_procs,
+                    fault_plan=self.fault_plan,
+                    retry_policy=self.retry_policy,
+                    fan_in=self.fan_in)
 
 
 class ProtocolSession:
@@ -258,6 +345,9 @@ class ProtocolSession:
         self.retry_policy = retry_policy
         self._closed = False
         self._pool = None
+        self._recorder: "Optional[SessionRecorder]" = None
+        self._store: "Optional[HistoryStore]" = None
+        self._owns_store = False
         if retry_policy is not None and not aggregator_procs:
             raise ConfigurationError(
                 "retry_policy supervises aggregator subprocesses; pass "
@@ -365,6 +455,121 @@ class ProtocolSession:
         if self.army is not None:
             self.army.register_aliases(self._runner.transport)
 
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, source: Union[Sequence[str], Enrollment,
+                                  MembershipManager, ClientArmy],
+               config: Optional[RoundConfig] = None,
+               settings: Optional[SessionConfig] = None,
+               *,
+               store: "Union[HistoryStore, str, None]" = None,
+               store_name: str = "session",
+               own_store: bool = True,
+               **enroll_kwargs: Any) -> "ProtocolSession":
+        """The one documented way to build a session.
+
+        ``source`` is the population, in whichever representation the
+        caller already has:
+
+        * a sequence of **user ids** — epoch-0 enrollment happens here
+          (``config`` required; ``enroll_kwargs`` — ``seed``,
+          ``use_oprf``, ``num_cliques``, ``share_pad_streams``, ... —
+          forward to :func:`~repro.protocol.enrollment.enroll_users`,
+          and ``settings.client_backend`` picks per-user client objects
+          or the struct-of-arrays
+          :class:`~repro.protocol.army.ClientArmy`);
+        * an :class:`~repro.protocol.enrollment.Enrollment` — wrapped,
+          membership-aware whenever it carries key material;
+        * a :class:`~repro.protocol.membership.MembershipManager` — the
+          session joins its epoch lifecycle mid-flight;
+        * a :class:`~repro.protocol.army.ClientArmy` — the batched
+          backend, roster owned by the army.
+
+        ``settings`` is a validated :class:`SessionConfig` (wiring:
+        topology, driver, transport, fault injection); defaults apply
+        when omitted. ``store`` (a
+        :class:`~repro.store.history.HistoryStore` or a path for one)
+        attaches durable history recording via :meth:`attach_store`
+        before any round runs — with ``own_store=True`` (default) the
+        session closes it on :meth:`close`.
+
+        This factory replaces the deprecated :meth:`enroll`,
+        :meth:`from_enrollment` and :meth:`from_membership`
+        classmethods, which survive as thin shims over it.
+        """
+        settings = settings if settings is not None else SessionConfig()
+        session_kwargs = settings._session_kwargs()
+        if isinstance(source, MembershipManager):
+            if config is not None and config is not source.config:
+                raise ConfigurationError(
+                    "a MembershipManager carries its own RoundConfig; "
+                    "don't pass a different one to create()")
+            if enroll_kwargs:
+                raise ConfigurationError(
+                    f"enrollment keywords {sorted(enroll_kwargs)} only "
+                    f"apply when create() enrolls from user ids; a "
+                    f"MembershipManager is already enrolled")
+            session = cls(source.config, source.clients,
+                          membership=source, **session_kwargs)
+        elif isinstance(source, Enrollment):
+            if config is not None and config is not source.config:
+                raise ConfigurationError(
+                    "an Enrollment carries its own RoundConfig; don't "
+                    "pass a different one to create()")
+            if enroll_kwargs:
+                raise ConfigurationError(
+                    f"enrollment keywords {sorted(enroll_kwargs)} only "
+                    f"apply when create() enrolls from user ids; an "
+                    f"Enrollment is already enrolled")
+            membership = (MembershipManager(source)
+                          if source.keypairs else None)
+            session = cls(source.config, source.clients,
+                          membership=membership, **session_kwargs)
+        elif isinstance(source, ClientArmy):
+            if config is not None and config is not source.config:
+                raise ConfigurationError(
+                    "a ClientArmy carries its own RoundConfig; don't "
+                    "pass a different one to create()")
+            if enroll_kwargs:
+                raise ConfigurationError(
+                    f"enrollment keywords {sorted(enroll_kwargs)} only "
+                    f"apply when create() enrolls from user ids; a "
+                    f"ClientArmy is already enrolled")
+            session = cls(source.config, source, **session_kwargs)
+        else:
+            user_ids = list(source)
+            non_ids = [u for u in user_ids if not isinstance(u, str)]
+            if non_ids:
+                raise ConfigurationError(
+                    f"create() enrolls from user-id strings (or wraps an "
+                    f"Enrollment / MembershipManager / ClientArmy); got a "
+                    f"sequence containing {type(non_ids[0]).__name__}")
+            if config is None:
+                raise ConfigurationError(
+                    "enrolling from user ids needs the shared RoundConfig: "
+                    "create(user_ids, config, ...)")
+            if settings.client_backend == "batched":
+                # The army always shares one pad-stream provider
+                # internally; the object-path knob is accepted (and
+                # irrelevant) so the two backends stay call-compatible.
+                enroll_kwargs.pop("share_pad_streams", None)
+                army = ClientArmy.enroll(user_ids, config, **enroll_kwargs)
+                session = cls(config, army, **session_kwargs)
+            else:
+                enrollment = enroll_users(user_ids, config, **enroll_kwargs)
+                membership = MembershipManager(enrollment)
+                session = cls(config, enrollment.clients,
+                              membership=membership, **session_kwargs)
+        if store is not None:
+            try:
+                session.attach_store(store, name=store_name, own=own_store)
+            except BaseException:
+                session.close()
+                raise
+        return session
+
     @classmethod
     def enroll(cls, user_ids: Sequence[str], config: RoundConfig,
                topology: str = "fanout", driver: str = "sync",
@@ -376,42 +581,24 @@ class ProtocolSession:
                client_backend: str = "objects",
                fan_in: Optional[int] = None,
                **enroll_kwargs: Any) -> "ProtocolSession":
-        """Epoch-0 enrollment and session wiring in one step.
+        """Deprecated: use :meth:`create` with a :class:`SessionConfig`.
 
-        ``enroll_kwargs`` are forwarded to
-        :func:`~repro.protocol.enrollment.enroll_users` (``seed``,
-        ``use_oprf``, ``num_cliques``, ``share_pad_streams``, ...).
-
-        ``client_backend="batched"`` enrolls a
-        :class:`~repro.protocol.army.ClientArmy` instead of per-user
-        client objects — the same key-material derivation, so reports
-        are byte-identical — and ``fan_in`` bounds the aggregation
-        tree's fan-in (a regional merge tier appears whenever more
-        cliques than that report).
+        ``ProtocolSession.enroll(users, config, topology=t, seed=s)`` is
+        ``ProtocolSession.create(users, config,
+        SessionConfig(topology=t), seed=s)``.
         """
-        if client_backend not in CLIENT_BACKENDS:
-            raise ConfigurationError(
-                f"unknown client_backend {client_backend!r}; expected one "
-                f"of {CLIENT_BACKENDS}")
-        if client_backend == "batched":
-            # The army always shares one pad-stream provider internally;
-            # the object-path knob is accepted (and irrelevant) so the
-            # two backends stay call-compatible.
-            enroll_kwargs.pop("share_pad_streams", None)
-            army = ClientArmy.enroll(user_ids, config, **enroll_kwargs)
-            return cls(config, army, transport=transport,
-                       threshold_rule=threshold_rule, topology=topology,
-                       driver=driver, aggregator_procs=aggregator_procs,
-                       fault_plan=fault_plan, retry_policy=retry_policy,
-                       fan_in=fan_in)
-        enrollment = enroll_users(user_ids, config, **enroll_kwargs)
-        return cls.from_enrollment(enrollment, topology=topology,
-                                   driver=driver, transport=transport,
-                                   threshold_rule=threshold_rule,
-                                   aggregator_procs=aggregator_procs,
-                                   fault_plan=fault_plan,
-                                   retry_policy=retry_policy,
-                                   fan_in=fan_in)
+        warnings.warn(
+            "ProtocolSession.enroll is deprecated; use "
+            "ProtocolSession.create(user_ids, config, SessionConfig(...))",
+            DeprecationWarning, stacklevel=2)
+        settings = SessionConfig(topology=topology, driver=driver,
+                                 transport=transport,
+                                 threshold_rule=threshold_rule,
+                                 client_backend=client_backend,
+                                 aggregator_procs=aggregator_procs,
+                                 fault_plan=fault_plan,
+                                 retry_policy=retry_policy, fan_in=fan_in)
+        return cls.create(user_ids, config, settings, **enroll_kwargs)
 
     @classmethod
     def from_enrollment(cls, enrollment: Enrollment,
@@ -423,16 +610,18 @@ class ProtocolSession:
                         retry_policy: "Optional[RetryPolicy]" = None,
                         fan_in: Optional[int] = None,
                         ) -> "ProtocolSession":
-        """Wrap an :class:`~repro.protocol.enrollment.Enrollment` —
-        membership-aware whenever the enrollment carries key material."""
-        membership = (MembershipManager(enrollment)
-                      if enrollment.keypairs else None)
-        return cls(enrollment.config, enrollment.clients,
-                   transport=transport, threshold_rule=threshold_rule,
-                   topology=topology, driver=driver, membership=membership,
-                   aggregator_procs=aggregator_procs,
-                   fault_plan=fault_plan, retry_policy=retry_policy,
-                   fan_in=fan_in)
+        """Deprecated: use :meth:`create` with a :class:`SessionConfig`."""
+        warnings.warn(
+            "ProtocolSession.from_enrollment is deprecated; use "
+            "ProtocolSession.create(enrollment, settings=SessionConfig(...))",
+            DeprecationWarning, stacklevel=2)
+        settings = SessionConfig(topology=topology, driver=driver,
+                                 transport=transport,
+                                 threshold_rule=threshold_rule,
+                                 aggregator_procs=aggregator_procs,
+                                 fault_plan=fault_plan,
+                                 retry_policy=retry_policy, fan_in=fan_in)
+        return cls.create(enrollment, settings=settings)
 
     @classmethod
     def from_membership(cls, membership: MembershipManager,
@@ -444,12 +633,239 @@ class ProtocolSession:
                         retry_policy: "Optional[RetryPolicy]" = None,
                         fan_in: Optional[int] = None,
                         ) -> "ProtocolSession":
-        return cls(membership.config, membership.clients,
-                   transport=transport, threshold_rule=threshold_rule,
-                   topology=topology, driver=driver, membership=membership,
-                   aggregator_procs=aggregator_procs,
-                   fault_plan=fault_plan, retry_policy=retry_policy,
-                   fan_in=fan_in)
+        """Deprecated: use :meth:`create` with a :class:`SessionConfig`."""
+        warnings.warn(
+            "ProtocolSession.from_membership is deprecated; use "
+            "ProtocolSession.create(membership, settings=SessionConfig(...))",
+            DeprecationWarning, stacklevel=2)
+        settings = SessionConfig(topology=topology, driver=driver,
+                                 transport=transport,
+                                 threshold_rule=threshold_rule,
+                                 aggregator_procs=aggregator_procs,
+                                 fault_plan=fault_plan,
+                                 retry_policy=retry_policy, fan_in=fan_in)
+        return cls.create(membership, settings=settings)
+
+    @classmethod
+    def resume(cls, store: "Union[HistoryStore, str]",
+               name: str = "session",
+               settings: Optional[SessionConfig] = None,
+               *, own_store: bool = True) -> "ProtocolSession":
+        """Reconstruct a crashed session from its persisted history.
+
+        Reads the session's enrollment identity, epoch lineage and
+        round watermark from ``store`` (a
+        :class:`~repro.store.history.HistoryStore` or a path for one)
+        and rebuilds the membership by deterministic replay
+        (:meth:`~repro.protocol.membership.MembershipManager.
+        from_history`): re-enroll the epoch-0 roster with the recorded
+        seed, re-apply every recorded epoch transition with its
+        recorded ``first_round``, then mark the last persisted round as
+        spent. Key material being a pure function of that history, the
+        resumed session's next round is **bit-identical** (aggregate
+        and wire bytes) to the round the uninterrupted session would
+        have run — and its round counter starts after every persisted
+        round, so one-time pads stay one-time.
+
+        The replayed final epoch is verified against the persisted
+        roster/clique snapshot; any drift (a store written by different
+        code, a truncated file) raises
+        :class:`~repro.errors.StoreError` instead of silently running
+        with wrong cliques. ``settings`` re-wires topology, driver and
+        transport freely — wiring is not part of the persisted
+        identity. Only ``client_backend="objects"`` sessions resume
+        (the army keeps no per-user key-material history yet).
+
+        The store stays attached (recording continues seamlessly);
+        ``own_store=True`` (default) hands its lifetime to
+        :meth:`close`.
+        """
+        from repro.errors import StoreError
+        from repro.store.history import HistoryStore
+        owns = own_store
+        if isinstance(store, str):
+            store = HistoryStore(store)
+            owns = True
+        try:
+            record = store.session_record(name)
+            if record is None:
+                known = store.session_names()
+                raise StoreError(
+                    f"store has no session named {name!r}"
+                    + (f" (it has {known})" if known else
+                       " (it has no sessions at all)"))
+            if record.client_backend != "objects":
+                raise ConfigurationError(
+                    f"session {name!r} was recorded with "
+                    f"client_backend={record.client_backend!r}; only "
+                    f"'objects' sessions support resume")
+            epochs = store.epoch_records(name)
+            if not epochs or epochs[0].epoch_id != 0:
+                raise StoreError(
+                    f"session {name!r} has no contiguous epoch history "
+                    f"from epoch 0; cannot replay its enrollment")
+            expected = [e.epoch_id for e in epochs]
+            if expected != list(range(len(epochs))):
+                raise StoreError(
+                    f"session {name!r} has a gap in its epoch history "
+                    f"(recorded epochs {expected}); cannot replay")
+            settings = settings if settings is not None else SessionConfig()
+            if settings.client_backend != "objects":
+                settings = replace(settings, client_backend="objects")
+            membership = MembershipManager.from_history(
+                epochs[0].roster, record.config,
+                transitions=[(e.joins, e.leaves, e.first_round)
+                             for e in epochs[1:]],
+                last_round=store.last_round_id(name),
+                seed=record.seed, use_oprf=record.use_oprf,
+                num_cliques=record.num_cliques,
+                share_pad_streams=record.share_pad_streams)
+            final = epochs[-1]
+            replayed = membership.epoch
+            if (replayed.epoch_id != final.epoch_id
+                    or replayed.user_ids != final.roster
+                    or replayed.clique_of != final.clique_of
+                    or replayed.first_round != final.first_round):
+                raise StoreError(
+                    f"deterministic replay of session {name!r} diverged "
+                    f"from its persisted epoch {final.epoch_id} snapshot "
+                    f"(replayed roster/cliques do not match the store); "
+                    f"the store was written by incompatible code or is "
+                    f"corrupted")
+            session = cls(record.config, membership.clients,
+                          membership=membership,
+                          **settings._session_kwargs())
+        except BaseException:
+            if owns:
+                store.close()
+            raise
+        try:
+            session.attach_store(store, name=name, own=owns)
+        except BaseException:
+            session.close()
+            if owns:
+                store.close()
+            raise
+        return session
+
+    # ------------------------------------------------------------------
+    # Durable history
+    # ------------------------------------------------------------------
+    def attach_store(self, store: "Union[HistoryStore, str]",
+                     name: str = "session", own: bool = True) -> None:
+        """Attach a :class:`~repro.store.history.HistoryStore`: from now
+        on every completed round, epoch transition and (when a pipeline
+        tags the week via :meth:`note_week`) detection verdict is
+        persisted as it happens, making :meth:`resume` possible.
+
+        ``store`` may be a live store or a path (opened — and migrated
+        to schema HEAD — here). The session's enrollment identity
+        (config, seed, clique count, backend) is recorded under
+        ``name``; attaching a *different* identity under an existing
+        name raises :class:`~repro.errors.StoreError`, as does
+        attaching at an epoch whose lineage the store cannot account
+        for (attach at creation, or re-attach via :meth:`resume`).
+        With ``own=True`` (default) :meth:`close` also closes the
+        store; pass ``own=False`` when the store outlives the session
+        (e.g. one store shared across a pipeline's session
+        generations).
+
+        Rounds completed *before* the store was attached are not
+        back-filled; attach before the first round (easiest via
+        ``create(..., store=...)``) for a resumable record.
+        """
+        from repro.errors import StoreError
+        from repro.store.history import HistoryStore, SessionRecord
+        from repro.store.recorder import SessionRecorder
+        if self._recorder is not None:
+            raise ConfigurationError(
+                f"this session already records to store "
+                f"{self._recorder.store.path!r} as "
+                f"{self._recorder.name!r}; one session, one store")
+        owns = own
+        if isinstance(store, str):
+            store = HistoryStore(store)
+            owns = True
+        try:
+            if self.army is not None:
+                identity = SessionRecord(
+                    name=name, config=self.config, seed=self.army.seed,
+                    use_oprf=self.army.use_oprf,
+                    num_cliques=self.army.num_cliques,
+                    share_pad_streams=True, client_backend="batched")
+            elif self.membership is not None:
+                identity = SessionRecord(
+                    name=name, config=self.config,
+                    seed=self.membership.seed,
+                    use_oprf=self.membership.use_oprf,
+                    num_cliques=self.membership.num_cliques,
+                    share_pad_streams=self.membership.pad_streams
+                    is not None, client_backend="objects")
+            else:
+                raise ConfigurationError(
+                    "durable history needs an enrollment identity "
+                    "(seed, clique count) to make resume possible; "
+                    "build the session via ProtocolSession.create from "
+                    "user ids, an Enrollment, a MembershipManager or a "
+                    "ClientArmy — not from bare client objects")
+            epoch = self.epoch
+            assert epoch is not None
+            recorder = SessionRecorder(store, name)
+            recorder.record_session(identity)
+            stored = {e.epoch_id: e for e in store.epoch_records(name)}
+            current = stored.get(epoch.epoch_id)
+            if current is not None:
+                if (current.roster != tuple(epoch.user_ids)
+                        or current.clique_of != dict(epoch.clique_of)
+                        or current.first_round != epoch.first_round):
+                    raise StoreError(
+                        f"store already records epoch {epoch.epoch_id} "
+                        f"of session {name!r} with a different roster or "
+                        f"clique map; refusing to attach a diverged "
+                        f"session lineage")
+            elif epoch.epoch_id == 0:
+                recorder.record_epoch(epoch)
+            elif epoch.epoch_id - 1 in stored:
+                # The session advanced exactly one epoch past the
+                # store's record (e.g. churn applied before attach):
+                # the join/leave delta is recoverable by diffing
+                # rosters, and replay stays deterministic.
+                prev = set(stored[epoch.epoch_id - 1].roster)
+                now = set(epoch.user_ids)
+                recorder.record_epoch(epoch, joins=sorted(now - prev),
+                                      leaves=sorted(prev - now))
+            else:
+                raise StoreError(
+                    f"cannot attach at epoch {epoch.epoch_id}: the store "
+                    f"records epochs {sorted(stored)} of session "
+                    f"{name!r} and the lineage in between is unknown, so "
+                    f"a later resume could not replay it (attach the "
+                    f"store before advancing epochs)")
+        except BaseException:
+            if owns:
+                store.close()
+            raise
+        self._recorder = recorder
+        self._store = store
+        self._owns_store = owns
+
+    @property
+    def store(self) -> "Optional[HistoryStore]":
+        """The attached history store (None when nothing records)."""
+        return self._store
+
+    @property
+    def recorder(self) -> "Optional[SessionRecorder]":
+        """The attached :class:`~repro.store.recorder.SessionRecorder`
+        (None when no store is attached)."""
+        return self._recorder
+
+    def note_week(self, week: Optional[int]) -> None:
+        """Tag rounds recorded from now on with a detection week (the
+        pipeline calls this before a window's rounds; ``None`` clears).
+        A no-op without an attached store."""
+        if self._recorder is not None:
+            self._recorder.week = week
 
     @property
     def transport(self) -> InMemoryTransport:
@@ -506,6 +922,7 @@ class ProtocolSession:
         self._check_round_id(round_id)
         result = self._runner.run_round(round_id)
         self._note_round(round_id)
+        self._record_round(result)
         return result
 
     def _note_round(self, round_id: int) -> None:
@@ -515,6 +932,15 @@ class ProtocolSession:
         if self.membership is not None:
             self.membership.note_round(round_id)
 
+    def _record_round(self, result: RoundResult) -> None:
+        """Persist a completed round through the attached recorder (the
+        durability hook behind :meth:`resume`); no-op without one."""
+        if self._recorder is None:
+            return
+        epoch = self.epoch
+        self._recorder.record_round(
+            result, epoch.epoch_id if epoch is not None else 0)
+
     async def run_round_async(self, round_id: int) -> RoundResult:
         """Awaitable round execution (``driver="async"`` sessions)."""
         if not isinstance(self._runner, AsyncProtocolRunner):
@@ -523,6 +949,7 @@ class ProtocolSession:
         self._check_round_id(round_id)
         result = await self._runner.run_round(round_id)
         self._note_round(round_id)
+        self._record_round(result)
         return result
 
     def run_next_round(self) -> RoundResult:
@@ -558,18 +985,22 @@ class ProtocolSession:
             for uid in transition.left:
                 self.transport.unregister_alias(uid)
             self._wire(self.army, self.transport, rule)
+            if self._recorder is not None:
+                self._recorder.record_transition(transition)
             return transition
         if self.membership is None:
             raise ConfigurationError(
                 "this session has no membership manager; construct it via "
-                "ProtocolSession.enroll / from_enrollment (an enrollment "
-                "built by enroll_users carries the required key material)")
+                "ProtocolSession.create (an enrollment built by "
+                "enroll_users carries the required key material)")
         transition = self.membership.advance_epoch(
             joins=joins, leaves=leaves, first_round=self._next_round)
         # Carry the current rule (possibly reassigned on the old root,
         # e.g. by BackendService.users_rule) into the new wiring.
         rule = self.root.threshold_rule
         self._wire(self.membership.clients, self.transport, rule)
+        if self._recorder is not None:
+            self._recorder.record_transition(transition)
         return transition
 
     def reset_windows(self) -> None:
@@ -587,9 +1018,10 @@ class ProtocolSession:
         """Release owned out-of-process resources (idempotent).
 
         Shuts down the aggregator subprocess pool (when this session
-        spawned one) and any transport the session created from a named
-        spec (``transport="socket"``). A caller-provided transport
-        instance is the caller's to close.
+        spawned one), any transport the session created from a named
+        spec (``transport="socket"``), and an attached history store
+        the session owns (:meth:`attach_store` with ``own=True``). A
+        caller-provided transport instance is the caller's to close.
         """
         if self._closed:
             return
@@ -600,6 +1032,8 @@ class ProtocolSession:
             close = getattr(self.transport, "close", None)
             if callable(close):
                 close()
+        if self._owns_store and self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "ProtocolSession":
         return self
@@ -652,6 +1086,8 @@ def run_detection(impressions: "Sequence[Impression]",
                   retry_policy: "Optional[RetryPolicy]" = None,
                   client_backend: str = "objects",
                   fan_in: Optional[int] = None,
+                  store: "Union[HistoryStore, str, None]" = None,
+                  session_name: str = "pipeline",
                   ) -> "PipelineResult":
     """Classify one week of impressions, optionally through the private
     protocol; returns a :class:`~repro.core.pipeline.PipelineResult`.
@@ -659,7 +1095,9 @@ def run_detection(impressions: "Sequence[Impression]",
     The facade over :class:`~repro.core.pipeline.DetectionPipeline` for
     callers that do not need to keep the pipeline object around; the
     pipeline (and any aggregator subprocesses or socket transports its
-    session owns) is closed before returning.
+    session owns) is closed before returning. With ``store`` the week's
+    rounds, stats and verdicts persist durably (a path is opened and
+    closed for you; a :class:`~repro.store.HistoryStore` stays yours).
     """
     from repro.core.pipeline import DetectionPipeline
     pipeline = DetectionPipeline(detector_config=detector_config,
@@ -676,7 +1114,8 @@ def run_detection(impressions: "Sequence[Impression]",
                                  fault_plan=fault_plan,
                                  retry_policy=retry_policy,
                                  client_backend=client_backend,
-                                 fan_in=fan_in)
+                                 fan_in=fan_in, store=store,
+                                 session_name=session_name)
     try:
         return pipeline.run_week(impressions, week=week)
     finally:

@@ -1,64 +1,52 @@
-"""SQLite-backed metadata store (the paper's MySQL database role).
+"""Deprecated SQLite metadata facade (the paper's MySQL database role).
 
-Stores only what the real back-end stores: enrolled users, per-week
-aggregate statistics (threshold, distribution summary) and crawler
-sightings. Individual user reports never land here — they exist only as
-blinded sketches in flight.
+.. deprecated::
+    ``MetadataStore`` survives only as a thin shim over
+    :class:`repro.store.HistoryStore`, which subsumed its three tables
+    as migration 001 of the versioned ladder and adds durable round /
+    epoch / verdict history on top. New code should open a
+    ``HistoryStore`` directly; existing store *files* keep working —
+    opening one through either class adopts it into the migration
+    ladder in place (see
+    :func:`repro.store.migrations.adopt_legacy_schema`).
+
+The facade keeps the exact legacy surface: same methods, same errors,
+same ``weekly_stats`` dict shape (now also available typed as
+:meth:`repro.store.HistoryStore.weekly_stats_record`).
 """
 
 from __future__ import annotations
 
-import json
-import sqlite3
+import warnings
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.store.history import HistoryStore
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS users (
-    user_id TEXT PRIMARY KEY,
-    enrolled_week INTEGER NOT NULL,
-    blinding_index INTEGER NOT NULL,
-    departed_week INTEGER
-);
-CREATE TABLE IF NOT EXISTS weekly_stats (
-    week INTEGER PRIMARY KEY,
-    users_threshold REAL NOT NULL,
-    num_reporting INTEGER NOT NULL,
-    num_missing INTEGER NOT NULL,
-    distribution_json TEXT NOT NULL
-);
-CREATE TABLE IF NOT EXISTS crawler_sightings (
-    ad_identity TEXT NOT NULL,
-    domain TEXT NOT NULL,
-    week INTEGER NOT NULL,
-    PRIMARY KEY (ad_identity, domain, week)
-);
-"""
+__all__ = ["MetadataStore"]
 
 
 class MetadataStore:
-    """Thin typed facade over the SQLite schema above.
+    """Deprecated facade over :class:`repro.store.HistoryStore`.
 
     ``path=":memory:"`` (the default) keeps everything in process, which
     is what tests and simulations want; a file path gives persistence.
+    Construction emits a :class:`DeprecationWarning`; every method
+    delegates to the wrapped store (exposed as :attr:`history`, for
+    callers migrating incrementally).
     """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(_SCHEMA)
-        # Pre-epoch stores lack the churn column; add it in place. Fresh
-        # stores get it from the schema, so only actually-old files pay
-        # (and surface) the ALTER.
-        columns = {row[1] for row in self._conn.execute(
-            "PRAGMA table_info(users)")}
-        if "departed_week" not in columns:
-            with self._conn:
-                self._conn.execute(
-                    "ALTER TABLE users ADD COLUMN departed_week INTEGER")
+        warnings.warn(
+            "MetadataStore is deprecated; use repro.store.HistoryStore "
+            "(same schema — existing files are adopted in place — plus "
+            "durable round/epoch/verdict history)",
+            DeprecationWarning, stacklevel=2)
+        #: The real store; new code should hold one of these directly.
+        self.history = HistoryStore(path)
 
     def close(self) -> None:
-        self._conn.close()
+        """Release the connection (idempotent)."""
+        self.history.close()
 
     def __enter__(self) -> "MetadataStore":
         return self
@@ -71,54 +59,26 @@ class MetadataStore:
     # ------------------------------------------------------------------
     def enroll_user(self, user_id: str, week: int,
                     blinding_index: int) -> None:
-        try:
-            with self._conn:
-                self._conn.execute(
-                    "INSERT INTO users (user_id, enrolled_week, "
-                    "blinding_index) VALUES (?, ?, ?)",
-                    (user_id, week, blinding_index))
-        except sqlite3.IntegrityError:
-            raise ConfigurationError(
-                f"user {user_id!r} already enrolled") from None
+        self.history.enroll_user(user_id, week, blinding_index)
 
     def active_users(self) -> List[str]:
         """Users currently enrolled (departed ones excluded)."""
-        rows = self._conn.execute(
-            "SELECT user_id FROM users WHERE departed_week IS NULL "
-            "ORDER BY user_id").fetchall()
-        return [r[0] for r in rows]
+        return self.history.active_users()
 
     def known_users(self) -> List[str]:
         """Every user ever enrolled, departed or not."""
-        rows = self._conn.execute(
-            "SELECT user_id FROM users ORDER BY user_id").fetchall()
-        return [r[0] for r in rows]
+        return self.history.known_users()
 
     def mark_departed(self, user_id: str, week: int) -> None:
         """Record that a user left the panel in ``week``."""
-        with self._conn:
-            updated = self._conn.execute(
-                "UPDATE users SET departed_week = ? WHERE user_id = ?",
-                (week, user_id)).rowcount
-        if not updated:
-            raise ConfigurationError(f"unknown user {user_id!r}")
+        self.history.mark_departed(user_id, week)
 
     def mark_rejoined(self, user_id: str) -> None:
         """Clear a departure (the user re-enrolled)."""
-        with self._conn:
-            updated = self._conn.execute(
-                "UPDATE users SET departed_week = NULL WHERE user_id = ?",
-                (user_id,)).rowcount
-        if not updated:
-            raise ConfigurationError(f"unknown user {user_id!r}")
+        self.history.mark_rejoined(user_id)
 
     def blinding_index(self, user_id: str) -> int:
-        row = self._conn.execute(
-            "SELECT blinding_index FROM users WHERE user_id = ?",
-            (user_id,)).fetchone()
-        if row is None:
-            raise ConfigurationError(f"unknown user {user_id!r}")
-        return row[0]
+        return self.history.blinding_index(user_id)
 
     # ------------------------------------------------------------------
     # Weekly aggregates
@@ -126,57 +86,29 @@ class MetadataStore:
     def save_weekly_stats(self, week: int, users_threshold: float,
                           num_reporting: int, num_missing: int,
                           distribution_values: List[float]) -> None:
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO weekly_stats VALUES (?, ?, ?, ?, ?)",
-                (week, users_threshold, num_reporting, num_missing,
-                 json.dumps(distribution_values)))
+        self.history.save_weekly_stats(week, users_threshold,
+                                       num_reporting, num_missing,
+                                       distribution_values)
 
     def weekly_stats(self, week: int) -> Optional[Dict]:
-        row = self._conn.execute(
-            "SELECT users_threshold, num_reporting, num_missing, "
-            "distribution_json FROM weekly_stats WHERE week = ?",
-            (week,)).fetchone()
-        if row is None:
-            return None
-        return {
-            "week": week,
-            "users_threshold": row[0],
-            "num_reporting": row[1],
-            "num_missing": row[2],
-            "distribution": json.loads(row[3]),
-        }
+        """Deprecated dict shape; prefer the typed
+        :meth:`repro.store.HistoryStore.weekly_stats_record`."""
+        record = self.history.weekly_stats_record(week)
+        return None if record is None else record.to_spec()
 
     def recorded_weeks(self) -> List[int]:
-        rows = self._conn.execute(
-            "SELECT week FROM weekly_stats ORDER BY week").fetchall()
-        return [r[0] for r in rows]
+        return self.history.recorded_weeks()
 
     # ------------------------------------------------------------------
     # Crawler sightings
     # ------------------------------------------------------------------
     def record_sighting(self, ad_identity: str, domain: str,
                         week: int) -> None:
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR IGNORE INTO crawler_sightings VALUES (?, ?, ?)",
-                (ad_identity, domain, week))
+        self.history.record_sighting(ad_identity, domain, week)
 
     def crawler_saw(self, ad_identity: str,
                     week: Optional[int] = None) -> bool:
-        if week is None:
-            row = self._conn.execute(
-                "SELECT 1 FROM crawler_sightings WHERE ad_identity = ? "
-                "LIMIT 1", (ad_identity,)).fetchone()
-        else:
-            row = self._conn.execute(
-                "SELECT 1 FROM crawler_sightings WHERE ad_identity = ? "
-                "AND week = ? LIMIT 1", (ad_identity, week)).fetchone()
-        return row is not None
+        return self.history.crawler_saw(ad_identity, week)
 
     def sightings_for_week(self, week: int) -> List[Tuple[str, str]]:
-        rows = self._conn.execute(
-            "SELECT ad_identity, domain FROM crawler_sightings "
-            "WHERE week = ? ORDER BY ad_identity, domain",
-            (week,)).fetchall()
-        return [(r[0], r[1]) for r in rows]
+        return self.history.sightings_for_week(week)

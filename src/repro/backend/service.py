@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.api import ProtocolSession, TransportSpec
+from repro.api import ProtocolSession, SessionConfig, TransportSpec
 from repro.backend.database import MetadataStore
 from repro.core.thresholds import ThresholdRule
 from repro.errors import ConfigurationError, RoundStateError
@@ -21,6 +21,7 @@ from repro.protocol.enrollment import Enrollment
 from repro.protocol.membership import EpochTransition
 from repro.protocol.runner import RoundResult
 from repro.statsutil.distributions import EmpiricalDistribution
+from repro.store.history import HistoryStore
 
 
 class _LiveRootHandle:
@@ -75,13 +76,15 @@ class BackendService:
 
     def __init__(self, config: RoundConfig,
                  clients: Optional[Sequence[ProtocolClient]] = None,
-                 store: Optional[MetadataStore] = None,
+                 store: "Union[HistoryStore, MetadataStore, str, None]"
+                 = None,
                  users_rule: ThresholdRule = ThresholdRule.MEAN,
                  transport: "TransportSpec" = None,
                  topology: str = "fanout",
                  driver: str = "sync",
                  enrollment: Optional[Enrollment] = None,
-                 aggregator_procs: int = 0) -> None:
+                 aggregator_procs: int = 0,
+                 session_name: str = "backend") -> None:
         if enrollment is not None:
             if clients is not None:
                 raise ConfigurationError(
@@ -93,23 +96,37 @@ class BackendService:
                 "BackendService needs clients or an enrollment")
         self.config = config
         self.clients = list(clients)
-        self.store = store or MetadataStore()
+        # ``store`` accepts the modern HistoryStore (or a path for
+        # one) and, for compatibility, the deprecated MetadataStore
+        # facade — whose wrapped HistoryStore then does the real work.
+        self._owns_store = store is None or isinstance(store, str)
+        if store is None:
+            store = HistoryStore()
+        elif isinstance(store, str):
+            store = HistoryStore(store)
+        self.store = store
+        self.history: HistoryStore = (
+            store.history if isinstance(store, MetadataStore) else store)
         #: One long-lived session serves every weekly round: endpoints
         #: are wired once per epoch and each round drains every mailbox,
         #: so the shared transport cannot accumulate stale broadcasts
         #: across a multi-week deployment.
+        settings = SessionConfig(
+            transport=transport, threshold_rule=users_rule.compute,
+            topology=topology, driver=driver,
+            aggregator_procs=aggregator_procs)
         if enrollment is not None:
-            self.session = ProtocolSession.from_enrollment(
-                enrollment, transport=transport,
-                threshold_rule=users_rule.compute,
-                topology=topology, driver=driver,
-                aggregator_procs=aggregator_procs)
+            self.session = ProtocolSession.create(enrollment,
+                                                  settings=settings)
         else:
             self.session = ProtocolSession(
-                config, self.clients, transport=transport,
-                threshold_rule=users_rule.compute,
-                topology=topology, driver=driver,
-                aggregator_procs=aggregator_procs)
+                config, self.clients, **settings._session_kwargs())
+        # Epoch-aware sessions additionally record their full round /
+        # epoch lifecycle, making the service's session crash-resumable
+        # (plain client lists carry no enrollment identity to persist).
+        if self.session.membership is not None:
+            self.session.attach_store(self.history, name=session_name,
+                                      own=False)
         #: Serializes session operations against the served root
         #: endpoint: :meth:`run_week` / :meth:`advance_epoch` / the
         #: :attr:`users_rule` setter hold it, and the :meth:`serve_root`
@@ -183,17 +200,18 @@ class BackendService:
 
     def run_week(self, week: int) -> WeeklySnapshot:
         """Execute the aggregation round for ``week`` and persist stats."""
+        self.session.note_week(week)
         with self._ops_lock:
             result = self.session.run_round(week)
         snapshot = WeeklySnapshot(
             week=week, users_threshold=result.users_threshold,
             distribution=result.distribution, round_result=result)
         self._snapshots[week] = snapshot
-        self.store.save_weekly_stats(
-            week=week, users_threshold=result.users_threshold,
-            num_reporting=len(result.reported_users),
-            num_missing=len(result.missing_users),
-            distribution_values=list(result.distribution.values))
+        self.history.save_weekly_stats(
+            week, result.users_threshold,
+            len(result.reported_users),
+            len(result.missing_users),
+            list(result.distribution.values))
         # Clients start a fresh observation window after reporting.
         for client in self.clients:
             client.reset_window()
@@ -270,11 +288,14 @@ class BackendService:
                 if self._root_server is not None else None)
 
     def close(self) -> None:
-        """Stop serving and release the session's owned resources."""
+        """Stop serving and release the session's owned resources (plus
+        the history store, when this service opened it itself)."""
         if self._root_server is not None:
             self._root_server.stop()
             self._root_server = None
         self.session.close()
+        if self._owns_store:
+            self.history.close()
 
     def __enter__(self) -> "BackendService":
         return self

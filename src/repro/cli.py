@@ -206,7 +206,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         transport=args.transport if args.private else None,
         aggregator_procs=args.aggregator_procs,
         fault_plan=fault_plan, retry_policy=retry_policy,
-        client_backend=args.clients, fan_in=args.fan_in)
+        client_backend=args.clients, fan_in=args.fan_in,
+        store=args.store)
     try:
         out = pipeline.run_week(result.impressions, week=0)
         session = pipeline.session
@@ -242,6 +243,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
     print(f"\nFN={counts.false_negative_rate:.1%} "
           f"FP={counts.false_positive_rate:.2%} "
           f"precision={counts.precision:.1%}")
+    if args.store is not None:
+        print(f"history recorded to {args.store} "
+              f"(query it with: repro-eyewnder history --store "
+              f"{args.store})")
     return 0
 
 
@@ -282,7 +287,8 @@ def _detect_with_churn(args: argparse.Namespace) -> int:
         transport=args.transport,
         aggregator_procs=args.aggregator_procs,
         fault_plan=fault_plan, retry_policy=retry_policy,
-        client_backend=args.clients, fan_in=args.fan_in)
+        client_backend=args.clients, fan_in=args.fan_in,
+        store=args.store)
 
     print(f"mode: private (blinded CMS), churned population "
           f"({args.churn:.0%}/epoch, {args.epoch_rounds} round(s)/window)")
@@ -336,6 +342,10 @@ def _run_churn_windows(args, pipeline, rosters, result) -> int:
         elif week > 0:
             print("  (no membership change this window)")
     _print_chaos_telemetry(args, pipeline.session)
+    if args.store is not None:
+        print(f"history recorded to {args.store} "
+              f"(query it with: repro-eyewnder history --store "
+              f"{args.store})")
     return 0
 
 
@@ -417,7 +427,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         operator_token=args.operator_token,
         job_workers=args.job_workers,
         retry_policy=RetryPolicy(max_restarts=args.job_retries),
-        job_timeout_s=args.job_timeout)
+        job_timeout_s=args.job_timeout, store=args.store)
     try:
         host, port = service.start()
         print(f"operator token: {service.operator_token}", flush=True)
@@ -430,6 +440,75 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("shutdown requested; stopping", flush=True)
     finally:
         service.close()
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """``history``: longitudinal queries over a recorded store.
+
+    Every answer comes straight from SQL — no round is re-run, no
+    detector re-classifies. ``--flagged --since-week N`` reads the
+    ``flagged_campaigns`` view, ``--trend AD`` a campaign's week-by-week
+    trajectory, ``--rounds`` the persisted protocol rounds; with no
+    selector the store's overview is printed.
+    """
+    import os
+    if args.store != ":memory:" and not os.path.exists(args.store):
+        print(f"no history store at {args.store!r} (record one with "
+              f"'detect --store PATH' or 'serve --store PATH')",
+              file=sys.stderr)
+        return 2
+    from repro.store import HistoryStore
+    with HistoryStore(args.store) as store:
+        if args.flagged:
+            rows = store.flagged_campaigns(args.since_week)
+            print(f"{len(rows)} flagged campaign-week(s) "
+                  f"since week {args.since_week}")
+            for c in rows:
+                print(f"  week {c.week}  {c.ad_identity[:56]:56s} "
+                      f"flagged_users={c.flagged_users} "
+                      f"users~{c.users_seen:.0f} (th {c.users_threshold:.2f})")
+            return 0
+        if args.trend is not None:
+            points = store.trend(args.trend)
+            if not points:
+                print(f"no recorded verdicts for {args.trend!r}",
+                      file=sys.stderr)
+                return 1
+            print(f"trend for {args.trend}:")
+            for t in points:
+                flag = " FLAGGED" if t.flagged_users else ""
+                print(f"  week {t.week}: users~{t.users_seen:.0f} "
+                      f"(th {t.users_threshold:.2f}), "
+                      f"{t.flagged_users} user(s) flagged{flag}")
+            return 0
+        if args.rounds:
+            rows = store.round_history(epoch=args.epoch, week=args.week)
+            print(f"{len(rows)} persisted round(s)")
+            for r in rows:
+                week = "-" if r.week is None else str(r.week)
+                print(f"  {r.session:20s} round {r.round_id:3d} "
+                      f"epoch {r.epoch_id:2d} week {week:>3s}  "
+                      f"reporting={r.num_reporting} missing={r.num_missing} "
+                      f"th={r.users_threshold:.2f} bytes={r.total_bytes}")
+            return 0
+        # Overview: what the store holds, per recorded session lineage.
+        print(f"history store {args.store} (schema v{store.version})")
+        for name in store.session_names():
+            epochs = store.epoch_records(name)
+            rounds = store.round_history(session=name)
+            record = store.session_record(name)
+            assert record is not None
+            print(f"  session {name!r}: seed={record.seed} "
+                  f"cliques={record.num_cliques} "
+                  f"backend={record.client_backend}; "
+                  f"{len(epochs)} epoch(s), {len(rounds)} round(s)")
+        weeks = store.recorded_weeks()
+        detections = len(store.detection_records())
+        flagged = len(store.flagged_campaigns())
+        print(f"  weeks recorded: {weeks}")
+        print(f"  detection verdicts: {detections} "
+              f"({flagged} flagged campaign-week(s))")
     return 0
 
 
@@ -524,6 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "than this report, so the root only merges "
                             "<= fan-in partials (default: flat, every "
                             "clique reports straight to the root)")
+    p_det.add_argument("--store", default=None, metavar="PATH",
+                       help="persist the run's durable history (rounds, "
+                            "epochs, weekly stats, detection verdicts) "
+                            "into a HistoryStore SQLite file; query it "
+                            "later with the 'history' subcommand")
     p_det.set_defaults(func=cmd_detect)
 
     p_val = sub.add_parser("validate",
@@ -591,7 +675,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--job-timeout", type=float, default=120.0,
                        help="default per-job timeout in seconds "
                             "(default 120)")
+    p_srv.add_argument("--store", default=None, metavar="PATH",
+                       help="persist the service's durable round history "
+                            "into this HistoryStore SQLite file (default: "
+                            "in-memory; the /v1/history routes still "
+                            "answer but nothing survives the process)")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="query a recorded history store (SQL, no recomputation)")
+    p_hist.add_argument("--store", required=True, metavar="PATH",
+                        help="path to the HistoryStore SQLite file "
+                             "written by 'detect --store' or "
+                             "'serve --store'")
+    p_hist.add_argument("--flagged", action="store_true",
+                        help="list flagged campaigns from the "
+                             "flagged_campaigns view")
+    p_hist.add_argument("--since-week", type=int, default=0,
+                        help="with --flagged: only weeks >= N (default 0)")
+    p_hist.add_argument("--trend", default=None, metavar="AD_IDENTITY",
+                        help="one campaign's week-by-week #Users "
+                             "trajectory and flag status")
+    p_hist.add_argument("--rounds", action="store_true",
+                        help="list persisted protocol rounds")
+    p_hist.add_argument("--epoch", type=int, default=None,
+                        help="with --rounds: only epoch N")
+    p_hist.add_argument("--week", type=int, default=None,
+                        help="with --rounds: only week N")
+    p_hist.set_defaults(func=cmd_history)
     return parser
 
 

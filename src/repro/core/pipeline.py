@@ -25,18 +25,19 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.api import CLIENT_BACKENDS, ProtocolSession
+from repro.api import CLIENT_BACKENDS, ProtocolSession, SessionConfig
 from repro.core.counters import GlobalUserCounter
 from repro.core.detector import CountBasedDetector, DetectorConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StoreError
 from repro.protocol.client import RoundConfig
 from repro.protocol.enrollment import MAX_CLIQUES, enroll_users
 from repro.protocol.membership import EpochTransition
 from repro.protocol.runner import RoundResult
 from repro.statsutil.distributions import EmpiricalDistribution
-from repro.types import Ad, ClassifiedAd, Impression
+from repro.store.history import HistoryStore, WeeklyStatsRecord
+from repro.types import Ad, ClassifiedAd, Impression, Label
 
 
 @dataclass
@@ -89,7 +90,9 @@ class DetectionPipeline:
                  fault_plan=None,
                  retry_policy=None,
                  client_backend: str = "objects",
-                 fan_in: Optional[int] = None) -> None:
+                 fan_in: Optional[int] = None,
+                 store: "Union[HistoryStore, str, None]" = None,
+                 session_name: str = "pipeline") -> None:
         if num_cliques < 1:
             raise ConfigurationError(
                 f"num_cliques must be >= 1, got {num_cliques}")
@@ -121,6 +124,11 @@ class DetectionPipeline:
                 "pass transport or transport_factory, not both: the "
                 "factory's per-window transports would silently override "
                 f"the named {transport!r} transport")
+        if store is not None and transport_factory is not None:
+            raise ConfigurationError(
+                "durable history needs the persistent epoch session; it "
+                "cannot be combined with transport_factory (which "
+                "rebuilds a fresh per-window enrollment)")
         self.detector_config = detector_config or DetectorConfig()
         self.private = private
         self.round_config = round_config
@@ -201,12 +209,34 @@ class DetectionPipeline:
         #: The last window's epoch transition (None when the window ran
         #: in the session's existing epoch or on a fresh enrollment).
         self.last_transition: Optional[EpochTransition] = None
+        #: Durable round history (:class:`~repro.store.HistoryStore`, or
+        #: a path to open one). When set, every private round and epoch
+        #: persists through the session's recorder hook, every window's
+        #: stats and detection verdicts land in SQL, and
+        #: :meth:`replay_window` answers historical windows without
+        #: recomputation. The store outlives individual session
+        #: generations (a re-enrollment starts a new recorded lineage),
+        #: so the pipeline attaches it with ``own=False`` and closes it
+        #: itself — but only if it opened it from a path.
+        self._owns_store = isinstance(store, str)
+        self._store: Optional[HistoryStore] = (
+            HistoryStore(store) if isinstance(store, str) else store)
+        self.session_name = session_name
+        #: Fresh re-enrollments start a new session lineage in the
+        #: store; the generation counter keeps their names distinct
+        #: (``pipeline``, ``pipeline#g1``, ``pipeline#g2``, ...).
+        self._session_gen = 0
 
     @property
     def session(self) -> Optional[ProtocolSession]:
         """The persistent private-mode epoch session (None before the
         first private window, or when ``transport_factory`` is set)."""
         return self._session
+
+    @property
+    def store(self) -> Optional[HistoryStore]:
+        """The attached durable history store (None when not recording)."""
+        return self._store
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -268,27 +298,37 @@ class DetectionPipeline:
         transport = (self.transport_factory()
                      if self.transport_factory is not None
                      else self.transport)
-        if self.client_backend == "batched":
-            return ProtocolSession.enroll(
-                user_ids, config, transport=transport,
-                threshold_rule=self.detector_config.users_rule.compute,
-                topology=self.topology, driver=self.driver,
-                aggregator_procs=cliques if self.aggregator_procs else 0,
-                fault_plan=self.fault_plan, retry_policy=self.retry_policy,
-                client_backend="batched", fan_in=self.fan_in,
-                seed=self.enrollment_seed, use_oprf=self.use_oprf,
-                num_cliques=cliques)
-        enrollment = enroll_users(user_ids, config,
-                                  seed=self.enrollment_seed,
-                                  use_oprf=self.use_oprf,
-                                  num_cliques=cliques)
-        return ProtocolSession.from_enrollment(
-            enrollment, transport=transport,
+        settings = SessionConfig(
+            transport=transport,
             threshold_rule=self.detector_config.users_rule.compute,
             topology=self.topology, driver=self.driver,
+            client_backend=self.client_backend,
             aggregator_procs=cliques if self.aggregator_procs else 0,
             fault_plan=self.fault_plan, retry_policy=self.retry_policy,
             fan_in=self.fan_in)
+        if self.client_backend == "batched":
+            session = ProtocolSession.create(
+                user_ids, config, settings, seed=self.enrollment_seed,
+                use_oprf=self.use_oprf, num_cliques=cliques)
+        else:
+            enrollment = enroll_users(user_ids, config,
+                                      seed=self.enrollment_seed,
+                                      use_oprf=self.use_oprf,
+                                      num_cliques=cliques)
+            session = ProtocolSession.create(enrollment, settings=settings)
+        if self._store is not None:
+            # Each fresh enrollment is a new lineage in the store, named
+            # by generation; the store itself is shared across them (and
+            # owned by the pipeline, not any one session).
+            name = (self.session_name if self._session_gen == 0
+                    else f"{self.session_name}#g{self._session_gen}")
+            self._session_gen += 1
+            try:
+                session.attach_store(self._store, name=name, own=False)
+            except BaseException:
+                session.close()
+                raise
+        return session
 
     def _session_for(self, user_ids, config: RoundConfig,
                      cliques: int) -> ProtocolSession:
@@ -347,11 +387,15 @@ class DetectionPipeline:
 
     def close(self) -> None:
         """Release the persistent session's out-of-process resources
-        (aggregator subprocesses, socket transports). Idempotent."""
+        (aggregator subprocesses, socket transports) and, when this
+        pipeline opened the history store from a path, the store too.
+        Idempotent."""
         if self._session is not None:
             self._session.close()
             self._session = None
             self._session_key = None
+        if self._store is not None and self._owns_store:
+            self._store.close()
 
     def _global_from_protocol(self, impressions: Sequence[Impression],
                               week: int):
@@ -364,6 +408,9 @@ class DetectionPipeline:
         # population (a singleton clique would report unblinded).
         cliques = max(1, min(self.num_cliques, len(user_ids) // 2))
         session = self._session_for(user_ids, config, cliques)
+        # Stamp the week on the session's recorder (no-op without an
+        # attached store) so persisted rounds carry their window index.
+        session.note_week(week)
         session.reset_windows()
         if session.army is not None:
             for user_id, per_user in ads_by_user.items():
@@ -472,7 +519,66 @@ class DetectionPipeline:
             classified.extend(detector.classify_all(
                 ads, users_seen_of, threshold, week))
 
+        if self._store is not None:
+            # Persist this window's longitudinal record: every verdict
+            # (the `detections` table behind flagged_campaigns / trend)
+            # plus the week's aggregate stats. The round itself was
+            # already recorded by the session's recorder hook.
+            self._store.record_detections(week, classified)
+            if round_result is not None:
+                num_reporting = len(round_result.reported_users)
+                num_missing = len(round_result.missing_users)
+            else:
+                num_reporting = len(grouped)
+                num_missing = 0
+            self._store.save_weekly_record(WeeklyStatsRecord(
+                week=week, users_threshold=threshold,
+                num_reporting=num_reporting, num_missing=num_missing,
+                distribution=tuple(distribution.values)))
+
         return PipelineResult(
             week=week, classified=classified, users_threshold=threshold,
             users_distribution=distribution, private=self.private,
             round_result=round_result)
+
+    def replay_window(self, week: int) -> PipelineResult:
+        """Reconstruct a past window's result from the store — no
+        recomputation, no live session.
+
+        Verdicts come from the ``detections`` table, the threshold and
+        #Users distribution from ``weekly_stats``, and (when the window
+        ran privately with recording on) the round's aggregate is
+        rebuilt bit-identically from its persisted summary spec.
+        Raises :class:`~repro.errors.StoreError` when no store is
+        attached or the window was never recorded.
+        """
+        if self._store is None:
+            raise StoreError(
+                "replay_window needs a history store (pass store=... to "
+                "DetectionPipeline)")
+        stats = self._store.weekly_stats_record(week)
+        if stats is None:
+            recorded = self._store.recorded_weeks()
+            raise StoreError(
+                f"window {week} was never recorded "
+                f"(recorded weeks: {recorded})")
+        classified = [
+            ClassifiedAd(
+                user_id=rec.user_id, ad=Ad(url=rec.ad_identity),
+                label=Label(rec.label), domains_seen=rec.domains_seen,
+                users_seen=rec.users_seen,
+                domains_threshold=rec.domains_threshold,
+                users_threshold=rec.users_threshold, week=rec.week)
+            for rec in self._store.detection_records(week)]
+        round_result = None
+        rounds = self._store.round_history(week=week)
+        if rounds:
+            last = rounds[-1]
+            session_record = self._store.session_record(last.session)
+            if session_record is not None:
+                round_result = last.result(session_record.config)
+        return PipelineResult(
+            week=week, classified=classified,
+            users_threshold=stats.users_threshold,
+            users_distribution=EmpiricalDistribution(stats.distribution),
+            private=bool(rounds), round_result=round_result)

@@ -34,6 +34,7 @@ STRICT_TIER = (
     "src/repro/sketch",
     "src/repro/crypto",
     "src/repro/devtools",
+    "src/repro/store",
 )
 
 

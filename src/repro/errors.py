@@ -70,6 +70,12 @@ class TransportError(ProtocolError):
     """Message delivery failed (unknown endpoint, closed transport)."""
 
 
+class StoreError(ReproError):
+    """Base class for durable-history store errors (repro.store):
+    migration failures, closed-store use, corrupted or mismatched
+    persisted session records."""
+
+
 class SimulationError(ReproError):
     """Base class for browsing/ad-ecosystem simulator errors."""
 

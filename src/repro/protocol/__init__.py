@@ -126,7 +126,8 @@ queries.
 with bit-identical results (``docs/scaling.md`` has the cost model and
 the sweep methodology): the *batched client backend*
 (:class:`~repro.protocol.army.ClientArmy`,
-``ProtocolSession.enroll(..., client_backend="batched")``, ``cli detect
+``ProtocolSession.create(..., SessionConfig(client_backend="batched"))``,
+``cli detect
 --clients batched``) replaces per-user client objects with one
 struct-of-arrays endpoint that builds a whole clique's reports in a few
 NumPy passes, and the *fan-in-bounded aggregation tree*

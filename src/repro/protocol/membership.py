@@ -328,6 +328,40 @@ class MembershipManager:
         from repro.protocol.enrollment import enroll_users
         return cls(enroll_users(user_ids, config, **enroll_kwargs))
 
+    @classmethod
+    def from_history(cls, user_ids: Sequence[str], config: RoundConfig,
+                     transitions: Sequence[Tuple[Sequence[str],
+                                                 Sequence[str], int]] = (),
+                     last_round: Optional[int] = None,
+                     **enroll_kwargs: Any) -> "MembershipManager":
+        """Rebuild a membership by replaying its persisted history.
+
+        Crash recovery leans on two determinism guarantees this module
+        already provides: enrollment is a pure function of
+        ``(user_ids, config, seed, ...)`` (see
+        :func:`~repro.protocol.enrollment.keypair_seed`), and
+        :meth:`advance_epoch` is deterministic in its join/leave
+        sequence. So a manager reconstructed from the *epoch-0* roster
+        plus the recorded ``(joins, leaves, first_round)`` of every
+        later epoch carries bit-identical key material — every DH pair,
+        pair secret and pad stream matches the crashed instance, and the
+        next round aggregates identically to an uninterrupted run.
+
+        ``last_round`` marks the highest round id already completed
+        (persisted) by the previous life of this membership; it is
+        recorded via :meth:`note_round` so the resumed session's pads
+        stay one-time. Callers (:meth:`repro.api.ProtocolSession.
+        resume`) should verify the replayed final epoch against the
+        persisted roster/clique snapshot to detect store drift.
+        """
+        manager = cls.enroll(user_ids, config, **enroll_kwargs)
+        for joins, leaves, first_round in transitions:
+            manager.advance_epoch(joins=joins, leaves=leaves,
+                                  first_round=first_round)
+        if last_round is not None:
+            manager.note_round(last_round)
+        return manager
+
     @property
     def epoch(self) -> Epoch:
         return self._epoch

@@ -20,6 +20,10 @@ POST   /v1/rounds/{rid}/advance           operator  fire the idle phase
 POST   /v1/rounds/{rid}/finalize          operator  close the round
 GET    /v1/rounds/{rid}/summary           any       finalized RoundResult
 GET    /v1/snapshots/{week}               any       WeeklySnapshot spec
+GET    /v1/history/weeks                  any       recorded weeks
+GET    /v1/history/rounds                 any       persisted rounds
+GET    /v1/history/flagged                any       flagged campaigns view
+GET    /v1/history/trend                  any       one campaign's trajectory
 POST   /v1/jobs                           operator  submit a detection job
 GET    /v1/jobs                           operator  list jobs (?status=dead)
 GET    /v1/jobs/{id}                      operator  poll one job
@@ -124,6 +128,8 @@ class ServiceApp:
             week = self._int(parts[1], "week")
             with self.state.lock:
                 return Response.json(self.state.snapshot_spec(week))
+        if parts[:1] == ["history"] and method == "GET":
+            return self._history_route(request, tuple(parts[1:]))
         if parts[:1] == ["jobs"]:
             return self._jobs_route(request, principal, parts[1:])
         if parts == ["shutdown"] and method == "POST":
@@ -233,6 +239,43 @@ class ServiceApp:
         raise HttpError(404, f"no such round route {method} {action!r}")
 
     # ------------------------------------------------------------------
+    # Longitudinal history (store-backed, any authenticated principal)
+    # ------------------------------------------------------------------
+    def _history_route(self, request: Request,
+                       rest: Tuple[str, ...]) -> Response:
+        def opt_int(name: str) -> Optional[int]:
+            raw = request.query.get(name)
+            return None if raw is None else self._int(raw, name)
+
+        if rest == ("weeks",):
+            with self.state.lock:
+                return Response.json({"weeks": self.state.history_weeks()})
+        if rest == ("rounds",):
+            epoch, week = opt_int("epoch"), opt_int("week")
+            with self.state.lock:
+                return Response.json(
+                    {"rounds": self.state.history_rounds(epoch=epoch,
+                                                         week=week)})
+        if rest == ("flagged",):
+            since_week = opt_int("since_week") or 0
+            with self.state.lock:
+                return Response.json(
+                    {"since_week": since_week,
+                     "campaigns": self.state.history_flagged(since_week)})
+        if rest == ("trend",):
+            ad = request.query.get("ad")
+            if not ad:
+                raise HttpError(
+                    400, "trend needs an 'ad' query parameter (the "
+                         "campaign's ad identity)")
+            with self.state.lock:
+                return Response.json(
+                    {"ad_identity": ad,
+                     "trend": self.state.history_trend(ad)})
+        raise HttpError(
+            404, f"no such history route GET /{'/'.join(rest)}")
+
+    # ------------------------------------------------------------------
     # Jobs
     # ------------------------------------------------------------------
     def _jobs_route(self, request: Request, principal: Principal,
@@ -281,11 +324,13 @@ class ReproService:
                  retry_policy: "Optional[RetryPolicy]" = None,
                  job_timeout_s: float = 120.0,
                  job_handlers: Optional[Dict[str, Callable[..., Any]]] = None,
+                 store: Optional[str] = None,
+                 session_name: str = "service",
                  ) -> None:
         self.state = ServiceState(
             config, seed=seed, num_cliques=num_cliques, use_oprf=use_oprf,
             threshold_rule=threshold_rule, transport=transport,
-            fault_plan=fault_plan)
+            fault_plan=fault_plan, store=store, session_name=session_name)
         self.tokens = TokenBook()
         if operator_token is None:
             self.operator_token = self.tokens.mint(

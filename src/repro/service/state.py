@@ -46,7 +46,16 @@ mailboxes until polled over HTTP.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api import _resolve_transport
 from repro.backend.service import WeeklySnapshot
@@ -69,6 +78,8 @@ from repro.protocol.net.spec import (
     snapshot_to_spec,
 )
 from repro.protocol.runner import RoundResult
+from repro.store.history import HistoryStore, SessionRecord
+from repro.store.recorder import SessionRecorder
 
 if TYPE_CHECKING:
     from repro.protocol.net.chaos import FaultPlan
@@ -100,7 +111,9 @@ class ServiceState:
                  share_pad_streams: bool = True,
                  threshold_rule: str = "mean",
                  transport: str = "wire",
-                 fault_plan: "Optional[FaultPlan]" = None) -> None:
+                 fault_plan: "Optional[FaultPlan]" = None,
+                 store: "Union[HistoryStore, str, None]" = None,
+                 session_name: str = "service") -> None:
         if transport not in SERVICE_TRANSPORTS:
             raise ConfigurationError(
                 f"the service plane needs a byte-exact transport so HTTP "
@@ -114,6 +127,20 @@ class ServiceState:
         self.share_pad_streams = share_pad_streams
         self.threshold_rule = threshold_rule
         self.transport_name = transport
+        #: Durable round history behind the ``/v1/history/*`` routes:
+        #: every epoch and finalized round persists as it happens, so a
+        #: service restart pointed at the same store file can resume the
+        #: protocol lineage (``ProtocolSession.resume``) and historical
+        #: queries never recompute. Default is an in-memory store (the
+        #: endpoints still answer, nothing survives the process).
+        self._owns_store = store is None or isinstance(store, str)
+        if store is None:
+            store = HistoryStore()
+        elif isinstance(store, str):
+            store = HistoryStore(store)
+        self.store = store
+        self.session_name = session_name
+        self._recorder = SessionRecorder(store, session_name)
         self.lock = threading.RLock()
         instance, self._owns_transport = _resolve_transport(
             transport, fault_plan=fault_plan)
@@ -188,6 +215,12 @@ class ServiceState:
                 share_pad_streams=self.share_pad_streams)
             self.manager = MembershipManager(enrollment)
             self._epoch0_roster = roster
+            self._recorder.record_session(SessionRecord(
+                name=self.session_name, config=self.config,
+                seed=self.seed, use_oprf=self.use_oprf,
+                num_cliques=self.num_cliques,
+                share_pad_streams=self.share_pad_streams))
+            self._recorder.record_epoch(self.manager.epoch)
             left: List[str] = []
         else:
             unknown = sorted(set(leaves) - set(self.roster))
@@ -202,6 +235,7 @@ class ServiceState:
                 "leaves": sorted(leaves),
                 "first_round": transition.epoch.first_round,
             })
+            self._recorder.record_transition(transition)
             left = list(transition.left)
         self._pending_joins.clear()
         self._next_round = max(self._next_round,
@@ -441,6 +475,14 @@ class ServiceState:
         self._next_round = round_id + 1
         assert self.manager is not None
         self.manager.note_round(round_id)
+        # Persist the finalized round (week == round id on the service
+        # plane: one reporting round per weekly window) and its stats.
+        self._recorder.week = round_id
+        self._recorder.record_round(result, self.manager.epoch.epoch_id)
+        self.store.save_weekly_stats(
+            round_id, result.users_threshold,
+            len(result.reported_users), len(result.missing_users),
+            list(result.distribution.values))
         return result
 
     # ------------------------------------------------------------------
@@ -475,6 +517,49 @@ class ServiceState:
         return snapshot_to_spec(snapshot)
 
     # ------------------------------------------------------------------
+    # Longitudinal history (answered from the store, no recomputation)
+    # ------------------------------------------------------------------
+    def history_rounds(self, epoch: Optional[int] = None,
+                       week: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Persisted rounds as JSON-ready dicts (summary spec omitted —
+        the full aggregate is the round-summary route's job)."""
+        return [{
+            "session": r.session,
+            "round_id": r.round_id,
+            "epoch": r.epoch_id,
+            "week": r.week,
+            "users_threshold": r.users_threshold,
+            "num_reporting": r.num_reporting,
+            "num_missing": r.num_missing,
+            "recovery_round_used": r.recovery_round_used,
+            "total_bytes": r.total_bytes,
+            "total_messages": r.total_messages,
+        } for r in self.store.round_history(epoch=epoch, week=week)]
+
+    def history_flagged(self, since_week: int = 0) -> List[Dict[str, Any]]:
+        """Campaigns the detector flagged as targeted, from the SQL view."""
+        return [{
+            "ad_identity": c.ad_identity,
+            "week": c.week,
+            "flagged_users": c.flagged_users,
+            "users_seen": c.users_seen,
+            "users_threshold": c.users_threshold,
+        } for c in self.store.flagged_campaigns(since_week)]
+
+    def history_trend(self, ad_identity: str) -> List[Dict[str, Any]]:
+        """One campaign's week-by-week trajectory."""
+        return [{
+            "week": t.week,
+            "users_seen": t.users_seen,
+            "flagged_users": t.flagged_users,
+            "users_threshold": t.users_threshold,
+        } for t in self.store.trend(ad_identity)]
+
+    def history_weeks(self) -> List[int]:
+        """Weeks with persisted aggregate stats."""
+        return self.store.recorded_weeks()
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -485,3 +570,5 @@ class ServiceState:
             close = getattr(self.transport, "close", None)
             if callable(close):
                 close()
+        if self._owns_store:
+            self.store.close()

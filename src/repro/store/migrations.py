@@ -1,0 +1,359 @@
+"""Numbered, versioned schema migrations for the durable round history.
+
+The store's schema is the *sum of its migrations*: a fresh database and
+a years-old file both reach HEAD by applying the same numbered steps, so
+there is exactly one code path that can produce a schema (no separate
+"fresh install" DDL to drift from the upgrade ladder). Each migration
+runs inside its own transaction — SQLite DDL is transactional — and
+records itself in ``schema_version``; a failure rolls the whole step
+back, leaving the database at the last good version.
+
+The DDL is deliberately portable (plain ``CREATE TABLE``/``CREATE
+VIEW``, no SQLite-only column affinities beyond the basics) so a future
+Postgres backend can replay the same ladder.
+
+Version history
+---------------
+1. ``metadata-baseline`` — the original ``MetadataStore`` tables
+   (users, weekly_stats, crawler_sightings). A pre-migration store file
+   is adopted at this version (see :func:`adopt_legacy_schema`).
+2. ``session-history`` — the durable protocol history: ``sessions``
+   (enrollment identity: config, seed, clique count — everything a
+   crash-resume needs to re-derive key material), ``epochs`` (roster,
+   clique map and transition bookkeeping per epoch) and ``rounds``
+   (one row per completed round, carrying the full
+   :class:`~repro.protocol.endpoint.RoundSummary` spec JSON).
+3. ``detection-verdicts`` — per-(week, user, ad) detector verdicts,
+   the longitudinal raw material.
+4. ``flagged-campaigns-view`` — the unified ``flagged_campaigns`` view
+   answering "which campaigns were flagged since week N" straight from
+   SQL.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StoreError
+
+#: The table the upgrade runner bookkeeps itself in. ``applied_at`` is
+#: wall-clock provenance only; nothing derives logic from it.
+SCHEMA_VERSION_TABLE = """\
+CREATE TABLE IF NOT EXISTS schema_version (
+    version INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    applied_at TEXT NOT NULL DEFAULT (datetime('now'))
+)"""
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One numbered schema step: applied transactionally, exactly once."""
+
+    version: int
+    name: str
+    statements: Tuple[str, ...]
+
+
+#: The ladder. Append-only: a released migration is never edited (edit
+#: history and upgraded files diverge silently otherwise); fix mistakes
+#: with a new numbered step.
+MIGRATIONS: Tuple[Migration, ...] = (
+    Migration(
+        version=1,
+        name="metadata-baseline",
+        statements=(
+            """\
+CREATE TABLE users (
+    user_id TEXT PRIMARY KEY,
+    enrolled_week INTEGER NOT NULL,
+    blinding_index INTEGER NOT NULL,
+    departed_week INTEGER
+)""",
+            """\
+CREATE TABLE weekly_stats (
+    week INTEGER PRIMARY KEY,
+    users_threshold REAL NOT NULL,
+    num_reporting INTEGER NOT NULL,
+    num_missing INTEGER NOT NULL,
+    distribution_json TEXT NOT NULL
+)""",
+            """\
+CREATE TABLE crawler_sightings (
+    ad_identity TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    week INTEGER NOT NULL,
+    PRIMARY KEY (ad_identity, domain, week)
+)""",
+        ),
+    ),
+    Migration(
+        version=2,
+        name="session-history",
+        statements=(
+            """\
+CREATE TABLE sessions (
+    name TEXT PRIMARY KEY,
+    config_json TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    use_oprf INTEGER NOT NULL,
+    num_cliques INTEGER NOT NULL,
+    share_pad_streams INTEGER NOT NULL,
+    client_backend TEXT NOT NULL DEFAULT 'objects'
+)""",
+            """\
+CREATE TABLE epochs (
+    session TEXT NOT NULL REFERENCES sessions(name),
+    epoch_id INTEGER NOT NULL,
+    first_round INTEGER NOT NULL,
+    num_cliques INTEGER NOT NULL,
+    roster_json TEXT NOT NULL,
+    clique_map_json TEXT NOT NULL,
+    joins_json TEXT NOT NULL,
+    leaves_json TEXT NOT NULL,
+    moved_json TEXT NOT NULL,
+    modexps INTEGER NOT NULL DEFAULT 0,
+    secrets_reused INTEGER NOT NULL DEFAULT 0,
+    secrets_dropped INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (session, epoch_id)
+)""",
+            """\
+CREATE TABLE rounds (
+    session TEXT NOT NULL REFERENCES sessions(name),
+    round_id INTEGER NOT NULL,
+    epoch_id INTEGER NOT NULL,
+    week INTEGER,
+    users_threshold REAL NOT NULL,
+    num_reporting INTEGER NOT NULL,
+    num_missing INTEGER NOT NULL,
+    recovery_round_used INTEGER NOT NULL,
+    total_bytes INTEGER NOT NULL,
+    total_messages INTEGER NOT NULL,
+    summary_json TEXT NOT NULL,
+    PRIMARY KEY (session, round_id)
+)""",
+            "CREATE INDEX idx_rounds_epoch ON rounds (session, epoch_id)",
+            "CREATE INDEX idx_rounds_week ON rounds (week)",
+        ),
+    ),
+    Migration(
+        version=3,
+        name="detection-verdicts",
+        statements=(
+            """\
+CREATE TABLE detections (
+    week INTEGER NOT NULL,
+    user_id TEXT NOT NULL,
+    ad_identity TEXT NOT NULL,
+    label TEXT NOT NULL,
+    domains_seen INTEGER NOT NULL,
+    users_seen REAL NOT NULL,
+    domains_threshold REAL NOT NULL,
+    users_threshold REAL NOT NULL,
+    PRIMARY KEY (week, user_id, ad_identity)
+)""",
+            "CREATE INDEX idx_detections_ad ON detections (ad_identity, week)",
+            "CREATE INDEX idx_detections_label ON detections (label, week)",
+        ),
+    ),
+    Migration(
+        version=4,
+        name="flagged-campaigns-view",
+        statements=(
+            # The unified longitudinal view: one row per (campaign, week)
+            # that any user's detector flagged, with the week's aggregate
+            # evidence. `repro history --flagged --since-week N` is a
+            # plain SELECT over this.
+            """\
+CREATE VIEW flagged_campaigns AS
+    SELECT ad_identity,
+           week,
+           COUNT(DISTINCT user_id) AS flagged_users,
+           MAX(users_seen) AS users_seen,
+           MAX(users_threshold) AS users_threshold
+    FROM detections
+    WHERE label = 'targeted'
+    GROUP BY ad_identity, week""",
+        ),
+    ),
+)
+
+#: The schema version this build of the code speaks.
+HEAD_VERSION = MIGRATIONS[-1].version
+
+#: Tables of the pre-migration ``MetadataStore`` schema, used to
+#: recognize legacy files (see :func:`adopt_legacy_schema`).
+_LEGACY_TABLES = frozenset({"users", "weekly_stats", "crawler_sightings"})
+
+
+def _validate_ladder(migrations: Sequence[Migration]) -> None:
+    versions = [m.version for m in migrations]
+    if versions != sorted(set(versions)) or (versions and versions[0] != 1):
+        raise StoreError(
+            f"migration ladder must be numbered 1..N without gaps or "
+            f"duplicates, got versions {versions}"
+        )
+    if versions != list(range(1, len(versions) + 1)):
+        raise StoreError(
+            f"migration ladder must be numbered 1..N without gaps, got "
+            f"versions {versions}"
+        )
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The database's current schema version (0 = never migrated)."""
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' "
+        "AND name = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        return 0
+    top = conn.execute("SELECT MAX(version) FROM schema_version").fetchone()
+    return int(top[0]) if top and top[0] is not None else 0
+
+
+def applied_migrations(conn: sqlite3.Connection) -> List[Tuple[int, str]]:
+    """The ``(version, name)`` pairs recorded as applied, in order."""
+    if schema_version(conn) == 0:
+        return []
+    rows = conn.execute(
+        "SELECT version, name FROM schema_version ORDER BY version"
+    ).fetchall()
+    return [(int(r[0]), str(r[1])) for r in rows]
+
+
+def adopt_legacy_schema(conn: sqlite3.Connection) -> bool:
+    """Stamp a pre-migration ``MetadataStore`` file as schema version 1.
+
+    The original store created its tables with a bare ``executescript``
+    and no version bookkeeping. Such a file is bit-for-bit a version-1
+    database (migration 001 *is* that schema), so adoption just records
+    the fact — after back-filling the one pre-epoch drift the old class
+    patched in place (``users.departed_week``). Returns True when a
+    legacy schema was adopted, False when there was nothing to adopt.
+    """
+    if schema_version(conn) > 0:
+        return False
+    tables = {
+        str(r[0])
+        for r in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall()
+    }
+    if not (_LEGACY_TABLES & tables):
+        return False
+    missing = _LEGACY_TABLES - tables
+    if missing:
+        raise StoreError(
+            f"database has some but not all legacy metadata tables "
+            f"(missing {sorted(missing)}); refusing to adopt a "
+            f"partially-initialized store"
+        )
+    with conn:
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(users)")}
+        if "departed_week" not in columns:
+            conn.execute("ALTER TABLE users ADD COLUMN departed_week INTEGER")
+        conn.execute(SCHEMA_VERSION_TABLE)
+        conn.execute(
+            "INSERT INTO schema_version (version, name) VALUES (?, ?)",
+            (1, MIGRATIONS[0].name),
+        )
+    return True
+
+
+def apply_migrations(
+    conn: sqlite3.Connection,
+    target: Optional[int] = None,
+    migrations: Sequence[Migration] = MIGRATIONS,
+) -> List[int]:
+    """Upgrade ``conn`` to ``target`` (default HEAD); returns versions applied.
+
+    Every pending migration runs in its own explicit transaction
+    (``BEGIN``/``COMMIT`` issued manually, so transactional DDL is not
+    at the mercy of the driver's autocommit heuristics) and stamps
+    ``schema_version`` inside that same transaction — a half-applied
+    step cannot be recorded and a recorded step cannot be half-applied.
+    A database *ahead* of the ladder is refused: downgrades are not a
+    thing, and silently running old code against a newer schema is how
+    data gets eaten.
+    """
+    _validate_ladder(migrations)
+    head = migrations[-1].version if migrations else 0
+    if target is None:
+        target = head
+    if not 0 <= target <= head:
+        raise StoreError(
+            f"cannot migrate to version {target}; this build's ladder "
+            f"ends at {head}"
+        )
+    adopt_legacy_schema(conn)
+    current = schema_version(conn)
+    if current > head:
+        raise StoreError(
+            f"database is at schema version {current} but this build "
+            f"only knows versions up to {head}; refusing to touch a "
+            f"store written by newer code"
+        )
+    recorded = dict(applied_migrations(conn))
+    for migration in migrations[:current]:
+        name = recorded.get(migration.version)
+        if name is not None and name != migration.name:
+            raise StoreError(
+                f"migration {migration.version:03d} is recorded as "
+                f"{name!r} but this build calls it {migration.name!r}; "
+                f"the ladder is append-only and may not be rewritten"
+            )
+    applied: List[int] = []
+    with conn:
+        conn.execute(SCHEMA_VERSION_TABLE)
+    for migration in migrations:
+        if migration.version <= current or migration.version > target:
+            continue
+        conn.execute("BEGIN")
+        try:
+            for statement in migration.statements:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT INTO schema_version (version, name) VALUES (?, ?)",
+                (migration.version, migration.name),
+            )
+        except sqlite3.Error as exc:
+            conn.execute("ROLLBACK")
+            raise StoreError(
+                f"migration {migration.version:03d} ({migration.name}) "
+                f"failed and was rolled back: {exc}"
+            ) from exc
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        applied.append(migration.version)
+    return applied
+
+
+def schema_signature(conn: sqlite3.Connection) -> Tuple[Tuple[str, str, str], ...]:
+    """A normalized fingerprint of the schema, for equality assertions.
+
+    Every persistent object (tables, indexes, views) as ``(type, name,
+    normalized DDL)``, sorted. Whitespace is collapsed — including
+    around punctuation, since ``ALTER TABLE ADD COLUMN`` splices its
+    clause with different spacing than inline DDL — so cosmetic layout
+    differences cannot fail the fixture-upgrade CI gate; any
+    *structural* difference (column, index, view text) still does.
+    """
+    rows = conn.execute(
+        "SELECT type, name, sql FROM sqlite_master "
+        "WHERE name NOT LIKE 'sqlite_%' AND name != 'schema_version' "
+        "ORDER BY type, name"
+    ).fetchall()
+
+    def normalize(sql: str) -> str:
+        collapsed = " ".join(sql.split())
+        return re.sub(r"\s*([(),])\s*", r"\1", collapsed)
+
+    return tuple(
+        (str(r[0]), str(r[1]), normalize(str(r[2] or ""))) for r in rows
+    )

@@ -1,0 +1,101 @@
+"""``SessionRecorder`` — the session-attached persistence hook.
+
+:meth:`repro.api.ProtocolSession.attach_store` installs one of these;
+from then on every completed round, every epoch transition and (when the
+pipeline tags the current week) every detection verdict is written to
+the attached :class:`~repro.store.history.HistoryStore` *as it happens*,
+which is exactly the property crash-resume needs: whatever the store
+holds when the process dies is a consistent prefix of the session's
+life, and :meth:`repro.api.ProtocolSession.resume` replays it.
+
+The recorder is deliberately dumb — no buffering, no batching — because
+the write rate is one row per protocol round (weekly, per the paper's
+cadence), not per message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.store.history import EpochRecord, HistoryStore, SessionRecord
+
+if TYPE_CHECKING:
+    from repro.protocol.endpoint import RoundSummary
+    from repro.protocol.membership import Epoch, EpochTransition
+    from repro.protocol.runner import RoundResult
+    from repro.types import ClassifiedAd
+
+
+class SessionRecorder:
+    """Writes one session's lifecycle into a :class:`HistoryStore`.
+
+    Holds the ``(store, session name)`` binding plus the current
+    detection week (set by :meth:`repro.api.ProtocolSession.note_week`
+    before a window's rounds run, so persisted rounds carry their week
+    tag and longitudinal queries can join rounds to verdicts).
+    """
+
+    def __init__(self, store: HistoryStore, name: str) -> None:
+        self.store = store
+        self.name = name
+        #: The detection window currently running (None outside one);
+        #: stamped onto every round recorded while it is set.
+        self.week: Optional[int] = None
+
+    def record_session(self, record: SessionRecord) -> None:
+        """Persist the session's enrollment identity (idempotent; a
+        conflicting identity under this name raises ``StoreError``)."""
+        self.store.record_session(record)
+
+    def record_epoch(
+        self,
+        epoch: "Epoch",
+        joins: Sequence[str] = (),
+        leaves: Sequence[str] = (),
+        moved: Sequence[str] = (),
+        modexps: int = 0,
+        secrets_reused: int = 0,
+        secrets_dropped: int = 0,
+    ) -> None:
+        """Persist one epoch snapshot plus how it was reached (epoch 0
+        is recorded with an empty delta at attach time)."""
+        self.store.record_epoch(
+            self.name,
+            EpochRecord(
+                epoch_id=epoch.epoch_id,
+                first_round=epoch.first_round,
+                num_cliques=epoch.num_cliques,
+                roster=tuple(epoch.user_ids),
+                clique_of=dict(epoch.clique_of),
+                joins=tuple(sorted(joins)),
+                leaves=tuple(sorted(leaves)),
+                moved=tuple(moved),
+                modexps=modexps,
+                secrets_reused=secrets_reused,
+                secrets_dropped=secrets_dropped,
+            ),
+        )
+
+    def record_transition(self, transition: "EpochTransition") -> None:
+        """Persist an :class:`EpochTransition` as its epoch record."""
+        self.record_epoch(
+            transition.epoch,
+            joins=transition.joined,
+            leaves=transition.left,
+            moved=transition.moved,
+            modexps=transition.modexps,
+            secrets_reused=transition.secrets_reused,
+            secrets_dropped=transition.secrets_dropped,
+        )
+
+    def record_round(
+        self, result: "Union[RoundResult, RoundSummary]", epoch_id: int
+    ) -> None:
+        """Persist one completed round under the current week tag."""
+        self.store.record_round(self.name, result, epoch_id, week=self.week)
+
+    def record_detections(
+        self, week: int, classified: "Sequence[ClassifiedAd]"
+    ) -> int:
+        """Persist one window's detector verdicts; returns rows written."""
+        return self.store.record_detections(week, classified)

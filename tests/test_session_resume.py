@@ -1,0 +1,354 @@
+"""Crash-resumable sessions and the consolidated session factory.
+
+The tentpole guarantees pinned here:
+
+* ``ProtocolSession.create`` is the one constructor path (the old
+  classmethods are warning shims over it);
+* a session attached to a :class:`~repro.store.HistoryStore` persists
+  its lineage as it happens, and ``ProtocolSession.resume`` rebuilds a
+  crashed session whose next round is **bit-identical** to the round an
+  uninterrupted session would have run — same aggregate, same wire
+  bytes (pads stay one-time because enrollment and epoch replay are
+  deterministic and the round counter resumes past every used id).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.api import ProtocolSession, SessionConfig
+from repro.errors import ConfigurationError, StoreError
+from repro.protocol.client import RoundConfig
+from repro.protocol.enrollment import enroll_users
+from repro.protocol.membership import MembershipManager
+from repro.protocol.transport import WireTransport
+from repro.store import HistoryStore
+
+CONFIG = RoundConfig(cms_depth=2, cms_width=128, cms_seed=9, id_space=1024)
+USERS = [f"u{i:02d}" for i in range(12)]
+
+
+class HashingTransport(WireTransport):
+    """Wire transport that fingerprints every shipped message."""
+
+    def __init__(self):
+        super().__init__()
+        self.hashes = []
+
+    def _ship(self, encoded):
+        self.hashes.append(hashlib.sha256(encoded).hexdigest())
+        return super()._ship(encoded)
+
+
+def _observe_week(session, week):
+    """Deterministic per-(user, week) observations, windows reset first
+    (windows are in-memory state, not persisted — each window re-observes,
+    exactly the pipeline's cadence)."""
+    session.reset_windows()
+    for client in sorted(session.clients, key=lambda c: c.user_id):
+        for k in range(3):
+            client.observe_ad(f"http://ads.example/w{week}/{client.user_id}/{k}")
+
+
+class TestSessionConfigValidation:
+    def test_defaults_are_valid(self):
+        settings = SessionConfig()
+        assert settings.topology == "fanout"
+        assert settings.client_backend == "objects"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"topology": "ring"},
+            {"driver": "threads"},
+            {"client_backend": "quantum"},
+            {"aggregator_procs": -1},
+            {"fan_in": 2, "topology": "single"},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(**kwargs)
+
+
+class TestCreateFactory:
+    def test_create_from_user_ids(self):
+        session = ProtocolSession.create(USERS[:4], CONFIG, seed=1)
+        try:
+            assert sorted(c.user_id for c in session.clients) == USERS[:4]
+            assert session.membership is not None
+        finally:
+            session.close()
+
+    def test_create_from_user_ids_needs_config(self):
+        with pytest.raises(ConfigurationError, match="config"):
+            ProtocolSession.create(USERS[:4])
+
+    def test_create_from_enrollment(self):
+        enrollment = enroll_users(USERS[:4], CONFIG, seed=1)
+        session = ProtocolSession.create(enrollment)
+        try:
+            assert session.epoch.epoch_id == 0
+        finally:
+            session.close()
+
+    def test_create_from_membership(self):
+        manager = MembershipManager.enroll(USERS[:4], CONFIG, seed=1)
+        session = ProtocolSession.create(manager)
+        try:
+            assert session.membership is manager
+        finally:
+            session.close()
+
+    def test_enroll_kwargs_rejected_for_preenrolled_source(self):
+        enrollment = enroll_users(USERS[:4], CONFIG, seed=1)
+        with pytest.raises(ConfigurationError, match="already enrolled"):
+            ProtocolSession.create(enrollment, seed=7)
+
+    def test_batched_backend(self):
+        session = ProtocolSession.create(
+            USERS[:6],
+            CONFIG,
+            SessionConfig(client_backend="batched"),
+            seed=1,
+            num_cliques=2,
+        )
+        try:
+            assert session.army is not None
+        finally:
+            session.close()
+
+    def test_old_classmethods_warn_and_delegate(self):
+        with pytest.warns(DeprecationWarning, match="create"):
+            session = ProtocolSession.enroll(USERS[:4], CONFIG, seed=1)
+        session.close()
+        enrollment = enroll_users(USERS[:4], CONFIG, seed=1)
+        with pytest.warns(DeprecationWarning, match="create"):
+            session = ProtocolSession.from_enrollment(enrollment)
+        session.close()
+        manager = MembershipManager.enroll(USERS[:4], CONFIG, seed=1)
+        with pytest.warns(DeprecationWarning, match="create"):
+            session = ProtocolSession.from_membership(manager)
+        session.close()
+
+
+class TestAttachRules:
+    def test_attach_records_identity_and_epoch_zero(self):
+        store = HistoryStore()
+        session = ProtocolSession.create(
+            USERS[:4], CONFIG, store=store, store_name="s", seed=2
+        )
+        try:
+            record = store.session_record("s")
+            assert record is not None
+            assert record.seed == 2
+            epochs = store.epoch_records("s")
+            assert [e.epoch_id for e in epochs] == [0]
+            assert epochs[0].roster == tuple(USERS[:4])
+        finally:
+            session.close()
+        # create() owns the store it was handed by default.
+        assert store.closed
+
+    def test_own_store_false_leaves_store_open(self):
+        store = HistoryStore()
+        session = ProtocolSession.create(
+            USERS[:4], CONFIG, store=store, store_name="s",
+            own_store=False, seed=2,
+        )
+        session.close()
+        assert not store.closed
+        store.close()
+
+    def test_double_attach_refused(self):
+        store = HistoryStore()
+        session = ProtocolSession.create(
+            USERS[:4], CONFIG, store=store, store_name="s",
+            own_store=False, seed=2,
+        )
+        try:
+            with pytest.raises(ConfigurationError, match="already"):
+                session.attach_store(store, name="other")
+        finally:
+            session.close()
+            store.close()
+
+    def test_attach_past_epoch_zero_with_empty_store_refused(self):
+        session = ProtocolSession.create(USERS[:6], CONFIG, seed=2)
+        try:
+            session.advance_epoch(joins=["zz1"])
+            with HistoryStore() as store:
+                with pytest.raises(StoreError, match="epoch"):
+                    session.attach_store(store, name="s", own=False)
+        finally:
+            session.close()
+
+    def test_conflicting_identity_refused(self):
+        with HistoryStore() as store:
+            first = ProtocolSession.create(
+                USERS[:4], CONFIG, store=store, store_name="s",
+                own_store=False, seed=2,
+            )
+            first.close()
+            second = ProtocolSession.create(USERS[:4], CONFIG, seed=3)
+            try:
+                with pytest.raises(StoreError, match="different"):
+                    second.attach_store(store, name="s", own=False)
+            finally:
+                second.close()
+
+    def test_resume_unknown_session_lists_names(self):
+        with HistoryStore() as store:
+            session = ProtocolSession.create(
+                USERS[:4], CONFIG, store=store, store_name="real",
+                own_store=False, seed=2,
+            )
+            session.close()
+            with pytest.raises(StoreError, match="real"):
+                ProtocolSession.resume(store, name="ghost", own_store=False)
+
+    def test_batched_lineage_refuses_resume(self):
+        with HistoryStore() as store:
+            session = ProtocolSession.create(
+                USERS[:6],
+                CONFIG,
+                SessionConfig(client_backend="batched"),
+                store=store,
+                store_name="army",
+                own_store=False,
+                seed=2,
+            )
+            session.close()
+            with pytest.raises(ConfigurationError, match="batched"):
+                ProtocolSession.resume(store, name="army", own_store=False)
+
+
+class TestCrashResumeBitIdentity:
+    """Kill mid-epoch, resume, and the completed round is bit-identical
+    to the round an uninterrupted session runs — aggregate cells AND
+    every message's wire bytes."""
+
+    @pytest.mark.parametrize("num_cliques", [1, 4])
+    def test_resumed_round_bit_identical(self, num_cliques):
+        store = HistoryStore()
+        recorded = ProtocolSession.create(
+            USERS,
+            CONFIG,
+            store=store,
+            store_name="s",
+            own_store=False,
+            seed=5,
+            num_cliques=num_cliques,
+        )
+        _observe_week(recorded, 0)
+        recorded.run_round(0)
+        # Mid-epoch churn, then one more round — the crash happens with
+        # a post-churn epoch live.
+        recorded.advance_epoch(joins=["zz1", "zz2"], leaves=[USERS[0]])
+        _observe_week(recorded, 1)
+        recorded.run_round(1)
+        del recorded  # crash: no close(), nothing flushed beyond the store
+
+        resumed = ProtocolSession.resume(
+            store,
+            name="s",
+            settings=SessionConfig(transport=HashingTransport()),
+            own_store=False,
+        )
+        try:
+            assert resumed.epoch.epoch_id == 1
+            assert resumed.next_round == 2
+            assert sorted(resumed.membership.roster) == sorted(
+                USERS[1:] + ["zz1", "zz2"]
+            )
+            _observe_week(resumed, 2)
+            resumed_result = resumed.run_round(2)
+            resumed_hashes = sorted(resumed.transport.hashes)
+        finally:
+            resumed.close()
+
+        # The uninterrupted reference: same lineage, never crashed.
+        reference = ProtocolSession.create(
+            USERS,
+            CONFIG,
+            SessionConfig(transport=HashingTransport()),
+            seed=5,
+            num_cliques=num_cliques,
+        )
+        try:
+            _observe_week(reference, 0)
+            reference.run_round(0)
+            reference.advance_epoch(joins=["zz1", "zz2"], leaves=[USERS[0]])
+            _observe_week(reference, 1)
+            reference.run_round(1)
+            reference.transport.hashes.clear()
+            _observe_week(reference, 2)
+            reference_result = reference.run_round(2)
+            reference_hashes = sorted(reference.transport.hashes)
+        finally:
+            reference.close()
+
+        assert resumed_result.aggregate.cells == reference_result.aggregate.cells
+        assert resumed_result.users_threshold == reference_result.users_threshold
+        assert (
+            resumed_result.distribution.values
+            == reference_result.distribution.values
+        )
+        assert resumed_hashes == reference_hashes
+        # And the store's own copy of the round is the same bytes again.
+        record = store.round_record("s", 2)
+        assert record is not None
+        stored = record.result(CONFIG)
+        assert stored.aggregate.cells == resumed_result.aggregate.cells
+        store.close()
+
+    def test_resume_continues_recording_and_epochs(self):
+        with HistoryStore() as store:
+            first = ProtocolSession.create(
+                USERS[:8], CONFIG, store=store, store_name="s",
+                own_store=False, seed=5, num_cliques=2,
+            )
+            _observe_week(first, 0)
+            first.run_round(0)
+            del first
+
+            resumed = ProtocolSession.resume(store, name="s",
+                                             own_store=False)
+            try:
+                transition = resumed.advance_epoch(joins=["zz9"])
+                assert transition.epoch.epoch_id == 1
+                _observe_week(resumed, 1)
+                resumed.run_round(1)
+            finally:
+                resumed.close()
+            assert [e.epoch_id for e in store.epoch_records("s")] == [0, 1]
+            assert [r.round_id for r in store.round_history(session="s")] == [
+                0,
+                1,
+            ]
+
+            # A second crash-resume replays the longer lineage too.
+            again = ProtocolSession.resume(store, name="s", own_store=False)
+            try:
+                assert again.epoch.epoch_id == 1
+                assert again.next_round == 2
+                assert "zz9" in again.membership.roster
+            finally:
+                again.close()
+
+    def test_resume_from_path_owns_the_reopened_store(self, tmp_path):
+        path = str(tmp_path / "lineage.db")
+        session = ProtocolSession.create(
+            USERS[:4], CONFIG, store=path, store_name="s", seed=5
+        )
+        _observe_week(session, 0)
+        session.run_round(0)
+        session.close()  # closes the path-opened store too
+
+        resumed = ProtocolSession.resume(path, name="s")
+        try:
+            assert resumed.next_round == 1
+            inner = resumed.store
+        finally:
+            resumed.close()
+        assert inner.closed

@@ -1,0 +1,234 @@
+"""The versioned migration ladder: fresh installs, staged upgrades,
+legacy adoption, and failure atomicity.
+
+The load-bearing assertion is fixture-upgrade == fresh-install: a v1
+database walked up the ladder must be *structurally identical* to a
+database created at HEAD, because the schema is defined as the sum of
+its migrations and nothing else. CI runs this file as the
+migration-upgrade gate.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.migrations import (
+    HEAD_VERSION,
+    MIGRATIONS,
+    Migration,
+    adopt_legacy_schema,
+    applied_migrations,
+    apply_migrations,
+    schema_signature,
+    schema_version,
+)
+
+#: The pre-migration MetadataStore DDL, frozen as it shipped (no
+#: departed_week column, no schema_version table). The adoption path
+#: must keep accepting files like this forever.
+LEGACY_DDL = """
+CREATE TABLE users (
+    user_id TEXT PRIMARY KEY,
+    enrolled_week INTEGER NOT NULL,
+    blinding_index INTEGER NOT NULL
+);
+CREATE TABLE weekly_stats (
+    week INTEGER PRIMARY KEY,
+    users_threshold REAL NOT NULL,
+    num_reporting INTEGER NOT NULL,
+    num_missing INTEGER NOT NULL,
+    distribution_json TEXT NOT NULL
+);
+CREATE TABLE crawler_sightings (
+    ad_identity TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    week INTEGER NOT NULL,
+    PRIMARY KEY (ad_identity, domain, week)
+);
+"""
+
+
+class TestLadderShape:
+    def test_ladder_is_contiguous_from_one(self):
+        assert [m.version for m in MIGRATIONS] == list(
+            range(1, len(MIGRATIONS) + 1)
+        )
+
+    def test_head_version_is_last_rung(self):
+        assert HEAD_VERSION == MIGRATIONS[-1].version
+
+    def test_gapped_ladder_refused(self):
+        bad = (
+            Migration(1, "a", ("CREATE TABLE t1 (x)",)),
+            Migration(3, "c", ("CREATE TABLE t3 (x)",)),
+        )
+        with pytest.raises(StoreError, match="1..N"):
+            apply_migrations(sqlite3.connect(":memory:"), migrations=bad)
+
+
+class TestFreshInstall:
+    def test_fresh_database_reaches_head(self):
+        conn = sqlite3.connect(":memory:")
+        applied = apply_migrations(conn)
+        assert applied == [m.version for m in MIGRATIONS]
+        assert schema_version(conn) == HEAD_VERSION
+
+    def test_reapply_is_a_noop(self):
+        conn = sqlite3.connect(":memory:")
+        apply_migrations(conn)
+        assert apply_migrations(conn) == []
+        assert schema_version(conn) == HEAD_VERSION
+
+    def test_applied_names_recorded(self):
+        conn = sqlite3.connect(":memory:")
+        apply_migrations(conn)
+        assert applied_migrations(conn) == [
+            (m.version, m.name) for m in MIGRATIONS
+        ]
+
+
+class TestStagedUpgrade:
+    def test_v1_fixture_upgraded_matches_fresh_install(self):
+        """The CI gate: 001 -> HEAD on an old file == fresh schema."""
+        fixture = sqlite3.connect(":memory:")
+        assert apply_migrations(fixture, target=1) == [1]
+        assert schema_version(fixture) == 1
+        # Live at v1 for a while: real rows must survive the upgrade.
+        fixture.execute("INSERT INTO users VALUES ('u1', 0, 3, NULL)")
+        fixture.commit()
+
+        applied = apply_migrations(fixture)
+        assert applied == [m.version for m in MIGRATIONS[1:]]
+
+        fresh = sqlite3.connect(":memory:")
+        apply_migrations(fresh)
+        assert schema_signature(fixture) == schema_signature(fresh)
+        assert fixture.execute("SELECT user_id FROM users").fetchall() == [
+            ("u1",)
+        ]
+
+    def test_every_intermediate_version_upgrades_clean(self):
+        fresh = sqlite3.connect(":memory:")
+        apply_migrations(fresh)
+        expected = schema_signature(fresh)
+        for stop in range(1, HEAD_VERSION + 1):
+            conn = sqlite3.connect(":memory:")
+            apply_migrations(conn, target=stop)
+            assert schema_version(conn) == stop
+            apply_migrations(conn)
+            assert schema_signature(conn) == expected
+
+    def test_database_ahead_of_ladder_refused(self):
+        conn = sqlite3.connect(":memory:")
+        apply_migrations(conn)
+        conn.execute(
+            "INSERT INTO schema_version (version, name) VALUES (?, ?)",
+            (HEAD_VERSION + 1, "from-the-future"),
+        )
+        conn.commit()
+        with pytest.raises(StoreError, match="newer code"):
+            apply_migrations(conn)
+
+    def test_rewritten_history_refused(self):
+        conn = sqlite3.connect(":memory:")
+        apply_migrations(conn)
+        conn.execute(
+            "UPDATE schema_version SET name = 'revisionism' WHERE version = 2"
+        )
+        conn.commit()
+        with pytest.raises(StoreError, match="append-only"):
+            apply_migrations(conn)
+
+
+class TestLegacyAdoption:
+    def _legacy(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(":memory:")
+        conn.executescript(LEGACY_DDL)
+        conn.execute("INSERT INTO users VALUES ('old-user', 2, 9)")
+        conn.execute(
+            "INSERT INTO weekly_stats VALUES (2, 4.5, 10, 1, '[1.0]')"
+        )
+        conn.commit()
+        return conn
+
+    def test_legacy_file_adopted_at_v1(self):
+        conn = self._legacy()
+        assert adopt_legacy_schema(conn) is True
+        assert schema_version(conn) == 1
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(users)")}
+        assert "departed_week" in columns
+
+    def test_adoption_is_idempotent(self):
+        conn = self._legacy()
+        adopt_legacy_schema(conn)
+        assert adopt_legacy_schema(conn) is False
+
+    def test_empty_database_is_not_legacy(self):
+        assert adopt_legacy_schema(sqlite3.connect(":memory:")) is False
+
+    def test_partial_legacy_schema_refused(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE users (user_id TEXT PRIMARY KEY)")
+        with pytest.raises(StoreError, match="partially-initialized"):
+            adopt_legacy_schema(conn)
+
+    def test_legacy_file_upgrades_to_head_with_data_intact(self):
+        conn = self._legacy()
+        apply_migrations(conn)
+        assert schema_version(conn) == HEAD_VERSION
+        fresh = sqlite3.connect(":memory:")
+        apply_migrations(fresh)
+        assert schema_signature(conn) == schema_signature(fresh)
+        assert conn.execute(
+            "SELECT users_threshold FROM weekly_stats WHERE week = 2"
+        ).fetchone() == (4.5,)
+
+
+class TestFailureAtomicity:
+    def test_failing_migration_rolls_back_whole_step(self):
+        ladder = (
+            MIGRATIONS[0],
+            Migration(
+                2,
+                "doomed",
+                (
+                    "CREATE TABLE half_done (x INTEGER)",
+                    "CREATE TABLE syntax error here",
+                ),
+            ),
+        )
+        conn = sqlite3.connect(":memory:")
+        with pytest.raises(StoreError, match="rolled back"):
+            apply_migrations(conn, migrations=ladder)
+        # Step 1 committed; step 2 left no trace — not even its first
+        # statement's table.
+        assert schema_version(conn) == 1
+        tables = {
+            r[0]
+            for r in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert "half_done" not in tables
+        assert "users" in tables
+
+    def test_recovery_after_failed_step(self):
+        """A fixed ladder picks up exactly where the failure left off."""
+        broken = (
+            MIGRATIONS[0],
+            Migration(2, "session-history", ("CREATE TABLE nope (",)),
+        )
+        conn = sqlite3.connect(":memory:")
+        with pytest.raises(StoreError):
+            apply_migrations(conn, migrations=broken)
+        assert apply_migrations(conn) == [
+            m.version for m in MIGRATIONS[1:]
+        ]
+        assert schema_version(conn) == HEAD_VERSION
+
+    def test_target_beyond_head_refused(self):
+        with pytest.raises(StoreError, match="ends at"):
+            apply_migrations(
+                sqlite3.connect(":memory:"), target=HEAD_VERSION + 1
+            )
